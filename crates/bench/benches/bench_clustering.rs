@@ -1,0 +1,43 @@
+//! Benchmarks of the spectral-clustering stage (Figures 6-8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use thermal_bench::experiments::clustering::wireless_training_trajectories;
+use thermal_bench::protocol::Protocol;
+use thermal_cluster::{
+    cluster_trajectories, weight_matrix, ClusterCount, Similarity, SpectralConfig,
+};
+use thermal_linalg::Matrix;
+
+fn trajectories() -> &'static Matrix {
+    static T: OnceLock<Matrix> = OnceLock::new();
+    T.get_or_init(|| {
+        let p = Protocol::quick(1);
+        wireless_training_trajectories(&p).1
+    })
+}
+
+fn bench_weights(c: &mut Criterion) {
+    let traj = trajectories();
+    for sim in [Similarity::euclidean(), Similarity::correlation()] {
+        c.bench_function(&format!("weight_matrix_{sim}"), |b| {
+            b.iter(|| weight_matrix(traj, sim).expect("valid trajectories"))
+        });
+    }
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let traj = trajectories();
+    let config = SpectralConfig {
+        similarity: Similarity::correlation(),
+        count: ClusterCount::Eigengap { max: 8 },
+        seed: 7,
+        restarts: 8,
+    };
+    c.bench_function("spectral_clustering_25_sensors", |b| {
+        b.iter(|| cluster_trajectories(traj, &config).expect("clusterable"))
+    });
+}
+
+criterion_group!(benches, bench_weights, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks of open-loop evaluation at the paper's horizons (the
+//! code behind Figures 3-5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use thermal_bench::protocol::Protocol;
+use thermal_sysid::{
+    evaluate, identify, EvalConfig, FitConfig, ModelOrder, ModelSpec, ThermalModel,
+};
+
+fn fixture() -> &'static (Protocol, ThermalModel) {
+    static F: OnceLock<(Protocol, ThermalModel)> = OnceLock::new();
+    F.get_or_init(|| {
+        let p = Protocol::quick(1);
+        let spec = ModelSpec::new(
+            p.temperature_channels(),
+            p.input_channels(),
+            ModelOrder::Second,
+        )
+        .expect("valid spec");
+        let model = identify(
+            &p.output.dataset,
+            &spec,
+            &p.train_occupied,
+            &FitConfig::default(),
+        )
+        .expect("identifiable");
+        (p, model)
+    })
+}
+
+fn bench_horizons(c: &mut Criterion) {
+    let (p, model) = fixture();
+    let mut group = c.benchmark_group("open_loop_eval");
+    group.sample_size(20);
+    for hours in [2.5_f64, 7.5, 13.5] {
+        let horizon = (hours * 12.0) as usize;
+        group.bench_function(format!("{hours}h"), |b| {
+            b.iter(|| {
+                evaluate(
+                    model,
+                    &p.output.dataset,
+                    &p.val_occupied,
+                    &EvalConfig::with_horizon(horizon),
+                )
+                .expect("evaluable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horizons);
+criterion_main!(benches);

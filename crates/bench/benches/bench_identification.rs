@@ -1,0 +1,52 @@
+//! Benchmarks of the identification stage (the code behind Table I):
+//! regressor assembly and the piece-wise least-squares solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use thermal_bench::protocol::Protocol;
+use thermal_sysid::{identify, regressors, FitConfig, ModelOrder, ModelSpec};
+
+fn protocol() -> &'static Protocol {
+    static P: OnceLock<Protocol> = OnceLock::new();
+    P.get_or_init(|| Protocol::quick(1))
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let p = protocol();
+    let spec = ModelSpec::new(
+        p.temperature_channels(),
+        p.input_channels(),
+        ModelOrder::Second,
+    )
+    .expect("valid spec");
+    c.bench_function("assemble_regressors_second_order", |b| {
+        b.iter(|| {
+            regressors::assemble(&p.output.dataset, &spec, &p.train_occupied).expect("enough data")
+        })
+    });
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let p = protocol();
+    let mut group = c.benchmark_group("identify");
+    group.sample_size(20);
+    for order in [ModelOrder::First, ModelOrder::Second] {
+        let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)
+            .expect("valid spec");
+        group.bench_function(format!("dense_{order}"), |b| {
+            b.iter(|| {
+                identify(
+                    &p.output.dataset,
+                    &spec,
+                    &p.train_occupied,
+                    &FitConfig::default(),
+                )
+                .expect("identifiable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_identify);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the numerical kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use thermal_linalg::{
+    lstsq, CholeskyDecomposition, Matrix, QrDecomposition, SymmetricEigen, Vector,
+};
+
+fn regressor_like(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 17) % 97) as f64 / 97.0 + if r % 7 == c % 7 { 0.5 } else { 0.0 }
+    })
+}
+
+fn spd(n: usize) -> Matrix {
+    let m = regressor_like(n + 4, n);
+    let mut g = m.gram();
+    for i in 0..n {
+        g[(i, i)] += 1.0;
+    }
+    g
+}
+
+fn bench_qr(c: &mut Criterion) {
+    // The shape of one day's occupied-mode regression: ~180 rows per
+    // day x 32 days, 61 columns (second-order, 27 sensors, 7 inputs).
+    let a = regressor_like(5760, 61);
+    let y = Vector::from_fn(5760, |i| (i as f64 * 0.01).sin());
+    c.bench_function("qr_decompose_5760x61", |b| {
+        b.iter(|| QrDecomposition::new(&a).expect("full rank"))
+    });
+    let qr = QrDecomposition::new(&a).expect("full rank");
+    c.bench_function("qr_solve_5760x61", |b| {
+        b.iter(|| qr.solve(&y).expect("solvable"))
+    });
+}
+
+fn bench_ridge(c: &mut Criterion) {
+    let a = regressor_like(5760, 61);
+    let targets = regressor_like(5760, 27);
+    c.bench_function("ridge_multi_rhs_5760x61x27", |b| {
+        b.iter(|| lstsq::solve_ridge_matrix(&a, &targets, 1e-6).expect("solvable"))
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let a = spd(61);
+    c.bench_function("cholesky_61", |b| {
+        b.iter(|| CholeskyDecomposition::new(&a).expect("spd"))
+    });
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    // Laplacian-sized problem: 25 wireless sensors.
+    let a = spd(25);
+    c.bench_function("jacobi_eigen_25", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |m| SymmetricEigen::new_symmetrized(&m).expect("symmetric"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_qr, bench_ridge, bench_cholesky, bench_eigen);
+criterion_main!(benches);

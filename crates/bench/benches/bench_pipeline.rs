@@ -1,0 +1,41 @@
+//! Benchmark of the full three-step pipeline (the code behind
+//! Fig. 11's reduced models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use thermal_bench::protocol::Protocol;
+use thermal_cluster::{ClusterCount, Similarity};
+use thermal_core::{ModelOrder, SelectorKind, ThermalPipeline};
+
+fn protocol() -> &'static Protocol {
+    static P: OnceLock<Protocol> = OnceLock::new();
+    P.get_or_init(|| Protocol::quick(1))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let p = protocol();
+    let temps = p.temperature_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let inputs = p.input_channels();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let pipeline = ThermalPipeline::builder()
+        .similarity(Similarity::correlation())
+        .cluster_count(ClusterCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .model_order(ModelOrder::Second)
+        .build()
+        .expect("valid pipeline");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("cluster_select_identify", |b| {
+        b.iter(|| {
+            pipeline
+                .fit(&p.output.dataset, &refs, &input_refs, &p.train_occupied)
+                .expect("fittable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

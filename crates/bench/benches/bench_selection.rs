@@ -1,0 +1,55 @@
+//! Benchmarks of the selection strategies (Table II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use thermal_bench::experiments::clustering::wireless_training_trajectories;
+use thermal_bench::protocol::Protocol;
+use thermal_cluster::{cluster_trajectories, ClusterCount, Clustering, Similarity, SpectralConfig};
+use thermal_linalg::Matrix;
+use thermal_select::{
+    GpSelector, NearMeanSelector, RandomSelector, SelectionInput, Selector,
+    StratifiedRandomSelector,
+};
+
+fn fixture() -> &'static (Matrix, Clustering) {
+    static F: OnceLock<(Matrix, Clustering)> = OnceLock::new();
+    F.get_or_init(|| {
+        let p = Protocol::quick(1);
+        let traj = wireless_training_trajectories(&p).1;
+        let clustering = cluster_trajectories(
+            &traj,
+            &SpectralConfig {
+                similarity: Similarity::correlation(),
+                count: ClusterCount::Fixed(2),
+                seed: 7,
+                restarts: 8,
+            },
+        )
+        .expect("clusterable");
+        (traj, clustering)
+    })
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let (traj, clustering) = fixture();
+    let input = SelectionInput {
+        trajectories: traj,
+        clustering,
+        per_cluster: 1,
+        seed: 42,
+    };
+    let selectors: Vec<Box<dyn Selector>> = vec![
+        Box::new(NearMeanSelector),
+        Box::new(StratifiedRandomSelector),
+        Box::new(RandomSelector),
+        Box::new(GpSelector),
+    ];
+    for s in &selectors {
+        c.bench_function(&format!("select_{}", s.name()), |b| {
+            b.iter(|| s.select(&input).expect("selectable"))
+        });
+    }
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

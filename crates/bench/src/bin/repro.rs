@@ -1,0 +1,218 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro                       # all experiments, paper-scale campaign
+//! repro table1 fig6 table2    # a subset
+//! repro --quick               # 40-day campaign (fast smoke run)
+//! repro --seed 7 --out results
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use thermal_bench::experiments::{ablation, clustering, model, selection};
+use thermal_bench::protocol::Protocol;
+use thermal_cluster::Similarity;
+
+const ALL: &[&str] = &[
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table2",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablation",
+    "diagnostics",
+];
+
+struct Args {
+    experiments: Vec<String>,
+    quick: bool,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut experiments = Vec::new();
+    let mut quick = false;
+    let mut seed = 20130131_u64;
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--quick] [--seed N] [--out DIR] [{}]",
+                    ALL.join("|")
+                );
+                std::process::exit(0);
+            }
+            name if ALL.contains(&name) => experiments.push(name.to_owned()),
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    Args {
+        experiments,
+        quick,
+        seed,
+        out,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn save(out_dir: &PathBuf, name: &str, contents: &str) {
+    if fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join(name);
+        if let Err(e) = fs::write(&path, contents) {
+            eprintln!("repro: could not write {}: {e}", path.display());
+        } else {
+            println!("  (csv saved to {})", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    println!(
+        "simulating the {} campaign (seed {})...",
+        if args.quick {
+            "40-day quick"
+        } else {
+            "98-day paper"
+        },
+        args.seed
+    );
+    let protocol = if args.quick {
+        Protocol::quick(args.seed)
+    } else {
+        Protocol::paper(args.seed)
+    };
+    println!(
+        "usable days: {} of {} (outages: {} days) [{:.1?}]\n",
+        protocol.usable_days.len(),
+        protocol.output.scenario.days,
+        protocol.output.outage_days.len(),
+        t0.elapsed()
+    );
+
+    for name in &args.experiments {
+        let t = Instant::now();
+        println!("==== {name} ====");
+        match name.as_str() {
+            "table1" => {
+                let rows = model::table1(&protocol);
+                print!("{}", model::render_table1(&rows));
+            }
+            "fig3" => {
+                let r = model::fig3(&protocol);
+                let (chart, csv) = model::render_fig3(&r);
+                println!("CDF of per-sensor RMS (occupied, 13.5 h):");
+                print!("{chart}");
+                save(&args.out, "fig3.csv", &csv);
+            }
+            "fig4" => {
+                let r = model::fig4(&protocol, "t01");
+                let (chart, csv) = model::render_fig4(&r);
+                println!(
+                    "measured vs predicted for sensor {} over one day:",
+                    r.sensor
+                );
+                print!("{chart}");
+                save(&args.out, "fig4.csv", &csv);
+            }
+            "fig5" => {
+                let r = model::fig5(&protocol);
+                print!("{}", model::render_fig5(&r));
+            }
+            "fig6" => {
+                let sides = clustering::fig6(&protocol);
+                print!("{}", clustering::render_fig6(&sides));
+            }
+            "fig7" => {
+                let cols =
+                    clustering::quality_columns(&protocol, Similarity::euclidean(), &[3, 4, 5]);
+                print!(
+                    "{}",
+                    clustering::render_quality(Similarity::euclidean(), &cols)
+                );
+            }
+            "fig8" => {
+                let cols = clustering::quality_columns(
+                    &protocol,
+                    Similarity::correlation(),
+                    &[2, 3, 4, 5],
+                );
+                print!(
+                    "{}",
+                    clustering::render_quality(Similarity::correlation(), &cols)
+                );
+            }
+            "table2" => {
+                let rows = selection::table2(&protocol);
+                print!("{}", selection::render_table2(&rows));
+            }
+            "fig9" => {
+                let points = selection::fig9(&protocol, 8);
+                print!("{}", selection::render_fig9(&points));
+            }
+            "fig10" => {
+                let rows = selection::fig10(&protocol, &[2, 3, 4, 5, 6, 7, 8]);
+                print!(
+                    "{}",
+                    selection::render_k_comparison(
+                        "99th-pct cluster-mean error by selection strategy:",
+                        &rows
+                    )
+                );
+            }
+            "fig11" => {
+                let rows = selection::fig11(&protocol, &[2, 3, 4, 5, 6, 7, 8]);
+                print!(
+                    "{}",
+                    selection::render_k_comparison(
+                        "99th-pct cluster-mean error of reduced identified models:",
+                        &rows
+                    )
+                );
+            }
+            "diagnostics" => {
+                let r = model::diagnostics(&protocol, 6);
+                println!("one-step residual whiteness (validation half, occupied):");
+                print!("{}", model::render_diagnostics(&r));
+            }
+            "ablation" => {
+                let days = if args.quick { 40 } else { 60 };
+                let rows = ablation::ablation(days, args.seed);
+                println!("simulator design-choice ablation ({days}-day campaigns):");
+                print!("{}", ablation::render_ablation(&rows));
+            }
+            other => die(&format!("unknown experiment {other:?}")),
+        }
+        println!("[{name} took {:.1?}]\n", t.elapsed());
+    }
+    println!("total: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,166 @@
+//! Ablation study over the simulator's design choices.
+//!
+//! DESIGN.md §8 records which physical mechanisms were added to make
+//! the paper's shapes emerge (supply-plume inertia, hidden field
+//! nodes, per-zone thermal mass, sensor-capsule lag, measurement
+//! quantisation, latent seating bias). This experiment removes them
+//! one at a time and reports what happens to the two headline
+//! quantities:
+//!
+//! * the second-order advantage of Table I (90th-pct RMS ratio
+//!   first/second, occupied mode), and
+//! * the front/back correlation-clustering split of Fig. 6 (does the
+//!   eigengap-chosen clustering reproduce the paper's membership?).
+
+use thermal_cluster::{
+    cluster_trajectories, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
+};
+use thermal_sim::Scenario;
+use thermal_sysid::{evaluate, identify, EvalConfig, FitConfig, ModelOrder, ModelSpec};
+
+use crate::protocol::{occupied_horizon, Protocol};
+use crate::render;
+
+/// One ablation variant.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name.
+    pub name: &'static str,
+    /// Occupied-mode 90th-pct RMS, first-order model, °C.
+    pub first: f64,
+    /// The same for the second-order model.
+    pub second: f64,
+    /// `first / second` — above 1 means the second-order model wins.
+    pub ratio: f64,
+    /// Whether eigengap correlation clustering reproduces the paper's
+    /// front/back membership.
+    pub clusters_split: bool,
+}
+
+/// The paper's front group (correlation clustering, Fig. 6/8).
+const FRONT: [&str; 11] = [
+    "t03", "t06", "t07", "t08", "t13", "t14", "t17", "t23", "t28", "t33", "t38",
+];
+
+fn measure(name: &'static str, scenario: &Scenario) -> AblationRow {
+    let p = Protocol::new(scenario);
+    let dataset = &p.output.dataset;
+    let horizon = occupied_horizon(&p.output);
+
+    let mut rms = [0.0_f64; 2];
+    for (slot, order) in [ModelOrder::First, ModelOrder::Second]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)
+            .expect("valid spec");
+        let model = identify(dataset, &spec, &p.train_occupied, &FitConfig::default())
+            .expect("identifiable");
+        rms[slot] = evaluate(
+            &model,
+            dataset,
+            &p.val_occupied,
+            &EvalConfig::with_horizon(horizon),
+        )
+        .expect("evaluable")
+        .rms_percentile(90.0)
+        .expect("non-empty");
+    }
+
+    // Correlation clustering of the wireless sensors.
+    let wireless = p.wireless_channels();
+    let refs: Vec<&str> = wireless.iter().map(String::as_str).collect();
+    let clusters_split = (|| -> Option<bool> {
+        let traj = trajectory_matrix(dataset, &refs, &p.train_occupied).ok()?;
+        let clustering = cluster_trajectories(
+            &traj,
+            &SpectralConfig {
+                similarity: Similarity::correlation(),
+                count: ClusterCount::Eigengap { max: 8 },
+                seed: 7,
+                restarts: 8,
+            },
+        )
+        .ok()?;
+        if clustering.k() != 2 {
+            return Some(false);
+        }
+        let labels: Vec<usize> = refs
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| FRONT.contains(n))
+            .map(|(i, _)| clustering.assignments()[i])
+            .collect();
+        let zeros = labels.iter().filter(|&&l| l == 0).count();
+        Some(zeros == 0 || zeros == labels.len())
+    })()
+    .unwrap_or(false);
+
+    AblationRow {
+        name,
+        first: rms[0],
+        second: rms[1],
+        ratio: rms[0] / rms[1],
+        clusters_split,
+    }
+}
+
+/// Runs the ablation suite on campaigns of `days` days.
+pub fn ablation(days: usize, seed: u64) -> Vec<AblationRow> {
+    let base = {
+        let mut s = Scenario::paper().with_days(days).with_seed(seed);
+        s.min_usable_days = (days * 2) / 3;
+        s
+    };
+    let mut rows = Vec::new();
+    rows.push(measure("baseline", &base));
+
+    let mut no_capsule = base.clone();
+    no_capsule.sensors.time_constant_s = 0.0;
+    rows.push(measure("no sensor-capsule lag", &no_capsule));
+
+    let mut no_mass = base.clone();
+    no_mass.thermal.mass_coupling = 0.0;
+    rows.push(measure("no hidden thermal mass", &no_mass));
+
+    let mut no_hidden = base.clone();
+    no_hidden.thermal.hidden_grid_x = 0;
+    no_hidden.thermal.hidden_grid_y = 0;
+    rows.push(measure("no hidden field nodes", &no_hidden));
+
+    let mut no_quant = base.clone();
+    no_quant.sensors.quantisation = 0.0;
+    no_quant.sensors.noise_sigma = 0.0;
+    rows.push(measure("no measurement noise", &no_quant));
+
+    let mut no_bias = base.clone();
+    no_bias.occupancy.front_bias_range = (0.25, 0.2500001);
+    rows.push(measure("no seating-bias latency", &no_bias));
+
+    let mut no_regional = base.clone();
+    no_regional.regional_disturbance_sigma = 0.0;
+    rows.push(measure("no regional disturbance", &no_regional));
+
+    rows
+}
+
+/// Renders the ablation table.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut t = vec![vec![
+        "variant".to_owned(),
+        "1st-order".to_owned(),
+        "2nd-order".to_owned(),
+        "ratio".to_owned(),
+        "front/back split".to_owned(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.name.to_owned(),
+            format!("{:.3}", r.first),
+            format!("{:.3}", r.second),
+            format!("{:.2}", r.ratio),
+            if r.clusters_split { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    render::table(&t)
+}

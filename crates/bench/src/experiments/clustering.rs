@@ -1,0 +1,213 @@
+//! Sensor-clustering experiments: Figures 6, 7 and 8.
+
+use thermal_cluster::{
+    cluster_trajectories, quality, trajectory_matrix, ClusterCount, Clustering, Similarity,
+    SpectralConfig,
+};
+use thermal_linalg::Matrix;
+
+use crate::protocol::Protocol;
+use crate::render;
+
+/// Training-half trajectories of the wireless sensors (the 25
+/// channels the paper clusters).
+pub fn wireless_training_trajectories(p: &Protocol) -> (Vec<String>, Matrix) {
+    let names = p.wireless_channels();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let traj = trajectory_matrix(&p.output.dataset, &refs, &p.train_occupied)
+        .expect("training trajectories");
+    (names, traj)
+}
+
+/// Validation-half trajectories of the wireless sensors.
+pub fn wireless_validation_trajectories(p: &Protocol) -> Matrix {
+    let names = p.wireless_channels();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    trajectory_matrix(&p.output.dataset, &refs, &p.val_occupied).expect("validation trajectories")
+}
+
+/// Clusters the wireless sensors with the given similarity and count
+/// policy (seeded like the rest of the harness).
+pub fn cluster_wireless(
+    trajectories: &Matrix,
+    similarity: Similarity,
+    count: ClusterCount,
+) -> Clustering {
+    cluster_trajectories(
+        trajectories,
+        &SpectralConfig {
+            similarity,
+            count,
+            seed: 7,
+            restarts: 8,
+        },
+    )
+    .expect("spectral clustering")
+}
+
+/// Figure 6 for one similarity measure.
+#[derive(Debug, Clone)]
+pub struct Fig6Side {
+    /// Which similarity produced this side.
+    pub similarity: Similarity,
+    /// Eigengap-chosen cluster count.
+    pub k: usize,
+    /// Natural-log Laplacian eigenvalues (ascending), as the paper's
+    /// middle column plots.
+    pub log_eigenvalues: Vec<f64>,
+    /// Sensor names per cluster.
+    pub members: Vec<Vec<String>>,
+    /// Mean training temperature per cluster, °C.
+    pub mean_temps: Vec<f64>,
+}
+
+/// Computes both sides of Fig. 6 (Euclidean above, correlation
+/// below).
+pub fn fig6(p: &Protocol) -> Vec<Fig6Side> {
+    let (names, traj) = wireless_training_trajectories(p);
+    [Similarity::euclidean(), Similarity::correlation()]
+        .into_iter()
+        .map(|similarity| {
+            let clustering = cluster_wireless(&traj, similarity, ClusterCount::Eigengap { max: 8 });
+            let means = quality::cluster_means(&traj, &clustering).expect("cluster means");
+            let members = clustering
+                .clusters()
+                .into_iter()
+                .map(|m| m.into_iter().map(|i| names[i].clone()).collect())
+                .collect();
+            Fig6Side {
+                similarity,
+                k: clustering.k(),
+                log_eigenvalues: clustering
+                    .eigenvalues()
+                    .iter()
+                    .map(|&v| v.max(1e-12).ln())
+                    .collect(),
+                members,
+                mean_temps: means,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 6.
+pub fn render_fig6(sides: &[Fig6Side]) -> String {
+    let mut out = String::new();
+    for s in sides {
+        out.push_str(&format!(
+            "similarity = {} -> k = {} (largest log-eigengap)\n",
+            s.similarity, s.k
+        ));
+        for (c, members) in s.members.iter().enumerate() {
+            out.push_str(&format!(
+                "  cluster {c} (mean {:.2} degC): {:?}\n",
+                s.mean_temps[c], members
+            ));
+        }
+        let evs: Vec<String> = s
+            .log_eigenvalues
+            .iter()
+            .map(|v| format!("{v:.1}"))
+            .collect();
+        out.push_str(&format!("  ln eigenvalues: [{}]\n\n", evs.join(", ")));
+    }
+    out
+}
+
+/// Quality metrics for one cluster count (one column of Fig. 7 or 8).
+#[derive(Debug, Clone)]
+pub struct QualityColumn {
+    /// The cluster count.
+    pub k: usize,
+    /// Per-cluster (median, 95th-pct) of the max pairwise temperature
+    /// difference; `None` for singleton clusters.
+    pub per_cluster: Vec<Option<(f64, f64)>>,
+    /// Overall (median, 95th-pct) across all sensor pairs.
+    pub overall: (f64, f64),
+    /// Mean within-cluster correlation of the ordered map.
+    pub corr_within: f64,
+    /// Mean cross-cluster correlation.
+    pub corr_between: f64,
+}
+
+/// Figures 7 (Euclidean, k ∈ 3..5) and 8 (correlation, k ∈ 2..5):
+/// intra-cluster temperature-difference CDog summaries and
+/// correlation-map block contrast.
+pub fn quality_columns(p: &Protocol, similarity: Similarity, ks: &[usize]) -> Vec<QualityColumn> {
+    let (_, traj) = wireless_training_trajectories(p);
+    ks.iter()
+        .map(|&k| {
+            let clustering = cluster_wireless(&traj, similarity, ClusterCount::Fixed(k));
+            let report = quality::temp_diff_report(&traj, &clustering).expect("quality report");
+            let map = quality::correlation_map(&traj, &clustering).expect("correlation map");
+            let summarise = |cdf: &thermal_linalg::stats::EmpiricalCdf| {
+                (
+                    cdf.quantile(0.5).expect("valid quantile"),
+                    cdf.quantile(0.95).expect("valid quantile"),
+                )
+            };
+            QualityColumn {
+                k,
+                per_cluster: report
+                    .per_cluster
+                    .iter()
+                    .map(|c| c.as_ref().map(summarise))
+                    .collect(),
+                overall: summarise(&report.overall),
+                corr_within: map.mean_within(),
+                corr_between: map.mean_between(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a set of quality columns.
+pub fn render_quality(similarity: Similarity, cols: &[QualityColumn]) -> String {
+    let mut out = format!("{similarity}-based clustering quality:\n");
+    let mut t = vec![vec![
+        "k".to_owned(),
+        "cluster".to_owned(),
+        "median dT".to_owned(),
+        "95pct dT".to_owned(),
+    ]];
+    for col in cols {
+        for (c, stats) in col.per_cluster.iter().enumerate() {
+            match stats {
+                Some((med, p95)) => t.push(vec![
+                    format!("{}", col.k),
+                    format!("{c}"),
+                    format!("{med:.2}"),
+                    format!("{p95:.2}"),
+                ]),
+                None => t.push(vec![
+                    format!("{}", col.k),
+                    format!("{c}"),
+                    "(singleton)".to_owned(),
+                    "-".to_owned(),
+                ]),
+            }
+        }
+        t.push(vec![
+            format!("{}", col.k),
+            "overall".to_owned(),
+            format!("{:.2}", col.overall.0),
+            format!("{:.2}", col.overall.1),
+        ]);
+    }
+    out.push_str(&render::table(&t));
+    out.push_str("\ncorrelation-map contrast:\n");
+    let mut t = vec![vec![
+        "k".to_owned(),
+        "within".to_owned(),
+        "between".to_owned(),
+    ]];
+    for col in cols {
+        t.push(vec![
+            format!("{}", col.k),
+            format!("{:.2}", col.corr_within),
+            format!("{:.2}", col.corr_between),
+        ]);
+    }
+    out.push_str(&render::table(&t));
+    out
+}

@@ -1,0 +1,7 @@
+//! Experiment implementations, one module per section of the paper's
+//! evaluation.
+
+pub mod ablation;
+pub mod clustering;
+pub mod model;
+pub mod selection;

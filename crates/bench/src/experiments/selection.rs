@@ -1,0 +1,278 @@
+//! Sensor-selection and model-simplification experiments: Table II
+//! and Figures 9, 10 and 11.
+
+use thermal_cluster::{
+    cluster_trajectories, trajectory_matrix, ClusterCount, Clustering, Similarity, SpectralConfig,
+};
+use thermal_core::{SelectorKind, ThermalPipeline};
+use thermal_linalg::Matrix;
+use thermal_select::{
+    cluster_mean_errors, FixedSelector, GpSelector, NearMeanSelector, RandomSelector,
+    SelectionInput, Selector, StratifiedRandomSelector,
+};
+use thermal_sysid::ModelOrder;
+
+use crate::protocol::{occupied_horizon, Protocol};
+use crate::render;
+
+/// Seeds averaged over for the stochastic strategies.
+const STOCHASTIC_SEEDS: u64 = 10;
+
+/// All 27 temperature channels' trajectories (wireless + thermostats)
+/// over a mask, in dataset order.
+fn all_trajectories(p: &Protocol, validation: bool) -> (Vec<String>, Matrix) {
+    let names = p.temperature_channels();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mask = if validation {
+        &p.val_occupied
+    } else {
+        &p.train_occupied
+    };
+    let traj = trajectory_matrix(&p.output.dataset, &refs, mask).expect("trajectory extraction");
+    (names, traj)
+}
+
+/// Clusters all temperature channels with correlation similarity at a
+/// fixed count.
+fn cluster_all(traj: &Matrix, k: usize) -> Clustering {
+    cluster_trajectories(
+        traj,
+        &SpectralConfig {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Fixed(k),
+            seed: 7,
+            restarts: 8,
+        },
+    )
+    .expect("spectral clustering")
+}
+
+/// Mean 99th-percentile cluster-mean error of a selector, averaged
+/// over seeds for stochastic strategies.
+fn selector_p99(
+    selector: &dyn Selector,
+    train: &Matrix,
+    val: &Matrix,
+    clustering: &Clustering,
+    per_cluster: usize,
+) -> f64 {
+    let stochastic = matches!(selector.name(), "srs" | "rs");
+    let seeds = if stochastic { STOCHASTIC_SEEDS } else { 1 };
+    let mut total = 0.0;
+    for seed in 0..seeds {
+        let selection = selector
+            .select(&SelectionInput {
+                trajectories: train,
+                clustering,
+                per_cluster,
+                seed: 1000 + seed,
+            })
+            .expect("selection");
+        let report = cluster_mean_errors(val, clustering, &selection).expect("cluster-mean errors");
+        total += report.percentile(99.0).expect("non-empty");
+    }
+    total / seeds as f64
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Strategy name.
+    pub name: &'static str,
+    /// 99th-percentile cluster-mean prediction error, °C.
+    pub p99: f64,
+}
+
+/// Table II: selection strategies compared at 2 clusters, one sensor
+/// per cluster.
+pub fn table2(p: &Protocol) -> Vec<Table2Row> {
+    let (names, train) = all_trajectories(p, false);
+    let val = all_trajectories(p, true).1;
+    let clustering = cluster_all(&train, 2);
+    let thermostats: Vec<usize> = names
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| *n == "t40" || *n == "t41")
+        .map(|(i, _)| i)
+        .collect();
+    let selectors: Vec<Box<dyn Selector>> = vec![
+        Box::new(NearMeanSelector),
+        Box::new(StratifiedRandomSelector),
+        Box::new(RandomSelector),
+        Box::new(FixedSelector::thermostats(thermostats)),
+        Box::new(GpSelector),
+    ];
+    selectors
+        .iter()
+        .map(|s| Table2Row {
+            name: match s.name() {
+                "sms" => "SMS",
+                "srs" => "SRS",
+                "rs" => "RS",
+                "thermostats" => "Thermostats",
+                "gp" => "GP",
+                other => Box::leak(other.to_owned().into_boxed_str()),
+            },
+            p99: selector_p99(s.as_ref(), &train, &val, &clustering, 1),
+        })
+        .collect()
+}
+
+/// Renders Table II with the paper's values alongside.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let paper = |name: &str| match name {
+        "SMS" => "0.38",
+        "SRS" => "0.73",
+        "RS" => "1.07",
+        "Thermostats" => "1.89",
+        "GP" => "1.53",
+        _ => "?",
+    };
+    let mut t = vec![vec![
+        "selection".to_owned(),
+        "99th pct error".to_owned(),
+        "paper".to_owned(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.name.to_owned(),
+            format!("{:.2}", r.p99),
+            paper(r.name).to_owned(),
+        ]);
+    }
+    render::table(&t)
+}
+
+/// Figure 9: SRS error shrinks as more sensors are kept per cluster.
+/// The sweep stops at the smallest cluster's size (beyond that the
+/// request is unsatisfiable).
+pub fn fig9(p: &Protocol, max_per_cluster: usize) -> Vec<(f64, f64)> {
+    let train = all_trajectories(p, false).1;
+    let val = all_trajectories(p, true).1;
+    let clustering = cluster_all(&train, 2);
+    let smallest = clustering
+        .clusters()
+        .iter()
+        .map(Vec::len)
+        .min()
+        .unwrap_or(1);
+    (1..=max_per_cluster.min(smallest))
+        .map(|per| {
+            (
+                per as f64,
+                selector_p99(&StratifiedRandomSelector, &train, &val, &clustering, per),
+            )
+        })
+        .collect()
+}
+
+/// Renders Fig. 9.
+pub fn render_fig9(points: &[(f64, f64)]) -> String {
+    let mut t = vec![vec![
+        "sensors per cluster".to_owned(),
+        "99th pct error".to_owned(),
+    ]];
+    for &(n, e) in points {
+        t.push(vec![format!("{n:.0}"), format!("{e:.2}")]);
+    }
+    render::table(&t)
+}
+
+/// One cluster-count column of Fig. 10 (selection alone) or Fig. 11
+/// (reduced identified models).
+#[derive(Debug, Clone)]
+pub struct KComparison {
+    /// Cluster count.
+    pub k: usize,
+    /// SMS 99th-pct error, °C.
+    pub sms: f64,
+    /// SRS 99th-pct error, °C.
+    pub srs: f64,
+    /// RS 99th-pct error, °C.
+    pub rs: f64,
+}
+
+/// Figure 10: selection-strategy comparison across cluster counts.
+pub fn fig10(p: &Protocol, ks: &[usize]) -> Vec<KComparison> {
+    let train = all_trajectories(p, false).1;
+    let val = all_trajectories(p, true).1;
+    ks.iter()
+        .map(|&k| {
+            let clustering = cluster_all(&train, k);
+            KComparison {
+                k,
+                sms: selector_p99(&NearMeanSelector, &train, &val, &clustering, 1),
+                srs: selector_p99(&StratifiedRandomSelector, &train, &val, &clustering, 1),
+                rs: selector_p99(&RandomSelector, &train, &val, &clustering, 1),
+            }
+        })
+        .collect()
+}
+
+/// Figure 11: the same comparison, but the errors are those of
+/// *identified reduced models* predicting the cluster means open-loop
+/// over the validation half.
+pub fn fig11(p: &Protocol, ks: &[usize]) -> Vec<KComparison> {
+    let dataset = &p.output.dataset;
+    let temps = p.temperature_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let inputs = p.input_channels();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let horizon = occupied_horizon(&p.output);
+
+    let run_kind = |kind: SelectorKind, k: usize, seed: u64| -> f64 {
+        let pipeline = ThermalPipeline::builder()
+            .similarity(Similarity::correlation())
+            .cluster_count(ClusterCount::Fixed(k))
+            .selector(kind)
+            .model_order(ModelOrder::Second)
+            .seed(seed)
+            .build()
+            .expect("valid pipeline");
+        let reduced = pipeline
+            .fit(dataset, &refs, &input_refs, &p.train_occupied)
+            .expect("pipeline fit");
+        reduced
+            .evaluate_cluster_means(dataset, &p.val_occupied, horizon)
+            .expect("cluster-mean evaluation")
+            .percentile(99.0)
+            .expect("non-empty")
+    };
+    let averaged = |kind: SelectorKind, k: usize, stochastic: bool| -> f64 {
+        let seeds = if stochastic { 5 } else { 1 };
+        (0..seeds)
+            .map(|s| run_kind(kind.clone(), k, 900 + s))
+            .sum::<f64>()
+            / seeds as f64
+    };
+
+    ks.iter()
+        .map(|&k| KComparison {
+            k,
+            sms: averaged(SelectorKind::NearMean, k, false),
+            srs: averaged(SelectorKind::StratifiedRandom, k, true),
+            rs: averaged(SelectorKind::Random, k, true),
+        })
+        .collect()
+}
+
+/// Renders Fig. 10 or 11.
+pub fn render_k_comparison(title: &str, rows: &[KComparison]) -> String {
+    let mut out = format!("{title}\n");
+    let mut t = vec![vec![
+        "clusters".to_owned(),
+        "SMS".to_owned(),
+        "SRS".to_owned(),
+        "RS".to_owned(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            format!("{}", r.k),
+            format!("{:.2}", r.sms),
+            format!("{:.2}", r.srs),
+            format!("{:.2}", r.rs),
+        ]);
+    }
+    out.push_str(&render::table(&t));
+    out
+}

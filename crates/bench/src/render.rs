@@ -1,0 +1,187 @@
+//! Plain-text rendering of experiment results: aligned tables, ASCII
+//! CDF/series plots, and CSV dumps for external plotting.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table. The first row is the header.
+///
+/// # Panics
+///
+/// Panics when rows have inconsistent widths (a harness bug, not a
+/// data condition).
+pub fn table(rows: &[Vec<String>]) -> String {
+    let Some(first) = rows.first() else {
+        return String::new();
+    };
+    let cols = first.len();
+    for r in rows {
+        assert_eq!(r.len(), cols, "ragged table rows");
+    }
+    let mut widths = vec![0usize; cols];
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        for (c, cell) in r.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>width$}", width = widths[c]);
+        }
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders `(x, y)` series as a fixed-size ASCII chart with one glyph
+/// per series.
+pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter() {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{y1:>9.3} +{}", "-".repeat(width));
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "{:>9} |{line}", "");
+    }
+    let _ = writeln!(out, "{y0:>9.3} +{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10}{x0:<12.3}{:>w$}{x1:.3}",
+        "",
+        "",
+        w = width.saturating_sub(24)
+    );
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>10} {} = {name}", "", GLYPHS[si % GLYPHS.len()]);
+    }
+    out
+}
+
+/// Serialises `(x, y)` series as CSV: one `x` column and one column
+/// per series (rows are the union of x values; missing cells empty).
+pub fn series_csv(series: &[(&str, &[(f64, f64)])]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut out = String::from("x");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(&name.replace(',', "_"));
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x}");
+        for (_, pts) in series {
+            out.push(',');
+            if let Some(&(_, y)) = pts.iter().find(|&&(px, _)| (px - x).abs() < 1e-12) {
+                let _ = write!(out, "{y}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["name".into(), "value".into()],
+            vec!["a".into(), "1.5".into()],
+            vec!["longer".into(), "22".into()],
+        ];
+        let t = table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // All data lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        table(&[vec!["a".into()], vec!["b".into(), "c".into()]]);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(table(&[]).is_empty());
+    }
+
+    #[test]
+    fn chart_renders_each_series() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect();
+        let chart = ascii_chart(&[("up", &a), ("down", &b)], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("down"));
+        assert_eq!(ascii_chart(&[], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn chart_handles_degenerate_ranges() {
+        let flat = [(1.0, 2.0), (1.0, 2.0)];
+        let chart = ascii_chart(&[("flat", &flat)], 20, 5);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn csv_merges_series_on_x() {
+        let a = [(0.0, 1.0), (1.0, 2.0)];
+        let b = [(1.0, 5.0), (2.0, 6.0)];
+        let csv = series_csv(&[("a", &a), ("b", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,2,5");
+        assert_eq!(lines[3], "2,,6");
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+use thermal_linalg::LinalgError;
+use thermal_timeseries::TimeSeriesError;
+
+/// Errors produced by sensor clustering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Not enough sensors or samples for the requested operation.
+    InsufficientData {
+        /// Explanation of what was missing.
+        reason: String,
+    },
+    /// The requested number of clusters is impossible (zero, or more
+    /// than the number of sensors).
+    BadClusterCount {
+        /// Requested count.
+        requested: usize,
+        /// Number of sensors available.
+        sensors: usize,
+    },
+    /// A numerical kernel failed.
+    Linalg(LinalgError),
+    /// A dataset operation failed.
+    TimeSeries(TimeSeriesError),
+    /// K-means failed to converge (practically unreachable with
+    /// bounded iterations — reported rather than looping forever).
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InsufficientData { reason } => {
+                write!(f, "insufficient data for clustering: {reason}")
+            }
+            ClusterError::BadClusterCount { requested, sensors } => {
+                write!(f, "cannot form {requested} clusters from {sensors} sensors")
+            }
+            ClusterError::Linalg(e) => write!(f, "numerical failure: {e}"),
+            ClusterError::TimeSeries(e) => write!(f, "dataset failure: {e}"),
+            ClusterError::NoConvergence { iterations } => {
+                write!(f, "k-means did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Linalg(e) => Some(e),
+            ClusterError::TimeSeries(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LinalgError> for ClusterError {
+    fn from(e: LinalgError) -> Self {
+        ClusterError::Linalg(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TimeSeriesError> for ClusterError {
+    fn from(e: TimeSeriesError) -> Self {
+        ClusterError::TimeSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ClusterError>();
+        assert!(ClusterError::BadClusterCount {
+            requested: 9,
+            sensors: 3
+        }
+        .to_string()
+        .contains('9'));
+        let e = ClusterError::from(LinalgError::Empty { op: "x" });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

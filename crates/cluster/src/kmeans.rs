@@ -1,0 +1,238 @@
+//! Lloyd's k-means with k-means++ seeding, used to partition the
+//! spectral embedding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use thermal_linalg::Matrix;
+
+use crate::{ClusterError, Result};
+
+/// Maximum Lloyd iterations per restart.
+const MAX_ITERS: usize = 300;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Cluster index of each point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, `k × dims`.
+    pub centroids: Matrix,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+}
+
+/// Runs k-means on the rows of `points` with `restarts` independent
+/// k-means++ seedings, keeping the lowest-inertia solution.
+///
+/// # Errors
+///
+/// * [`ClusterError::BadClusterCount`] when `k` is zero or exceeds
+///   the number of points,
+/// * [`ClusterError::InsufficientData`] for an empty point set.
+pub fn kmeans(points: &Matrix, k: usize, restarts: usize, seed: u64) -> Result<KmeansResult> {
+    let (n, dims) = points.shape();
+    if n == 0 || dims == 0 {
+        return Err(ClusterError::InsufficientData {
+            reason: "k-means requires a non-empty point set".to_owned(),
+        });
+    }
+    if k == 0 || k > n {
+        return Err(ClusterError::BadClusterCount {
+            requested: k,
+            sensors: n,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<KmeansResult> = None;
+    for _ in 0..restarts.max(1) {
+        let result = run_once(points, k, &mut rng)?;
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    Ok(best.expect("at least one restart ran"))
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn run_once(points: &Matrix, k: usize, rng: &mut StdRng) -> Result<KmeansResult> {
+    let (n, dims) = points.shape();
+
+    // k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, dims);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(pick));
+        for i in 0..n {
+            d2[i] = d2[i].min(sq_dist(points.row(i), centroids.row(c)));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    for iter in 0..MAX_ITERS {
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let mut best_c = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(points.row(i), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            if assignments[i] != best_c {
+                assignments[i] = best_c;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, dims);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            let row = points.row(i);
+            let srow = sums.row_mut(assignments[i]);
+            for (s, v) in srow.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from
+                // its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(points.row(a), centroids.row(assignments[a]))
+                            .partial_cmp(&sq_dist(points.row(b), centroids.row(assignments[b])))
+                            .expect("finite distances")
+                    })
+                    .expect("non-empty point set");
+                centroids.row_mut(c).copy_from_slice(points.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let srow = sums.row(c).to_vec();
+                for (dst, s) in centroids.row_mut(c).iter_mut().zip(srow) {
+                    *dst = s * inv;
+                }
+            }
+        }
+    }
+
+    let inertia: f64 = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(assignments[i])))
+        .sum();
+    Ok(KmeansResult {
+        assignments,
+        centroids,
+        inertia,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 0.0][..],
+            &[0.1, 0.1][..],
+            &[-0.1, 0.05][..],
+            &[5.0, 5.0][..],
+            &[5.1, 4.9][..],
+            &[4.9, 5.1][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(&two_blobs(), 2, 4, 42).unwrap();
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[0], r.assignments[2]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_eq!(r.assignments[3], r.assignments[5]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+        assert!(r.inertia < 0.2);
+    }
+
+    #[test]
+    fn each_point_nearest_its_centroid() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 4, 1).unwrap();
+        for i in 0..pts.rows() {
+            let own = sq_dist(pts.row(i), r.centroids.row(r.assignments[i]));
+            for c in 0..2 {
+                assert!(own <= sq_dist(pts.row(i), r.centroids.row(c)) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 6, 2, 7).unwrap();
+        assert!(r.inertia < 1e-12);
+        let mut sorted = r.assignments.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "every point its own cluster");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 2, 3, 9).unwrap();
+        let b = kmeans(&pts, 2, 3, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_are_handled() {
+        let pts = Matrix::from_rows(&[&[1.0, 1.0][..]; 5]).unwrap();
+        let r = kmeans(&pts, 2, 2, 3).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let pts = two_blobs();
+        assert!(matches!(
+            kmeans(&pts, 0, 1, 0),
+            Err(ClusterError::BadClusterCount { .. })
+        ));
+        assert!(matches!(
+            kmeans(&pts, 7, 1, 0),
+            Err(ClusterError::BadClusterCount { .. })
+        ));
+        assert!(kmeans(&Matrix::zeros(0, 0), 1, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Graph Laplacians and the eigengap rule for choosing the cluster
+//! count.
+
+use thermal_linalg::{Matrix, SymmetricEigen};
+
+use crate::{ClusterError, Result};
+
+/// Unnormalised graph Laplacian `L = D − W`.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InsufficientData`] for a non-square or
+/// empty weight matrix.
+pub fn laplacian(weights: &Matrix) -> Result<Matrix> {
+    check_weights(weights)?;
+    let n = weights.rows();
+    let mut l = weights.scaled(-1.0);
+    for i in 0..n {
+        let degree: f64 = weights.row(i).iter().sum();
+        l[(i, i)] += degree;
+    }
+    Ok(l)
+}
+
+/// Symmetric normalised Laplacian `L_sym = I − D^{−1/2} W D^{−1/2}`.
+///
+/// Isolated vertices (zero degree) keep an identity row/column.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InsufficientData`] for a non-square or
+/// empty weight matrix.
+pub fn normalized_laplacian(weights: &Matrix) -> Result<Matrix> {
+    check_weights(weights)?;
+    let n = weights.rows();
+    let inv_sqrt_deg: Vec<f64> = (0..n)
+        .map(|i| {
+            let d: f64 = weights.row(i).iter().sum();
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut l = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            l[(i, j)] -= inv_sqrt_deg[i] * weights[(i, j)] * inv_sqrt_deg[j];
+        }
+    }
+    Ok(l)
+}
+
+fn check_weights(weights: &Matrix) -> Result<()> {
+    if !weights.is_square() || weights.rows() < 2 {
+        return Err(ClusterError::InsufficientData {
+            reason: format!(
+                "weight matrix must be square with at least 2 vertices, got {}x{}",
+                weights.rows(),
+                weights.cols()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Ascending eigenvalues of a Laplacian.
+///
+/// # Errors
+///
+/// Propagates eigensolver failures.
+pub fn spectrum(laplacian: &Matrix) -> Result<Vec<f64>> {
+    let eig = SymmetricEigen::new_symmetrized(laplacian)?;
+    Ok(eig.eigenvalues().to_vec())
+}
+
+/// Log-domain eigengaps as defined by the paper:
+/// `gap(i) = log λ_{i+1} − log λ_i` for the ascending spectrum, with
+/// eigenvalues floored at `1e-12` (Laplacians have a structural zero
+/// eigenvalue).
+pub fn log_eigengaps(eigenvalues: &[f64]) -> Vec<f64> {
+    const FLOOR: f64 = 1e-12;
+    eigenvalues
+        .windows(2)
+        .map(|w| (w[1].max(FLOOR)).ln() - (w[0].max(FLOOR)).ln())
+        .collect()
+}
+
+/// The paper's cluster-count rule: the number of clusters is the
+/// index of the largest log-eigengap (a largest gap between λ_k and
+/// λ_{k+1} yields `k` clusters), searched over `2 ..= max_clusters`.
+///
+/// The gap above λ₁ is excluded: every graph Laplacian has a
+/// structural zero eigenvalue, so for a connected similarity graph
+/// that first log-gap is astronomically large and would always elect
+/// the useless `k = 1`. (`max_clusters == 1` trivially returns 1.)
+///
+/// # Errors
+///
+/// Returns [`ClusterError::BadClusterCount`] when `max_clusters` is
+/// zero or exceeds `eigenvalues.len() − 1`.
+pub fn eigengap_cluster_count(eigenvalues: &[f64], max_clusters: usize) -> Result<usize> {
+    let n = eigenvalues.len();
+    if max_clusters == 0 || max_clusters >= n {
+        return Err(ClusterError::BadClusterCount {
+            requested: max_clusters,
+            sensors: n,
+        });
+    }
+    if max_clusters == 1 {
+        return Ok(1);
+    }
+    let gaps = log_eigengaps(eigenvalues);
+    let mut best_k = 2;
+    let mut best_gap = f64::NEG_INFINITY;
+    for k in 2..=max_clusters {
+        // gap between λ_k and λ_{k+1} lives at gaps[k - 1].
+        if gaps[k - 1] > best_gap {
+            best_gap = gaps[k - 1];
+            best_k = k;
+        }
+    }
+    Ok(best_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Weight matrix of two disconnected cliques {0,1} and {2,3}.
+    fn two_blocks() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0][..],
+            &[1.0, 0.0, 0.0, 0.0][..],
+            &[0.0, 0.0, 0.0, 1.0][..],
+            &[0.0, 0.0, 1.0, 0.0][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = laplacian(&two_blocks()).unwrap();
+        for i in 0..4 {
+            let s: f64 = l.row(i).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+        assert_eq!(l[(0, 0)], 1.0);
+        assert_eq!(l[(0, 1)], -1.0);
+    }
+
+    #[test]
+    fn normalized_laplacian_of_regular_graph() {
+        let l = normalized_laplacian(&two_blocks()).unwrap();
+        // Degree-1 graph: L_sym = I - W.
+        assert_eq!(l[(0, 0)], 1.0);
+        assert_eq!(l[(0, 1)], -1.0);
+        assert!(l.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_identity_row() {
+        let w = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0][..],
+            &[1.0, 0.0, 0.0][..],
+            &[0.0, 0.0, 0.0][..],
+        ])
+        .unwrap();
+        let l = normalized_laplacian(&w).unwrap();
+        assert_eq!(l[(2, 2)], 1.0);
+        assert_eq!(l[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn zero_eigenvalue_count_matches_components() {
+        let l = laplacian(&two_blocks()).unwrap();
+        let ev = spectrum(&l).unwrap();
+        assert!(ev[0].abs() < 1e-10 && ev[1].abs() < 1e-10);
+        assert!(ev[2] > 0.5);
+    }
+
+    #[test]
+    fn eigengap_finds_two_components() {
+        let l = laplacian(&two_blocks()).unwrap();
+        let ev = spectrum(&l).unwrap();
+        let k = eigengap_cluster_count(&ev, 3).unwrap();
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn eigengap_finds_three_components() {
+        // Three disconnected pairs.
+        let mut w = Matrix::zeros(6, 6);
+        for (a, b) in [(0, 1), (2, 3), (4, 5)] {
+            w[(a, b)] = 1.0;
+            w[(b, a)] = 1.0;
+        }
+        let ev = spectrum(&laplacian(&w).unwrap()).unwrap();
+        assert_eq!(eigengap_cluster_count(&ev, 5).unwrap(), 3);
+    }
+
+    #[test]
+    fn log_gaps_shape() {
+        let gaps = log_eigengaps(&[0.0, 0.0, 2.0, 4.0]);
+        assert_eq!(gaps.len(), 3);
+        assert!(gaps[0].abs() < 1e-12); // two floored zeros
+        assert!(gaps[1] > 10.0); // 1e-12 -> 2 is a huge log jump
+        assert!((gaps[2] - (4.0_f64.ln() - 2.0_f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(laplacian(&Matrix::zeros(2, 3)).is_err());
+        assert!(normalized_laplacian(&Matrix::zeros(1, 1)).is_err());
+        assert!(eigengap_cluster_count(&[0.0, 1.0], 0).is_err());
+        assert!(eigengap_cluster_count(&[0.0, 1.0], 2).is_err());
+        assert!(eigengap_cluster_count(&[0.0, 1.0], 1).is_ok());
+    }
+}

@@ -1,0 +1,308 @@
+//! Cluster-quality metrics: the two lenses of the paper's Figs. 7–8.
+//!
+//! 1. **Maximum pairwise temperature difference** within a cluster —
+//!    if small, one sensor can stand in for the whole cluster;
+//! 2. **Correlation maps** with sensors ordered by cluster — a good
+//!    clustering shows a block-diagonal pattern.
+
+use thermal_linalg::stats::{self, EmpiricalCdf};
+use thermal_linalg::Matrix;
+
+use crate::spectral::Clustering;
+use crate::{ClusterError, Result};
+
+/// For each sensor pair within a cluster, the maximum absolute
+/// temperature difference over the whole (training) period; one CDF
+/// per cluster plus the all-sensor baseline ("overall" in the
+/// figures).
+#[derive(Debug, Clone)]
+pub struct TempDiffReport {
+    /// Per-cluster CDFs of maximum pairwise differences (clusters
+    /// with fewer than two sensors yield `None`).
+    pub per_cluster: Vec<Option<EmpiricalCdf>>,
+    /// CDF over all sensor pairs, regardless of cluster.
+    pub overall: EmpiricalCdf,
+}
+
+/// Maximum absolute sample-wise difference between two equal-length
+/// trajectories.
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Computes the paper's maximum-temperature-difference CDFs from a
+/// `sensors × samples` trajectory matrix and a clustering of those
+/// sensors.
+///
+/// # Errors
+///
+/// * [`ClusterError::InsufficientData`] when the clustering size does
+///   not match the trajectory count or fewer than two sensors exist.
+pub fn temp_diff_report(trajectories: &Matrix, clustering: &Clustering) -> Result<TempDiffReport> {
+    let n = trajectories.rows();
+    if clustering.sensor_count() != n {
+        return Err(ClusterError::InsufficientData {
+            reason: format!(
+                "clustering covers {} sensors but {} trajectories supplied",
+                clustering.sensor_count(),
+                n
+            ),
+        });
+    }
+    if n < 2 {
+        return Err(ClusterError::InsufficientData {
+            reason: "need at least two sensors".to_owned(),
+        });
+    }
+
+    let mut overall_diffs = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            overall_diffs.push(max_abs_diff(trajectories.row(i), trajectories.row(j)));
+        }
+    }
+
+    let mut per_cluster = Vec::with_capacity(clustering.k());
+    for members in clustering.clusters() {
+        if members.len() < 2 {
+            per_cluster.push(None);
+            continue;
+        }
+        let mut diffs = Vec::new();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                diffs.push(max_abs_diff(trajectories.row(i), trajectories.row(j)));
+            }
+        }
+        per_cluster.push(Some(EmpiricalCdf::new(&diffs)?));
+    }
+
+    Ok(TempDiffReport {
+        per_cluster,
+        overall: EmpiricalCdf::new(&overall_diffs)?,
+    })
+}
+
+/// A correlation map with sensors re-ordered so cluster members are
+/// adjacent (the paper's bottom rows of Figs. 7–8).
+#[derive(Debug, Clone)]
+pub struct CorrelationMap {
+    /// Sensor order used for the map: indices into the original
+    /// sensor list, grouped by cluster.
+    pub order: Vec<usize>,
+    /// Cluster boundaries within `order` (start index of each
+    /// cluster).
+    pub boundaries: Vec<usize>,
+    /// The re-ordered correlation matrix.
+    pub matrix: Matrix,
+}
+
+impl CorrelationMap {
+    /// Mean correlation of within-cluster entries (excluding the
+    /// diagonal).
+    pub fn mean_within(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let bounds = self.cluster_ranges();
+        for (start, end) in bounds {
+            for i in start..end {
+                for j in start..end {
+                    if i != j {
+                        sum += self.matrix[(i, j)];
+                        count += 1;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Mean correlation of cross-cluster entries.
+    pub fn mean_between(&self) -> f64 {
+        let n = self.matrix.rows();
+        let bounds = self.cluster_ranges();
+        let cluster_of = |i: usize| {
+            bounds
+                .iter()
+                .position(|&(s, e)| i >= s && i < e)
+                .expect("index covered by ranges")
+        };
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if cluster_of(i) != cluster_of(j) {
+                    sum += self.matrix[(i, j)];
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    fn cluster_ranges(&self) -> Vec<(usize, usize)> {
+        let n = self.matrix.rows();
+        let mut out = Vec::with_capacity(self.boundaries.len());
+        for (b, &start) in self.boundaries.iter().enumerate() {
+            let end = self.boundaries.get(b + 1).copied().unwrap_or(n);
+            out.push((start, end));
+        }
+        out
+    }
+}
+
+/// Builds the cluster-ordered correlation map for a trajectory matrix
+/// and its clustering.
+///
+/// # Errors
+///
+/// Same conditions as [`temp_diff_report`] plus correlation-matrix
+/// failures.
+pub fn correlation_map(trajectories: &Matrix, clustering: &Clustering) -> Result<CorrelationMap> {
+    let n = trajectories.rows();
+    if clustering.sensor_count() != n {
+        return Err(ClusterError::InsufficientData {
+            reason: "clustering does not match trajectory count".to_owned(),
+        });
+    }
+    // Correlation over sensors = correlation of the transposed matrix's
+    // columns.
+    let corr = stats::correlation_matrix(&trajectories.transpose())?;
+
+    let mut order = Vec::with_capacity(n);
+    let mut boundaries = Vec::with_capacity(clustering.k());
+    for members in clustering.clusters() {
+        boundaries.push(order.len());
+        order.extend(members);
+    }
+    let matrix = corr.submatrix(&order, &order)?;
+    Ok(CorrelationMap {
+        order,
+        boundaries,
+        matrix,
+    })
+}
+
+/// Mean trajectory value per cluster (the per-cluster mean
+/// temperatures shown in Fig. 6's right column).
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InsufficientData`] on a size mismatch.
+pub fn cluster_means(trajectories: &Matrix, clustering: &Clustering) -> Result<Vec<f64>> {
+    if clustering.sensor_count() != trajectories.rows() {
+        return Err(ClusterError::InsufficientData {
+            reason: "clustering does not match trajectory count".to_owned(),
+        });
+    }
+    let mut out = Vec::with_capacity(clustering.k());
+    for members in clustering.clusters() {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &i in &members {
+            sum += trajectories.row(i).iter().sum::<f64>();
+            count += trajectories.cols();
+        }
+        out.push(if count == 0 {
+            f64::NAN
+        } else {
+            sum / count as f64
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Matrix, Clustering) {
+        // Cluster 0: rows 0,1 (close); cluster 1: rows 2,3 (close);
+        // the two clusters are far apart.
+        let m = Matrix::from_rows(&[
+            &[20.0, 20.2, 20.4][..],
+            &[20.1, 20.3, 20.5][..],
+            &[22.0, 21.8, 21.6][..],
+            &[22.1, 21.9, 21.7][..],
+        ])
+        .unwrap();
+        let c = Clustering::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        (m, c)
+    }
+
+    #[test]
+    fn within_cluster_diffs_are_small() {
+        let (m, c) = fixture();
+        let report = temp_diff_report(&m, &c).unwrap();
+        assert_eq!(report.per_cluster.len(), 2);
+        for cdf in report.per_cluster.iter().flatten() {
+            // Every within-cluster pair differs by exactly 0.1.
+            assert!(cdf.sorted_values().iter().all(|&d| d < 0.2));
+        }
+        // Overall includes the 2 °C cross-pairs.
+        assert!(report.overall.sorted_values().last().unwrap() > &1.0);
+    }
+
+    #[test]
+    fn singleton_cluster_yields_none() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0][..], &[1.1, 1.1][..], &[9.0, 9.0][..]]).unwrap();
+        let c = Clustering::from_assignments(vec![0, 0, 1], 2).unwrap();
+        let report = temp_diff_report(&m, &c).unwrap();
+        assert!(report.per_cluster[0].is_some());
+        assert!(report.per_cluster[1].is_none());
+    }
+
+    #[test]
+    fn correlation_map_is_block_diagonal_for_good_clustering() {
+        // Two anti-correlated families.
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0][..],
+            &[1.1, 2.2, 3.1, 4.2][..],
+            &[4.0, 3.0, 2.0, 1.0][..],
+            &[4.2, 3.1, 2.2, 1.1][..],
+        ])
+        .unwrap();
+        let c = Clustering::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        let map = correlation_map(&m, &c).unwrap();
+        assert_eq!(map.order.len(), 4);
+        assert_eq!(map.boundaries, vec![0, 2]);
+        assert!(map.mean_within() > 0.9);
+        assert!(map.mean_between() < 0.0);
+    }
+
+    #[test]
+    fn correlation_map_order_groups_clusters() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 1.0][..], &[1.0, 2.0][..]]).unwrap();
+        let c = Clustering::from_assignments(vec![0, 1, 0], 2).unwrap();
+        let map = correlation_map(&m, &c).unwrap();
+        assert_eq!(map.order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn cluster_means_match_hand_computation() {
+        let (m, c) = fixture();
+        let means = cluster_means(&m, &c).unwrap();
+        assert!((means[0] - 20.25).abs() < 1e-12);
+        assert!((means[1] - 21.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let (m, _) = fixture();
+        let wrong = Clustering::from_assignments(vec![0, 1], 2).unwrap();
+        assert!(temp_diff_report(&m, &wrong).is_err());
+        assert!(correlation_map(&m, &wrong).is_err());
+        assert!(cluster_means(&m, &wrong).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Similarity measures between sensor trajectories and the weighted
+//! similarity graph they induce.
+//!
+//! The paper builds two graphs over the sensor set: one weighting
+//! edges by (a Gaussian kernel of) the Euclidean distance between
+//! temperature trajectories, one by their Pearson correlation, and
+//! shows the two lead to different — and differently useful —
+//! clusterings (Figs. 6–8).
+
+use serde::{Deserialize, Serialize};
+
+use thermal_linalg::{stats, Matrix};
+use thermal_timeseries::{Dataset, Mask};
+
+use crate::{ClusterError, Result};
+
+/// How to measure similarity between two sensors' trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Similarity {
+    /// Gaussian kernel of the Euclidean distance between
+    /// trajectories: `w = exp(−d² / (2σ²))`. `scale = None` picks σ
+    /// as the median pairwise distance (the usual self-tuning
+    /// heuristic).
+    Euclidean {
+        /// Kernel width σ; `None` = median pairwise distance.
+        scale: Option<f64>,
+    },
+    /// Pearson correlation, clamped at zero (anti-correlated sensors
+    /// share no edge).
+    Correlation,
+}
+
+impl Similarity {
+    /// Euclidean similarity with the self-tuning kernel width.
+    pub fn euclidean() -> Self {
+        Similarity::Euclidean { scale: None }
+    }
+
+    /// Correlation similarity.
+    pub fn correlation() -> Self {
+        Similarity::Correlation
+    }
+}
+
+impl std::fmt::Display for Similarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Similarity::Euclidean { .. } => write!(f, "euclidean"),
+            Similarity::Correlation => write!(f, "correlation"),
+        }
+    }
+}
+
+/// Extracts the `sensors × samples` trajectory matrix for the named
+/// channels over the slots of `mask` where *every* channel is
+/// present.
+///
+/// # Errors
+///
+/// * [`ClusterError::TimeSeries`] for unknown channels,
+/// * [`ClusterError::InsufficientData`] when fewer than two joint
+///   samples survive.
+pub fn trajectory_matrix(dataset: &Dataset, channels: &[&str], mask: &Mask) -> Result<Matrix> {
+    let idx = dataset.resolve(channels)?;
+    let present = dataset.presence_mask(&idx)?.and(mask)?;
+    let slots: Vec<usize> = present.iter_selected().collect();
+    if slots.len() < 2 {
+        return Err(ClusterError::InsufficientData {
+            reason: format!(
+                "only {} joint samples available for {} sensors",
+                slots.len(),
+                channels.len()
+            ),
+        });
+    }
+    let mut m = Matrix::zeros(channels.len(), slots.len());
+    for (r, &ci) in idx.iter().enumerate() {
+        let ch = dataset.channel_at(ci)?;
+        for (c, &slot) in slots.iter().enumerate() {
+            m[(r, c)] = ch.value(slot).expect("joint presence checked");
+        }
+    }
+    Ok(m)
+}
+
+/// Builds the symmetric non-negative weight matrix of the similarity
+/// graph from a `sensors × samples` trajectory matrix.
+///
+/// The diagonal is zero (no self-loops), as the graph-Laplacian
+/// construction expects.
+///
+/// # Errors
+///
+/// * [`ClusterError::InsufficientData`] for fewer than two sensors or
+///   samples,
+/// * [`ClusterError::Linalg`] on numerical failures.
+pub fn weight_matrix(trajectories: &Matrix, similarity: Similarity) -> Result<Matrix> {
+    let (n, samples) = trajectories.shape();
+    if n < 2 || samples < 2 {
+        return Err(ClusterError::InsufficientData {
+            reason: format!("need at least 2 sensors and 2 samples, got {n} x {samples}"),
+        });
+    }
+    let mut w = Matrix::zeros(n, n);
+    match similarity {
+        Similarity::Euclidean { scale } => {
+            // Pairwise distances first (needed for the median heuristic).
+            let mut dists = Matrix::zeros(n, n);
+            let mut all = Vec::with_capacity(n * (n - 1) / 2);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = stats::euclidean_distance(trajectories.row(i), trajectories.row(j))?;
+                    dists[(i, j)] = d;
+                    dists[(j, i)] = d;
+                    all.push(d);
+                }
+            }
+            let sigma = match scale {
+                Some(s) if s > 0.0 => s,
+                _ => stats::median(&all)?.max(f64::MIN_POSITIVE),
+            };
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = dists[(i, j)];
+                    let v = (-d * d / (2.0 * sigma * sigma)).exp();
+                    w[(i, j)] = v;
+                    w[(j, i)] = v;
+                }
+            }
+        }
+        Similarity::Correlation => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let r = stats::pearson(trajectories.row(i), trajectories.row(j))?;
+                    let v = r.max(0.0);
+                    w[(i, j)] = v;
+                    w[(j, i)] = v;
+                }
+            }
+        }
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermal_timeseries::{Channel, TimeGrid, Timestamp};
+
+    fn traj() -> Matrix {
+        // Two nearly identical sensors, one very different.
+        Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0][..],
+            &[1.1, 2.1, 3.1, 4.1][..],
+            &[9.0, 1.0, 8.0, 0.0][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn euclidean_weights_favour_close_trajectories() {
+        let w = weight_matrix(&traj(), Similarity::euclidean()).unwrap();
+        assert!(w.is_symmetric(0.0));
+        assert_eq!(w[(0, 0)], 0.0);
+        assert!(w[(0, 1)] > w[(0, 2)]);
+        assert!(
+            w[(0, 1)] > 0.9,
+            "near-identical trajectories: {}",
+            w[(0, 1)]
+        );
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((0.0..=1.0).contains(&w[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_scale_is_respected() {
+        let tight = weight_matrix(&traj(), Similarity::Euclidean { scale: Some(0.01) }).unwrap();
+        // With a tiny kernel width even close trajectories get ~zero.
+        assert!(tight[(0, 1)] < 1e-6);
+        let loose = weight_matrix(&traj(), Similarity::Euclidean { scale: Some(100.0) }).unwrap();
+        assert!(loose[(0, 2)] > 0.9);
+    }
+
+    #[test]
+    fn correlation_weights_clamp_negative() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0][..],
+            &[2.0, 4.0, 6.0][..],
+            &[3.0, 2.0, 1.0][..],
+        ])
+        .unwrap();
+        let w = weight_matrix(&m, Similarity::correlation()).unwrap();
+        assert!((w[(0, 1)] - 1.0).abs() < 1e-12);
+        assert_eq!(w[(0, 2)], 0.0, "anti-correlation clamps to zero");
+        assert_eq!(w[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn rejects_tiny_inputs() {
+        let one = Matrix::from_rows(&[&[1.0, 2.0][..]]).unwrap();
+        assert!(weight_matrix(&one, Similarity::correlation()).is_err());
+        let thin = Matrix::from_rows(&[&[1.0][..], &[2.0][..]]).unwrap();
+        assert!(weight_matrix(&thin, Similarity::euclidean()).is_err());
+    }
+
+    #[test]
+    fn trajectory_matrix_respects_joint_presence() {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 5).unwrap();
+        let ds = Dataset::new(
+            grid,
+            vec![
+                Channel::new("a", vec![Some(1.0), Some(2.0), None, Some(4.0), Some(5.0)]).unwrap(),
+                Channel::new("b", vec![Some(9.0), Some(8.0), Some(7.0), None, Some(5.0)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let m = trajectory_matrix(&ds, &["a", "b"], &Mask::all(ds.grid())).unwrap();
+        // Joint slots: 0, 1, 4.
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(m.row(1), &[9.0, 8.0, 5.0]);
+        assert!(trajectory_matrix(&ds, &["zz"], &Mask::all(ds.grid())).is_err());
+        let narrow = Mask::from_bits(vec![true, false, false, false, false]);
+        assert!(trajectory_matrix(&ds, &["a", "b"], &narrow).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Similarity::euclidean().to_string(), "euclidean");
+        assert_eq!(Similarity::correlation().to_string(), "correlation");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for spectral clustering.
+
+use proptest::prelude::*;
+use thermal_cluster::{
+    cluster_trajectories, eigengap_cluster_count, laplacian, log_eigengaps, spectrum,
+    weight_matrix, ClusterCount, Similarity, SpectralConfig,
+};
+use thermal_linalg::Matrix;
+
+/// Strategy: a trajectory matrix of `groups` well-separated families,
+/// returning (matrix, true labels).
+fn grouped_strategy() -> impl Strategy<Value = (Matrix, Vec<usize>)> {
+    (2usize..4, 2usize..5, 20usize..40).prop_flat_map(|(groups, per_group, samples)| {
+        let n = groups * per_group;
+        prop::collection::vec(-0.05_f64..0.05, n * samples).prop_map(move |noise| {
+            let mut rows = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            for g in 0..groups {
+                // Distinct frequency and offset per family.
+                let freq = 0.2 + 0.37 * g as f64;
+                let offset = 20.0 + 3.0 * g as f64;
+                for s in 0..per_group {
+                    let row: Vec<f64> = (0..samples)
+                        .map(|k| {
+                            offset
+                                + (k as f64 * freq).sin()
+                                + noise[(g * per_group + s) * samples + k]
+                        })
+                        .collect();
+                    rows.push(row);
+                    labels.push(g);
+                }
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            (Matrix::from_rows(&refs).unwrap(), labels)
+        })
+    })
+}
+
+/// Checks that `assignments` induces the same partition as `truth`.
+fn same_partition(assignments: &[usize], truth: &[usize]) -> bool {
+    for i in 0..truth.len() {
+        for j in 0..truth.len() {
+            if (truth[i] == truth[j]) != (assignments[i] == assignments[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Weight matrices are symmetric, hollow and in [0, 1].
+    #[test]
+    fn weights_are_well_formed((traj, _) in grouped_strategy()) {
+        for sim in [Similarity::euclidean(), Similarity::correlation()] {
+            let w = weight_matrix(&traj, sim).unwrap();
+            prop_assert!(w.is_symmetric(1e-12));
+            for i in 0..w.rows() {
+                prop_assert_eq!(w[(i, i)], 0.0);
+                for j in 0..w.cols() {
+                    prop_assert!((0.0..=1.0).contains(&w[(i, j)]));
+                }
+            }
+        }
+    }
+
+    /// Laplacian spectra are non-negative with a structural zero.
+    #[test]
+    fn laplacian_spectrum_properties((traj, _) in grouped_strategy()) {
+        let w = weight_matrix(&traj, Similarity::correlation()).unwrap();
+        let ev = spectrum(&laplacian(&w).unwrap()).unwrap();
+        prop_assert!(ev[0].abs() < 1e-8, "structural zero missing: {}", ev[0]);
+        for v in &ev {
+            prop_assert!(*v > -1e-8, "negative eigenvalue {v}");
+        }
+        for pair in ev.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-12, "spectrum not sorted");
+        }
+        // The eigengap count is always within range.
+        let k = eigengap_cluster_count(&ev, ev.len() - 1).unwrap();
+        prop_assert!(k >= 1 && k < ev.len());
+        prop_assert_eq!(log_eigengaps(&ev).len(), ev.len() - 1);
+    }
+
+    /// Fixed-k clustering is a partition: every sensor gets exactly one
+    /// of k dense labels, and no cluster is empty.
+    #[test]
+    fn clustering_is_a_partition((traj, _) in grouped_strategy(), k in 2usize..4) {
+        let k = k.min(traj.rows());
+        let c = cluster_trajectories(&traj, &SpectralConfig {
+            similarity: Similarity::euclidean(),
+            count: ClusterCount::Fixed(k),
+            seed: 11,
+            restarts: 6,
+        }).unwrap();
+        prop_assert_eq!(c.assignments().len(), traj.rows());
+        prop_assert_eq!(c.k(), k);
+        let clusters = c.clusters();
+        prop_assert_eq!(clusters.len(), k);
+        let total: usize = clusters.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, traj.rows());
+        for members in &clusters {
+            prop_assert!(!members.is_empty());
+        }
+    }
+
+    /// Well-separated families are recovered exactly when k matches.
+    ///
+    /// The self-tuning median kernel normalises *between*-group
+    /// distances to a similarity of ~0.6 regardless of separation, so
+    /// these recovery properties use an explicit kernel width of one
+    /// noise-scale: within-group similarity ≈ 1, between ≈ 0.
+    #[test]
+    fn separated_families_are_recovered((traj, truth) in grouped_strategy()) {
+        let k = truth.iter().max().unwrap() + 1;
+        let scale = (traj.cols() as f64).sqrt();
+        let c = cluster_trajectories(&traj, &SpectralConfig {
+            similarity: Similarity::Euclidean { scale: Some(scale) },
+            count: ClusterCount::Fixed(k),
+            seed: 5,
+            restarts: 8,
+        }).unwrap();
+        prop_assert!(
+            same_partition(c.assignments(), &truth),
+            "expected {:?}, got {:?}", truth, c.assignments()
+        );
+    }
+
+    /// The eigengap rule finds the family count for well-separated
+    /// Euclidean families (explicit kernel width, see above).
+    #[test]
+    fn eigengap_detects_family_count((traj, truth) in grouped_strategy()) {
+        let true_k = truth.iter().max().unwrap() + 1;
+        let scale = (traj.cols() as f64).sqrt();
+        let c = cluster_trajectories(&traj, &SpectralConfig {
+            similarity: Similarity::Euclidean { scale: Some(scale) },
+            count: ClusterCount::Eigengap { max: 6 },
+            seed: 5,
+            restarts: 8,
+        }).unwrap();
+        prop_assert_eq!(c.k(), true_k);
+    }
+
+    /// Clustering is invariant to a uniform temperature offset under
+    /// correlation similarity.
+    #[test]
+    fn correlation_clustering_is_offset_invariant((traj, truth) in grouped_strategy(), offset in -5.0_f64..5.0) {
+        // Use the true family count: forcing fewer clusters than
+        // families leaves ties that float-level perturbations flip.
+        let config = SpectralConfig {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Fixed(truth.iter().max().unwrap() + 1),
+            seed: 9,
+            restarts: 6,
+        };
+        let base = cluster_trajectories(&traj, &config).unwrap();
+        let shifted = Matrix::from_fn(traj.rows(), traj.cols(), |r, c| traj[(r, c)] + offset);
+        let again = cluster_trajectories(&shifted, &config).unwrap();
+        prop_assert!(same_partition(base.assignments(), again.assignments()));
+    }
+}

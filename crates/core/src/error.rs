@@ -1,0 +1,94 @@
+use std::fmt;
+
+use thermal_cluster::ClusterError;
+use thermal_select::SelectError;
+use thermal_sysid::SysidError;
+use thermal_timeseries::TimeSeriesError;
+
+/// Errors produced by the end-to-end modeling pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The pipeline configuration is inconsistent.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Sensor clustering failed.
+    Cluster(ClusterError),
+    /// Sensor selection failed.
+    Select(SelectError),
+    /// Model identification or evaluation failed.
+    Sysid(SysidError),
+    /// A dataset operation failed.
+    TimeSeries(TimeSeriesError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid pipeline config: {reason}"),
+            CoreError::Cluster(e) => write!(f, "clustering stage failed: {e}"),
+            CoreError::Select(e) => write!(f, "selection stage failed: {e}"),
+            CoreError::Sysid(e) => write!(f, "identification stage failed: {e}"),
+            CoreError::TimeSeries(e) => write!(f, "dataset operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Select(e) => Some(e),
+            CoreError::Sysid(e) => Some(e),
+            CoreError::TimeSeries(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SelectError> for CoreError {
+    fn from(e: SelectError) -> Self {
+        CoreError::Select(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SysidError> for CoreError {
+    fn from(e: SysidError) -> Self {
+        CoreError::Sysid(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TimeSeriesError> for CoreError {
+    fn from(e: TimeSeriesError) -> Self {
+        CoreError::TimeSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+        let e = CoreError::InvalidConfig {
+            reason: "no sensors".into(),
+        };
+        assert!(e.to_string().contains("no sensors"));
+        let e = CoreError::from(TimeSeriesError::GridMismatch);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

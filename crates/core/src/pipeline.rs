@@ -1,0 +1,381 @@
+//! The paper's three-step method as one configurable pipeline:
+//! cluster the dense deployment, select representative sensors, and
+//! identify a simplified thermal model on them.
+
+use serde::{Deserialize, Serialize};
+
+use thermal_cluster::{
+    cluster_trajectories, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
+};
+use thermal_select::{
+    FixedSelector, GpSelector, NearMeanSelector, RandomSelector, SelectionInput, Selector,
+    StratifiedRandomSelector,
+};
+use thermal_sysid::{identify, FitConfig, ModelOrder, ModelSpec};
+use thermal_timeseries::{Dataset, Mask};
+
+use crate::reduced::ReducedModel;
+use crate::{CoreError, Result};
+
+/// Which selection strategy the pipeline uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// Stratified near-mean selection (the paper's SMS — its best).
+    NearMean,
+    /// Stratified random selection (SRS).
+    StratifiedRandom,
+    /// Clustering-blind random baseline (RS).
+    Random,
+    /// A fixed set of channel names (e.g. the installed thermostats).
+    Fixed(Vec<String>),
+    /// Greedy Gaussian-process mutual-information placement (GP).
+    GpMutualInformation,
+}
+
+impl SelectorKind {
+    fn build(&self, dataset_channels: &[String]) -> Result<Box<dyn Selector>> {
+        Ok(match self {
+            SelectorKind::NearMean => Box::new(NearMeanSelector),
+            SelectorKind::StratifiedRandom => Box::new(StratifiedRandomSelector),
+            SelectorKind::Random => Box::new(RandomSelector),
+            SelectorKind::GpMutualInformation => Box::new(GpSelector),
+            SelectorKind::Fixed(names) => {
+                let mut indices = Vec::with_capacity(names.len());
+                for n in names {
+                    let idx = dataset_channels
+                        .iter()
+                        .position(|c| c == n)
+                        .ok_or_else(|| CoreError::InvalidConfig {
+                            reason: format!("fixed sensor {n:?} is not a modelled channel"),
+                        })?;
+                    indices.push(idx);
+                }
+                Box::new(FixedSelector::new("fixed", indices))
+            }
+        })
+    }
+}
+
+/// Complete pipeline configuration. Construct with
+/// [`ThermalPipeline::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPipeline {
+    similarity: Similarity,
+    count: ClusterCount,
+    selector: SelectorKind,
+    per_cluster: usize,
+    order: ModelOrder,
+    fit: FitConfig,
+    seed: u64,
+    restarts: usize,
+}
+
+impl ThermalPipeline {
+    /// Starts building a pipeline with the paper's defaults
+    /// (correlation similarity, eigengap cluster count up to 8,
+    /// near-mean selection of one sensor per cluster, second-order
+    /// model).
+    pub fn builder() -> ThermalPipelineBuilder {
+        ThermalPipelineBuilder::default()
+    }
+
+    /// The clustering similarity in use.
+    pub fn similarity(&self) -> Similarity {
+        self.similarity
+    }
+
+    /// The cluster-count policy in use.
+    pub fn cluster_count(&self) -> ClusterCount {
+        self.count
+    }
+
+    /// The selection strategy in use.
+    pub fn selector(&self) -> &SelectorKind {
+        &self.selector
+    }
+
+    /// The model order in use.
+    pub fn model_order(&self) -> ModelOrder {
+        self.order
+    }
+
+    /// Runs the three steps on `dataset`: cluster `sensor_channels`
+    /// over `train_mask`, select representatives, and identify a
+    /// reduced model of the selected sensors driven by
+    /// `input_channels`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] for empty channel lists,
+    /// * stage errors from clustering, selection or identification.
+    pub fn fit(
+        &self,
+        dataset: &Dataset,
+        sensor_channels: &[&str],
+        input_channels: &[&str],
+        train_mask: &Mask,
+    ) -> Result<ReducedModel> {
+        if sensor_channels.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "pipeline needs at least one sensor channel".to_owned(),
+            });
+        }
+
+        // Step 1: cluster the dense deployment.
+        let trajectories = trajectory_matrix(dataset, sensor_channels, train_mask)?;
+        let spectral = SpectralConfig {
+            similarity: self.similarity,
+            count: self.count,
+            seed: self.seed,
+            restarts: self.restarts,
+        };
+        let clustering = cluster_trajectories(&trajectories, &spectral)?;
+
+        // Step 2: select representative sensors.
+        let owned_names: Vec<String> = sensor_channels.iter().map(|s| (*s).to_owned()).collect();
+        let selector = self.selector.build(&owned_names)?;
+        let selection = selector.select(&SelectionInput {
+            trajectories: &trajectories,
+            clustering: &clustering,
+            per_cluster: self.per_cluster,
+            seed: self.seed,
+        })?;
+
+        // Step 3: identify the simplified model on the selected
+        // sensors.
+        let selected: Vec<String> = selection
+            .sensors()
+            .into_iter()
+            .map(|i| owned_names[i].clone())
+            .collect();
+        let spec = ModelSpec::new(
+            selected.clone(),
+            input_channels.iter().map(|s| (*s).to_owned()).collect(),
+            self.order,
+        )?;
+        let model = identify(dataset, &spec, train_mask, &self.fit)?;
+
+        Ok(ReducedModel::new(
+            owned_names,
+            clustering,
+            selection,
+            selected,
+            model,
+        ))
+    }
+}
+
+/// Builder for [`ThermalPipeline`].
+#[derive(Debug, Clone)]
+pub struct ThermalPipelineBuilder {
+    similarity: Similarity,
+    count: ClusterCount,
+    selector: SelectorKind,
+    per_cluster: usize,
+    order: ModelOrder,
+    fit: FitConfig,
+    seed: u64,
+    restarts: usize,
+}
+
+impl Default for ThermalPipelineBuilder {
+    fn default() -> Self {
+        ThermalPipelineBuilder {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Eigengap { max: 8 },
+            selector: SelectorKind::NearMean,
+            per_cluster: 1,
+            order: ModelOrder::Second,
+            fit: FitConfig::default(),
+            seed: 7,
+            restarts: 8,
+        }
+    }
+}
+
+impl ThermalPipelineBuilder {
+    /// Sets the clustering similarity.
+    pub fn similarity(&mut self, similarity: Similarity) -> &mut Self {
+        self.similarity = similarity;
+        self
+    }
+
+    /// Sets the cluster-count policy.
+    pub fn cluster_count(&mut self, count: ClusterCount) -> &mut Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn selector(&mut self, selector: SelectorKind) -> &mut Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Sets how many sensors to keep per cluster.
+    pub fn per_cluster(&mut self, per_cluster: usize) -> &mut Self {
+        self.per_cluster = per_cluster;
+        self
+    }
+
+    /// Sets the dynamic order of the identified model.
+    pub fn model_order(&mut self, order: ModelOrder) -> &mut Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the least-squares configuration.
+    pub fn fit_config(&mut self, fit: FitConfig) -> &mut Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Sets the seed shared by the stochastic stages.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the k-means restart count.
+    pub fn restarts(&mut self, restarts: usize) -> &mut Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Finalises the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero `per_cluster`
+    /// or zero `restarts`.
+    pub fn build(&self) -> Result<ThermalPipeline> {
+        if self.per_cluster == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "per_cluster must be at least 1".to_owned(),
+            });
+        }
+        if self.restarts == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "restarts must be at least 1".to_owned(),
+            });
+        }
+        Ok(ThermalPipeline {
+            similarity: self.similarity,
+            count: self.count,
+            selector: self.selector.clone(),
+            per_cluster: self.per_cluster,
+            order: self.order,
+            fit: self.fit,
+            seed: self.seed,
+            restarts: self.restarts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermal_timeseries::{Channel, TimeGrid, Timestamp};
+
+    /// A small synthetic dataset with two sensor families driven by
+    /// one input.
+    fn synth_dataset() -> Dataset {
+        let n = 240;
+        let u: Vec<f64> = (0..n)
+            .map(|k| 0.5 + 0.5 * (k as f64 * 0.13).sin())
+            .collect();
+        // Family A: strongly driven by u; family B: anti-driven.
+        let mut families: Vec<Vec<f64>> = Vec::new();
+        for (gain, base) in [
+            (1.0, 20.0),
+            (0.9, 20.1),
+            (1.1, 19.9),
+            (-1.0, 22.0),
+            (-0.9, 22.1),
+        ] {
+            let mut t = vec![base];
+            for k in 0..n - 1 {
+                let drive: f64 = gain * u[k];
+                let wiggle = 0.01 * (((k * 31 + (gain * 10.0) as usize) % 17) as f64 / 17.0);
+                t.push(0.9 * t[k] + 0.1 * base + drive * 0.2 + wiggle);
+            }
+            families.push(t);
+        }
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, n).unwrap();
+        let mut channels = vec![Channel::from_values("u", u).unwrap()];
+        for (i, t) in families.into_iter().enumerate() {
+            channels.push(Channel::from_values(format!("s{i}"), t).unwrap());
+        }
+        Dataset::new(grid, channels).unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_and_validation() {
+        let p = ThermalPipeline::builder().build().unwrap();
+        assert_eq!(p.model_order(), ModelOrder::Second);
+        assert_eq!(p.selector(), &SelectorKind::NearMean);
+        assert!(ThermalPipeline::builder().per_cluster(0).build().is_err());
+        assert!(ThermalPipeline::builder().restarts(0).build().is_err());
+    }
+
+    #[test]
+    fn full_pipeline_runs_end_to_end() {
+        let ds = synth_dataset();
+        let sensors = ["s0", "s1", "s2", "s3", "s4"];
+        let pipeline = ThermalPipeline::builder()
+            .cluster_count(ClusterCount::Fixed(2))
+            .model_order(ModelOrder::First)
+            .seed(3)
+            .build()
+            .unwrap();
+        let reduced = pipeline
+            .fit(&ds, &sensors, &["u"], &Mask::all(ds.grid()))
+            .unwrap();
+        assert_eq!(reduced.clustering().k(), 2);
+        assert_eq!(reduced.selected_channels().len(), 2);
+        // The two representatives come from the two families.
+        let sel = reduced.selected_channels();
+        let fam = |name: &str| {
+            let idx: usize = name[1..].parse().unwrap();
+            usize::from(idx >= 3)
+        };
+        assert_ne!(fam(&sel[0]), fam(&sel[1]));
+    }
+
+    #[test]
+    fn fixed_selector_by_name() {
+        let ds = synth_dataset();
+        let sensors = ["s0", "s1", "s2", "s3", "s4"];
+        let pipeline = ThermalPipeline::builder()
+            .cluster_count(ClusterCount::Fixed(2))
+            .selector(SelectorKind::Fixed(vec!["s1".into(), "s4".into()]))
+            .model_order(ModelOrder::First)
+            .build()
+            .unwrap();
+        let reduced = pipeline
+            .fit(&ds, &sensors, &["u"], &Mask::all(ds.grid()))
+            .unwrap();
+        let mut names = reduced.selected_channels().to_vec();
+        names.sort();
+        assert_eq!(names, vec!["s1".to_owned(), "s4".to_owned()]);
+        // Unknown fixed name is rejected.
+        let bad = ThermalPipeline::builder()
+            .selector(SelectorKind::Fixed(vec!["zz".into()]))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            bad.fit(&ds, &sensors, &["u"], &Mask::all(ds.grid())),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sensor_list_rejected() {
+        let ds = synth_dataset();
+        let pipeline = ThermalPipeline::builder().build().unwrap();
+        assert!(matches!(
+            pipeline.fit(&ds, &[], &["u"], &Mask::all(ds.grid())),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+}

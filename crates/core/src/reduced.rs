@@ -1,0 +1,311 @@
+//! The pipeline's product: a reduced thermal model over a handful of
+//! representative sensors, evaluated against the cluster thermal
+//! means it is meant to track (Fig. 11's metric).
+
+use serde::{Deserialize, Serialize};
+
+use thermal_cluster::Clustering;
+use thermal_linalg::stats::{self, EmpiricalCdf};
+use thermal_select::Selection;
+use thermal_sysid::{predict_segment, regressors, ThermalModel};
+use thermal_timeseries::{Dataset, Mask};
+
+use crate::{CoreError, Result};
+
+/// A simplified thermal model built on selected sensors, with the
+/// clustering context needed to interpret its predictions as cluster
+/// thermal means.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReducedModel {
+    /// All modelled sensor channels (the dense deployment).
+    all_channels: Vec<String>,
+    /// Clustering of `all_channels`.
+    clustering: Clustering,
+    /// Which sensors were kept, per cluster.
+    selection: Selection,
+    /// Names of the kept sensors, ascending dataset order.
+    selected_channels: Vec<String>,
+    /// The identified state-space model over `selected_channels`.
+    model: ThermalModel,
+}
+
+impl ReducedModel {
+    /// Assembles a reduced model (normally done by
+    /// [`crate::ThermalPipeline::fit`]).
+    pub fn new(
+        all_channels: Vec<String>,
+        clustering: Clustering,
+        selection: Selection,
+        selected_channels: Vec<String>,
+        model: ThermalModel,
+    ) -> Self {
+        ReducedModel {
+            all_channels,
+            clustering,
+            selection,
+            selected_channels,
+            model,
+        }
+    }
+
+    /// The dense deployment's channel names.
+    pub fn all_channels(&self) -> &[String] {
+        &self.all_channels
+    }
+
+    /// The sensor clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The selection that produced this model.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Names of the kept sensors.
+    pub fn selected_channels(&self) -> &[String] {
+        &self.selected_channels
+    }
+
+    /// The identified state-space model over the kept sensors.
+    pub fn model(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// Evaluates how well the reduced model predicts each cluster's
+    /// thermal mean, open-loop over the usable segments of `mask`:
+    /// the model rolls forward from measured initial conditions, its
+    /// per-cluster predictions (mean over that cluster's kept
+    /// sensors) are compared with the measured mean over *all* the
+    /// cluster's sensors.
+    ///
+    /// Returns the pooled absolute errors, the quantity whose 99th
+    /// percentile Fig. 11 plots.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] when `horizon` is zero,
+    /// * identification-stage errors when no usable segment exists.
+    pub fn evaluate_cluster_means(
+        &self,
+        dataset: &Dataset,
+        mask: &Mask,
+        horizon: usize,
+    ) -> Result<ClusterMeanModelReport> {
+        if horizon == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "evaluation horizon must be at least one step".to_owned(),
+            });
+        }
+        // Usable segments need every channel the model consumes *and*
+        // every dense channel for ground truth: intersect the masks.
+        let all_refs: Vec<&str> = self.all_channels.iter().map(String::as_str).collect();
+        let dense_idx = dataset.resolve(&all_refs)?;
+        let dense_present = dataset.presence_mask(&dense_idx)?;
+        let joint = dense_present.and(mask)?;
+        let segments = regressors::usable_segments(dataset, self.model.spec(), &joint)?;
+
+        // Column index of each selected channel within the model's
+        // output ordering.
+        let spec_outputs = &self.model.spec().outputs;
+
+        // Per-cluster: positions (within model outputs) of that
+        // cluster's representatives, and dataset indices of all its
+        // members.
+        let clusters = self.clustering.clusters();
+        let mut rep_cols: Vec<Vec<usize>> = Vec::with_capacity(clusters.len());
+        let mut member_idx: Vec<Vec<usize>> = Vec::with_capacity(clusters.len());
+        for (c, members) in clusters.iter().enumerate() {
+            let reps = self.selection.representatives(c);
+            let cols = reps
+                .iter()
+                .map(|&r| {
+                    let name = &self.all_channels[r];
+                    spec_outputs.iter().position(|o| o == name).ok_or_else(|| {
+                        CoreError::InvalidConfig {
+                            reason: format!("representative {name:?} missing from model outputs"),
+                        }
+                    })
+                })
+                .collect::<Result<Vec<usize>>>()?;
+            rep_cols.push(cols);
+            member_idx.push(members.iter().map(|&m| dense_idx[m]).collect());
+        }
+
+        let mut errors = Vec::new();
+        let mut segments_used = 0usize;
+        for seg in segments {
+            let Ok(pred) = predict_segment(&self.model, dataset, seg, Some(horizon)) else {
+                continue;
+            };
+            segments_used += 1;
+            for (row, &grid_idx) in pred.indices.iter().enumerate() {
+                for (c, cols) in rep_cols.iter().enumerate() {
+                    let predicted: f64 =
+                        cols.iter().map(|&j| pred.predicted[(row, j)]).sum::<f64>()
+                            / cols.len() as f64;
+                    let truth_vals = dataset
+                        .values_at(grid_idx, &member_idx[c])
+                        .expect("joint presence checked by segmentation");
+                    let truth: f64 = truth_vals.iter().sum::<f64>() / truth_vals.len() as f64;
+                    errors.push((predicted - truth).abs());
+                }
+            }
+        }
+        if errors.is_empty() {
+            return Err(CoreError::Sysid(
+                thermal_sysid::SysidError::InsufficientData {
+                    available: 0,
+                    required: 1,
+                },
+            ));
+        }
+        Ok(ClusterMeanModelReport {
+            errors,
+            segments_used,
+            cluster_count: clusters.len(),
+        })
+    }
+}
+
+/// Pooled cluster-mean prediction errors of a reduced model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterMeanModelReport {
+    errors: Vec<f64>,
+    segments_used: usize,
+    cluster_count: usize,
+}
+
+impl ClusterMeanModelReport {
+    /// Pooled absolute errors (clusters × predicted samples).
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// Number of segments that contributed predictions.
+    pub fn segments_used(&self) -> usize {
+        self.segments_used
+    }
+
+    /// Number of clusters evaluated.
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// Percentile of the pooled errors (Fig. 11 uses the 99th).
+    ///
+    /// # Errors
+    ///
+    /// Propagates percentile failures.
+    pub fn percentile(&self, p: f64) -> Result<f64> {
+        stats::percentile(&self.errors, p).map_err(|e| CoreError::Sysid(e.into()))
+    }
+
+    /// ECDF of the pooled errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn cdf(&self) -> Result<EmpiricalCdf> {
+        EmpiricalCdf::new(&self.errors).map_err(|e| CoreError::Sysid(e.into()))
+    }
+
+    /// RMS of the pooled errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RMS failures.
+    pub fn rms(&self) -> Result<f64> {
+        stats::rms(&self.errors).map_err(|e| CoreError::Sysid(e.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SelectorKind, ThermalPipeline};
+    use thermal_cluster::ClusterCount;
+    use thermal_sysid::ModelOrder;
+    use thermal_timeseries::{Channel, TimeGrid, Timestamp};
+
+    fn synth_dataset() -> Dataset {
+        let n = 300;
+        let u: Vec<f64> = (0..n)
+            .map(|k| 0.5 + 0.5 * (k as f64 * 0.11).sin())
+            .collect();
+        let mut channels = vec![Channel::from_values("u", u.clone()).unwrap()];
+        for (i, (gain, base)) in [(1.0, 20.0), (1.05, 20.1), (-1.0, 22.0), (-0.95, 22.1)]
+            .into_iter()
+            .enumerate()
+        {
+            let mut t = vec![base];
+            for k in 0..n - 1 {
+                t.push(0.9 * t[k] + 0.1 * base + gain * 0.2 * u[k]);
+            }
+            channels.push(Channel::from_values(format!("s{i}"), t).unwrap());
+        }
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, n).unwrap();
+        Dataset::new(grid, channels).unwrap()
+    }
+
+    fn fit_reduced(ds: &Dataset) -> ReducedModel {
+        ThermalPipeline::builder()
+            .cluster_count(ClusterCount::Fixed(2))
+            .selector(SelectorKind::NearMean)
+            .model_order(ModelOrder::First)
+            .build()
+            .unwrap()
+            .fit(ds, &["s0", "s1", "s2", "s3"], &["u"], &Mask::all(ds.grid()))
+            .unwrap()
+    }
+
+    #[test]
+    fn reduced_model_tracks_cluster_means() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let report = reduced
+            .evaluate_cluster_means(&ds, &Mask::all(ds.grid()), 50)
+            .unwrap();
+        assert_eq!(report.cluster_count(), 2);
+        assert!(report.segments_used() >= 1);
+        // Representatives sit within 0.1 of their cluster mean by
+        // construction, and the model is near-exact.
+        assert!(
+            report.percentile(99.0).unwrap() < 0.2,
+            "99th pct {}",
+            report.percentile(99.0).unwrap()
+        );
+        assert!(report.rms().unwrap() < 0.2);
+        assert!(report.cdf().is_ok());
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        assert!(matches!(
+            reduced.evaluate_cluster_means(&ds, &Mask::all(ds.grid()), 0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_mask_reports_no_data() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let none = Mask::none(ds.grid());
+        assert!(reduced.evaluate_cluster_means(&ds, &none, 10).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        assert_eq!(reduced.all_channels().len(), 4);
+        assert_eq!(reduced.clustering().k(), 2);
+        assert_eq!(reduced.selection().cluster_count(), 2);
+        assert_eq!(reduced.selected_channels().len(), 2);
+        assert_eq!(reduced.model().spec().outputs.len(), 2);
+    }
+}

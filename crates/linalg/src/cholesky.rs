@@ -1,0 +1,272 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Cholesky decomposition `A = L Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// Used by the ridge-regularised normal equations
+/// (`(XᵀX + λI) β = Xᵀy`) of the identification stage and by the
+/// Gaussian-process mutual-information sensor selector, where
+/// conditional variances reduce to Schur complements of covariance
+/// blocks.
+///
+/// # Example
+///
+/// ```
+/// use thermal_linalg::{CholeskyDecomposition, Matrix, Vector};
+///
+/// # fn main() -> Result<(), thermal_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0][..], &[2.0, 3.0][..]])?;
+/// let chol = CholeskyDecomposition::new(&a)?;
+/// let x = chol.solve(&Vector::from_slice(&[2.0, 1.0]))?;
+/// // Verify A x = b.
+/// let b = a.matvec(&x)?;
+/// assert!((b[0] - 2.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    /// Lower-triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is trusted (callers holding near-symmetric matrices
+    /// should symmetrise first).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for non-square input,
+    /// * [`LinalgError::Empty`] for a `0 × 0` input,
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries,
+    /// * [`LinalgError::NotPositiveDefinite`] when a pivot is not
+    ///   strictly positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "cholesky" });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "cholesky" });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { index: j, pivot: d });
+            }
+            let dsqrt = d.sqrt();
+            l[(j, j)] = dsqrt;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dsqrt;
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via forward and back substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(Vector::from(x))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `B.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.column(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of `A` (square of the product of `L`'s diagonal).
+    pub fn determinant(&self) -> f64 {
+        let p: f64 = (0..self.dim()).map(|i| self.l[(i, i)]).product();
+        p * p
+    }
+
+    /// Natural log-determinant of `A`, computed stably as
+    /// `2 Σ ln L_ii` (used by the GP mutual-information objective).
+    pub fn log_determinant(&self) -> f64 {
+        2.0 * (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
+    }
+
+    /// Inverse of `A` (solve against the identity). Prefer
+    /// [`CholeskyDecomposition::solve`] when a solve suffices.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve_matrix(&Matrix::identity(n))
+            .expect("identity has matching dimension")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6][..],
+            &[2.0, 5.0, 1.0][..],
+            &[0.6, 1.0, 3.0][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let llt = chol.l().matmul(&chol.l().transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn l_is_lower_triangular_with_positive_diagonal() {
+        let chol = CholeskyDecomposition::new(&spd3()).unwrap();
+        let l = chol.l();
+        for i in 0..3 {
+            assert!(l[(i, i)] > 0.0);
+            for j in (i + 1)..3 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_satisfies_system() {
+        let a = spd3();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let x = chol.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!((back[i] - b[i]).abs() < 1e-12);
+        }
+        assert!(chol.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_and_inverse() {
+        let a = spd3();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let inv = chol.inverse();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn determinant_matches_known_value() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0][..], &[0.0, 8.0][..]]).unwrap();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        assert!((chol.determinant() - 16.0).abs() < 1e-12);
+        assert!((chol.log_determinant() - 16.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let indef = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 1.0][..]]).unwrap();
+        assert!(matches!(
+            CholeskyDecomposition::new(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let zero = Matrix::zeros(2, 2);
+        assert!(CholeskyDecomposition::new(&zero).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_nan() {
+        assert!(matches!(
+            CholeskyDecomposition::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            CholeskyDecomposition::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty { .. })
+        ));
+        let mut nan = Matrix::identity(2);
+        nan[(1, 1)] = f64::NAN;
+        assert!(matches!(
+            CholeskyDecomposition::new(&nan),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[9.0][..]]).unwrap();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        assert_eq!(chol.l()[(0, 0)], 3.0);
+        assert_eq!(chol.determinant(), 9.0);
+        let x = chol.solve(&Vector::from_slice(&[18.0])).unwrap();
+        assert_eq!(x[0], 2.0);
+    }
+}

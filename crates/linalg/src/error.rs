@@ -1,0 +1,179 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+///
+/// Every fallible public function in this crate returns
+/// [`LinalgError`]; the variants carry enough context (dimensions,
+/// indices) for a caller to report a useful message without string
+/// parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested
+    /// operation (e.g. multiplying a `2×3` by a `2×3`).
+    ShapeMismatch {
+        /// Human-readable name of the offending operation.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Actual shape, `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A factorisation or solve encountered a (numerically) singular
+    /// matrix.
+    Singular {
+        /// Pivot or diagonal index at which singularity was detected.
+        index: usize,
+    },
+    /// Cholesky required a positive-definite matrix but a non-positive
+    /// pivot was found.
+    NotPositiveDefinite {
+        /// Diagonal index of the offending pivot.
+        index: usize,
+        /// Value of the offending pivot.
+        pivot: f64,
+    },
+    /// An operation received an empty matrix or vector where data was
+    /// required.
+    Empty {
+        /// Human-readable name of the offending operation.
+        op: &'static str,
+    },
+    /// A least-squares problem was under-determined (fewer rows than
+    /// columns).
+    Underdetermined {
+        /// Number of rows (observations).
+        rows: usize,
+        /// Number of columns (unknowns).
+        cols: usize,
+    },
+    /// An iterative algorithm failed to converge within its iteration
+    /// budget.
+    NoConvergence {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// An input contained a NaN or infinity where finite data is
+    /// required.
+    NonFinite {
+        /// Human-readable name of the offending operation.
+        op: &'static str,
+    },
+    /// A construction received inconsistent raw data (e.g. a buffer
+    /// whose length does not match `rows * cols`).
+    InvalidData {
+        /// Explanation of the inconsistency.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { index } => {
+                write!(f, "matrix is singular (zero pivot at index {index})")
+            }
+            LinalgError::NotPositiveDefinite { index, pivot } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot:e} at index {index})"
+            ),
+            LinalgError::Empty { op } => write!(f, "empty input to {op}"),
+            LinalgError::Underdetermined { rows, cols } => write!(
+                f,
+                "least-squares problem is under-determined ({rows} rows < {cols} cols)"
+            ),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+            LinalgError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(LinalgError, &str)> = vec![
+            (
+                LinalgError::ShapeMismatch {
+                    op: "matmul",
+                    lhs: (2, 3),
+                    rhs: (2, 3),
+                },
+                "matmul",
+            ),
+            (LinalgError::NotSquare { shape: (2, 3) }, "square"),
+            (LinalgError::Singular { index: 4 }, "singular"),
+            (
+                LinalgError::NotPositiveDefinite {
+                    index: 1,
+                    pivot: -0.5,
+                },
+                "positive definite",
+            ),
+            (LinalgError::Empty { op: "mean" }, "empty"),
+            (
+                LinalgError::Underdetermined { rows: 2, cols: 5 },
+                "under-determined",
+            ),
+            (
+                LinalgError::NoConvergence {
+                    algorithm: "jacobi",
+                    iterations: 100,
+                },
+                "converge",
+            ),
+            (LinalgError::NonFinite { op: "qr" }, "non-finite"),
+            (
+                LinalgError::InvalidData {
+                    reason: "buffer length",
+                },
+                "invalid data",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message {msg:?} should contain {needle:?}"
+            );
+            assert!(
+                !msg.ends_with('.'),
+                "message {msg:?} should not end with punctuation"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<LinalgError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Dense linear algebra and statistics kernels for the
+//! `auditorium-thermal` workspace.
+//!
+//! The crate implements, from scratch, exactly the numerical tools the
+//! ICDCS'14 auditorium-modeling pipeline needs:
+//!
+//! * [`Matrix`] / [`Vector`] — small dense row-major containers,
+//! * [`QrDecomposition`] — Householder QR, the least-squares work-horse
+//!   behind the paper's model-identification step (Eq. 3–4),
+//! * [`CholeskyDecomposition`] — SPD factorisation used by the
+//!   ridge-regularised normal equations and the Gaussian-process
+//!   mutual-information sensor selector,
+//! * [`LuDecomposition`] — general square solves, determinants and
+//!   inverses,
+//! * [`SymmetricEigen`] — a cyclic Jacobi eigensolver for the graph
+//!   Laplacians of the spectral-clustering stage,
+//! * [`lstsq`] — least-squares solvers (plain and ridge),
+//! * [`stats`] — means, covariance and correlation matrices,
+//!   percentiles and empirical CDFs used throughout the evaluation.
+//!
+//! Everything is `f64`; the matrices in this problem domain are tiny
+//! (tens of rows/columns for states, tens of thousands of sample rows),
+//! so clarity and numerical robustness are preferred over blocking or
+//! SIMD tricks.
+//!
+//! # Example
+//!
+//! ```
+//! use thermal_linalg::{Matrix, Vector, lstsq};
+//!
+//! # fn main() -> Result<(), thermal_linalg::LinalgError> {
+//! // Fit y = 2 x0 - x1 by least squares.
+//! let x = Matrix::from_rows(&[
+//!     &[1.0, 0.0][..],
+//!     &[0.0, 1.0][..],
+//!     &[1.0, 1.0][..],
+//!     &[2.0, 1.0][..],
+//! ])?;
+//! let y = Vector::from_slice(&[2.0, -1.0, 1.0, 3.0]);
+//! let beta = lstsq::solve(&x, &y)?;
+//! assert!((beta[0] - 2.0).abs() < 1e-10);
+//! assert!((beta[1] + 1.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod symmetric_eigen;
+mod vector;
+
+pub mod lstsq;
+pub mod stats;
+
+pub use cholesky::CholeskyDecomposition;
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use qr::QrDecomposition;
+pub use symmetric_eigen::SymmetricEigen;
+pub use vector::Vector;
+
+/// Convenient crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

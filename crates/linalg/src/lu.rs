@@ -1,0 +1,245 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// LU decomposition with partial pivoting, `P A = L U`.
+///
+/// The general-purpose square solver of the workspace; used where the
+/// matrix is not known to be symmetric positive-definite (e.g. the
+/// `(I − A)` steady-state solves in the simulator's validation tools).
+///
+/// # Example
+///
+/// ```
+/// use thermal_linalg::{LuDecomposition, Matrix, Vector};
+///
+/// # fn main() -> Result<(), thermal_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0][..], &[3.0, 1.0][..]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&Vector::from_slice(&[4.0, 5.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (below diagonal, unit diagonal implicit) and U (on
+    /// and above diagonal).
+    packed: Matrix,
+    /// Row permutation: row `i` of the factored matrix corresponds to
+    /// row `perm[i]` of the original.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1.0 or -1.0), for the determinant.
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factors the square matrix `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for non-square input,
+    /// * [`LinalgError::Empty`] for a `0 × 0` input,
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries,
+    /// * [`LinalgError::Singular`] when no usable pivot exists.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "lu" });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "lu" });
+        }
+        let mut m = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = m.norm_max();
+        let tol = scale * 1e-14;
+
+        for k in 0..n {
+            // Find pivot.
+            let (pivot_row, pivot_val) = (k..n)
+                .map(|i| (i, m[(i, k)].abs()))
+                .fold((k, -1.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+            if pivot_val <= tol {
+                return Err(LinalgError::Singular { index: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = m[(k, j)];
+                    m[(k, j)] = m[(pivot_row, j)];
+                    m[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = m[(k, k)];
+            for i in (k + 1)..n {
+                let factor = m[(i, k)] / pivot;
+                m[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let mkj = m[(k, j)];
+                    m[(i, j)] -= factor * mkj;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            packed: m,
+            perm,
+            sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit L.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.packed[(i, k)];
+                y[i] -= lik * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let uik = self.packed[(i, k)];
+                let yk = y[k];
+                y[i] -= uik * yk;
+            }
+            y[i] /= self.packed[(i, i)];
+        }
+        Ok(Vector::from(y))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `B.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.column(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        self.sign
+            * (0..self.dim())
+                .map(|i| self.packed[(i, i)])
+                .product::<f64>()
+    }
+
+    /// Inverse of the original matrix. Prefer
+    /// [`LuDecomposition::solve`] when a solve suffices.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+            .expect("identity has matching dimension")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a3() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0][..],
+            &[4.0, -6.0, 0.0][..],
+            &[-2.0, 7.0, 2.0][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = a3();
+        let b = Vector::from_slice(&[5.0, -2.0, 9.0]);
+        let x = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!((back[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&Vector::from_slice(&[3.0, 7.0])).unwrap();
+        assert_eq!(x.as_slice(), &[7.0, 3.0]);
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        // det(a3) computed by hand: 2(-12-0) -1(8-0) +1(28-12) = -24-8+16 = -16.
+        let lu = LuDecomposition::new(&a3()).unwrap();
+        assert!((lu.determinant() + 16.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = a3();
+        let inv = LuDecomposition::new(&a).unwrap().inverse();
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(LuDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(LuDecomposition::new(&Matrix::zeros(0, 0)).is_err());
+        let mut nan = Matrix::identity(2);
+        nan[(0, 1)] = f64::NAN;
+        assert!(LuDecomposition::new(&nan).is_err());
+        let lu = LuDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+}

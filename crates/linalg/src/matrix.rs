@@ -1,0 +1,685 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Result, Vector};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The type is deliberately simple: owned contiguous storage, checked
+/// constructors, and the handful of operations the thermal-modeling
+/// pipeline needs (products, transpose, slicing by row/column index
+/// sets). Heavy factorisations live in dedicated types
+/// ([`crate::QrDecomposition`], [`crate::CholeskyDecomposition`],
+/// [`crate::SymmetricEigen`], [`crate::LuDecomposition`]).
+///
+/// # Example
+///
+/// ```
+/// use thermal_linalg::Matrix;
+///
+/// # fn main() -> Result<(), thermal_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]])?;
+/// let b = a.matmul(&a.transpose())?;
+/// assert_eq!(b[(0, 0)], 5.0);
+/// assert_eq!(b[(1, 1)], 25.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// ```
+    /// use thermal_linalg::Matrix;
+    /// let i = Matrix::identity(2);
+    /// assert_eq!(i[(0, 0)], 1.0);
+    /// assert_eq!(i[(0, 1)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidData`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidData {
+                reason: "buffer length does not equal rows * cols",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for zero rows and
+    /// [`LinalgError::InvalidData`] when rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(LinalgError::InvalidData {
+                    reason: "rows have differing lengths",
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a generating function of `(row, col)`.
+    ///
+    /// ```
+    /// use thermal_linalg::Matrix;
+    /// let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+    /// assert_eq!(m[(1, 0)], 10.0);
+    /// ```
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a square matrix with `diag` on the diagonal.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the row-major backing storage.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns entry `(r, c)`, or `None` when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    pub fn column(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        Vector::from_fn(self.rows, |r| self.data[r * self.cols + c])
+    }
+
+    /// Copies the main diagonal into a new [`Vector`].
+    pub fn diagonal(&self) -> Vector {
+        let n = self.rows.min(self.cols);
+        Vector::from_fn(n, |i| self[(i, i)])
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when inner dimensions
+    /// differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner accesses sequential for the
+        // row-major layout.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &Vector) -> Result<Vector> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(Vector::from_fn(self.rows, |r| {
+            self.row(r)
+                .iter()
+                .zip(v.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        }))
+    }
+
+    /// `Aᵀ A` computed directly (used by normal-equation solvers).
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    out.data[i * self.cols + j] += a * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                out.data[i * self.cols + j] = out.data[j * self.cols + i];
+            }
+        }
+        out
+    }
+
+    /// Element-wise scaling by `s`, returning a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Extracts the sub-matrix with the given row and column indices
+    /// (in the given order; duplicates allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidData`] when any index is out of
+    /// bounds.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Result<Matrix> {
+        for &r in row_idx {
+            if r >= self.rows {
+                return Err(LinalgError::InvalidData {
+                    reason: "row index out of bounds in submatrix",
+                });
+            }
+        }
+        for &c in col_idx {
+            if c >= self.cols {
+                return Err(LinalgError::InvalidData {
+                    reason: "column index out of bounds in submatrix",
+                });
+            }
+        }
+        Ok(Matrix::from_fn(row_idx.len(), col_idx.len(), |r, c| {
+            self[(row_idx[r], col_idx[c])]
+        }))
+    }
+
+    /// Selects columns by index, keeping all rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidData`] when any index is out of
+    /// bounds.
+    pub fn select_columns(&self, col_idx: &[usize]) -> Result<Matrix> {
+        let all_rows: Vec<usize> = (0..self.rows).collect();
+        self.submatrix(&all_rows, col_idx)
+    }
+
+    /// Horizontally concatenates `self` with `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when row counts differ.
+    pub fn hstack(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates `self` with `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when column counts
+    /// differ.
+    pub fn vstack(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + rhs.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Frobenius norm (root of the sum of squared entries).
+    pub fn norm_frobenius(&self) -> f64 {
+        Vector::from_slice(&self.data).norm2()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// `true` when `|self - other|` is entry-wise below `tol`.
+    ///
+    /// Shapes must match; mismatched shapes return `false`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Symmetry check up to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: matrix shapes differ");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: matrix shapes differ");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_buffer_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(LinalgError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_checks_consistency() {
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(LinalgError::Empty { .. })
+        ));
+        assert!(matches!(
+            Matrix::from_rows(&[&[1.0][..], &[1.0, 2.0][..]]),
+            Err(LinalgError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i.diagonal().as_slice(), &[1.0, 1.0, 1.0]);
+        let d = Matrix::from_diagonal(&[2.0, 5.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d[(1, 1)], 5.0);
+    }
+
+    #[test]
+    fn indexing_and_rows_cols() {
+        let m = m22();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0).as_slice(), &[1.0, 3.0]);
+        assert_eq!(m.get(5, 0), None);
+        assert_eq!(m.get(1, 1), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = m22();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t[(0, 2)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m22();
+        let b = Matrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        let p = a.matmul(&b).unwrap();
+        assert_eq!(
+            p,
+            Matrix::from_rows(&[&[2.0, 1.0][..], &[4.0, 3.0][..]]).unwrap()
+        );
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let a = m22();
+        let v = Vector::from_slice(&[1.0, -1.0]);
+        assert_eq!(a.matvec(&v).unwrap().as_slice(), &[-1.0, -1.0]);
+        assert!(a.matvec(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn gram_equals_explicit_ata() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r as f64 + 1.0) * (c as f64 - 1.0) + 0.5);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-12));
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn submatrix_and_select_columns() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let s = m.submatrix(&[0, 2], &[1, 2]).unwrap();
+        assert_eq!(
+            s,
+            Matrix::from_rows(&[&[1.0, 2.0][..], &[7.0, 8.0][..]]).unwrap()
+        );
+        let c = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(c.column(0).as_slice(), &[2.0, 5.0, 8.0]);
+        assert!(m.submatrix(&[3], &[0]).is_err());
+        assert!(m.submatrix(&[0], &[3]).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = m22();
+        let h = a.hstack(&a).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 1.0, 2.0]);
+        let v = a.vstack(&a).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.column(0).as_slice(), &[1.0, 3.0, 1.0, 3.0]);
+        assert!(a.hstack(&Matrix::zeros(3, 2)).is_err());
+        assert!(a.vstack(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn norms_and_finite() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0][..], &[0.0, 4.0][..]]).unwrap();
+        assert!((m.norm_frobenius() - 5.0).abs() < 1e-12);
+        assert_eq!(m.norm_max(), 4.0);
+        assert!(m.is_finite());
+        let mut bad = m.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 3.0][..]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        assert!(!m22().is_symmetric(1e-9));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn elementwise_operators() {
+        let a = m22();
+        let sum = &a + &a;
+        assert_eq!(sum[(1, 1)], 8.0);
+        let diff = &sum - &a;
+        assert_eq!(diff, a);
+        let scaled = &a * 0.5;
+        assert_eq!(scaled[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn iter_rows_covers_all_rows() {
+        let m = Matrix::from_fn(3, 2, |r, _| r as f64);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn display_contains_shape() {
+        assert!(m22().to_string().contains("[2x2]"));
+    }
+}

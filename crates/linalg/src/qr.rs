@@ -1,0 +1,404 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Householder QR decomposition of a tall (or square) matrix.
+///
+/// Factors `A = Q R` with `Q` orthonormal (`m × n`, thin form) and `R`
+/// upper triangular (`n × n`). This is the numerically stable solver
+/// behind the paper's least-squares identification step: the normal
+/// equations of Eq. (3)/(4) are never formed; instead `min ‖Ax − b‖₂`
+/// is solved as `R x = Qᵀ b`.
+///
+/// # Example
+///
+/// ```
+/// use thermal_linalg::{Matrix, QrDecomposition, Vector};
+///
+/// # fn main() -> Result<(), thermal_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[
+///     &[1.0, 1.0][..],
+///     &[1.0, 2.0][..],
+///     &[1.0, 3.0][..],
+/// ])?;
+/// let qr = QrDecomposition::new(&a)?;
+/// // Fit y = 1 + 2 t exactly.
+/// let y = Vector::from_slice(&[3.0, 5.0, 7.0]);
+/// let beta = qr.solve(&y)?;
+/// assert!((beta[0] - 1.0).abs() < 1e-10);
+/// assert!((beta[1] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Householder vectors stored below the diagonal of `R`, plus `R`
+    /// itself on and above the diagonal. `m × n`.
+    packed: Matrix,
+    /// Householder scalar factors `tau_k`.
+    tau: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QrDecomposition {
+    /// Computes the QR decomposition of `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Underdetermined`] when `a` has fewer rows than
+    ///   columns,
+    /// * [`LinalgError::Empty`] when `a` has no entries,
+    /// * [`LinalgError::NonFinite`] when `a` contains NaN or infinity.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty { op: "qr" });
+        }
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "qr" });
+        }
+
+        let mut r = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder reflector for column k, rows k..m.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(r[(i, k)]);
+            }
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = r[(k, k)] - alpha;
+            // Normalise so v[k] == 1 implicitly; store v[i]/v0 below the
+            // diagonal.
+            for i in (k + 1)..m {
+                let scaled = r[(i, k)] / v0;
+                r[(i, k)] = scaled;
+            }
+            tau[k] = -v0 / alpha;
+            r[(k, k)] = alpha;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = r[(k, j)];
+                for i in (k + 1)..m {
+                    dot += r[(i, k)] * r[(i, j)];
+                }
+                let t = tau[k] * dot;
+                r[(k, j)] -= t;
+                for i in (k + 1)..m {
+                    let vik = r[(i, k)];
+                    r[(i, j)] -= t * vik;
+                }
+            }
+        }
+
+        Ok(QrDecomposition {
+            packed: r,
+            tau,
+            rows: m,
+            cols: n,
+        })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.cols, |i, j| {
+            if j >= i {
+                self.packed[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The thin orthonormal factor `Q` (`m × n`), materialised by
+    /// applying the stored reflectors to the identity.
+    pub fn q(&self) -> Matrix {
+        let (m, n) = (self.rows, self.cols);
+        let mut q = Matrix::zeros(m, n);
+        for i in 0..n {
+            q[(i, i)] = 1.0;
+        }
+        // Apply H_k ... H_1 in reverse to form Q = H_1 ... H_n * I_thin.
+        for k in (0..n).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut dot = q[(k, j)];
+                for i in (k + 1)..m {
+                    dot += self.packed[(i, k)] * q[(i, j)];
+                }
+                let t = self.tau[k] * dot;
+                q[(k, j)] -= t;
+                for i in (k + 1)..m {
+                    let vik = self.packed[(i, k)];
+                    q[(i, j)] -= t * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`, returning the first `n`
+    /// components (enough for least squares).
+    fn qt_apply(&self, b: &Vector) -> Vec<f64> {
+        let (m, n) = (self.rows, self.cols);
+        let mut y: Vec<f64> = b.as_slice().to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.packed[(i, k)] * y[i];
+            }
+            let t = self.tau[k] * dot;
+            y[k] -= t;
+            for i in (k + 1)..m {
+                y[i] -= t * self.packed[(i, k)];
+            }
+        }
+        y.truncate(n);
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `b.len() != rows`,
+    /// * [`LinalgError::Singular`] when `A` is column-rank-deficient,
+    /// * [`LinalgError::NonFinite`] when `b` contains NaN or infinity.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        if !b.is_finite() {
+            return Err(LinalgError::NonFinite { op: "qr solve" });
+        }
+        let y = self.qt_apply(b);
+        self.back_substitute(&y).map(Vector::from)
+    }
+
+    /// Solves `min ‖A X − B‖_F` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QrDecomposition::solve`], applied per
+    /// column of `B`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve_matrix",
+                lhs: (self.rows, self.cols),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.column(j))?;
+            for i in 0..self.cols {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Back substitution `R x = y`.
+    fn back_substitute(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.cols;
+        // Relative singularity threshold against the largest diagonal.
+        let max_diag = (0..n)
+            .map(|i| self.packed[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        let tol = max_diag * 1e-13;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular { index: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Absolute value of `det(A)` for a square factored matrix
+    /// (product of `|R|` diagonal entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] when the factored matrix was
+    /// not square.
+    pub fn abs_determinant(&self) -> Result<f64> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                shape: (self.rows, self.cols),
+            });
+        }
+        Ok((0..self.cols).map(|i| self.packed[(i, i)].abs()).product())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(qr: &QrDecomposition) -> Matrix {
+        qr.q().matmul(&qr.r()).unwrap()
+    }
+
+    #[test]
+    fn factors_reconstruct_input() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5][..],
+            &[0.0, 3.5, 1.0][..],
+            &[-1.0, 2.0, 4.0][..],
+            &[0.5, 0.5, 0.5][..],
+        ])
+        .unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(reconstruct(&qr).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = Matrix::from_fn(5, 3, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let q = qr.q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(4, 4, |r, c| 1.0 / ((r + c + 1) as f64));
+        let qr = QrDecomposition::new(&a).unwrap();
+        let r = qr.r();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0][..], &[1.0, 3.0][..]]).unwrap();
+        let b = Vector::from_slice(&[9.0, 7.0]);
+        let x = QrDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        // Solution of [4 1; 1 3] x = [9; 7] is x = [20/11; 19/11].
+        assert!((x[0] - 20.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 19.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0][..],
+            &[1.0, 1.0][..],
+            &[1.0, 2.0][..],
+            &[1.0, 3.0][..],
+        ])
+        .unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0, 2.0, 4.0]);
+        let x = QrDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let r = &b - &a.matvec(&x).unwrap();
+        for c in 0..a.cols() {
+            assert!(a.column(c).dot(&r).unwrap().abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = Matrix::from_fn(4, 2, |r, c| {
+            (r + 1) as f64 * (c + 1) as f64 + (r % 2) as f64
+        });
+        let b = Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64).sin());
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve_matrix(&b).unwrap();
+        for j in 0..3 {
+            let xj = qr.solve(&b.column(j)).unwrap();
+            for i in 0..2 {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is twice the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..], &[3.0, 6.0][..]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(matches!(qr.solve(&b), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            QrDecomposition::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty { .. })
+        ));
+        assert!(matches!(
+            QrDecomposition::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+        let mut bad = Matrix::zeros(2, 2);
+        bad[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            QrDecomposition::new(&bad),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        let qr = QrDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(qr.solve(&Vector::zeros(3)).is_err());
+        assert!(qr
+            .solve(&Vector::from_slice(&[f64::INFINITY, 0.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn abs_determinant_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0][..], &[0.0, 2.0][..]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!((qr.abs_determinant().unwrap() - 6.0).abs() < 1e-12);
+        let tall =
+            QrDecomposition::new(&Matrix::from_fn(3, 2, |r, c| (r + c) as f64 + 1.0)).unwrap();
+        assert!(tall.abs_determinant().is_err());
+    }
+
+    #[test]
+    fn handles_zero_column_gracefully() {
+        // First column all zeros: decomposition succeeds, solve reports
+        // singularity.
+        let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[0.0, 2.0][..], &[0.0, 3.0][..]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve(&Vector::from_slice(&[1.0, 1.0, 1.0])).is_err());
+    }
+}

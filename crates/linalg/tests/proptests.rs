@@ -1,0 +1,207 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use thermal_linalg::{
+    lstsq, stats, CholeskyDecomposition, LuDecomposition, Matrix, QrDecomposition, SymmetricEigen,
+    Vector,
+};
+
+/// Strategy: a finite `rows × cols` matrix with entries in [-10, 10].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized buffer"))
+}
+
+/// Strategy: a random SPD matrix built as `MᵀM + εI`.
+fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix_strategy(n + 2, n).prop_map(move |m| {
+        let mut g = m.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.5;
+        }
+        g
+    })
+}
+
+/// Strategy: a random symmetric matrix `(M + Mᵀ)/2`.
+fn symmetric_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix_strategy(n, n)
+        .prop_map(move |m| Matrix::from_fn(n, n, |i, j| 0.5 * (m[(i, j)] + m[(j, i)])))
+}
+
+proptest! {
+    #[test]
+    fn qr_reconstructs_input(a in matrix_strategy(6, 4)) {
+        let qr = QrDecomposition::new(&a).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        prop_assert!(recon.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal(a in matrix_strategy(7, 3)) {
+        let qr = QrDecomposition::new(&a).unwrap();
+        let q = qr.q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        prop_assert!(qtq.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal_to_column_space(
+        a in matrix_strategy(8, 3),
+        b in prop::collection::vec(-10.0_f64..10.0, 8),
+    ) {
+        let b = Vector::from_slice(&b);
+        // Skip (rare) rank-deficient draws.
+        let Ok(x) = lstsq::solve(&a, &b) else { return Ok(()); };
+        let r = &b - &a.matvec(&x).unwrap();
+        for c in 0..a.cols() {
+            prop_assert!(a.column(c).dot(&r).unwrap().abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_roundtrip(a in spd_strategy(4)) {
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let recon = chol.l().matmul(&chol.l().transpose()).unwrap();
+        prop_assert!(recon.approx_eq(&a, 1e-8 * a.norm_max().max(1.0)));
+    }
+
+    #[test]
+    fn cholesky_solve_satisfies_system(
+        a in spd_strategy(3),
+        b in prop::collection::vec(-5.0_f64..5.0, 3),
+    ) {
+        let b = Vector::from_slice(&b);
+        let x = CholeskyDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        prop_assert!((&back - &b).norm2() < 1e-7 * b.norm2().max(1.0));
+    }
+
+    #[test]
+    fn lu_solve_satisfies_system(
+        a in matrix_strategy(4, 4),
+        b in prop::collection::vec(-5.0_f64..5.0, 4),
+    ) {
+        let Ok(lu) = LuDecomposition::new(&a) else { return Ok(()); };
+        let b = Vector::from_slice(&b);
+        let x = lu.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        // Condition number can be large for random draws; use a loose bound.
+        prop_assert!((&back - &b).norm2() < 1e-5 * b.norm2().max(1.0) + 1e-5);
+    }
+
+    #[test]
+    fn eigen_residuals_small(a in symmetric_strategy(5)) {
+        let eig = SymmetricEigen::new_symmetrized(&a).unwrap();
+        for j in 0..5 {
+            let v = eig.eigenvector(j);
+            let av = a.matvec(&v).unwrap();
+            let lv = v.scaled(eig.eigenvalues()[j]);
+            prop_assert!((&av - &lv).norm2() < 1e-8 * a.norm_max().max(1.0));
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_trace_preserved(a in symmetric_strategy(4)) {
+        let eig = SymmetricEigen::new_symmetrized(&a).unwrap();
+        let vals = eig.eigenvalues();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = vals.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn pearson_in_unit_interval(
+        a in prop::collection::vec(-100.0_f64..100.0, 2..40),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.7 + 1.0).collect();
+        let r = stats::pearson(&a, &b).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn correlation_matrix_entries_bounded(m in matrix_strategy(10, 4)) {
+        let corr = stats::correlation_matrix(&m).unwrap();
+        for i in 0..4 {
+            prop_assert!((corr[(i, i)] - 1.0).abs() < 1e-12 || corr[(i, i)] == 1.0);
+            for j in 0..4 {
+                prop_assert!((-1.0..=1.0).contains(&corr[(i, j)]));
+                prop_assert!((corr[(i, j)] - corr[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(
+        v in prop::collection::vec(-50.0_f64..50.0, 1..30),
+        p1 in 0.0_f64..100.0,
+        p2 in 0.0_f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = stats::percentile(&v, lo).unwrap();
+        let b = stats::percentile(&v, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn percentile_within_range(
+        v in prop::collection::vec(-50.0_f64..50.0, 1..30),
+        p in 0.0_f64..100.0,
+    ) {
+        let q = stats::percentile(&v, p).unwrap();
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= min - 1e-12 && q <= max + 1e-12);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(
+        v in prop::collection::vec(-50.0_f64..50.0, 1..30),
+        x1 in -60.0_f64..60.0,
+        x2 in -60.0_f64..60.0,
+    ) {
+        let cdf = stats::EmpiricalCdf::new(&v).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let a = cdf.eval(lo);
+        let b = cdf.eval(hi);
+        prop_assert!(a <= b);
+        prop_assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(2, 3),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-8));
+    }
+
+    #[test]
+    fn transpose_involution(a in matrix_strategy(5, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit(a in matrix_strategy(6, 3)) {
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        prop_assert!(g.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn ridge_solution_norm_decreases_with_lambda(
+        a in matrix_strategy(8, 3),
+        b in prop::collection::vec(-5.0_f64..5.0, 8),
+    ) {
+        let b = Vector::from_slice(&b);
+        let Ok(x_small) = lstsq::solve_ridge(&a, &b, 1e-3) else { return Ok(()); };
+        let Ok(x_large) = lstsq::solve_ridge(&a, &b, 1e3) else { return Ok(()); };
+        prop_assert!(x_large.norm2() <= x_small.norm2() + 1e-9);
+    }
+}

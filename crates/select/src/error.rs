@@ -1,0 +1,73 @@
+use std::fmt;
+
+use thermal_cluster::ClusterError;
+use thermal_linalg::LinalgError;
+
+/// Errors produced by sensor selection.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SelectError {
+    /// The selection request is inconsistent (zero sensors per
+    /// cluster, more sensors than a cluster holds, …).
+    InvalidRequest {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A numerical kernel failed (GP conditioning, statistics).
+    Linalg(LinalgError),
+    /// A clustering operation failed.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::InvalidRequest { reason } => {
+                write!(f, "invalid selection request: {reason}")
+            }
+            SelectError::Linalg(e) => write!(f, "numerical failure: {e}"),
+            SelectError::Cluster(e) => write!(f, "clustering failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SelectError::Linalg(e) => Some(e),
+            SelectError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LinalgError> for SelectError {
+    fn from(e: LinalgError) -> Self {
+        SelectError::Linalg(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ClusterError> for SelectError {
+    fn from(e: ClusterError) -> Self {
+        SelectError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SelectError>();
+        let e = SelectError::InvalidRequest {
+            reason: "zero sensors".into(),
+        };
+        assert!(e.to_string().contains("zero sensors"));
+        let e = SelectError::from(LinalgError::Empty { op: "cov" });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

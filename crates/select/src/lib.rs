@@ -1,0 +1,65 @@
+//! Representative-sensor selection — the "which sensors stay after
+//! the study" half of the ICDCS'14 paper (Section VI.A–B).
+//!
+//! Given a clustering of the dense deployment, a selector chooses a
+//! few sensors to keep for long-term operation. The crate implements
+//! the paper's full comparison set:
+//!
+//! * [`NearMeanSelector`] — **SMS**, stratified near-mean selection
+//!   (pick the sensor closest to each cluster's mean trajectory),
+//! * [`StratifiedRandomSelector`] — **SRS**, random within clusters,
+//! * [`RandomSelector`] — **RS**, clustering-blind random baseline,
+//! * [`FixedSelector`] — a predetermined set (the two HVAC
+//!   thermostats in Table II),
+//! * [`GpSelector`] — **GP**, greedy mutual-information placement
+//!   after Krause et al. (JMLR 2008),
+//!
+//! plus the paper's evaluation metric: [`cluster_mean_errors`], the
+//! absolute error with which the chosen sensors reproduce each
+//! cluster's thermal mean on held-out data (Table II reports its 99th
+//! percentile).
+//!
+//! # Example
+//!
+//! ```
+//! use thermal_cluster::Clustering;
+//! use thermal_linalg::Matrix;
+//! use thermal_select::{cluster_mean_errors, NearMeanSelector, SelectionInput, Selector};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trajectories = Matrix::from_rows(&[
+//!     &[20.0, 20.5][..],
+//!     &[20.2, 20.7][..],
+//!     &[22.0, 21.5][..],
+//!     &[22.2, 21.7][..],
+//! ])?;
+//! let clustering = Clustering::from_assignments(vec![0, 0, 1, 1], 2)?;
+//! let selection = NearMeanSelector.select(&SelectionInput {
+//!     trajectories: &trajectories,
+//!     clustering: &clustering,
+//!     per_cluster: 1,
+//!     seed: 7,
+//! })?;
+//! let report = cluster_mean_errors(&trajectories, &clustering, &selection)?;
+//! assert!(report.percentile(99.0)? < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod eval;
+mod selection;
+mod strategies;
+
+pub use error::SelectError;
+pub use eval::{cluster_mean_errors, ClusterMeanReport};
+pub use selection::{Selection, SelectionInput, Selector};
+pub use strategies::{
+    FixedSelector, GpSelector, NearMeanSelector, RandomSelector, StratifiedRandomSelector,
+};
+
+/// Convenient crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SelectError>;

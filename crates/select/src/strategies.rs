@@ -1,0 +1,479 @@
+//! The five selection strategies compared by the paper's Table II.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use thermal_linalg::stats;
+
+use crate::selection::{Selection, SelectionInput, Selector};
+use crate::{Result, SelectError};
+
+/// Stratified Near-Mean Selection (**SMS**): from every cluster, pick
+/// the sensors whose trajectories lie closest (in RMS) to the cluster
+/// mean trajectory — the paper's best performer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NearMeanSelector;
+
+impl Selector for NearMeanSelector {
+    fn name(&self) -> &'static str {
+        "sms"
+    }
+
+    fn select(&self, input: &SelectionInput<'_>) -> Result<Selection> {
+        input.validate()?;
+        let traj = input.trajectories;
+        let samples = traj.cols();
+        let mut out = Vec::with_capacity(input.clustering.k());
+        for members in input.clustering.clusters() {
+            if members.len() < input.per_cluster {
+                return Err(SelectError::InvalidRequest {
+                    reason: format!(
+                        "cluster of {} sensors cannot supply {} representatives",
+                        members.len(),
+                        input.per_cluster
+                    ),
+                });
+            }
+            // Cluster-mean trajectory.
+            let mut mean = vec![0.0; samples];
+            for &i in &members {
+                for (m, v) in mean.iter_mut().zip(traj.row(i)) {
+                    *m += v;
+                }
+            }
+            for m in mean.iter_mut() {
+                *m /= members.len() as f64;
+            }
+            // Distance of each member to the mean.
+            let mut scored: Vec<(f64, usize)> = members
+                .iter()
+                .map(|&i| {
+                    let d = stats::euclidean_distance(traj.row(i), &mean)
+                        .expect("equal lengths by construction");
+                    (d, i)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            out.push(
+                scored[..input.per_cluster]
+                    .iter()
+                    .map(|&(_, i)| i)
+                    .collect(),
+            );
+        }
+        Selection::new(out)
+    }
+}
+
+/// Stratified Random Selection (**SRS**): uniformly random members
+/// from each cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StratifiedRandomSelector;
+
+impl Selector for StratifiedRandomSelector {
+    fn name(&self) -> &'static str {
+        "srs"
+    }
+
+    fn select(&self, input: &SelectionInput<'_>) -> Result<Selection> {
+        input.validate()?;
+        let mut rng = StdRng::seed_from_u64(input.seed);
+        let mut out = Vec::with_capacity(input.clustering.k());
+        for members in input.clustering.clusters() {
+            if members.len() < input.per_cluster {
+                return Err(SelectError::InvalidRequest {
+                    reason: format!(
+                        "cluster of {} sensors cannot supply {} representatives",
+                        members.len(),
+                        input.per_cluster
+                    ),
+                });
+            }
+            let mut pool = members.clone();
+            pool.shuffle(&mut rng);
+            pool.truncate(input.per_cluster);
+            out.push(pool);
+        }
+        Selection::new(out)
+    }
+}
+
+/// Simple Random Selection (**RS**): the clustering-blind baseline —
+/// draws the same *total* number of sensors uniformly from the whole
+/// network and assigns them to clusters round-robin, so several may
+/// land in (and be charged against) the wrong zone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSelector;
+
+impl Selector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn select(&self, input: &SelectionInput<'_>) -> Result<Selection> {
+        input.validate()?;
+        let n = input.trajectories.rows();
+        let total = input.total_requested();
+        if total > n {
+            return Err(SelectError::InvalidRequest {
+                reason: format!("cannot draw {total} distinct sensors from {n}"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(input.seed);
+        let mut pool: Vec<usize> = (0..n).collect();
+        pool.shuffle(&mut rng);
+        pool.truncate(total);
+        let k = input.clustering.k();
+        let mut out = vec![Vec::with_capacity(input.per_cluster); k];
+        for (slot, sensor) in pool.into_iter().enumerate() {
+            out[slot % k].push(sensor);
+        }
+        Selection::new(out)
+    }
+}
+
+/// Fixed-sensor baseline: a predetermined set of sensors (the paper
+/// uses the two HVAC **thermostats**), assigned one per cluster in
+/// the most favourable way (each cluster gets the fixed sensor whose
+/// trajectory correlates best with the cluster mean).
+#[derive(Debug, Clone)]
+pub struct FixedSelector {
+    /// Short name reported in comparison tables.
+    name: &'static str,
+    /// Sensor indices to use.
+    sensors: Vec<usize>,
+}
+
+impl FixedSelector {
+    /// Creates a fixed selector.
+    pub fn new(name: &'static str, sensors: Vec<usize>) -> Self {
+        FixedSelector { name, sensors }
+    }
+
+    /// The thermostat baseline of the paper, given the thermostat
+    /// indices within the clustered sensor list.
+    pub fn thermostats(indices: Vec<usize>) -> Self {
+        FixedSelector::new("thermostats", indices)
+    }
+}
+
+impl Selector for FixedSelector {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn select(&self, input: &SelectionInput<'_>) -> Result<Selection> {
+        input.validate()?;
+        let n = input.trajectories.rows();
+        if self.sensors.is_empty() {
+            return Err(SelectError::InvalidRequest {
+                reason: "fixed selector has no sensors".to_owned(),
+            });
+        }
+        for &s in &self.sensors {
+            if s >= n {
+                return Err(SelectError::InvalidRequest {
+                    reason: format!("fixed sensor {s} out of range ({n} sensors)"),
+                });
+            }
+        }
+        assign_to_clusters(input, &self.sensors)
+    }
+}
+
+/// Gaussian-process mutual-information placement (**GP**), after
+/// Krause, Singh & Guestrin (JMLR 2008): greedily picks the sensors
+/// that maximise the mutual information between selected and
+/// unselected locations under the empirical covariance — then assigns
+/// them to clusters like the other cluster-blind baselines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpSelector;
+
+impl Selector for GpSelector {
+    fn name(&self) -> &'static str {
+        "gp"
+    }
+
+    fn select(&self, input: &SelectionInput<'_>) -> Result<Selection> {
+        input.validate()?;
+        let chosen = greedy_mutual_information(input, input.total_requested())?;
+        assign_to_clusters(input, &chosen)
+    }
+}
+
+/// Greedy MI selection on the empirical sensor covariance.
+fn greedy_mutual_information(input: &SelectionInput<'_>, m: usize) -> Result<Vec<usize>> {
+    let n = input.trajectories.rows();
+    if m > n {
+        return Err(SelectError::InvalidRequest {
+            reason: format!("cannot place {m} sensors among {n} candidates"),
+        });
+    }
+    // Empirical covariance over sensors (observations are time
+    // samples → transpose) with a jitter for conditioning.
+    let mut cov = stats::covariance_matrix(&input.trajectories.transpose())?;
+    let jitter = 1e-6 * (0..n).map(|i| cov[(i, i)]).sum::<f64>().max(1e-12) / n as f64;
+    for i in 0..n {
+        cov[(i, i)] += jitter;
+    }
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    for _ in 0..m {
+        let mut best: Option<(f64, usize)> = None;
+        for (pos, &y) in remaining.iter().enumerate() {
+            // Ā = all sensors except chosen and y.
+            let complement: Vec<usize> =
+                (0..n).filter(|i| *i != y && !chosen.contains(i)).collect();
+            let num = conditional_variance(&cov, y, &chosen)?;
+            let den = conditional_variance(&cov, y, &complement)?;
+            let gain = num / den.max(1e-12);
+            if best.as_ref().is_none_or(|&(g, _)| gain > g) {
+                best = Some((gain, pos));
+            }
+        }
+        let (_, pos) = best.expect("remaining is non-empty");
+        chosen.push(remaining.remove(pos));
+    }
+    Ok(chosen)
+}
+
+/// `σ²_{y|S} = Σ_yy − Σ_yS Σ_SS⁻¹ Σ_Sy`.
+fn conditional_variance(
+    cov: &thermal_linalg::Matrix,
+    y: usize,
+    conditioning: &[usize],
+) -> Result<f64> {
+    if conditioning.is_empty() {
+        return Ok(cov[(y, y)]);
+    }
+    let sigma_ss = cov.submatrix(conditioning, conditioning)?;
+    let sigma_sy: Vec<f64> = conditioning.iter().map(|&s| cov[(s, y)]).collect();
+    let chol = thermal_linalg::CholeskyDecomposition::new(&sigma_ss)?;
+    let x = chol.solve(&thermal_linalg::Vector::from_slice(&sigma_sy))?;
+    let quad: f64 = sigma_sy.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+    Ok((cov[(y, y)] - quad).max(0.0))
+}
+
+/// Assigns an arbitrary chosen sensor set to clusters: each cluster
+/// receives the not-yet-taken sensor whose trajectory best correlates
+/// with the cluster-mean trajectory; leftovers go to the cluster they
+/// correlate with best.
+fn assign_to_clusters(input: &SelectionInput<'_>, chosen: &[usize]) -> Result<Selection> {
+    let traj = input.trajectories;
+    let k = input.clustering.k();
+    let samples = traj.cols();
+
+    // Cluster mean trajectories.
+    let clusters = input.clustering.clusters();
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for members in &clusters {
+        let mut mean = vec![0.0; samples];
+        for &i in members {
+            for (m, v) in mean.iter_mut().zip(traj.row(i)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= members.len() as f64;
+        }
+        means.push(mean);
+    }
+
+    // Correlation of each chosen sensor with each cluster mean.
+    let corr = |sensor: usize, cluster: usize| -> f64 {
+        stats::pearson(traj.row(sensor), &means[cluster]).unwrap_or(0.0)
+    };
+
+    // Greedy best-match: repeatedly take the (sensor, empty cluster)
+    // pair with the highest correlation.
+    let mut per_cluster: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut unassigned: Vec<usize> = chosen.to_vec();
+    while per_cluster.iter().any(|c| c.is_empty()) && !unassigned.is_empty() {
+        let mut best: Option<(f64, usize, usize)> = None; // (corr, sensor pos, cluster)
+        for (pos, &s) in unassigned.iter().enumerate() {
+            for c in 0..k {
+                if per_cluster[c].is_empty() {
+                    let r = corr(s, c);
+                    if best.as_ref().is_none_or(|&(b, _, _)| r > b) {
+                        best = Some((r, pos, c));
+                    }
+                }
+            }
+        }
+        let (_, pos, c) = best.expect("loop guard ensures candidates");
+        per_cluster[c].push(unassigned.remove(pos));
+    }
+    // Distribute leftovers to their best cluster.
+    for s in unassigned {
+        let mut best_c = 0;
+        let mut best_r = f64::NEG_INFINITY;
+        for (c, _) in per_cluster.iter().enumerate() {
+            let r = corr(s, c);
+            if r > best_r {
+                best_r = r;
+                best_c = c;
+            }
+        }
+        per_cluster[best_c].push(s);
+    }
+    // If any cluster is still empty (fewer chosen sensors than
+    // clusters), reuse the globally best-correlated sensor — a sensor
+    // may stand in for several zones, as the thermostats do in the
+    // paper.
+    for c in 0..k {
+        if per_cluster[c].is_empty() {
+            let mut best_s = chosen[0];
+            let mut best_r = f64::NEG_INFINITY;
+            for &s in chosen {
+                let r = corr(s, c);
+                if r > best_r {
+                    best_r = r;
+                    best_s = s;
+                }
+            }
+            per_cluster[c].push(best_s);
+        }
+    }
+    Selection::new(per_cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermal_cluster::Clustering;
+    use thermal_linalg::Matrix;
+
+    /// Six sensors in two families: 0–2 trend up (with 1 the middle
+    /// one), 3–5 trend down (4 in the middle).
+    fn fixture() -> (Matrix, Clustering) {
+        let rows: Vec<Vec<f64>> = vec![
+            (0..20).map(|k| 20.0 + 0.10 * k as f64).collect(),
+            (0..20).map(|k| 20.1 + 0.11 * k as f64).collect(),
+            (0..20).map(|k| 20.2 + 0.12 * k as f64).collect(),
+            (0..20).map(|k| 23.0 - 0.10 * k as f64).collect(),
+            (0..20).map(|k| 23.1 - 0.11 * k as f64).collect(),
+            (0..20).map(|k| 23.2 - 0.12 * k as f64).collect(),
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&refs).unwrap();
+        let c = Clustering::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        (m, c)
+    }
+
+    fn input<'a>(m: &'a Matrix, c: &'a Clustering, per: usize, seed: u64) -> SelectionInput<'a> {
+        SelectionInput {
+            trajectories: m,
+            clustering: c,
+            per_cluster: per,
+            seed,
+        }
+    }
+
+    #[test]
+    fn sms_picks_the_middle_sensor() {
+        let (m, c) = fixture();
+        let sel = NearMeanSelector.select(&input(&m, &c, 1, 0)).unwrap();
+        assert_eq!(sel.representatives(0), &[1]);
+        assert_eq!(sel.representatives(1), &[4]);
+        assert_eq!(NearMeanSelector.name(), "sms");
+    }
+
+    #[test]
+    fn sms_multiple_per_cluster_ranked_by_distance() {
+        let (m, c) = fixture();
+        let sel = NearMeanSelector.select(&input(&m, &c, 2, 0)).unwrap();
+        assert_eq!(sel.representatives(0).len(), 2);
+        assert!(sel.representatives(0).contains(&1));
+        // Requesting more than a cluster holds fails.
+        assert!(NearMeanSelector.select(&input(&m, &c, 4, 0)).is_err());
+    }
+
+    #[test]
+    fn srs_picks_within_clusters() {
+        let (m, c) = fixture();
+        for seed in 0..5 {
+            let sel = StratifiedRandomSelector
+                .select(&input(&m, &c, 1, seed))
+                .unwrap();
+            assert!(sel.representatives(0)[0] < 3);
+            assert!(sel.representatives(1)[0] >= 3);
+        }
+        // Deterministic per seed.
+        let a = StratifiedRandomSelector
+            .select(&input(&m, &c, 1, 9))
+            .unwrap();
+        let b = StratifiedRandomSelector
+            .select(&input(&m, &c, 1, 9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rs_ignores_clusters_but_covers_them() {
+        let (m, c) = fixture();
+        let sel = RandomSelector.select(&input(&m, &c, 1, 3)).unwrap();
+        assert_eq!(sel.cluster_count(), 2);
+        assert_eq!(sel.sensors().len(), 2);
+        assert!(RandomSelector.select(&input(&m, &c, 4, 0)).is_err());
+    }
+
+    #[test]
+    fn fixed_selector_assigns_by_correlation() {
+        let (m, c) = fixture();
+        // Sensors 2 (uptrend) and 5 (downtrend) as "thermostats".
+        let sel = FixedSelector::thermostats(vec![2, 5])
+            .select(&input(&m, &c, 1, 0))
+            .unwrap();
+        assert_eq!(sel.representatives(0), &[2]);
+        assert_eq!(sel.representatives(1), &[5]);
+        // Both fixed sensors in the same family: one covers both
+        // clusters.
+        let sel = FixedSelector::new("both-up", vec![0, 2])
+            .select(&input(&m, &c, 1, 0))
+            .unwrap();
+        assert_eq!(sel.cluster_count(), 2);
+        assert!(!sel.representatives(1).is_empty());
+        assert!(FixedSelector::new("bad", vec![99])
+            .select(&input(&m, &c, 1, 0))
+            .is_err());
+        assert!(FixedSelector::new("empty", vec![])
+            .select(&input(&m, &c, 1, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn gp_selects_distinct_informative_sensors() {
+        let (m, c) = fixture();
+        let sel = GpSelector.select(&input(&m, &c, 1, 0)).unwrap();
+        let sensors = sel.sensors();
+        assert_eq!(sensors.len(), 2);
+        assert_eq!(GpSelector.name(), "gp");
+        // Deterministic (no randomness in the greedy).
+        let again = GpSelector.select(&input(&m, &c, 1, 0)).unwrap();
+        assert_eq!(sel, again);
+    }
+
+    #[test]
+    fn gp_cannot_place_more_than_available() {
+        let (m, c) = fixture();
+        assert!(GpSelector.select(&input(&m, &c, 4, 0)).is_err());
+    }
+
+    #[test]
+    fn selectors_are_object_safe() {
+        let selectors: Vec<Box<dyn Selector>> = vec![
+            Box::new(NearMeanSelector),
+            Box::new(StratifiedRandomSelector),
+            Box::new(RandomSelector),
+            Box::new(GpSelector),
+            Box::new(FixedSelector::thermostats(vec![0, 3])),
+        ];
+        let (m, c) = fixture();
+        for s in &selectors {
+            let sel = s.select(&input(&m, &c, 1, 1)).unwrap();
+            assert_eq!(sel.cluster_count(), 2, "{} failed", s.name());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for sensor selection.
+
+use proptest::prelude::*;
+use thermal_cluster::Clustering;
+use thermal_linalg::Matrix;
+use thermal_select::{
+    cluster_mean_errors, FixedSelector, GpSelector, NearMeanSelector, RandomSelector, Selection,
+    SelectionInput, Selector, StratifiedRandomSelector,
+};
+
+/// Strategy: trajectories with a clustering of 2–3 groups of 3–5
+/// sensors each.
+fn fixture_strategy() -> impl Strategy<Value = (Matrix, Clustering)> {
+    (2usize..4, 3usize..6, 15usize..30).prop_flat_map(|(groups, per, samples)| {
+        let n = groups * per;
+        prop::collection::vec(-0.2_f64..0.2, n * samples).prop_map(move |noise| {
+            let mut rows = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            for g in 0..groups {
+                for s in 0..per {
+                    let row: Vec<f64> = (0..samples)
+                        .map(|k| {
+                            20.0 + 2.5 * g as f64
+                                + (k as f64 * (0.3 + 0.4 * g as f64)).sin()
+                                + noise[(g * per + s) * samples + k]
+                        })
+                        .collect();
+                    rows.push(row);
+                    labels.push(g);
+                }
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            (
+                Matrix::from_rows(&refs).unwrap(),
+                Clustering::from_assignments(labels, groups).unwrap(),
+            )
+        })
+    })
+}
+
+fn all_selectors() -> Vec<Box<dyn Selector>> {
+    vec![
+        Box::new(NearMeanSelector),
+        Box::new(StratifiedRandomSelector),
+        Box::new(RandomSelector),
+        Box::new(GpSelector),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every selector covers every cluster with the requested number
+    /// of representatives drawn from valid sensor indices.
+    #[test]
+    fn selections_are_structurally_valid(
+        (traj, clustering) in fixture_strategy(),
+        seed in 0u64..100,
+    ) {
+        let input = SelectionInput {
+            trajectories: &traj,
+            clustering: &clustering,
+            per_cluster: 1,
+            seed,
+        };
+        for s in all_selectors() {
+            let sel = s.select(&input).unwrap();
+            prop_assert_eq!(sel.cluster_count(), clustering.k(), "{}", s.name());
+            for c in 0..clustering.k() {
+                prop_assert!(!sel.representatives(c).is_empty());
+            }
+            for &i in &sel.sensors() {
+                prop_assert!(i < traj.rows());
+            }
+        }
+    }
+
+    /// Stratified selectors always pick members of the cluster they
+    /// represent.
+    #[test]
+    fn stratified_selectors_respect_clusters(
+        (traj, clustering) in fixture_strategy(),
+        seed in 0u64..100,
+        per_cluster in 1usize..3,
+    ) {
+        let input = SelectionInput {
+            trajectories: &traj,
+            clustering: &clustering,
+            per_cluster,
+            seed,
+        };
+        for s in [&NearMeanSelector as &dyn Selector, &StratifiedRandomSelector] {
+            let sel = s.select(&input).unwrap();
+            for (c, members) in clustering.clusters().iter().enumerate() {
+                for rep in sel.representatives(c) {
+                    prop_assert!(
+                        members.contains(rep),
+                        "{} put sensor {rep} in foreign cluster {c}", s.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// SMS is optimal among single-sensor in-cluster choices for the
+    /// *training* data it saw.
+    #[test]
+    fn near_mean_is_optimal_in_sample((traj, clustering) in fixture_strategy()) {
+        let input = SelectionInput {
+            trajectories: &traj,
+            clustering: &clustering,
+            per_cluster: 1,
+            seed: 0,
+        };
+        let sms = NearMeanSelector.select(&input).unwrap();
+        let sms_rms = cluster_mean_errors(&traj, &clustering, &sms)
+            .unwrap()
+            .rms()
+            .unwrap();
+        // Compare against every alternative single-representative
+        // in-cluster selection.
+        for (c, members) in clustering.clusters().iter().enumerate() {
+            for &alt in members {
+                let mut per_cluster: Vec<Vec<usize>> = sms.per_cluster().to_vec();
+                per_cluster[c] = vec![alt];
+                let alt_sel = Selection::new(per_cluster).unwrap();
+                let alt_rms = cluster_mean_errors(&traj, &clustering, &alt_sel)
+                    .unwrap()
+                    .rms()
+                    .unwrap();
+                prop_assert!(
+                    sms_rms <= alt_rms + 1e-9,
+                    "sensor {alt} in cluster {c} beats the near-mean pick: {alt_rms} < {sms_rms}"
+                );
+            }
+        }
+    }
+
+    /// Cluster-mean errors are non-negative, and a selection equal to
+    /// the full cluster has zero error.
+    #[test]
+    fn full_cluster_selection_is_exact((traj, clustering) in fixture_strategy()) {
+        let full = Selection::new(clustering.clusters()).unwrap();
+        let report = cluster_mean_errors(&traj, &clustering, &full).unwrap();
+        for e in report.errors() {
+            prop_assert!(*e >= 0.0);
+            prop_assert!(*e < 1e-9, "full-cluster mean must be exact, got {e}");
+        }
+    }
+
+    /// The GP selector never repeats a sensor.
+    #[test]
+    fn gp_selects_distinct_sensors((traj, clustering) in fixture_strategy()) {
+        let input = SelectionInput {
+            trajectories: &traj,
+            clustering: &clustering,
+            per_cluster: 1,
+            seed: 0,
+        };
+        let sel = GpSelector.select(&input).unwrap();
+        let mut sensors: Vec<usize> = sel.per_cluster().iter().flatten().copied().collect();
+        let before = sensors.len();
+        sensors.sort_unstable();
+        sensors.dedup();
+        prop_assert_eq!(sensors.len(), before, "gp repeated a sensor");
+    }
+
+    /// Fixed selections are deterministic and use only the given
+    /// sensors.
+    #[test]
+    fn fixed_selection_uses_only_fixed_sensors(
+        (traj, clustering) in fixture_strategy(),
+        pick in 0usize..3,
+    ) {
+        let fixed = vec![pick % traj.rows(), (pick + 1) % traj.rows()];
+        let selector = FixedSelector::new("fixed", fixed.clone());
+        let input = SelectionInput {
+            trajectories: &traj,
+            clustering: &clustering,
+            per_cluster: 1,
+            seed: 3,
+        };
+        let sel = selector.select(&input).unwrap();
+        for s in sel.sensors() {
+            prop_assert!(fixed.contains(&s));
+        }
+        let again = selector.select(&input).unwrap();
+        prop_assert_eq!(sel, again);
+    }
+}

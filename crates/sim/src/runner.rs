@@ -1,0 +1,480 @@
+//! Campaign execution: integrate the physics, drive the HVAC loop,
+//! then pass the clean traces through the measurement layer and
+//! assemble a [`Dataset`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use thermal_timeseries::{Channel, Dataset, TimeGrid, Timestamp};
+
+use crate::geometry::Layout;
+use crate::hvac::{Hvac, VAV_COUNT};
+use crate::occupancy::OccupancySchedule;
+use crate::scenario::Scenario;
+use crate::sensors::SensorLayer;
+use crate::thermal::{Drive, ZoneNetwork};
+use crate::weather::Weather;
+use crate::SimError;
+
+/// Salt for the disturbance RNG stream.
+const DISTURBANCE_STREAM_SALT: u64 = 0x4449_5354_5552_4221; // "DISTURB!"
+
+/// Everything a campaign produces.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// Telemetry as the backend stored it: noisy, quantised, gappy.
+    pub dataset: Dataset,
+    /// Ground-truth traces on the same grid (no measurement layer),
+    /// for debugging and oracle-based evaluation.
+    pub clean_dataset: Dataset,
+    /// Days wholly lost to server outages.
+    pub outage_days: Vec<i64>,
+    /// The layout the campaign ran on.
+    pub layout: Layout,
+    /// The scenario that produced this output.
+    pub scenario: Scenario,
+}
+
+impl SimOutput {
+    /// Names of the temperature channels (wireless sensors then
+    /// thermostats), in layout order.
+    pub fn temperature_channels(&self) -> Vec<String> {
+        self.layout
+            .sites()
+            .iter()
+            .map(|s| s.id.channel_name())
+            .collect()
+    }
+
+    /// Names of the wireless (non-thermostat) temperature channels.
+    pub fn wireless_channels(&self) -> Vec<String> {
+        self.layout
+            .wireless_sites()
+            .map(|s| s.id.channel_name())
+            .collect()
+    }
+
+    /// Names of the thermostat channels.
+    pub fn thermostat_channels(&self) -> Vec<String> {
+        self.layout
+            .thermostat_sites()
+            .map(|s| s.id.channel_name())
+            .collect()
+    }
+
+    /// Names of the VAV flow channels.
+    pub fn vav_channels(&self) -> Vec<String> {
+        (1..=VAV_COUNT).map(|i| format!("vav{i}")).collect()
+    }
+
+    /// Names of the exogenous input channels in the order the paper's
+    /// model uses them: VAV flows, occupancy, lighting, ambient.
+    pub fn input_channels(&self) -> Vec<String> {
+        let mut out = self.vav_channels();
+        out.push("occupancy".to_owned());
+        out.push("lighting".to_owned());
+        out.push("ambient".to_owned());
+        out
+    }
+}
+
+/// Runs a campaign.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for a bad scenario and
+/// propagates dataset-assembly failures (which indicate a bug rather
+/// than a data condition).
+pub fn run(scenario: &Scenario) -> Result<SimOutput, SimError> {
+    scenario.validate()?;
+
+    let layout = scenario.layout.clone();
+    let network = ZoneNetwork::new(layout.clone(), scenario.thermal.clone());
+    let hvac = Hvac::new(scenario.hvac.clone());
+    let weather = Weather::new(scenario.weather.clone(), scenario.days, scenario.seed);
+    let occupancy =
+        OccupancySchedule::generate(scenario.occupancy.clone(), scenario.days, scenario.seed);
+    let sensor_layer = SensorLayer::new(scenario.sensors.clone(), scenario.seed);
+
+    let n_zones = network.sensed_count();
+    let n_nodes = network.node_count();
+    let thermostat_idx: Vec<usize> = layout
+        .sites()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.id.is_thermostat())
+        .map(|(i, _)| i)
+        .collect();
+
+    let sample_seconds = scenario.sample_minutes as f64 * 60.0;
+    let steps_per_sample = (sample_seconds / scenario.integration_dt).round() as usize;
+    let samples = scenario.days * (1440 / scenario.sample_minutes as usize);
+    let total_steps = samples * steps_per_sample;
+
+    // Disturbance OU state per zone, plus two spatially coherent
+    // regional processes (front half / back half of the room).
+    let mut dist_rng = StdRng::seed_from_u64(scenario.seed ^ DISTURBANCE_STREAM_SALT);
+    let mut disturbance = vec![0.0_f64; n_nodes];
+    let dist_a = (-scenario.disturbance_rate * scenario.integration_dt / 3600.0).exp();
+    let dist_s = scenario.disturbance_sigma * (1.0 - dist_a * dist_a).sqrt();
+    let mut regional = [0.0_f64; 2]; // [front, back]
+    let reg_a = (-scenario.regional_disturbance_rate * scenario.integration_dt / 3600.0).exp();
+    let reg_s = scenario.regional_disturbance_sigma * (1.0 - reg_a * reg_a).sqrt();
+    let node_is_front: Vec<bool> = network
+        .node_positions()
+        .iter()
+        .map(|&(_, y)| y < 6.0)
+        .collect();
+
+    let mut state = network.initial_state(scenario.initial_temp);
+
+    // Sensor-capsule low-pass states (what the thermostat elements
+    // actually feel) — one per zone.
+    let mut capsule = vec![scenario.initial_temp; n_zones];
+    let tau_s = scenario.sensors.time_constant_s;
+
+    // Recording buffers.
+    let mut zone_records: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); n_zones];
+    let mut vav_records: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); VAV_COUNT];
+    let mut occ_record: Vec<f64> = Vec::with_capacity(samples);
+    let mut light_record: Vec<f64> = Vec::with_capacity(samples);
+    let mut ambient_record: Vec<f64> = Vec::with_capacity(samples);
+    let mut co2_record: Vec<f64> = Vec::with_capacity(samples);
+
+    // Well-mixed CO2 mass balance (the HVAC portal's "air quality"
+    // channel): dC/dt = gen·n·1e6/V − (Q/V)(C − C_out), ppm.
+    let room_volume = layout.air_volume();
+    let mut co2_ppm = scenario.thermal.co2_ambient_ppm;
+
+    let mut drive = Drive::quiescent(n_nodes, scenario.initial_temp);
+
+    for step in 0..total_steps {
+        let t =
+            Timestamp::from_minutes((step as f64 * scenario.integration_dt / 60.0).floor() as i64);
+
+        // Update OU disturbances (per-node and regional).
+        for d in disturbance.iter_mut() {
+            *d = dist_a * *d + dist_s * gaussian(&mut dist_rng);
+        }
+        for r in regional.iter_mut() {
+            *r = reg_a * *r + reg_s * gaussian(&mut dist_rng);
+        }
+
+        // Assemble the drive for this step. The controller reads the
+        // capsule (lagged) temperatures, like the real thermostats.
+        let thermostat_mean = thermostat_idx.iter().map(|&i| capsule[i]).sum::<f64>()
+            / thermostat_idx.len().max(1) as f64;
+        let box_flows = hvac.flows(t, thermostat_mean);
+        let outlet_flow = network.outlet_flows_from_boxes(&box_flows);
+        let occ_count = occupancy.count_at(t);
+        let lights = occupancy.lights_at(t);
+
+        drive.ambient = weather.ambient(t);
+        drive.supply_temp = hvac.supply_temp(t, thermostat_mean);
+        drive.outlet_flow = outlet_flow;
+        drive.occupant_watts = network.occupant_load(occ_count, occupancy.front_fraction_at(t));
+        drive.lighting_watts = network.lighting_load(lights);
+        drive.disturbance_watts.clone_from(&disturbance);
+        for (d, &front) in drive.disturbance_watts.iter_mut().zip(&node_is_front) {
+            *d += if front { regional[0] } else { regional[1] };
+        }
+
+        // Record *before* stepping so sample k is the state at time k.
+        if step % steps_per_sample == 0 {
+            for (z, rec) in zone_records.iter_mut().enumerate() {
+                rec.push(capsule[z]);
+            }
+            for (v, rec) in vav_records.iter_mut().enumerate() {
+                rec.push(box_flows[v]);
+            }
+            occ_record.push(occ_count as f64);
+            light_record.push(if lights { 1.0 } else { 0.0 });
+            ambient_record.push(drive.ambient);
+            co2_record.push(co2_ppm);
+        }
+
+        network.rk4_step(&mut state, &drive, scenario.integration_dt);
+
+        // Advance the CO2 balance (explicit Euler is ample at this
+        // time constant).
+        {
+            let total_flow: f64 = box_flows.iter().sum();
+            let gen = scenario.thermal.co2_gen_per_person * occ_count as f64 * 1.0e6;
+            let dc =
+                (gen - total_flow * (co2_ppm - scenario.thermal.co2_ambient_ppm)) / room_volume;
+            co2_ppm += dc * scenario.integration_dt;
+        }
+
+        // Advance the capsule low-pass toward the new air temperature
+        // (exact discretisation of the first-order lag).
+        if tau_s > 0.0 {
+            let alpha = (-scenario.integration_dt / tau_s).exp();
+            for (c, z) in capsule.iter_mut().zip(&state[..n_zones]) {
+                *c = alpha * *c + (1.0 - alpha) * z;
+            }
+        } else {
+            capsule.copy_from_slice(&state[..n_zones]);
+        }
+    }
+
+    debug_assert_eq!(occ_record.len(), samples);
+
+    let grid = TimeGrid::new(Timestamp::from_minutes(0), scenario.sample_minutes, samples)?;
+
+    // ---- Measurement layer ----
+    let outage_days = sensor_layer.draw_outage_days(scenario.days, scenario.min_usable_days);
+    let samples_per_day = 1440 / scenario.sample_minutes as usize;
+    let day_of = |i: usize| (i / samples_per_day) as i64;
+
+    let mut channels = Vec::new();
+    let mut clean_channels = Vec::new();
+
+    // Temperature channels.
+    for (z, site) in layout.sites().iter().enumerate() {
+        let name = site.id.channel_name();
+        let clean = &zone_records[z];
+        let measured = if site.id.is_thermostat() {
+            // Thermostats are wired into the HVAC portal: quantised
+            // and outage-prone but free of Bluetooth dropouts.
+            let mut cfg = scenario.sensors.clone();
+            cfg.dropout_start_prob = 0.0;
+            SensorLayer::new(cfg, scenario.seed).measure(clean, z, &outage_days, day_of)
+        } else {
+            sensor_layer.measure(clean, z, &outage_days, day_of)
+        };
+        channels.push(Channel::new(&name, measured)?);
+        clean_channels.push(Channel::from_values(&name, clean.clone())?);
+    }
+
+    // VAV flows: the portal logs at coarse intervals; emulate with a
+    // 15-minute zero-order hold, lost on outage days.
+    let hold = (15 / scenario.sample_minutes.max(1)).max(1) as usize;
+    for (v, rec) in vav_records.iter().enumerate() {
+        let name = format!("vav{}", v + 1);
+        let held: Vec<Option<f64>> = (0..samples)
+            .map(|i| {
+                if outage_days.contains(&day_of(i)) {
+                    None
+                } else {
+                    Some(rec[(i / hold) * hold])
+                }
+            })
+            .collect();
+        channels.push(Channel::new(&name, held)?);
+        clean_channels.push(Channel::from_values(&name, rec.clone())?);
+    }
+
+    // Occupancy: webcam counted every 15 minutes; hold in between.
+    let occ_held: Vec<Option<f64>> = (0..samples)
+        .map(|i| {
+            if outage_days.contains(&day_of(i)) {
+                None
+            } else {
+                Some(occ_record[(i / hold) * hold])
+            }
+        })
+        .collect();
+    channels.push(Channel::new("occupancy", occ_held)?);
+    clean_channels.push(Channel::from_values("occupancy", occ_record.clone())?);
+
+    // Lighting: exact binary signal, lost on outage days.
+    let light_held: Vec<Option<f64>> = (0..samples)
+        .map(|i| {
+            if outage_days.contains(&day_of(i)) {
+                None
+            } else {
+                Some(light_record[i])
+            }
+        })
+        .collect();
+    channels.push(Channel::new("lighting", light_held)?);
+    clean_channels.push(Channel::from_values("lighting", light_record.clone())?);
+
+    // Ambient: portal weather feed.
+    let ambient_held: Vec<Option<f64>> = (0..samples)
+        .map(|i| {
+            if outage_days.contains(&day_of(i)) {
+                None
+            } else {
+                Some(ambient_record[i])
+            }
+        })
+        .collect();
+    channels.push(Channel::new("ambient", ambient_held)?);
+    clean_channels.push(Channel::from_values("ambient", ambient_record.clone())?);
+
+    // CO2: the portal's air-quality feed, held at the portal rate.
+    let co2_held: Vec<Option<f64>> = (0..samples)
+        .map(|i| {
+            if outage_days.contains(&day_of(i)) {
+                None
+            } else {
+                Some((co2_record[(i / hold) * hold] / 5.0).round() * 5.0)
+            }
+        })
+        .collect();
+    channels.push(Channel::new("co2", co2_held)?);
+    clean_channels.push(Channel::from_values("co2", co2_record.clone())?);
+
+    Ok(SimOutput {
+        dataset: Dataset::new(grid, channels)?,
+        clean_dataset: Dataset::new(grid, clean_channels)?,
+        outage_days,
+        layout,
+        scenario: scenario.clone(),
+    })
+}
+
+/// Standard normal draw via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::SensorConfig;
+    use thermal_timeseries::Mask;
+
+    fn tiny() -> Scenario {
+        Scenario::quick().with_days(3).with_seed(11)
+    }
+
+    #[test]
+    fn produces_expected_channel_set() {
+        let out = run(&tiny()).unwrap();
+        assert_eq!(out.dataset.channel_count(), 27 + 4 + 4);
+        assert!(out.dataset.channel("co2").is_some());
+        assert_eq!(out.temperature_channels().len(), 27);
+        assert_eq!(out.wireless_channels().len(), 25);
+        assert_eq!(out.thermostat_channels(), vec!["t40", "t41"]);
+        assert_eq!(out.vav_channels(), vec!["vav1", "vav2", "vav3", "vav4"]);
+        assert_eq!(out.input_channels().len(), 7);
+        assert_eq!(out.dataset.grid().len(), 3 * 288);
+        assert_eq!(out.clean_dataset.grid(), out.dataset.grid());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(&tiny()).unwrap();
+        let b = run(&tiny()).unwrap();
+        assert_eq!(a.dataset, b.dataset);
+        let c = run(&tiny().with_seed(12)).unwrap();
+        assert_ne!(a.dataset, c.dataset);
+    }
+
+    #[test]
+    fn temperatures_stay_physical() {
+        let out = run(&tiny()).unwrap();
+        for name in out.temperature_channels() {
+            let ch = out.clean_dataset.channel(&name).unwrap();
+            let (lo, hi) = ch.min_max().unwrap();
+            assert!(lo > 5.0 && hi < 35.0, "{name} out of range: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn room_is_warmer_at_back_during_occupied_hours() {
+        let out = run(&Scenario::quick().with_days(7).with_seed(3)).unwrap();
+        let ds = &out.clean_dataset;
+        let grid = ds.grid();
+        let occupied = Mask::daily_window(grid, 10 * 60, 16 * 60).unwrap();
+        let mean_over = |name: &str| -> f64 {
+            let ch = ds.channel(name).unwrap();
+            let vals: Vec<f64> = occupied
+                .iter_selected()
+                .filter_map(|i| ch.value(i))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        // Sensor 27 sits in the warm back corner, 17 near the front outlet.
+        let back = mean_over("t27");
+        let front = mean_over("t17");
+        assert!(
+            back > front + 0.3,
+            "expected back warmer than front: back={back:.2} front={front:.2}"
+        );
+    }
+
+    #[test]
+    fn hvac_cools_during_on_mode() {
+        let out = run(&Scenario::quick().with_days(7).with_seed(3)).unwrap();
+        let ds = &out.clean_dataset;
+        let vav = ds.channel("vav1").unwrap();
+        let grid = ds.grid();
+        // Off mode flows are the trickle; on mode at least the minimum.
+        let cfg = crate::HvacConfig::default();
+        for (i, t) in grid.iter() {
+            let f = vav.value(i).unwrap();
+            let m = t.minute_of_day();
+            if (360..1260).contains(&m) {
+                assert!(
+                    f >= cfg.min_flow - 1e-9,
+                    "on-mode flow {f} too small at {t}"
+                );
+            } else {
+                assert!((f - cfg.off_flow).abs() < 1e-9, "off-mode flow {f} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn outages_blank_whole_days() {
+        let mut s = Scenario::quick().with_days(6).with_seed(5);
+        s.sensors.outage_day_prob = 0.5;
+        s.min_usable_days = 2;
+        let out = run(&s).unwrap();
+        assert!(!out.outage_days.is_empty(), "expected at least one outage");
+        let ch = out.dataset.channel("t03").unwrap();
+        let spd = 288;
+        for &d in &out.outage_days {
+            for i in (d as usize * spd)..((d as usize + 1) * spd) {
+                assert!(ch.value(i).is_none());
+            }
+        }
+        // usable_days must exclude them.
+        let idx = out.dataset.channel_index("t03").unwrap();
+        let usable = out.dataset.usable_days(&[idx], 0.5).unwrap();
+        for d in &out.outage_days {
+            assert!(!usable.contains(d));
+        }
+    }
+
+    #[test]
+    fn ideal_sensors_match_clean_traces() {
+        let s = tiny().with_sensors(SensorConfig::ideal());
+        let out = run(&s).unwrap();
+        let noisy = out.dataset.channel("t14").unwrap();
+        let clean = out.clean_dataset.channel("t14").unwrap();
+        for i in 0..noisy.len() {
+            assert_eq!(noisy.value(i), clean.value(i));
+        }
+    }
+
+    #[test]
+    fn vav_channels_are_held_at_portal_rate() {
+        let out = run(&tiny()).unwrap();
+        let ch = out.dataset.channel("vav2").unwrap();
+        // Within each 15-minute block (3 samples at 5-minute rate) the
+        // held value is constant.
+        for block in 0..(ch.len() / 3) {
+            let v0 = ch.value(block * 3);
+            for k in 1..3 {
+                assert_eq!(ch.value(block * 3 + k), v0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_scenario() {
+        let s = Scenario::paper().with_days(0);
+        assert!(matches!(run(&s), Err(SimError::InvalidConfig { .. })));
+    }
+}

@@ -1,0 +1,111 @@
+use std::fmt;
+
+use thermal_linalg::LinalgError;
+use thermal_timeseries::TimeSeriesError;
+
+/// Errors produced by model identification and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SysidError {
+    /// The model specification is inconsistent (no outputs, unknown
+    /// channels, …).
+    InvalidSpec {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Not enough usable transitions to fit the requested model.
+    InsufficientData {
+        /// Transitions available.
+        available: usize,
+        /// Transitions required.
+        required: usize,
+    },
+    /// A numerical kernel failed.
+    Linalg(LinalgError),
+    /// A dataset operation failed.
+    TimeSeries(TimeSeriesError),
+    /// A simulation was asked to run with mismatched dimensions.
+    DimensionMismatch {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SysidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysidError::InvalidSpec { reason } => write!(f, "invalid model spec: {reason}"),
+            SysidError::InsufficientData {
+                available,
+                required,
+            } => write!(
+                f,
+                "insufficient training data: {available} transitions available, {required} required"
+            ),
+            SysidError::Linalg(e) => write!(f, "numerical failure: {e}"),
+            SysidError::TimeSeries(e) => write!(f, "dataset failure: {e}"),
+            SysidError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SysidError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SysidError::Linalg(e) => Some(e),
+            SysidError::TimeSeries(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LinalgError> for SysidError {
+    fn from(e: LinalgError) -> Self {
+        SysidError::Linalg(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TimeSeriesError> for SysidError {
+    fn from(e: TimeSeriesError) -> Self {
+        SysidError::TimeSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SysidError::InsufficientData {
+            available: 3,
+            required: 40,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("40"));
+        assert!(SysidError::from(LinalgError::Empty { op: "x" })
+            .to_string()
+            .contains("numerical"));
+    }
+
+    #[test]
+    fn error_is_send_sync_with_source() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SysidError>();
+        let e = SysidError::from(TimeSeriesError::GridMismatch);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,358 @@
+//! Open-loop evaluation of identified models: per-sensor RMS errors,
+//! percentiles and CDFs — the quantities behind Table I and
+//! Figures 3–5 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use thermal_linalg::stats::{self, EmpiricalCdf};
+use thermal_linalg::Matrix;
+use thermal_timeseries::{Dataset, Mask, Segment};
+
+use crate::regressors::{resolve_spec, usable_segments};
+use crate::{Result, SysidError, ThermalModel};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Maximum open-loop prediction length per segment, in samples
+    /// (`None` = predict to the end of each segment). The paper's
+    /// headline evaluation uses 13.5 hours.
+    pub horizon: Option<usize>,
+    /// Segments shorter than this many samples are skipped.
+    pub min_segment_len: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            horizon: None,
+            min_segment_len: 6,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Evaluation with a fixed prediction horizon in samples.
+    pub fn with_horizon(horizon: usize) -> Self {
+        EvalConfig {
+            horizon: Some(horizon),
+            ..EvalConfig::default()
+        }
+    }
+}
+
+/// One segment's open-loop prediction against measurements.
+#[derive(Debug, Clone)]
+pub struct TracePrediction {
+    /// Grid indices of the predicted samples.
+    pub indices: Vec<usize>,
+    /// Measured outputs, one row per predicted sample.
+    pub measured: Matrix,
+    /// Model predictions, aligned with `measured`.
+    pub predicted: Matrix,
+}
+
+impl TracePrediction {
+    /// Per-sensor RMS error of this prediction.
+    pub fn per_sensor_rms(&self) -> Vec<f64> {
+        let p = self.measured.cols();
+        (0..p)
+            .map(|j| {
+                let errs: Vec<f64> = (0..self.measured.rows())
+                    .map(|i| self.measured[(i, j)] - self.predicted[(i, j)])
+                    .collect();
+                stats::rms(&errs).unwrap_or(f64::NAN)
+            })
+            .collect()
+    }
+}
+
+/// Rolls `model` open-loop over one segment: the first `warmup`
+/// samples seed the state, measured inputs drive the rest.
+///
+/// # Errors
+///
+/// * [`SysidError::InvalidSpec`] for channels missing from `dataset`,
+/// * [`SysidError::InsufficientData`] when the segment is shorter than
+///   the warmup plus one step,
+/// * propagated extraction failures when the segment contains gaps.
+pub fn predict_segment(
+    model: &ThermalModel,
+    dataset: &Dataset,
+    segment: Segment,
+    horizon: Option<usize>,
+) -> Result<TracePrediction> {
+    let spec = model.spec();
+    let (outputs, inputs) = resolve_spec(dataset, spec)?;
+    let warmup = spec.order.warmup();
+    if segment.len() < warmup + 1 {
+        return Err(SysidError::InsufficientData {
+            available: segment.len(),
+            required: warmup + 1,
+        });
+    }
+    let steps = (segment.len() - warmup).min(horizon.unwrap_or(usize::MAX));
+    let init = dataset.matrix(
+        Segment::new(segment.start, segment.start + warmup),
+        &outputs,
+    )?;
+    let input_rows = dataset.matrix(
+        Segment::new(
+            segment.start + warmup - 1,
+            segment.start + warmup - 1 + steps,
+        ),
+        &inputs,
+    )?;
+    let predicted = model.simulate(&init, &input_rows)?;
+    let measured = dataset.matrix(
+        Segment::new(segment.start + warmup, segment.start + warmup + steps),
+        &outputs,
+    )?;
+    Ok(TracePrediction {
+        indices: (segment.start + warmup..segment.start + warmup + steps).collect(),
+        measured,
+        predicted,
+    })
+}
+
+/// Aggregate evaluation results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    sensor_names: Vec<String>,
+    per_sensor_rms: Vec<f64>,
+    n_predictions: usize,
+    n_segments: usize,
+}
+
+impl EvalReport {
+    /// Sensor names, aligned with [`EvalReport::per_sensor_rms`].
+    pub fn sensor_names(&self) -> &[String] {
+        &self.sensor_names
+    }
+
+    /// RMS prediction error of each sensor over all evaluated
+    /// segments.
+    pub fn per_sensor_rms(&self) -> &[f64] {
+        &self.per_sensor_rms
+    }
+
+    /// Total number of predicted samples.
+    pub fn prediction_count(&self) -> usize {
+        self.n_predictions
+    }
+
+    /// Number of segments evaluated.
+    pub fn segment_count(&self) -> usize {
+        self.n_segments
+    }
+
+    /// RMS over all sensors (root of the mean of per-sensor mean
+    /// squared errors).
+    pub fn overall_rms(&self) -> f64 {
+        let n = self.per_sensor_rms.len() as f64;
+        (self.per_sensor_rms.iter().map(|r| r * r).sum::<f64>() / n).sqrt()
+    }
+
+    /// Percentile of the per-sensor RMS distribution — the paper's
+    /// "RMS at the 90th percentile".
+    ///
+    /// # Errors
+    ///
+    /// Propagates percentile-argument failures.
+    pub fn rms_percentile(&self, p: f64) -> Result<f64> {
+        Ok(stats::percentile(&self.per_sensor_rms, p)?)
+    }
+
+    /// ECDF over per-sensor RMS (Fig. 3's curves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ECDF construction failures (empty report).
+    pub fn cdf(&self) -> Result<EmpiricalCdf> {
+        Ok(EmpiricalCdf::new(&self.per_sensor_rms)?)
+    }
+
+    /// Iterates over `(sensor name, rms)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.sensor_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.per_sensor_rms.iter().copied())
+    }
+}
+
+/// Evaluates a model open-loop over every usable segment of `mask`.
+///
+/// # Errors
+///
+/// * [`SysidError::InvalidSpec`] for channels missing from the
+///   dataset,
+/// * [`SysidError::InsufficientData`] when no segment is long enough.
+pub fn evaluate(
+    model: &ThermalModel,
+    dataset: &Dataset,
+    mask: &Mask,
+    config: &EvalConfig,
+) -> Result<EvalReport> {
+    let spec = model.spec();
+    let segments = usable_segments(dataset, spec, mask)?;
+    let warmup = spec.order.warmup();
+    let p = spec.output_count();
+
+    let mut sq_sum = vec![0.0_f64; p];
+    let mut count = 0usize;
+    let mut n_segments = 0usize;
+    for seg in segments {
+        if seg.len() < config.min_segment_len.max(warmup + 1) {
+            continue;
+        }
+        let pred = predict_segment(model, dataset, seg, config.horizon)?;
+        for i in 0..pred.measured.rows() {
+            for j in 0..p {
+                let e = pred.measured[(i, j)] - pred.predicted[(i, j)];
+                sq_sum[j] += e * e;
+            }
+        }
+        count += pred.measured.rows();
+        n_segments += 1;
+    }
+    if count == 0 {
+        return Err(SysidError::InsufficientData {
+            available: 0,
+            required: config.min_segment_len,
+        });
+    }
+    let per_sensor_rms: Vec<f64> = sq_sum
+        .into_iter()
+        .map(|s| (s / count as f64).sqrt())
+        .collect();
+    Ok(EvalReport {
+        sensor_names: spec.outputs.clone(),
+        per_sensor_rms,
+        n_predictions: count,
+        n_segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{identify, FitConfig, ModelOrder, ModelSpec};
+    use thermal_timeseries::{Channel, TimeGrid, Timestamp};
+
+    /// Dataset generated by a known first-order system, split into two
+    /// halves by a gap.
+    fn synth() -> Dataset {
+        let n = 200;
+        let u: Vec<f64> = (0..n)
+            .map(|k| (k as f64 * 0.17).sin() * 0.5 + 0.5)
+            .collect();
+        let mut t = vec![18.0_f64];
+        for k in 0..n - 1 {
+            t.push(0.92 * t[k] + 1.2 * u[k]);
+        }
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, n).unwrap();
+        Dataset::new(
+            grid,
+            vec![
+                Channel::from_values("t", t).unwrap(),
+                Channel::from_values("u", u).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn fitted(ds: &Dataset) -> ThermalModel {
+        let spec = ModelSpec::new(vec!["t".into()], vec!["u".into()], ModelOrder::First).unwrap();
+        identify(ds, &spec, &Mask::all(ds.grid()), &FitConfig::plain()).unwrap()
+    }
+
+    #[test]
+    fn perfect_model_has_zero_error() {
+        let ds = synth();
+        let model = fitted(&ds);
+        let report = evaluate(&model, &ds, &Mask::all(ds.grid()), &EvalConfig::default()).unwrap();
+        assert!(report.per_sensor_rms()[0] < 1e-9);
+        assert_eq!(report.sensor_names(), &["t".to_owned()]);
+        assert!(report.prediction_count() > 100);
+        assert_eq!(report.segment_count(), 1);
+        assert!(report.overall_rms() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_limits_prediction_length() {
+        let ds = synth();
+        let model = fitted(&ds);
+        let seg = Segment::new(0, 50);
+        let full = predict_segment(&model, &ds, seg, None).unwrap();
+        assert_eq!(full.predicted.rows(), 49);
+        let short = predict_segment(&model, &ds, seg, Some(10)).unwrap();
+        assert_eq!(short.predicted.rows(), 10);
+        assert_eq!(short.indices, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wrong_model_has_positive_error() {
+        let ds = synth();
+        let spec = ModelSpec::new(vec!["t".into()], vec!["u".into()], ModelOrder::First).unwrap();
+        // Deliberately wrong coefficients.
+        let bad = ThermalModel::new(
+            spec,
+            thermal_linalg::Matrix::from_rows(&[&[0.5, 0.0][..]]).unwrap(),
+        )
+        .unwrap();
+        let report = evaluate(&bad, &ds, &Mask::all(ds.grid()), &EvalConfig::default()).unwrap();
+        assert!(report.per_sensor_rms()[0] > 1.0);
+        assert!(report.rms_percentile(90.0).unwrap() > 1.0);
+        assert!(report.cdf().is_ok());
+    }
+
+    #[test]
+    fn too_short_segment_is_rejected() {
+        let ds = synth();
+        let model = fitted(&ds);
+        assert!(matches!(
+            predict_segment(&model, &ds, Segment::new(0, 1), None),
+            Err(SysidError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_mask_reports_insufficient_data() {
+        let ds = synth();
+        let model = fitted(&ds);
+        let none = Mask::none(ds.grid());
+        assert!(matches!(
+            evaluate(&model, &ds, &none, &EvalConfig::default()),
+            Err(SysidError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn min_segment_len_filters_short_runs() {
+        let ds = synth();
+        let model = fitted(&ds);
+        // Mask with one long run and one short run.
+        let mut mask = Mask::none(ds.grid());
+        for i in 0..40 {
+            mask.set(i, true).unwrap();
+        }
+        for i in 50..54 {
+            mask.set(i, true).unwrap();
+        }
+        let mut cfg = EvalConfig::default();
+        cfg.min_segment_len = 10;
+        let report = evaluate(&model, &ds, &mask, &cfg).unwrap();
+        assert_eq!(report.segment_count(), 1);
+    }
+
+    #[test]
+    fn trace_prediction_rms_matches_report() {
+        let ds = synth();
+        let model = fitted(&ds);
+        let pred = predict_segment(&model, &ds, Segment::new(0, 30), None).unwrap();
+        let rms = pred.per_sensor_rms();
+        assert_eq!(rms.len(), 1);
+        assert!(rms[0] < 1e-9);
+    }
+}

@@ -1,0 +1,420 @@
+use serde::{Deserialize, Serialize};
+
+use thermal_linalg::{Matrix, Vector};
+
+use crate::{Result, SysidError};
+
+/// Dynamic order of the identified thermal model.
+///
+/// The paper compares a first-order model (Eq. 1), which assumes supply
+/// air mixes instantaneously, against a second-order model (Eq. 2)
+/// that adds the temperature *increment* `ΔT(k) = T(k) − T(k−1)` to
+/// the state and thereby captures the mixing delay of the plumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelOrder {
+    /// `T(k+1) = A·T(k) + B·u(k)`.
+    First,
+    /// `[T(k+1); ΔT(k+1)] = A'·[T(k); ΔT(k)] + B'·u(k)`.
+    Second,
+}
+
+impl ModelOrder {
+    /// Number of lagged temperature blocks in the regressor
+    /// (`1` for first order, `2` for second order counting the
+    /// increment block).
+    pub fn state_blocks(self) -> usize {
+        match self {
+            ModelOrder::First => 1,
+            ModelOrder::Second => 2,
+        }
+    }
+
+    /// Number of leading samples a segment must donate before the
+    /// first usable transition (one extra for the increment).
+    pub fn warmup(self) -> usize {
+        match self {
+            ModelOrder::First => 1,
+            ModelOrder::Second => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelOrder::First => write!(f, "first-order"),
+            ModelOrder::Second => write!(f, "second-order"),
+        }
+    }
+}
+
+/// What to identify: which channels are the modelled temperatures,
+/// which are exogenous inputs, and the dynamic order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Names of the temperature channels the model predicts.
+    pub outputs: Vec<String>,
+    /// Names of the exogenous input channels (paper order: four VAV
+    /// flows, occupancy, lighting, ambient).
+    pub inputs: Vec<String>,
+    /// Dynamic order.
+    pub order: ModelOrder,
+}
+
+impl ModelSpec {
+    /// Creates a spec after basic validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysidError::InvalidSpec`] when `outputs` is empty or
+    /// names repeat across the two lists.
+    pub fn new(outputs: Vec<String>, inputs: Vec<String>, order: ModelOrder) -> Result<Self> {
+        if outputs.is_empty() {
+            return Err(SysidError::InvalidSpec {
+                reason: "model must have at least one output".to_owned(),
+            });
+        }
+        let mut all: Vec<&String> = outputs.iter().chain(inputs.iter()).collect();
+        all.sort();
+        for w in all.windows(2) {
+            if w[0] == w[1] {
+                return Err(SysidError::InvalidSpec {
+                    reason: format!("channel {:?} appears twice in the spec", w[0]),
+                });
+            }
+        }
+        Ok(ModelSpec {
+            outputs,
+            inputs,
+            order,
+        })
+    }
+
+    /// Number of outputs `p`.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of inputs `m`.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Width of the stacked regressor `[T(k); (ΔT(k)); u(k)]`.
+    pub fn regressor_width(&self) -> usize {
+        self.order.state_blocks() * self.output_count() + self.input_count()
+    }
+}
+
+/// An identified linear thermal model.
+///
+/// Stores the compact coefficient matrix `Θ` (`p × regressor_width`)
+/// with `T(k+1) = Θ · [T(k); (ΔT(k)); u(k)]`. For the second-order
+/// form this is the top block row of the paper's `[A' B']`; the bottom
+/// block row (`ΔT(k+1)`) is implied (`ΔT(k+1) = T(k+1) − T(k)`) and
+/// carries no extra information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    spec: ModelSpec,
+    /// `p × (state_blocks·p + m)` coefficient matrix.
+    coef: Matrix,
+}
+
+impl ThermalModel {
+    /// Assembles a model from a spec and coefficient matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysidError::DimensionMismatch`] when `coef` does not
+    /// have shape `p × regressor_width`.
+    pub fn new(spec: ModelSpec, coef: Matrix) -> Result<Self> {
+        let expected = (spec.output_count(), spec.regressor_width());
+        if coef.shape() != expected {
+            return Err(SysidError::DimensionMismatch {
+                what: "coefficient matrix rows",
+                expected: expected.0 * expected.1,
+                actual: coef.rows() * coef.cols(),
+            });
+        }
+        Ok(ThermalModel { spec, coef })
+    }
+
+    /// The model specification.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The raw coefficient matrix `Θ`.
+    pub fn coefficients(&self) -> &Matrix {
+        &self.coef
+    }
+
+    /// The `A` block (effect of `T(k)` on `T(k+1)`), `p × p`.
+    pub fn a_matrix(&self) -> Matrix {
+        let p = self.spec.output_count();
+        let idx: Vec<usize> = (0..p).collect();
+        self.coef
+            .select_columns(&idx)
+            .expect("A block within coefficient matrix")
+    }
+
+    /// The `B` block (effect of inputs on `T(k+1)`), `p × m`.
+    pub fn b_matrix(&self) -> Matrix {
+        let p = self.spec.output_count();
+        let start = self.spec.order.state_blocks() * p;
+        let idx: Vec<usize> = (start..start + self.spec.input_count()).collect();
+        self.coef
+            .select_columns(&idx)
+            .expect("B block within coefficient matrix")
+    }
+
+    /// One-step prediction.
+    ///
+    /// `t_prev` is required (and used) only for second-order models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysidError::DimensionMismatch`] on mis-sized inputs
+    /// or a missing `t_prev` for a second-order model.
+    pub fn predict_next(&self, t: &[f64], t_prev: Option<&[f64]>, u: &[f64]) -> Result<Vector> {
+        let p = self.spec.output_count();
+        let m = self.spec.input_count();
+        if t.len() != p {
+            return Err(SysidError::DimensionMismatch {
+                what: "state vector",
+                expected: p,
+                actual: t.len(),
+            });
+        }
+        if u.len() != m {
+            return Err(SysidError::DimensionMismatch {
+                what: "input vector",
+                expected: m,
+                actual: u.len(),
+            });
+        }
+        let mut x = Vec::with_capacity(self.spec.regressor_width());
+        x.extend_from_slice(t);
+        if self.spec.order == ModelOrder::Second {
+            let prev = t_prev.ok_or(SysidError::DimensionMismatch {
+                what: "previous state (second-order model)",
+                expected: p,
+                actual: 0,
+            })?;
+            if prev.len() != p {
+                return Err(SysidError::DimensionMismatch {
+                    what: "previous state",
+                    expected: p,
+                    actual: prev.len(),
+                });
+            }
+            for (a, b) in t.iter().zip(prev) {
+                x.push(a - b);
+            }
+        }
+        x.extend_from_slice(u);
+        Ok(self.coef.matvec(&Vector::from(x))?)
+    }
+
+    /// Open-loop simulation: starting from the measured initial
+    /// condition(s), roll the model forward under a sequence of
+    /// measured inputs.
+    ///
+    /// `initial` must contain `order.warmup()` rows of initial
+    /// temperatures (oldest first); `inputs` holds one row per
+    /// predicted step. The result has `inputs.rows()` rows: prediction
+    /// for times `k = warmup .. warmup + inputs.rows()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysidError::DimensionMismatch`] on shape problems.
+    pub fn simulate(&self, initial: &Matrix, inputs: &Matrix) -> Result<Matrix> {
+        let p = self.spec.output_count();
+        let m = self.spec.input_count();
+        if initial.rows() != self.spec.order.warmup() || initial.cols() != p {
+            return Err(SysidError::DimensionMismatch {
+                what: "initial condition rows",
+                expected: self.spec.order.warmup() * p,
+                actual: initial.rows() * initial.cols(),
+            });
+        }
+        if inputs.cols() != m {
+            return Err(SysidError::DimensionMismatch {
+                what: "input columns",
+                expected: m,
+                actual: inputs.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(inputs.rows(), p);
+        let mut prev: Vec<f64> = if self.spec.order == ModelOrder::Second {
+            initial.row(0).to_vec()
+        } else {
+            vec![0.0; p]
+        };
+        let mut cur: Vec<f64> = initial.row(initial.rows() - 1).to_vec();
+        for k in 0..inputs.rows() {
+            let u = inputs.row(k);
+            let next = self.predict_next(
+                &cur,
+                if self.spec.order == ModelOrder::Second {
+                    Some(&prev)
+                } else {
+                    None
+                },
+                u,
+            )?;
+            out.row_mut(k).copy_from_slice(next.as_slice());
+            prev = std::mem::take(&mut cur);
+            cur = next.into_inner();
+        }
+        Ok(out)
+    }
+
+    /// Spectral radius proxy: the largest absolute eigenvalue of the
+    /// symmetric part of `A` — a cheap stability indicator used by
+    /// diagnostics (a healthy room model has `A` close to, but inside,
+    /// the unit circle).
+    pub fn a_symmetric_spectral_bound(&self) -> f64 {
+        let a = self.a_matrix();
+        let sym = thermal_linalg::SymmetricEigen::new_symmetrized(&a);
+        match sym {
+            Ok(e) => e
+                .eigenvalues()
+                .iter()
+                .fold(0.0_f64, |acc, v| acc.max(v.abs())),
+            Err(_) => f64::NAN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec1() -> ModelSpec {
+        ModelSpec::new(
+            vec!["a".into(), "b".into()],
+            vec!["u".into()],
+            ModelOrder::First,
+        )
+        .unwrap()
+    }
+
+    fn spec2() -> ModelSpec {
+        ModelSpec::new(
+            vec!["a".into(), "b".into()],
+            vec!["u".into()],
+            ModelOrder::Second,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(ModelSpec::new(vec![], vec![], ModelOrder::First).is_err());
+        assert!(ModelSpec::new(vec!["a".into(), "a".into()], vec![], ModelOrder::First).is_err());
+        assert!(ModelSpec::new(vec!["a".into()], vec!["a".into()], ModelOrder::First).is_err());
+        let s = spec2();
+        assert_eq!(s.output_count(), 2);
+        assert_eq!(s.input_count(), 1);
+        assert_eq!(s.regressor_width(), 5);
+        assert_eq!(spec1().regressor_width(), 3);
+    }
+
+    #[test]
+    fn order_properties() {
+        assert_eq!(ModelOrder::First.state_blocks(), 1);
+        assert_eq!(ModelOrder::Second.state_blocks(), 2);
+        assert_eq!(ModelOrder::First.warmup(), 1);
+        assert_eq!(ModelOrder::Second.warmup(), 2);
+        assert_eq!(ModelOrder::First.to_string(), "first-order");
+        assert_eq!(ModelOrder::Second.to_string(), "second-order");
+    }
+
+    #[test]
+    fn model_construction_checks_shape() {
+        assert!(ThermalModel::new(spec1(), Matrix::zeros(2, 3)).is_ok());
+        assert!(ThermalModel::new(spec1(), Matrix::zeros(2, 4)).is_err());
+        assert!(ThermalModel::new(spec2(), Matrix::zeros(2, 5)).is_ok());
+    }
+
+    #[test]
+    fn blocks_are_extracted_correctly() {
+        // coef = [A | B] with recognisable entries.
+        let coef = Matrix::from_rows(&[&[0.9, 0.1, 5.0][..], &[0.2, 0.8, -3.0][..]]).unwrap();
+        let model = ThermalModel::new(spec1(), coef).unwrap();
+        let a = model.a_matrix();
+        assert_eq!(a[(0, 0)], 0.9);
+        assert_eq!(a[(1, 1)], 0.8);
+        let b = model.b_matrix();
+        assert_eq!(b.shape(), (2, 1));
+        assert_eq!(b[(0, 0)], 5.0);
+        assert_eq!(b[(1, 0)], -3.0);
+    }
+
+    #[test]
+    fn first_order_one_step_prediction() {
+        let coef = Matrix::from_rows(&[&[0.5, 0.0, 1.0][..], &[0.0, 0.5, 0.0][..]]).unwrap();
+        let model = ThermalModel::new(spec1(), coef).unwrap();
+        let next = model.predict_next(&[2.0, 4.0], None, &[3.0]).unwrap();
+        assert_eq!(next.as_slice(), &[4.0, 2.0]);
+        assert!(model.predict_next(&[1.0], None, &[0.0]).is_err());
+        assert!(model.predict_next(&[1.0, 2.0], None, &[]).is_err());
+    }
+
+    #[test]
+    fn second_order_uses_increment() {
+        // T(k+1) = T(k) + 0.5 ΔT(k): pure momentum, no inputs used.
+        let coef = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.5, 0.0, 0.0][..],
+            &[0.0, 1.0, 0.0, 0.5, 0.0][..],
+        ])
+        .unwrap();
+        let model = ThermalModel::new(spec2(), coef).unwrap();
+        let next = model
+            .predict_next(&[10.0, 20.0], Some(&[8.0, 21.0]), &[0.0])
+            .unwrap();
+        assert_eq!(next.as_slice(), &[11.0, 19.5]);
+        // Missing previous state is rejected.
+        assert!(model.predict_next(&[10.0, 20.0], None, &[0.0]).is_err());
+        assert!(model
+            .predict_next(&[10.0, 20.0], Some(&[1.0]), &[0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn simulation_rolls_forward() {
+        // Scalar-ish check with two decoupled outputs: T' = 0.5 T + u.
+        let coef = Matrix::from_rows(&[&[0.5, 0.0, 1.0][..], &[0.0, 0.5, 0.0][..]]).unwrap();
+        let model = ThermalModel::new(spec1(), coef).unwrap();
+        let init = Matrix::from_rows(&[&[4.0, 8.0][..]]).unwrap();
+        let inputs = Matrix::from_rows(&[&[1.0][..], &[1.0][..], &[1.0][..]]).unwrap();
+        let traj = model.simulate(&init, &inputs).unwrap();
+        // 4 -> 3 -> 2.5 -> 2.25 ; 8 -> 4 -> 2 -> 1
+        assert_eq!(traj.column(0).as_slice(), &[3.0, 2.5, 2.25]);
+        assert_eq!(traj.column(1).as_slice(), &[4.0, 2.0, 1.0]);
+        // Bad shapes rejected.
+        assert!(model.simulate(&Matrix::zeros(2, 2), &inputs).is_err());
+        assert!(model.simulate(&init, &Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn second_order_simulation_tracks_momentum() {
+        // T(k+1) = T(k) + ΔT(k): constant-velocity extrapolation.
+        let coef = Matrix::from_rows(&[&[1.0, 1.0, 0.0][..]]).unwrap();
+        let spec = ModelSpec::new(vec!["a".into()], vec!["u".into()], ModelOrder::Second).unwrap();
+        let model = ThermalModel::new(spec, coef).unwrap();
+        let init = Matrix::from_rows(&[&[1.0][..], &[2.0][..]]).unwrap(); // T(-1)=1, T(0)=2
+        let inputs = Matrix::from_rows(&[&[0.0][..], &[0.0][..]]).unwrap();
+        let traj = model.simulate(&init, &inputs).unwrap();
+        assert_eq!(traj.column(0).as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn stability_bound_of_contraction() {
+        let coef = Matrix::from_rows(&[&[0.5, 0.1, 0.0][..], &[0.1, 0.5, 0.0][..]]).unwrap();
+        let model = ThermalModel::new(spec1(), coef).unwrap();
+        let bound = model.a_symmetric_spectral_bound();
+        assert!((bound - 0.6).abs() < 1e-12);
+    }
+}

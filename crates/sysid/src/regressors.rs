@@ -1,0 +1,253 @@
+//! Regressor assembly: turn a gap-ridden dataset into the stacked
+//! `(X, Y)` pair of the paper's piece-wise least-squares problem
+//! (Eq. 4).
+//!
+//! For every contiguous segment where all modelled channels are
+//! present, each admissible index `k` contributes one row
+//! `x = [T(k); (ΔT(k)); u(k)]` and one target row `y = T(k+1)`.
+//! Rows never straddle segment boundaries, which is exactly what makes
+//! the objective *piece-wise*.
+
+use thermal_linalg::Matrix;
+use thermal_timeseries::{segments_from_mask, Dataset, Mask, Segment};
+
+use crate::{ModelSpec, Result, SysidError};
+
+/// The assembled regression problem.
+#[derive(Debug, Clone)]
+pub struct RegressionData {
+    /// Stacked regressors, one row per transition.
+    pub x: Matrix,
+    /// Stacked one-step targets, aligned with `x`.
+    pub y: Matrix,
+    /// The segments that contributed transitions.
+    pub segments: Vec<Segment>,
+}
+
+impl RegressionData {
+    /// Number of transitions (rows).
+    pub fn transition_count(&self) -> usize {
+        self.x.rows()
+    }
+}
+
+/// Resolves the spec's channel names against a dataset.
+///
+/// # Errors
+///
+/// Returns [`SysidError::InvalidSpec`] naming the first missing
+/// channel.
+pub fn resolve_spec(dataset: &Dataset, spec: &ModelSpec) -> Result<(Vec<usize>, Vec<usize>)> {
+    let find = |name: &String| {
+        dataset
+            .channel_index(name)
+            .ok_or_else(|| SysidError::InvalidSpec {
+                reason: format!("channel {name:?} not in dataset"),
+            })
+    };
+    let outputs: Vec<usize> = spec.outputs.iter().map(find).collect::<Result<_>>()?;
+    let inputs: Vec<usize> = spec.inputs.iter().map(find).collect::<Result<_>>()?;
+    Ok((outputs, inputs))
+}
+
+/// Segments of `mask` on which *all* spec channels are present, long
+/// enough to contribute at least one transition.
+///
+/// # Errors
+///
+/// Propagates channel-resolution failures.
+pub fn usable_segments(dataset: &Dataset, spec: &ModelSpec, mask: &Mask) -> Result<Vec<Segment>> {
+    let (outputs, inputs) = resolve_spec(dataset, spec)?;
+    let mut all = outputs.clone();
+    all.extend(&inputs);
+    let present = dataset.presence_mask(&all)?;
+    let usable = present.and(mask)?;
+    Ok(segments_from_mask(&usable, spec.order.warmup() + 1))
+}
+
+/// Assembles the stacked regression problem over the usable segments
+/// of `mask`.
+///
+/// # Errors
+///
+/// * [`SysidError::InvalidSpec`] for unknown channels,
+/// * [`SysidError::InsufficientData`] when fewer transitions than
+///   regressor columns are available (the LS problem would be
+///   under-determined).
+pub fn assemble(dataset: &Dataset, spec: &ModelSpec, mask: &Mask) -> Result<RegressionData> {
+    let (outputs, inputs) = resolve_spec(dataset, spec)?;
+    let segments = usable_segments(dataset, spec, mask)?;
+    let warmup = spec.order.warmup();
+
+    let total: usize = segments.iter().map(|s| s.transition_count(warmup)).sum();
+    let width = spec.regressor_width();
+    if total < width {
+        return Err(SysidError::InsufficientData {
+            available: total,
+            required: width,
+        });
+    }
+
+    let p = outputs.len();
+    let mut x = Matrix::zeros(total, width);
+    let mut y = Matrix::zeros(total, p);
+    let mut row = 0usize;
+    for seg in &segments {
+        for k in (seg.start + warmup - 1)..(seg.end - 1) {
+            let t_now = dataset
+                .values_at(k, &outputs)
+                .expect("presence checked by segmentation");
+            let u_now = dataset
+                .values_at(k, &inputs)
+                .expect("presence checked by segmentation");
+            let t_next = dataset
+                .values_at(k + 1, &outputs)
+                .expect("presence checked by segmentation");
+            {
+                let xr = x.row_mut(row);
+                xr[..p].copy_from_slice(&t_now);
+                let mut col = p;
+                if warmup == 2 {
+                    let t_prev = dataset
+                        .values_at(k - 1, &outputs)
+                        .expect("presence checked by segmentation");
+                    for i in 0..p {
+                        xr[col + i] = t_now[i] - t_prev[i];
+                    }
+                    col += p;
+                }
+                xr[col..col + inputs.len()].copy_from_slice(&u_now);
+            }
+            y.row_mut(row).copy_from_slice(&t_next);
+            row += 1;
+        }
+    }
+    debug_assert_eq!(row, total);
+
+    Ok(RegressionData { x, y, segments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelOrder;
+    use thermal_timeseries::{Channel, TimeGrid, Timestamp};
+
+    fn dataset() -> Dataset {
+        // t: 1 2 3 4 _ 6 7 8 9 10 ; u: constant 0.5 with one gap at 5
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 10).unwrap();
+        let t: Vec<Option<f64>> = vec![
+            Some(1.0),
+            Some(2.0),
+            Some(3.0),
+            Some(4.0),
+            None,
+            Some(6.0),
+            Some(7.0),
+            Some(8.0),
+            Some(9.0),
+            Some(10.0),
+        ];
+        let u: Vec<Option<f64>> = (0..10)
+            .map(|i| if i == 5 { None } else { Some(0.5) })
+            .collect();
+        Dataset::new(
+            grid,
+            vec![Channel::new("t", t).unwrap(), Channel::new("u", u).unwrap()],
+        )
+        .unwrap()
+    }
+
+    fn spec(order: ModelOrder) -> ModelSpec {
+        ModelSpec::new(vec!["t".into()], vec!["u".into()], order).unwrap()
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_channels() {
+        let ds = dataset();
+        let bad = ModelSpec::new(vec!["zz".into()], vec![], ModelOrder::First).unwrap();
+        assert!(matches!(
+            resolve_spec(&ds, &bad),
+            Err(SysidError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn first_order_rows_respect_gaps() {
+        let ds = dataset();
+        let mask = Mask::all(ds.grid());
+        let data = assemble(&ds, &spec(ModelOrder::First), &mask).unwrap();
+        // Usable joint-presence runs: [0..4) and [6..10) — slot 4 has
+        // no t, slot 5 has no u. Transitions: 3 in the first run, 3 in
+        // the second.
+        assert_eq!(data.transition_count(), 6);
+        assert_eq!(data.x.shape(), (6, 2));
+        assert_eq!(data.y.shape(), (6, 1));
+        assert_eq!(data.x.row(0), &[1.0, 0.5]);
+        assert_eq!(data.y[(0, 0)], 2.0);
+        assert_eq!(data.x.row(5), &[9.0, 0.5]);
+        assert_eq!(data.y[(5, 0)], 10.0);
+    }
+
+    #[test]
+    fn second_order_rows_include_increment() {
+        let ds = dataset();
+        let mask = Mask::all(ds.grid());
+        let data = assemble(&ds, &spec(ModelOrder::Second), &mask).unwrap();
+        // Segment [0..4): transitions at k=1,2 (k=0 lacks T(k-1)).
+        // Segment [6..10): transitions at k=7,8.
+        assert_eq!(data.transition_count(), 4);
+        assert_eq!(data.x.shape(), (4, 3));
+        // Row 0: T(1)=2, ΔT = 1, u = 0.5 -> y = 3.
+        assert_eq!(data.x.row(0), &[2.0, 1.0, 0.5]);
+        assert_eq!(data.y[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn mask_restricts_transitions() {
+        let ds = dataset();
+        // Only slots 0..3 selected.
+        let mut mask = Mask::none(ds.grid());
+        for i in 0..3 {
+            mask.set(i, true).unwrap();
+        }
+        let data = assemble(&ds, &spec(ModelOrder::First), &mask).unwrap();
+        assert_eq!(data.transition_count(), 2);
+    }
+
+    #[test]
+    fn insufficient_data_is_reported() {
+        let ds = dataset();
+        let mut mask = Mask::none(ds.grid());
+        mask.set(0, true).unwrap();
+        mask.set(1, true).unwrap();
+        // 1 transition < 2 regressor columns.
+        assert!(matches!(
+            assemble(&ds, &spec(ModelOrder::First), &mask),
+            Err(SysidError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn usable_segments_need_warmup() {
+        let ds = dataset();
+        let mask = Mask::all(ds.grid());
+        let s1 = usable_segments(&ds, &spec(ModelOrder::First), &mask).unwrap();
+        assert_eq!(s1.len(), 2);
+        let s2 = usable_segments(&ds, &spec(ModelOrder::Second), &mask).unwrap();
+        assert_eq!(s2.len(), 2);
+        // A run of exactly two samples supports first order only.
+        let mut narrow = Mask::none(ds.grid());
+        narrow.set(6, true).unwrap();
+        narrow.set(7, true).unwrap();
+        assert_eq!(
+            usable_segments(&ds, &spec(ModelOrder::First), &narrow)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(usable_segments(&ds, &spec(ModelOrder::Second), &narrow)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Parameter sweeps: training-data horizon and prediction length
+//! (the two panels of the paper's Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+use thermal_timeseries::{Dataset, Mask};
+
+use crate::{evaluate, identify, EvalConfig, EvalReport, FitConfig, ModelSpec, Result};
+
+/// One point of a sweep: the swept parameter value and the resulting
+/// evaluation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Value of the swept parameter (days of training data, or
+    /// prediction horizon in samples, depending on the sweep).
+    pub parameter: f64,
+    /// Evaluation of the model at this parameter value.
+    pub report: EvalReport,
+}
+
+/// Sweeps the amount of training data: for each entry of
+/// `train_day_counts`, fit on the **most recent** `n` usable days
+/// (within `mode_mask`) and evaluate on the fixed `validation_days`.
+///
+/// Reproduces the top panel of Fig. 5, where the paper observes that
+/// *more* training data does not monotonically improve accuracy (13
+/// training days beat 58 in their campaign): growing the window drags
+/// in stale data from weeks earlier — different season, different
+/// load patterns — which biases the fit.
+///
+/// # Errors
+///
+/// Propagates identification/evaluation failures; returns
+/// [`crate::SysidError::InvalidSpec`] when `train_day_counts` asks for
+/// more days than available.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_training_horizon(
+    dataset: &Dataset,
+    spec: &ModelSpec,
+    mode_mask: &Mask,
+    usable_days: &[i64],
+    train_day_counts: &[usize],
+    validation_days: &[i64],
+    fit: &FitConfig,
+    eval_cfg: &EvalConfig,
+) -> Result<Vec<SweepPoint>> {
+    let mut sorted = usable_days.to_vec();
+    sorted.sort_unstable();
+    let val_mask = Mask::days(dataset.grid(), validation_days).and(mode_mask)?;
+    let mut out = Vec::with_capacity(train_day_counts.len());
+    for &n in train_day_counts {
+        if n == 0 || n > sorted.len() {
+            return Err(crate::SysidError::InvalidSpec {
+                reason: format!(
+                    "training horizon {n} outside available {} usable days",
+                    sorted.len()
+                ),
+            });
+        }
+        let recent = &sorted[sorted.len() - n..];
+        let train_mask = Mask::days(dataset.grid(), recent).and(mode_mask)?;
+        let model = identify(dataset, spec, &train_mask, fit)?;
+        let report = evaluate(&model, dataset, &val_mask, eval_cfg)?;
+        out.push(SweepPoint {
+            parameter: n as f64,
+            report,
+        });
+    }
+    Ok(out)
+}
+
+/// Sweeps the open-loop prediction length: one model (fit on
+/// `train_mask`) evaluated at each horizon of `horizons_samples`.
+///
+/// Reproduces the bottom panel of Fig. 5 (error grows monotonically
+/// with prediction length).
+///
+/// # Errors
+///
+/// Propagates identification/evaluation failures.
+pub fn sweep_prediction_length(
+    dataset: &Dataset,
+    spec: &ModelSpec,
+    train_mask: &Mask,
+    validation_mask: &Mask,
+    horizons_samples: &[usize],
+    fit: &FitConfig,
+) -> Result<Vec<SweepPoint>> {
+    let model = identify(dataset, spec, train_mask, fit)?;
+    let mut out = Vec::with_capacity(horizons_samples.len());
+    for &h in horizons_samples {
+        let cfg = EvalConfig::with_horizon(h.max(1));
+        let report = evaluate(&model, dataset, validation_mask, &cfg)?;
+        out.push(SweepPoint {
+            parameter: h as f64,
+            report,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelOrder;
+    use thermal_timeseries::{Channel, TimeGrid, Timestamp};
+
+    /// Four days of hourly data from a noisy first-order system.
+    fn synth() -> Dataset {
+        let n = 4 * 24;
+        let u: Vec<f64> = (0..n).map(|k| (k as f64 * 0.4).sin() * 0.5 + 0.5).collect();
+        let mut t = vec![20.0_f64];
+        // Deterministic "noise" so identification is imperfect but
+        // reproducible.
+        for k in 0..n - 1 {
+            let wiggle = 0.01 * ((k * 7919 % 97) as f64 / 97.0 - 0.5);
+            t.push(0.9 * t[k] + 1.0 * u[k] + wiggle);
+        }
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 60, n).unwrap();
+        Dataset::new(
+            grid,
+            vec![
+                Channel::from_values("t", t).unwrap(),
+                Channel::from_values("u", u).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(vec!["t".into()], vec!["u".into()], ModelOrder::First).unwrap()
+    }
+
+    #[test]
+    fn training_sweep_produces_one_point_per_count() {
+        let ds = synth();
+        let mode = Mask::all(ds.grid());
+        let points = sweep_training_horizon(
+            &ds,
+            &spec(),
+            &mode,
+            &[0, 1, 2],
+            &[1, 2],
+            &[3],
+            &FitConfig::default(),
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].parameter, 1.0);
+        assert_eq!(points[1].parameter, 2.0);
+        for p in &points {
+            assert!(p.report.per_sensor_rms()[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn training_sweep_rejects_oversized_horizon() {
+        let ds = synth();
+        let mode = Mask::all(ds.grid());
+        assert!(sweep_training_horizon(
+            &ds,
+            &spec(),
+            &mode,
+            &[0, 1],
+            &[3],
+            &[2],
+            &FitConfig::default(),
+            &EvalConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn prediction_length_sweep_is_monotone_for_imperfect_model() {
+        let ds = synth();
+        let train = Mask::days(ds.grid(), &[0, 1]);
+        let val = Mask::days(ds.grid(), &[2, 3]);
+        let points = sweep_prediction_length(
+            &ds,
+            &spec(),
+            &train,
+            &val,
+            &[1, 6, 23],
+            &FitConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        // One-step error should not exceed long-horizon error.
+        let short = points[0].report.per_sensor_rms()[0];
+        let long = points[2].report.per_sensor_rms()[0];
+        assert!(
+            short <= long + 1e-12,
+            "expected error to grow with horizon: {short} vs {long}"
+        );
+    }
+}

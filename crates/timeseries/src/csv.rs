@@ -1,0 +1,273 @@
+//! Plain-text (CSV) serialisation of datasets.
+//!
+//! The format is one header row (`minutes,<channel>,...`) followed by
+//! one row per grid slot; missing samples are empty cells. The grid
+//! step is inferred from the first two timestamps on read, matching
+//! how the testbed's cloud database exports were post-processed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Channel, Dataset, Result, TimeGrid, TimeSeriesError, Timestamp};
+
+/// Writes `dataset` as CSV.
+///
+/// A `mut` reference to any [`Write`] implementation can be passed for
+/// the writer.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::Csv`] on I/O failure.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<()> {
+    let io_err = |e: std::io::Error| TimeSeriesError::Csv {
+        line: 0,
+        reason: format!("write failed: {e}"),
+    };
+    // Header.
+    let mut header = String::from("minutes");
+    for ch in dataset.channels() {
+        header.push(',');
+        // Channel names with commas/newlines would corrupt the format.
+        header.push_str(&ch.name().replace([',', '\n', '\r'], "_"));
+    }
+    writeln!(writer, "{header}").map_err(io_err)?;
+    // Rows.
+    for (i, t) in dataset.grid().iter() {
+        let mut row = t.as_minutes().to_string();
+        for ch in dataset.channels() {
+            row.push(',');
+            if let Some(v) = ch.value(i) {
+                row.push_str(&format!("{v}"));
+            }
+        }
+        writeln!(writer, "{row}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Renders `dataset` as a CSV string.
+///
+/// # Errors
+///
+/// Same conditions as [`write_csv`].
+pub fn to_csv_string(dataset: &Dataset) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf)?;
+    String::from_utf8(buf).map_err(|_| TimeSeriesError::Csv {
+        line: 0,
+        reason: "produced invalid utf-8".to_owned(),
+    })
+}
+
+/// Reads a dataset from CSV.
+///
+/// A `mut` reference to any [`Read`] implementation can be passed for
+/// the reader. Expects the format produced by [`write_csv`]: uniform
+/// minute timestamps in the first column, one channel per further
+/// column, empty cells for gaps.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::Csv`] for structural problems (bad
+/// header, ragged rows, unparsable numbers, non-uniform steps) with
+/// the offending line number.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or(TimeSeriesError::Csv {
+        line: 1,
+        reason: "missing header".to_owned(),
+    })?;
+    let header = header.map_err(|e| TimeSeriesError::Csv {
+        line: 1,
+        reason: format!("read failed: {e}"),
+    })?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 2 || cols[0] != "minutes" {
+        return Err(TimeSeriesError::Csv {
+            line: 1,
+            reason: "header must start with \"minutes\" and name at least one channel".to_owned(),
+        });
+    }
+    let names: Vec<String> = cols[1..].iter().map(|s| (*s).to_owned()).collect();
+
+    let mut stamps: Vec<i64> = Vec::new();
+    let mut columns: Vec<Vec<Option<f64>>> = vec![Vec::new(); names.len()];
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| TimeSeriesError::Csv {
+            line: lineno,
+            reason: format!("read failed: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != names.len() + 1 {
+            return Err(TimeSeriesError::Csv {
+                line: lineno,
+                reason: format!(
+                    "expected {} fields, found {}",
+                    names.len() + 1,
+                    fields.len()
+                ),
+            });
+        }
+        let t: i64 = fields[0].trim().parse().map_err(|_| TimeSeriesError::Csv {
+            line: lineno,
+            reason: format!("bad timestamp {:?}", fields[0]),
+        })?;
+        stamps.push(t);
+        for (c, field) in fields[1..].iter().enumerate() {
+            let field = field.trim();
+            if field.is_empty() {
+                columns[c].push(None);
+            } else {
+                let v: f64 = field.parse().map_err(|_| TimeSeriesError::Csv {
+                    line: lineno,
+                    reason: format!("bad number {field:?}"),
+                })?;
+                columns[c].push(Some(v));
+            }
+        }
+    }
+
+    if stamps.is_empty() {
+        return Err(TimeSeriesError::Csv {
+            line: 2,
+            reason: "no data rows".to_owned(),
+        });
+    }
+    let step = if stamps.len() >= 2 {
+        let s = stamps[1] - stamps[0];
+        if s <= 0 {
+            return Err(TimeSeriesError::Csv {
+                line: 3,
+                reason: "timestamps must be strictly increasing".to_owned(),
+            });
+        }
+        for (i, w) in stamps.windows(2).enumerate() {
+            if w[1] - w[0] != s {
+                return Err(TimeSeriesError::Csv {
+                    line: i + 3,
+                    reason: "non-uniform timestamp step".to_owned(),
+                });
+            }
+        }
+        s as u32
+    } else {
+        1
+    };
+
+    let grid = TimeGrid::new(Timestamp::from_minutes(stamps[0]), step, stamps.len())?;
+    let channels = names
+        .into_iter()
+        .zip(columns)
+        .map(|(name, values)| Channel::new(name, values))
+        .collect::<Result<Vec<_>>>()?;
+    Dataset::new(grid, channels)
+}
+
+/// Parses a dataset from a CSV string.
+///
+/// # Errors
+///
+/// Same conditions as [`read_csv`].
+pub fn from_csv_str(s: &str) -> Result<Dataset> {
+    read_csv(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let grid = TimeGrid::new(Timestamp::from_minutes(100), 5, 3).unwrap();
+        Dataset::new(
+            grid,
+            vec![
+                Channel::new("temp", vec![Some(20.5), None, Some(21.0)]).unwrap(),
+                Channel::from_values("flow", vec![0.1, 0.2, 0.3]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = sample();
+        let text = to_csv_string(&ds).unwrap();
+        let back = from_csv_str(&text).unwrap();
+        assert_eq!(back.grid(), ds.grid());
+        assert_eq!(back.channel_names(), ds.channel_names());
+        for (a, b) in back.channels().iter().zip(ds.channels()) {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
+    fn written_format_is_as_documented() {
+        let text = to_csv_string(&sample()).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("minutes,temp,flow"));
+        assert_eq!(lines.next(), Some("100,20.5,0.1"));
+        assert_eq!(lines.next(), Some("105,,0.2"));
+        assert_eq!(lines.next(), Some("110,21,0.3"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_csv_str("").is_err());
+        assert!(from_csv_str("time,a\n0,1\n").is_err());
+        assert!(from_csv_str("minutes\n0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_numbers() {
+        assert!(matches!(
+            from_csv_str("minutes,a\n0,1,2\n"),
+            Err(TimeSeriesError::Csv { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_csv_str("minutes,a\n0,xyz\n"),
+            Err(TimeSeriesError::Csv { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_csv_str("minutes,a\nfoo,1\n"),
+            Err(TimeSeriesError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_uniform_steps() {
+        assert!(from_csv_str("minutes,a\n0,1\n5,2\n11,3\n").is_err());
+        assert!(from_csv_str("minutes,a\n5,1\n0,2\n").is_err());
+    }
+
+    #[test]
+    fn no_data_rows_is_an_error() {
+        assert!(from_csv_str("minutes,a\n").is_err());
+    }
+
+    #[test]
+    fn single_row_gets_unit_step() {
+        let ds = from_csv_str("minutes,a\n42,7.5\n").unwrap();
+        assert_eq!(ds.grid().len(), 1);
+        assert_eq!(ds.grid().step_minutes(), 1);
+        assert_eq!(ds.channel("a").unwrap().value(0), Some(7.5));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = from_csv_str("minutes,a\n0,1\n\n5,2\n").unwrap();
+        assert_eq!(ds.grid().len(), 2);
+    }
+
+    #[test]
+    fn commas_in_channel_names_are_sanitised() {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 1, 1).unwrap();
+        let ds = Dataset::new(grid, vec![Channel::from_values("a,b", vec![1.0]).unwrap()]).unwrap();
+        let text = to_csv_string(&ds).unwrap();
+        assert!(text.starts_with("minutes,a_b"));
+    }
+}

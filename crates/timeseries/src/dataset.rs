@@ -1,0 +1,443 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use thermal_linalg::Matrix;
+
+use crate::{Channel, Mask, Result, Segment, TimeGrid, TimeSeriesError};
+
+/// A set of named channels aligned on one [`TimeGrid`].
+///
+/// This is the in-memory form of the auditorium trace: 25 wireless
+/// temperature channels, 2 thermostat channels, 4 VAV flow channels,
+/// occupancy, lighting and ambient temperature, all re-gridded to a
+/// common sampling step with gaps preserved as `None`.
+///
+/// # Example
+///
+/// ```
+/// use thermal_timeseries::{Channel, Dataset, Mask, TimeGrid, Timestamp};
+///
+/// # fn main() -> Result<(), thermal_timeseries::TimeSeriesError> {
+/// let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 4)?;
+/// let ds = Dataset::new(
+///     grid,
+///     vec![
+///         Channel::new("a", vec![Some(1.0), Some(2.0), None, Some(4.0)])?,
+///         Channel::from_values("b", vec![0.0, 0.0, 0.0, 0.0])?,
+///     ],
+/// )?;
+/// let present = ds.presence_mask(&[0, 1])?;
+/// assert_eq!(present.count(), 3); // slot 2 lost to channel "a"
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    grid: TimeGrid,
+    channels: Vec<Channel>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a grid and channels.
+    ///
+    /// # Errors
+    ///
+    /// * [`TimeSeriesError::LengthMismatch`] when a channel's length
+    ///   differs from the grid length,
+    /// * [`TimeSeriesError::DuplicateChannel`] for repeated names.
+    pub fn new(grid: TimeGrid, channels: Vec<Channel>) -> Result<Self> {
+        let mut index = HashMap::with_capacity(channels.len());
+        for (i, ch) in channels.iter().enumerate() {
+            if ch.len() != grid.len() {
+                return Err(TimeSeriesError::LengthMismatch {
+                    what: format!("channel {:?}", ch.name()),
+                    expected: grid.len(),
+                    actual: ch.len(),
+                });
+            }
+            if index.insert(ch.name().to_owned(), i).is_some() {
+                return Err(TimeSeriesError::DuplicateChannel {
+                    name: ch.name().to_owned(),
+                });
+            }
+        }
+        Ok(Dataset {
+            grid,
+            channels,
+            index,
+        })
+    }
+
+    /// The shared sampling grid.
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
+    /// All channels, in insertion order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Looks a channel up by name.
+    pub fn channel(&self, name: &str) -> Option<&Channel> {
+        self.index.get(name).map(|&i| &self.channels[i])
+    }
+
+    /// Index of a channel by name.
+    pub fn channel_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Channel at position `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::OutOfRange`] when `i` is out of
+    /// bounds.
+    pub fn channel_at(&self, i: usize) -> Result<&Channel> {
+        self.channels.get(i).ok_or(TimeSeriesError::OutOfRange {
+            op: "channel_at",
+            index: i,
+            len: self.channels.len(),
+        })
+    }
+
+    /// Resolves a list of names to indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::UnknownChannel`] on the first name
+    /// not present.
+    pub fn resolve(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names
+            .iter()
+            .map(|&n| {
+                self.channel_index(n)
+                    .ok_or_else(|| TimeSeriesError::UnknownChannel { name: n.to_owned() })
+            })
+            .collect()
+    }
+
+    /// Mask of slots where *all* the given channels are present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::OutOfRange`] for a bad channel
+    /// index.
+    pub fn presence_mask(&self, channel_indices: &[usize]) -> Result<Mask> {
+        for &c in channel_indices {
+            if c >= self.channels.len() {
+                return Err(TimeSeriesError::OutOfRange {
+                    op: "presence_mask",
+                    index: c,
+                    len: self.channels.len(),
+                });
+            }
+        }
+        let bits = (0..self.grid.len())
+            .map(|i| {
+                channel_indices
+                    .iter()
+                    .all(|&c| self.channels[c].is_present(i))
+            })
+            .collect();
+        Ok(Mask::from_bits(bits))
+    }
+
+    /// Extracts a dense `segment.len() × channels` matrix for the given
+    /// channels over a segment.
+    ///
+    /// # Errors
+    ///
+    /// * [`TimeSeriesError::OutOfRange`] when the segment or a channel
+    ///   index is out of bounds,
+    /// * [`TimeSeriesError::Empty`] when any requested sample is
+    ///   missing (call [`Dataset::presence_mask`] +
+    ///   [`crate::segments_from_mask`] first to avoid this).
+    pub fn matrix(&self, segment: Segment, channel_indices: &[usize]) -> Result<Matrix> {
+        if segment.end > self.grid.len() {
+            return Err(TimeSeriesError::OutOfRange {
+                op: "matrix",
+                index: segment.end,
+                len: self.grid.len(),
+            });
+        }
+        let mut data = Vec::with_capacity(segment.len() * channel_indices.len());
+        for i in segment.indices() {
+            for &c in channel_indices {
+                let ch = self.channel_at(c)?;
+                match ch.value(i) {
+                    Some(v) => data.push(v),
+                    None => {
+                        return Err(TimeSeriesError::Empty {
+                            op: "matrix extraction over a gap",
+                        })
+                    }
+                }
+            }
+        }
+        Matrix::from_vec(segment.len(), channel_indices.len(), data).map_err(|_| {
+            TimeSeriesError::Empty {
+                op: "matrix extraction",
+            }
+        })
+    }
+
+    /// Dense values of the given channels at one slot.
+    ///
+    /// Returns `None` when any channel is missing at `i`.
+    pub fn values_at(&self, i: usize, channel_indices: &[usize]) -> Option<Vec<f64>> {
+        channel_indices
+            .iter()
+            .map(|&c| self.channels.get(c).and_then(|ch| ch.value(i)))
+            .collect()
+    }
+
+    /// Sub-dataset containing only the named channels (order
+    /// preserved as given).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::UnknownChannel`] for a missing name.
+    pub fn select(&self, names: &[&str]) -> Result<Dataset> {
+        let idx = self.resolve(names)?;
+        let channels = idx.iter().map(|&i| self.channels[i].clone()).collect();
+        Dataset::new(self.grid, channels)
+    }
+
+    /// Sub-dataset with channels at the given indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::OutOfRange`] for a bad index.
+    pub fn select_indices(&self, channel_indices: &[usize]) -> Result<Dataset> {
+        let mut channels = Vec::with_capacity(channel_indices.len());
+        for &i in channel_indices {
+            channels.push(self.channel_at(i)?.clone());
+        }
+        Dataset::new(self.grid, channels)
+    }
+
+    /// Returns a copy with an extra channel appended.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::new`].
+    pub fn with_channel(&self, channel: Channel) -> Result<Dataset> {
+        let mut channels = self.channels.clone();
+        channels.push(channel);
+        Dataset::new(self.grid, channels)
+    }
+
+    /// Returns a copy where samples *outside* `mask` are blanked to
+    /// `None` in every channel (used to restrict a dataset to a mode
+    /// or a train/validation day set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::GridMismatch`] when the mask length
+    /// differs from the grid.
+    pub fn restricted_to(&self, mask: &Mask) -> Result<Dataset> {
+        if mask.len() != self.grid.len() {
+            return Err(TimeSeriesError::GridMismatch);
+        }
+        let channels = self
+            .channels
+            .iter()
+            .map(|ch| {
+                let values = ch
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| if mask.get(i) { *v } else { None })
+                    .collect();
+                Channel::new(ch.name(), values).expect("values already validated")
+            })
+            .collect();
+        Dataset::new(self.grid, channels)
+    }
+
+    /// Day indices (epoch-relative) for which every listed channel has
+    /// coverage of at least `min_coverage` within the day — the
+    /// "usable days" rule that turns the paper's 98 calendar days into
+    /// 64 analysis days.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::OutOfRange`] for a bad channel
+    /// index.
+    pub fn usable_days(&self, channel_indices: &[usize], min_coverage: f64) -> Result<Vec<i64>> {
+        for &c in channel_indices {
+            if c >= self.channels.len() {
+                return Err(TimeSeriesError::OutOfRange {
+                    op: "usable_days",
+                    index: c,
+                    len: self.channels.len(),
+                });
+            }
+        }
+        // slot counts and present counts per day
+        let mut per_day: HashMap<i64, (usize, usize)> = HashMap::new();
+        for (i, t) in self.grid.iter() {
+            let e = per_day.entry(t.day()).or_insert((0, 0));
+            e.0 += 1;
+            if channel_indices
+                .iter()
+                .all(|&c| self.channels[c].is_present(i))
+            {
+                e.1 += 1;
+            }
+        }
+        let mut days: Vec<i64> = per_day
+            .into_iter()
+            .filter(|&(_, (slots, present))| present as f64 >= min_coverage * slots as f64)
+            .map(|(d, _)| d)
+            .collect();
+        days.sort_unstable();
+        Ok(days)
+    }
+
+    /// Names of all channels, in order.
+    pub fn channel_names(&self) -> Vec<&str> {
+        self.channels.iter().map(|c| c.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+
+    fn small() -> Dataset {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 60, 6).unwrap();
+        Dataset::new(
+            grid,
+            vec![
+                Channel::new(
+                    "a",
+                    vec![Some(1.0), Some(2.0), None, Some(4.0), Some(5.0), Some(6.0)],
+                )
+                .unwrap(),
+                Channel::from_values("b", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 60, 3).unwrap();
+        let short = Channel::from_values("a", vec![1.0]).unwrap();
+        assert!(matches!(
+            Dataset::new(grid, vec![short]),
+            Err(TimeSeriesError::LengthMismatch { .. })
+        ));
+        let a1 = Channel::from_values("a", vec![1.0, 2.0, 3.0]).unwrap();
+        let a2 = Channel::from_values("a", vec![4.0, 5.0, 6.0]).unwrap();
+        assert!(matches!(
+            Dataset::new(grid, vec![a1, a2]),
+            Err(TimeSeriesError::DuplicateChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup() {
+        let ds = small();
+        assert_eq!(ds.channel_count(), 2);
+        assert_eq!(ds.channel_index("b"), Some(1));
+        assert!(ds.channel("zzz").is_none());
+        assert_eq!(ds.resolve(&["b", "a"]).unwrap(), vec![1, 0]);
+        assert!(ds.resolve(&["b", "zzz"]).is_err());
+        assert!(ds.channel_at(2).is_err());
+        assert_eq!(ds.channel_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn presence_mask_joint() {
+        let ds = small();
+        let m = ds.presence_mask(&[0, 1]).unwrap();
+        assert_eq!(m.count(), 5);
+        assert!(!m.get(2));
+        assert!(ds.presence_mask(&[7]).is_err());
+    }
+
+    #[test]
+    fn matrix_extraction() {
+        let ds = small();
+        let m = ds.matrix(Segment::new(3, 6), &[0, 1]).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m[(0, 0)], 4.0);
+        assert_eq!(m[(2, 1)], 60.0);
+        // Crossing the gap at slot 2 fails.
+        assert!(ds.matrix(Segment::new(0, 4), &[0]).is_err());
+        // Only channel b is fine across the gap.
+        assert!(ds.matrix(Segment::new(0, 6), &[1]).is_ok());
+        assert!(ds.matrix(Segment::new(0, 9), &[1]).is_err());
+    }
+
+    #[test]
+    fn values_at() {
+        let ds = small();
+        assert_eq!(ds.values_at(0, &[1, 0]), Some(vec![10.0, 1.0]));
+        assert_eq!(ds.values_at(2, &[0, 1]), None);
+        assert_eq!(ds.values_at(0, &[5]), None);
+    }
+
+    #[test]
+    fn selection_and_extension() {
+        let ds = small();
+        let only_b = ds.select(&["b"]).unwrap();
+        assert_eq!(only_b.channel_count(), 1);
+        assert!(ds.select(&["zz"]).is_err());
+        let by_idx = ds.select_indices(&[1]).unwrap();
+        assert_eq!(by_idx.channel_names(), vec!["b"]);
+        assert!(ds.select_indices(&[9]).is_err());
+        let grown = ds
+            .with_channel(Channel::from_values("c", vec![0.0; 6]).unwrap())
+            .unwrap();
+        assert_eq!(grown.channel_count(), 3);
+        // Duplicate name rejected.
+        assert!(ds
+            .with_channel(Channel::from_values("a", vec![0.0; 6]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn restriction_blanks_outside_mask() {
+        let ds = small();
+        let mask = Mask::from_bits(vec![true, false, true, true, false, false]);
+        let r = ds.restricted_to(&mask).unwrap();
+        assert_eq!(r.channel("b").unwrap().value(0), Some(10.0));
+        assert_eq!(r.channel("b").unwrap().value(1), None);
+        assert_eq!(r.channel("a").unwrap().value(2), None); // was gap, stays gap
+        let bad = Mask::from_bits(vec![true]);
+        assert!(ds.restricted_to(&bad).is_err());
+    }
+
+    #[test]
+    fn usable_days_threshold() {
+        // Two days, hourly; channel has 50% coverage on day 0, 100% on day 1.
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 60, 48).unwrap();
+        let values: Vec<Option<f64>> = (0..48)
+            .map(|i| {
+                if i < 24 && i % 2 == 0 {
+                    None
+                } else {
+                    Some(20.0)
+                }
+            })
+            .collect();
+        let ds = Dataset::new(grid, vec![Channel::new("t", values).unwrap()]).unwrap();
+        assert_eq!(ds.usable_days(&[0], 0.9).unwrap(), vec![1]);
+        assert_eq!(ds.usable_days(&[0], 0.4).unwrap(), vec![0, 1]);
+        assert!(ds.usable_days(&[3], 0.5).is_err());
+    }
+}

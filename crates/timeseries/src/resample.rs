@@ -1,0 +1,218 @@
+//! Grid resampling: moving telemetry between sampling rates.
+//!
+//! The testbed mixes rates — wireless sensors report on change, the
+//! HVAC portal logs every 10–30 minutes — and analysis wants one
+//! uniform grid. Two directions:
+//!
+//! * [`downsample`] — to a coarser grid, aggregating by mean or by
+//!   taking the left sample (hold), gap-aware;
+//! * [`upsample_hold`] — to a finer grid by zero-order hold, the
+//!   standard reading of a portal log.
+
+use crate::{Channel, Dataset, Result, TimeGrid, TimeSeriesError};
+
+/// How to aggregate fine samples into one coarse sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Mean of the present fine samples in the window.
+    Mean,
+    /// The first (left-edge) sample of the window.
+    First,
+}
+
+/// Downsamples a dataset to a grid whose step is `factor` times
+/// coarser. A coarse slot is present when *any* fine sample in its
+/// window is present (for [`Aggregate::Mean`]) or when the left-edge
+/// sample is present (for [`Aggregate::First`]).
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::InvalidGrid`] when `factor` is zero or
+/// exceeds the dataset length.
+pub fn downsample(dataset: &Dataset, factor: usize, how: Aggregate) -> Result<Dataset> {
+    if factor == 0 || factor > dataset.grid().len() {
+        return Err(TimeSeriesError::InvalidGrid {
+            reason: "downsample factor must be in 1..=len",
+        });
+    }
+    let fine = dataset.grid();
+    let coarse_len = fine.len() / factor;
+    if coarse_len == 0 {
+        return Err(TimeSeriesError::InvalidGrid {
+            reason: "downsample factor leaves no samples",
+        });
+    }
+    let coarse = TimeGrid::new(
+        fine.start(),
+        fine.step_minutes() * factor as u32,
+        coarse_len,
+    )?;
+    let mut channels = Vec::with_capacity(dataset.channel_count());
+    for ch in dataset.channels() {
+        let values: Vec<Option<f64>> = (0..coarse_len)
+            .map(|i| {
+                let window = (i * factor)..((i + 1) * factor);
+                match how {
+                    Aggregate::First => ch.value(window.start),
+                    Aggregate::Mean => {
+                        let mut sum = 0.0;
+                        let mut n = 0usize;
+                        for j in window {
+                            if let Some(v) = ch.value(j) {
+                                sum += v;
+                                n += 1;
+                            }
+                        }
+                        (n > 0).then(|| sum / n as f64)
+                    }
+                }
+            })
+            .collect();
+        channels.push(Channel::new(ch.name(), values)?);
+    }
+    Dataset::new(coarse, channels)
+}
+
+/// Upsamples a dataset to a grid `factor` times finer by zero-order
+/// hold: each fine slot takes the most recent coarse sample (gaps
+/// propagate until the next present sample).
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::InvalidGrid`] when `factor` is zero or
+/// the fine step would not be a whole minute.
+pub fn upsample_hold(dataset: &Dataset, factor: usize) -> Result<Dataset> {
+    if factor == 0 {
+        return Err(TimeSeriesError::InvalidGrid {
+            reason: "upsample factor must be at least 1",
+        });
+    }
+    let coarse = dataset.grid();
+    if !(coarse.step_minutes() as usize).is_multiple_of(factor) {
+        return Err(TimeSeriesError::InvalidGrid {
+            reason: "upsample factor must divide the step into whole minutes",
+        });
+    }
+    let fine = TimeGrid::new(
+        coarse.start(),
+        coarse.step_minutes() / factor as u32,
+        coarse.len() * factor,
+    )?;
+    let mut channels = Vec::with_capacity(dataset.channel_count());
+    for ch in dataset.channels() {
+        let values: Vec<Option<f64>> = (0..fine.len()).map(|i| ch.value(i / factor)).collect();
+        channels.push(Channel::new(ch.name(), values)?);
+    }
+    Dataset::new(fine, channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+
+    fn dataset() -> Dataset {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 8).unwrap();
+        Dataset::new(
+            grid,
+            vec![Channel::new(
+                "t",
+                vec![
+                    Some(1.0),
+                    Some(2.0),
+                    None,
+                    Some(4.0),
+                    Some(5.0),
+                    None,
+                    None,
+                    Some(8.0),
+                ],
+            )
+            .unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn downsample_mean_aggregates_present_samples() {
+        let ds = downsample(&dataset(), 2, Aggregate::Mean).unwrap();
+        assert_eq!(ds.grid().step_minutes(), 10);
+        assert_eq!(ds.grid().len(), 4);
+        let ch = ds.channel("t").unwrap();
+        assert_eq!(ch.value(0), Some(1.5)); // mean(1, 2)
+        assert_eq!(ch.value(1), Some(4.0)); // only 4 present
+        assert_eq!(ch.value(2), Some(5.0));
+        assert_eq!(ch.value(3), Some(8.0));
+    }
+
+    #[test]
+    fn downsample_first_takes_left_edge() {
+        let ds = downsample(&dataset(), 2, Aggregate::First).unwrap();
+        let ch = ds.channel("t").unwrap();
+        assert_eq!(ch.value(0), Some(1.0));
+        assert_eq!(ch.value(1), None); // slot 2 is a gap
+        assert_eq!(ch.value(2), Some(5.0));
+        assert_eq!(ch.value(3), None); // slot 6 is a gap
+    }
+
+    #[test]
+    fn downsample_window_fully_missing_stays_missing() {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 4).unwrap();
+        let ds = Dataset::new(
+            grid,
+            vec![Channel::new("t", vec![Some(1.0), Some(1.0), None, None]).unwrap()],
+        )
+        .unwrap();
+        let coarse = downsample(&ds, 2, Aggregate::Mean).unwrap();
+        assert_eq!(coarse.channel("t").unwrap().value(1), None);
+    }
+
+    #[test]
+    fn downsample_validation() {
+        assert!(downsample(&dataset(), 0, Aggregate::Mean).is_err());
+        assert!(downsample(&dataset(), 9, Aggregate::Mean).is_err());
+        // Non-dividing factor truncates the tail.
+        let ds = downsample(&dataset(), 3, Aggregate::Mean).unwrap();
+        assert_eq!(ds.grid().len(), 2);
+    }
+
+    #[test]
+    fn upsample_holds_values_and_gaps() {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 10, 3).unwrap();
+        let ds = Dataset::new(
+            grid,
+            vec![Channel::new("t", vec![Some(1.0), None, Some(3.0)]).unwrap()],
+        )
+        .unwrap();
+        let fine = upsample_hold(&ds, 2).unwrap();
+        assert_eq!(fine.grid().step_minutes(), 5);
+        assert_eq!(fine.grid().len(), 6);
+        let ch = fine.channel("t").unwrap();
+        assert_eq!(
+            ch.values(),
+            &[Some(1.0), Some(1.0), None, None, Some(3.0), Some(3.0)]
+        );
+    }
+
+    #[test]
+    fn upsample_validation() {
+        let ds = dataset();
+        assert!(upsample_hold(&ds, 0).is_err());
+        assert!(upsample_hold(&ds, 3).is_err()); // 5 minutes / 3 not whole
+        assert!(upsample_hold(&ds, 5).is_ok());
+    }
+
+    #[test]
+    fn down_then_up_is_identity_on_aligned_holds() {
+        let ds = dataset();
+        let down = downsample(&ds, 2, Aggregate::First).unwrap();
+        let up = upsample_hold(&down, 2).unwrap();
+        assert_eq!(up.grid().len(), 8);
+        // Left-edge samples round-trip exactly.
+        let orig = ds.channel("t").unwrap();
+        let round = up.channel("t").unwrap();
+        for i in (0..8).step_by(2) {
+            assert_eq!(round.value(i), orig.value(i));
+        }
+    }
+}

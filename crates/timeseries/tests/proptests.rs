@@ -1,0 +1,139 @@
+//! Property-based tests for the time-series containers.
+
+use proptest::prelude::*;
+use thermal_timeseries::{
+    csv, segments_from_mask, split, Channel, Dataset, Mask, TimeGrid, Timestamp,
+};
+
+fn values_strategy(len: usize) -> impl Strategy<Value = Vec<Option<f64>>> {
+    prop::collection::vec(prop::option::weighted(0.8, -40.0_f64..60.0), len)
+}
+
+proptest! {
+    #[test]
+    fn segments_cover_exactly_the_selected_slots(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mask = Mask::from_bits(bits.clone());
+        let segs = segments_from_mask(&mask, 1);
+        // Each selected index is in exactly one segment; unselected in none.
+        for (i, b) in bits.iter().enumerate() {
+            let covered = segs.iter().filter(|s| s.contains(i)).count();
+            prop_assert_eq!(covered, usize::from(*b));
+        }
+        // Segments are maximal: no two adjacent.
+        for w in segs.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+    }
+
+    #[test]
+    fn segment_sample_counts_sum_to_mask_count(
+        bits in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mask = Mask::from_bits(bits);
+        let segs = segments_from_mask(&mask, 1);
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, mask.count());
+    }
+
+    #[test]
+    fn min_len_filters_short_runs(
+        bits in prop::collection::vec(any::<bool>(), 0..120),
+        min_len in 1usize..10,
+    ) {
+        let mask = Mask::from_bits(bits);
+        for s in segments_from_mask(&mask, min_len) {
+            prop_assert!(s.len() >= min_len);
+        }
+    }
+
+    #[test]
+    fn mask_de_morgan(
+        a in prop::collection::vec(any::<bool>(), 50),
+        b in prop::collection::vec(any::<bool>(), 50),
+    ) {
+        let ma = Mask::from_bits(a);
+        let mb = Mask::from_bits(b);
+        let lhs = ma.and(&mb).unwrap().not();
+        let rhs = ma.not().or(&mb.not()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn csv_roundtrip(
+        step in 1u32..120,
+        start in -10_000i64..10_000,
+        v1 in values_strategy(12),
+        v2 in values_strategy(12),
+    ) {
+        let grid = TimeGrid::new(Timestamp::from_minutes(start), step, 12).unwrap();
+        let ds = Dataset::new(
+            grid,
+            vec![
+                Channel::new("alpha", v1).unwrap(),
+                Channel::new("beta", v2).unwrap(),
+            ],
+        )
+        .unwrap();
+        let text = csv::to_csv_string(&ds).unwrap();
+        let back = csv::from_csv_str(&text).unwrap();
+        prop_assert_eq!(back.grid(), ds.grid());
+        for (x, y) in back.channels().iter().zip(ds.channels()) {
+            prop_assert_eq!(x.name(), y.name());
+            for (a, b) in x.values().iter().zip(y.values()) {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(p), Some(q)) => prop_assert!((p - q).abs() < 1e-12),
+                    _ => prop_assert!(false, "presence flipped in roundtrip"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halves_split_partitions_days(days in prop::collection::btree_set(-50i64..50, 2..40)) {
+        let days: Vec<i64> = days.into_iter().collect();
+        let s = split::halves(&days).unwrap();
+        let mut merged = s.train.clone();
+        merged.extend(&s.validation);
+        merged.sort_unstable();
+        let mut expected = days.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(merged, expected);
+        prop_assert!(s.train.len() >= s.validation.len());
+        prop_assert!(s.train.len() - s.validation.len() <= 1);
+    }
+
+    #[test]
+    fn presence_mask_matches_channel_presence(v in values_strategy(30)) {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 30).unwrap();
+        let ds = Dataset::new(grid, vec![Channel::new("x", v.clone()).unwrap()]).unwrap();
+        let mask = ds.presence_mask(&[0]).unwrap();
+        for (i, val) in v.iter().enumerate() {
+            prop_assert_eq!(mask.get(i), val.is_some());
+        }
+    }
+
+    #[test]
+    fn grid_index_roundtrip(step in 1u32..200, len in 1usize..300, start in -5_000i64..5_000) {
+        let grid = TimeGrid::new(Timestamp::from_minutes(start), step, len).unwrap();
+        for i in (0..len).step_by(7) {
+            let t = grid.timestamp(i).unwrap();
+            prop_assert_eq!(grid.index_of(t), Some(i));
+        }
+    }
+
+    #[test]
+    fn restriction_never_adds_samples(v in values_strategy(20), bits in prop::collection::vec(any::<bool>(), 20)) {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 20).unwrap();
+        let ds = Dataset::new(grid, vec![Channel::new("x", v).unwrap()]).unwrap();
+        let r = ds.restricted_to(&Mask::from_bits(bits)).unwrap();
+        let before = ds.channel("x").unwrap();
+        let after = r.channel("x").unwrap();
+        for i in 0..20 {
+            if after.is_present(i) {
+                prop_assert!(before.is_present(i));
+                prop_assert_eq!(after.value(i), before.value(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The full evaluation protocol of the paper on a medium campaign:
+//! usable-day accounting, train/validation split, dense first- vs
+//! second-order identification (Table I's comparison), and the
+//! reduced-model pipeline (Fig. 11's metric).
+//!
+//! ```sh
+//! cargo run --release -p thermal-core --example full_pipeline
+//! ```
+
+use thermal_core::timeseries::{split, Mask};
+use thermal_core::{
+    ClusterCount, EvalConfig, FitConfig, ModelOrder, ModelSpec, SelectorKind, Similarity,
+    ThermalPipeline,
+};
+use thermal_sim::{run, Scenario};
+use thermal_sysid::{evaluate, identify};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 40-day campaign with realistic telemetry failures.
+    let mut scenario = Scenario::paper().with_days(40).with_seed(2013);
+    scenario.min_usable_days = 26;
+    let output = run(&scenario)?;
+    let dataset = &output.dataset;
+    let grid = dataset.grid();
+
+    // Usable-day accounting (the paper kept 64 of 98 days).
+    let temps = output.temperature_channels();
+    let temp_idx: Vec<usize> = temps
+        .iter()
+        .map(|n| dataset.channel_index(n).expect("simulated channel"))
+        .collect();
+    let usable = dataset.usable_days(&temp_idx, 0.5)?;
+    println!(
+        "usable days: {} of {} (outages: {:?})",
+        usable.len(),
+        scenario.days,
+        output.outage_days
+    );
+
+    // First half trains, second half validates.
+    let halves = split::halves(&usable)?;
+    let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60)?;
+    let train = Mask::days(grid, &halves.train).and(&occupied)?;
+    let validation = Mask::days(grid, &halves.validation).and(&occupied)?;
+
+    // Dense identification: first vs second order, 13.5 h open loop.
+    let inputs = output.input_channels();
+    let horizon = (13.5 * 60.0 / grid.step_minutes() as f64) as usize;
+    println!("\ndense models (all 27 temperature channels), occupied mode:");
+    for order in [ModelOrder::First, ModelOrder::Second] {
+        let spec = ModelSpec::new(temps.clone(), inputs.clone(), order)?;
+        let model = identify(dataset, &spec, &train, &FitConfig::default())?;
+        let report = evaluate(
+            &model,
+            dataset,
+            &validation,
+            &EvalConfig::with_horizon(horizon),
+        )?;
+        println!(
+            "  {order}: per-sensor RMS 90th pct {:.3} degC (range {:.2}-{:.2}, {} segments)",
+            report.rms_percentile(90.0)?,
+            report
+                .per_sensor_rms()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+            report
+                .per_sensor_rms()
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
+            report.segment_count()
+        );
+    }
+
+    // The reduced pipeline: cluster -> select -> identify, then ask
+    // how well the small model tracks the cluster thermal means.
+    println!("\nreduced model (pipeline):");
+    let sensor_refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let pipeline = ThermalPipeline::builder()
+        .similarity(Similarity::correlation())
+        .cluster_count(ClusterCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .model_order(ModelOrder::Second)
+        .build()?;
+    let reduced = pipeline.fit(dataset, &sensor_refs, &input_refs, &train)?;
+    println!("  kept sensors: {:?}", reduced.selected_channels());
+    let report = reduced.evaluate_cluster_means(dataset, &validation, horizon)?;
+    println!(
+        "  cluster-mean error: rms {:.3} degC, 99th pct {:.3} degC",
+        report.rms()?,
+        report.percentile(99.0)?
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Model-quality study: how training-data amount and prediction
+//! length affect accuracy (the two panels of the paper's Fig. 5).
+//!
+//! ```sh
+//! cargo run --release -p thermal-core --example model_horizon_study
+//! ```
+
+use thermal_core::timeseries::{split, Mask};
+use thermal_core::{EvalConfig, FitConfig, ModelOrder, ModelSpec};
+use thermal_sim::{run, Scenario};
+use thermal_sysid::sweep::{sweep_prediction_length, sweep_training_horizon};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = Scenario::paper().with_days(50).with_seed(17);
+    scenario.min_usable_days = 34;
+    let output = run(&scenario)?;
+    let dataset = &output.dataset;
+    let grid = dataset.grid();
+
+    let temps = output.temperature_channels();
+    let inputs = output.input_channels();
+    let temp_idx: Vec<usize> = temps
+        .iter()
+        .map(|n| dataset.channel_index(n).expect("simulated channel"))
+        .collect();
+    let usable = dataset.usable_days(&temp_idx, 0.5)?;
+    let halves = split::halves(&usable)?;
+    let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60)?;
+    let steps_per_hour = 60 / grid.step_minutes() as usize;
+
+    // Panel 1: accuracy vs training horizon (predicting one day).
+    println!("training-horizon sweep (1-day prediction, second-order):");
+    let spec = ModelSpec::new(temps.clone(), inputs.clone(), ModelOrder::Second)?;
+    let counts: Vec<usize> = [5, 9, 13, 17]
+        .into_iter()
+        .filter(|&c| c < halves.train.len())
+        .collect();
+    let points = sweep_training_horizon(
+        dataset,
+        &spec,
+        &occupied,
+        &halves.train,
+        &counts,
+        &halves.validation,
+        &FitConfig::default(),
+        &EvalConfig::with_horizon(13 * steps_per_hour),
+    )?;
+    for p in &points {
+        println!(
+            "  {:2} days -> 90th pct RMS {:.3} degC",
+            p.parameter,
+            p.report.rms_percentile(90.0)?
+        );
+    }
+
+    // Panel 2: accuracy vs prediction length for both orders.
+    println!("\nprediction-length sweep:");
+    let train_mask = Mask::days(grid, &halves.train).and(&occupied)?;
+    let val_mask = Mask::days(grid, &halves.validation).and(&occupied)?;
+    let horizons: Vec<usize> = [2.5_f64, 5.0, 7.5, 10.0, 13.5]
+        .into_iter()
+        .map(|h| (h * steps_per_hour as f64) as usize)
+        .collect();
+    for order in [ModelOrder::First, ModelOrder::Second] {
+        let spec = ModelSpec::new(temps.clone(), inputs.clone(), order)?;
+        let points = sweep_prediction_length(
+            dataset,
+            &spec,
+            &train_mask,
+            &val_mask,
+            &horizons,
+            &FitConfig::default(),
+        )?;
+        print!("  {order}:");
+        for p in &points {
+            print!(
+                "  {:>4.1}h={:.3}",
+                p.parameter / steps_per_hour as f64,
+                p.report.rms_percentile(90.0)?
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

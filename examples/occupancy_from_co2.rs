@@ -1,0 +1,104 @@
+//! Occupancy estimation from the CO₂ channel — the paper's stated
+//! future work ("In the future, occupancy could be measured
+//! automatically"), solved with the physics the dataset already
+//! carries.
+//!
+//! The HVAC portal logs room CO₂. Inverting the well-mixed mass
+//! balance
+//!
+//! ```text
+//! V dC/dt = g·n·1e6 − Q·(C − C_out)
+//! ```
+//!
+//! for `n` (headcount) needs only the recorded CO₂, the recorded VAV
+//! flows `Q`, and two constants (room volume, per-person generation).
+//! This example estimates headcount that way and scores it against
+//! the webcam ground truth.
+//!
+//! ```sh
+//! cargo run --release -p thermal-core --example occupancy_from_co2
+//! ```
+
+use thermal_core::timeseries::Mask;
+use thermal_sim::{run, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let output = run(&Scenario::quick().with_days(10).with_seed(33))?;
+    let dataset = &output.dataset;
+    let grid = dataset.grid();
+    let step_s = grid.step_minutes() as f64 * 60.0;
+
+    // Physics constants the estimator assumes (matching the plant).
+    let volume = output.layout.air_volume();
+    let gen_ppm = output.scenario.thermal.co2_gen_per_person * 1.0e6;
+    let ambient_ppm = output.scenario.thermal.co2_ambient_ppm;
+
+    let co2 = dataset.channel("co2").expect("portal channel");
+    let occupancy = dataset.channel("occupancy").expect("webcam channel");
+    let vavs: Vec<_> = (1..=4)
+        .map(|i| dataset.channel(&format!("vav{i}")).expect("vav channel"))
+        .collect();
+
+    // Estimate over the occupied window; central-difference dC/dt.
+    let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60)?;
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new(); // (idx, est, truth)
+    for i in 1..grid.len() - 1 {
+        if !occupied.get(i) {
+            continue;
+        }
+        let (Some(c_prev), Some(c_next), Some(c_now)) =
+            (co2.value(i - 1), co2.value(i + 1), co2.value(i))
+        else {
+            continue;
+        };
+        let Some(truth) = occupancy.value(i) else {
+            continue;
+        };
+        let q: f64 = vavs.iter().filter_map(|v| v.value(i)).sum();
+        let dc_dt = (c_next - c_prev) / (2.0 * step_s);
+        let n_est = (volume * dc_dt + q * (c_now - ambient_ppm)) / gen_ppm;
+        rows.push((i, n_est.max(0.0), truth));
+    }
+
+    // Smooth the raw estimate with a short moving average (the CO2
+    // derivative amplifies quantisation).
+    let window = 5usize;
+    let smoothed: Vec<f64> = (0..rows.len())
+        .map(|k| {
+            let lo = k.saturating_sub(window / 2);
+            let hi = (k + window / 2 + 1).min(rows.len());
+            rows[lo..hi].iter().map(|r| r.1).sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+
+    let mut sq_err = 0.0;
+    let mut abs_err = 0.0;
+    for (k, row) in rows.iter().enumerate() {
+        let e = smoothed[k] - row.2;
+        sq_err += e * e;
+        abs_err += e.abs();
+    }
+    let n = rows.len() as f64;
+    println!(
+        "estimated occupancy from CO2 at {} instants: RMSE {:.1} people, MAE {:.1} people",
+        rows.len(),
+        (sq_err / n).sqrt(),
+        abs_err / n
+    );
+
+    // Show one afternoon.
+    println!("\n  time        CO2(ppm)  est  truth");
+    for (k, &(i, _, truth)) in rows.iter().enumerate() {
+        let t = grid.timestamp(i)?;
+        if t.day() == 1 && t.minute_of_day() % 30 == 0 && (600..=1000).contains(&t.minute_of_day())
+        {
+            println!(
+                "  {t}  {:>8.0}  {:>3.0}  {:>5.0}",
+                co2.value(i).unwrap_or(f64::NAN),
+                smoothed[k],
+                truth
+            );
+        }
+    }
+    Ok(())
+}

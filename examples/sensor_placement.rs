@@ -1,0 +1,107 @@
+//! Sensor-placement shoot-out: the paper's Table II on synthetic
+//! data. Compares near-mean (SMS), stratified random (SRS), plain
+//! random (RS), the installed thermostats, and Gaussian-process
+//! mutual-information placement at predicting cluster thermal means.
+//!
+//! ```sh
+//! cargo run --release -p thermal-core --example sensor_placement
+//! ```
+
+use thermal_cluster::{
+    cluster_trajectories, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
+};
+use thermal_core::timeseries::{split, Mask};
+use thermal_select::{
+    cluster_mean_errors, FixedSelector, GpSelector, NearMeanSelector, RandomSelector,
+    SelectionInput, Selector, StratifiedRandomSelector,
+};
+use thermal_sim::{run, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = Scenario::paper().with_days(40).with_seed(99);
+    scenario.min_usable_days = 26;
+    let output = run(&scenario)?;
+    let dataset = &output.dataset;
+    let grid = dataset.grid();
+
+    let temps = output.temperature_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let temp_idx: Vec<usize> = temps
+        .iter()
+        .map(|n| dataset.channel_index(n).expect("simulated channel"))
+        .collect();
+    let usable = dataset.usable_days(&temp_idx, 0.5)?;
+    let halves = split::halves(&usable)?;
+    let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60)?;
+    let train_mask = Mask::days(grid, &halves.train).and(&occupied)?;
+    let val_mask = Mask::days(grid, &halves.validation).and(&occupied)?;
+
+    // Cluster on training data (correlation similarity, two zones).
+    let train_traj = trajectory_matrix(dataset, &refs, &train_mask)?;
+    let val_traj = trajectory_matrix(dataset, &refs, &val_mask)?;
+    let clustering = cluster_trajectories(
+        &train_traj,
+        &SpectralConfig {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Fixed(2),
+            seed: 7,
+            restarts: 8,
+        },
+    )?;
+    for (c, members) in clustering.clusters().iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|&i| refs[i]).collect();
+        println!("cluster {c}: {names:?}");
+    }
+
+    // The contenders. Thermostats are channels t40/t41.
+    let thermostats: Vec<usize> = refs
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n == "t40" || **n == "t41")
+        .map(|(i, _)| i)
+        .collect();
+    let selectors: Vec<Box<dyn Selector>> = vec![
+        Box::new(NearMeanSelector),
+        Box::new(StratifiedRandomSelector),
+        Box::new(RandomSelector),
+        Box::new(FixedSelector::thermostats(thermostats)),
+        Box::new(GpSelector),
+    ];
+
+    println!("\n99th-percentile cluster-mean prediction error (1 sensor per cluster):");
+    for selector in &selectors {
+        // Average the stochastic strategies over several seeds.
+        let mut p99 = Vec::new();
+        for seed in 0..10_u64 {
+            let selection = selector.select(&SelectionInput {
+                trajectories: &train_traj,
+                clustering: &clustering,
+                per_cluster: 1,
+                seed: 1000 + seed,
+            })?;
+            let report = cluster_mean_errors(&val_traj, &clustering, &selection)?;
+            p99.push(report.percentile(99.0)?);
+        }
+        let mean = p99.iter().sum::<f64>() / p99.len() as f64;
+        println!("  {:12} {:.2} degC", selector.name(), mean);
+    }
+
+    // Fig. 9's trend: more sensors per cluster help SRS.
+    println!("\nSRS error vs sensors per cluster:");
+    for per_cluster in 1..=6 {
+        let mut p99 = Vec::new();
+        for seed in 0..10_u64 {
+            let selection = StratifiedRandomSelector.select(&SelectionInput {
+                trajectories: &train_traj,
+                clustering: &clustering,
+                per_cluster,
+                seed: 2000 + seed,
+            })?;
+            let report = cluster_mean_errors(&val_traj, &clustering, &selection)?;
+            p99.push(report.percentile(99.0)?);
+        }
+        let mean = p99.iter().sum::<f64>() / p99.len() as f64;
+        println!("  {per_cluster} per cluster: {mean:.2} degC");
+    }
+    Ok(())
+}

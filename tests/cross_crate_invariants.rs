@@ -1,0 +1,199 @@
+//! Invariants that hold across crate boundaries on realistic data.
+
+use thermal_cluster::{
+    cluster_trajectories, quality, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
+};
+use thermal_core::timeseries::{split, Mask};
+use thermal_core::{EvalConfig, FitConfig, ModelOrder, ModelSpec};
+use thermal_select::{
+    cluster_mean_errors, NearMeanSelector, SelectionInput, Selector, StratifiedRandomSelector,
+};
+use thermal_sim::{run, Scenario};
+use thermal_sysid::{evaluate, identify};
+
+fn campaign() -> &'static thermal_sim::SimOutput {
+    use std::sync::OnceLock;
+    static CAMPAIGN: OnceLock<thermal_sim::SimOutput> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| run(&Scenario::quick().with_days(14).with_seed(404)).unwrap())
+}
+
+#[test]
+fn error_grows_with_prediction_horizon() {
+    let output = campaign();
+    let dataset = &output.dataset;
+    let grid = dataset.grid();
+    let temps = output.temperature_channels();
+    let idx: Vec<usize> = temps
+        .iter()
+        .map(|n| dataset.channel_index(n).unwrap())
+        .collect();
+    let usable = dataset.usable_days(&idx, 0.5).unwrap();
+    let halves = split::halves(&usable).unwrap();
+    let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60).unwrap();
+    let train = Mask::days(grid, &halves.train).and(&occupied).unwrap();
+    let val = Mask::days(grid, &halves.validation).and(&occupied).unwrap();
+
+    let spec = ModelSpec::new(temps.clone(), output.input_channels(), ModelOrder::Second).unwrap();
+    let model = identify(dataset, &spec, &train, &FitConfig::default()).unwrap();
+    let short = evaluate(&model, dataset, &val, &EvalConfig::with_horizon(6))
+        .unwrap()
+        .overall_rms();
+    let long = evaluate(&model, dataset, &val, &EvalConfig::with_horizon(120))
+        .unwrap()
+        .overall_rms();
+    assert!(
+        short < long,
+        "6-step error {short} should undercut 120-step error {long}"
+    );
+}
+
+#[test]
+fn near_mean_beats_worst_random_selection() {
+    let output = campaign();
+    let dataset = &output.dataset;
+    let occupied = Mask::daily_window(dataset.grid(), 6 * 60, 21 * 60).unwrap();
+    let temps = output.temperature_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let traj = trajectory_matrix(dataset, &refs, &occupied).unwrap();
+    let clustering = cluster_trajectories(
+        &traj,
+        &SpectralConfig {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Fixed(2),
+            seed: 3,
+            restarts: 8,
+        },
+    )
+    .unwrap();
+
+    let sms = NearMeanSelector
+        .select(&SelectionInput {
+            trajectories: &traj,
+            clustering: &clustering,
+            per_cluster: 1,
+            seed: 0,
+        })
+        .unwrap();
+    let sms_err = cluster_mean_errors(&traj, &clustering, &sms)
+        .unwrap()
+        .percentile(99.0)
+        .unwrap();
+
+    let mut worst_srs = f64::NEG_INFINITY;
+    for seed in 0..20 {
+        let srs = StratifiedRandomSelector
+            .select(&SelectionInput {
+                trajectories: &traj,
+                clustering: &clustering,
+                per_cluster: 1,
+                seed,
+            })
+            .unwrap();
+        let err = cluster_mean_errors(&traj, &clustering, &srs)
+            .unwrap()
+            .percentile(99.0)
+            .unwrap();
+        worst_srs = worst_srs.max(err);
+    }
+    assert!(
+        sms_err <= worst_srs,
+        "near-mean ({sms_err}) should not lose to the worst random pick ({worst_srs})"
+    );
+}
+
+#[test]
+fn correlation_map_is_blockier_for_clustered_order() {
+    let output = campaign();
+    let dataset = &output.dataset;
+    let occupied = Mask::daily_window(dataset.grid(), 6 * 60, 21 * 60).unwrap();
+    let temps = output.wireless_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let traj = trajectory_matrix(dataset, &refs, &occupied).unwrap();
+    let clustering = cluster_trajectories(
+        &traj,
+        &SpectralConfig {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Fixed(2),
+            seed: 3,
+            restarts: 8,
+        },
+    )
+    .unwrap();
+    let map = quality::correlation_map(&traj, &clustering).unwrap();
+    assert!(
+        map.mean_within() > map.mean_between(),
+        "within-cluster correlation ({}) must exceed cross-cluster ({})",
+        map.mean_within(),
+        map.mean_between()
+    );
+}
+
+#[test]
+fn within_cluster_temperature_spread_is_tighter_than_overall() {
+    let output = campaign();
+    let dataset = &output.dataset;
+    let occupied = Mask::daily_window(dataset.grid(), 6 * 60, 21 * 60).unwrap();
+    let temps = output.wireless_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let traj = trajectory_matrix(dataset, &refs, &occupied).unwrap();
+    let clustering = cluster_trajectories(
+        &traj,
+        &SpectralConfig {
+            similarity: Similarity::euclidean(),
+            count: ClusterCount::Fixed(2),
+            seed: 3,
+            restarts: 8,
+        },
+    )
+    .unwrap();
+    let report = quality::temp_diff_report(&traj, &clustering).unwrap();
+    let overall_median = report.overall.quantile(0.5).unwrap();
+    let mut any_tighter = false;
+    for cdf in report.per_cluster.iter().flatten() {
+        if cdf.quantile(0.5).unwrap() < overall_median {
+            any_tighter = true;
+        }
+    }
+    assert!(
+        any_tighter,
+        "clustering should tighten intra-cluster spread"
+    );
+}
+
+#[test]
+fn both_modes_identify_with_finite_bounded_error() {
+    // The paper's Table I protocol runs per mode; on a short quick
+    // campaign the occupied/unoccupied ordering is noisy, so here we
+    // assert the protocol itself: both modes identify and evaluate
+    // with sane error magnitudes (the ordering is checked on the
+    // full-scale campaign by the repro harness).
+    let output = campaign();
+    let dataset = &output.dataset;
+    let grid = dataset.grid();
+    let temps = output.temperature_channels();
+    let idx: Vec<usize> = temps
+        .iter()
+        .map(|n| dataset.channel_index(n).unwrap())
+        .collect();
+    let usable = dataset.usable_days(&idx, 0.5).unwrap();
+    let halves = split::halves(&usable).unwrap();
+    let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60).unwrap();
+    let night = occupied.not();
+
+    let mut results = Vec::new();
+    for mode in [&occupied, &night] {
+        let train = Mask::days(grid, &halves.train).and(mode).unwrap();
+        let val = Mask::days(grid, &halves.validation).and(mode).unwrap();
+        let spec =
+            ModelSpec::new(temps.clone(), output.input_channels(), ModelOrder::Second).unwrap();
+        let model = identify(dataset, &spec, &train, &FitConfig::default()).unwrap();
+        let report = evaluate(&model, dataset, &val, &EvalConfig::with_horizon(90)).unwrap();
+        results.push(report.rms_percentile(90.0).unwrap());
+    }
+    for r in &results {
+        assert!(
+            r.is_finite() && *r > 0.0 && *r < 3.0,
+            "unreasonable RMS {r}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! CSV round-tripping of simulated campaigns: nothing is lost or
+//! invented on the way through the text format.
+
+use thermal_core::timeseries::csv;
+use thermal_sim::{run, Scenario};
+
+#[test]
+fn simulated_campaign_roundtrips_through_csv() {
+    let output = run(&Scenario::quick().with_days(3).with_seed(55)).unwrap();
+    let text = csv::to_csv_string(&output.dataset).unwrap();
+    let back = csv::from_csv_str(&text).unwrap();
+
+    assert_eq!(back.grid(), output.dataset.grid());
+    assert_eq!(back.channel_names(), output.dataset.channel_names());
+    for (a, b) in back.channels().iter().zip(output.dataset.channels()) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.present_count(), b.present_count());
+        for (x, y) in a.values().iter().zip(b.values()) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert!((p - q).abs() < 1e-9, "{} vs {}", p, q)
+                }
+                _ => panic!("presence flipped for channel {}", a.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn gappy_campaign_roundtrips_with_gaps_intact() {
+    let mut scenario = Scenario::quick().with_days(4).with_seed(56);
+    scenario.sensors.dropout_start_prob = 0.01;
+    scenario.sensors.outage_day_prob = 0.4;
+    scenario.min_usable_days = 2;
+    let output = run(&scenario).unwrap();
+    assert!(
+        !output.outage_days.is_empty(),
+        "scenario should produce outages"
+    );
+
+    let text = csv::to_csv_string(&output.dataset).unwrap();
+    let back = csv::from_csv_str(&text).unwrap();
+    for name in output.temperature_channels() {
+        let orig = output.dataset.channel(&name).unwrap();
+        let round = back.channel(&name).unwrap();
+        assert_eq!(orig.present_count(), round.present_count(), "{name}");
+    }
+}
+
+#[test]
+fn csv_is_consumable_by_line_tools() {
+    // The export must be plain rows: same field count everywhere.
+    let output = run(&Scenario::quick().with_days(2).with_seed(57)).unwrap();
+    let text = csv::to_csv_string(&output.dataset).unwrap();
+    let mut lines = text.lines();
+    let header_fields = lines.next().unwrap().split(',').count();
+    assert_eq!(header_fields, output.dataset.channel_count() + 1);
+    for line in lines {
+        assert_eq!(line.split(',').count(), header_fields, "ragged row: {line}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Failure injection: the pipeline must degrade gracefully — not
+//! panic, not fabricate data — when telemetry is badly damaged.
+
+use thermal_cluster::{cluster_trajectories, ClusterCount, Similarity, SpectralConfig};
+use thermal_core::timeseries::{Channel, Mask};
+use thermal_core::{ClusterCount as CoreCount, SelectorKind, ThermalPipeline};
+use thermal_linalg::Matrix;
+use thermal_sim::{run, Scenario};
+use thermal_sysid::{identify, FitConfig, ModelOrder, ModelSpec};
+
+#[test]
+fn heavy_dropouts_still_identify() {
+    let mut scenario = Scenario::quick().with_days(10).with_seed(301);
+    scenario.sensors.dropout_start_prob = 0.02;
+    scenario.sensors.dropout_mean_len = 6.0;
+    let output = run(&scenario).unwrap();
+    let dataset = &output.dataset;
+
+    // Coverage is visibly damaged…
+    let t = dataset.channel("t27").unwrap();
+    assert!(t.coverage() < 0.99);
+
+    // …but the piece-wise objective still finds enough segments.
+    let spec = ModelSpec::new(
+        output.temperature_channels(),
+        output.input_channels(),
+        ModelOrder::First,
+    )
+    .unwrap();
+    let occupied = Mask::daily_window(dataset.grid(), 6 * 60, 21 * 60).unwrap();
+    let model = identify(dataset, &spec, &occupied, &FitConfig::default()).unwrap();
+    assert!(model.coefficients().is_finite());
+}
+
+#[test]
+fn wholesale_outages_are_excluded_not_fabricated() {
+    let mut scenario = Scenario::quick().with_days(8).with_seed(302);
+    scenario.sensors.outage_day_prob = 0.5;
+    scenario.min_usable_days = 3;
+    let output = run(&scenario).unwrap();
+    let dataset = &output.dataset;
+
+    let idx: Vec<usize> = output
+        .temperature_channels()
+        .iter()
+        .map(|n| dataset.channel_index(n).unwrap())
+        .collect();
+    let usable = dataset.usable_days(&idx, 0.5).unwrap();
+    for day in &output.outage_days {
+        assert!(!usable.contains(day), "outage day {day} counted usable");
+    }
+    assert!(usable.len() >= 3);
+}
+
+#[test]
+fn dead_sensor_is_a_clusterable_outlier_not_a_crash() {
+    // A sensor stuck at a constant: correlation treats it as
+    // dissimilar from everything, and clustering must not panic.
+    let n = 50;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for s in 0..5 {
+        rows.push(
+            (0..n)
+                .map(|k| 20.0 + 0.1 * s as f64 + (k as f64 * 0.2).sin())
+                .collect(),
+        );
+    }
+    rows.push(vec![21.0; n]); // dead sensor
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let traj = Matrix::from_rows(&refs).unwrap();
+    let clustering = cluster_trajectories(
+        &traj,
+        &SpectralConfig {
+            similarity: Similarity::correlation(),
+            count: ClusterCount::Fixed(2),
+            seed: 1,
+            restarts: 4,
+        },
+    )
+    .unwrap();
+    // The dead sensor sits alone (or at least separated from the
+    // coherent five).
+    let dead_label = clustering.assignments()[5];
+    let live_with_dead = clustering.assignments()[..5]
+        .iter()
+        .filter(|&&l| l == dead_label)
+        .count();
+    assert!(live_with_dead <= 1, "dead sensor absorbed the live ones");
+}
+
+#[test]
+fn channel_lost_entirely_yields_error_not_panic() {
+    let output = run(&Scenario::quick().with_days(5).with_seed(303)).unwrap();
+    let dataset = &output.dataset;
+    // Kill one temperature channel wholesale.
+    let grid = *dataset.grid();
+    let mut channels = Vec::new();
+    for ch in dataset.channels() {
+        if ch.name() == "t27" {
+            channels.push(Channel::new("t27", vec![None; grid.len()]).unwrap());
+        } else {
+            channels.push(ch.clone());
+        }
+    }
+    let damaged = thermal_core::timeseries::Dataset::new(grid, channels).unwrap();
+
+    let spec = ModelSpec::new(
+        output.temperature_channels(),
+        output.input_channels(),
+        ModelOrder::First,
+    )
+    .unwrap();
+    let occupied = Mask::daily_window(damaged.grid(), 6 * 60, 21 * 60).unwrap();
+    let err = identify(&damaged, &spec, &occupied, &FitConfig::default());
+    assert!(
+        err.is_err(),
+        "identification over a dead channel must fail loudly"
+    );
+}
+
+#[test]
+fn pipeline_survives_realistic_damage() {
+    let mut scenario = Scenario::quick().with_days(12).with_seed(304);
+    scenario.sensors.dropout_start_prob = 0.008;
+    scenario.sensors.outage_day_prob = 0.25;
+    scenario.min_usable_days = 6;
+    let output = run(&scenario).unwrap();
+    let dataset = &output.dataset;
+    let occupied = Mask::daily_window(dataset.grid(), 6 * 60, 21 * 60).unwrap();
+
+    let temps = output.temperature_channels();
+    let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let inputs = output.input_channels();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+
+    let reduced = ThermalPipeline::builder()
+        .cluster_count(CoreCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .build()
+        .unwrap()
+        .fit(dataset, &refs, &input_refs, &occupied)
+        .unwrap();
+    assert_eq!(reduced.selected_channels().len(), 2);
+}
