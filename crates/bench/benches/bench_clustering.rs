@@ -1,5 +1,8 @@
 //! Benchmarks of the spectral-clustering stage (Figures 6-8).
 
+// Benchmarks are fixture-driven: a panic on a broken fixture is the
+// right failure mode, so the panic-free-library lints are relaxed here.
+#![allow(missing_docs, clippy::expect_used, clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::OnceLock;
 use thermal_bench::experiments::clustering::wireless_training_trajectories;
@@ -12,8 +15,8 @@ use thermal_linalg::Matrix;
 fn trajectories() -> &'static Matrix {
     static T: OnceLock<Matrix> = OnceLock::new();
     T.get_or_init(|| {
-        let p = Protocol::quick(1);
-        wireless_training_trajectories(&p).1
+        let p = Protocol::quick(1).expect("quick protocol");
+        wireless_training_trajectories(&p).expect("trajectories").1
     })
 }
 

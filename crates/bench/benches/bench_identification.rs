@@ -1,6 +1,9 @@
 //! Benchmarks of the identification stage (the code behind Table I):
 //! regressor assembly and the piece-wise least-squares solve.
 
+// Benchmarks are fixture-driven: a panic on a broken fixture is the
+// right failure mode, so the panic-free-library lints are relaxed here.
+#![allow(missing_docs, clippy::expect_used, clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::OnceLock;
 use thermal_bench::protocol::Protocol;
@@ -8,7 +11,7 @@ use thermal_sysid::{identify, regressors, FitConfig, ModelOrder, ModelSpec};
 
 fn protocol() -> &'static Protocol {
     static P: OnceLock<Protocol> = OnceLock::new();
-    P.get_or_init(|| Protocol::quick(1))
+    P.get_or_init(|| Protocol::quick(1).expect("quick protocol"))
 }
 
 fn bench_assembly(c: &mut Criterion) {
@@ -33,7 +36,7 @@ fn bench_identify(c: &mut Criterion) {
     for order in [ModelOrder::First, ModelOrder::Second] {
         let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)
             .expect("valid spec");
-        group.bench_function(format!("dense_{order}"), |b| {
+        group.bench_function(&format!("dense_{order}"), |b| {
             b.iter(|| {
                 identify(
                     &p.output.dataset,

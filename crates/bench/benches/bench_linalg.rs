@@ -1,5 +1,8 @@
 //! Micro-benchmarks of the numerical kernels.
 
+// Benchmarks are fixture-driven: a panic on a broken fixture is the
+// right failure mode, so the panic-free-library lints are relaxed here.
+#![allow(missing_docs, clippy::expect_used, clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use thermal_linalg::{
     lstsq, CholeskyDecomposition, Matrix, QrDecomposition, SymmetricEigen, Vector,

@@ -1,5 +1,8 @@
 //! Benchmarks of the selection strategies (Table II).
 
+// Benchmarks are fixture-driven: a panic on a broken fixture is the
+// right failure mode, so the panic-free-library lints are relaxed here.
+#![allow(missing_docs, clippy::expect_used, clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::OnceLock;
 use thermal_bench::experiments::clustering::wireless_training_trajectories;
@@ -14,8 +17,8 @@ use thermal_select::{
 fn fixture() -> &'static (Matrix, Clustering) {
     static F: OnceLock<(Matrix, Clustering)> = OnceLock::new();
     F.get_or_init(|| {
-        let p = Protocol::quick(1);
-        let traj = wireless_training_trajectories(&p).1;
+        let p = Protocol::quick(1).expect("quick protocol");
+        let traj = wireless_training_trajectories(&p).expect("trajectories").1;
         let clustering = cluster_trajectories(
             &traj,
             &SpectralConfig {

@@ -1,5 +1,8 @@
 //! Benchmarks of the auditorium simulator.
 
+// Benchmarks are fixture-driven: a panic on a broken fixture is the
+// right failure mode, so the panic-free-library lints are relaxed here.
+#![allow(missing_docs, clippy::expect_used, clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use thermal_sim::{run, Drive, Layout, Scenario, ThermalParams, ZoneNetwork};
 

@@ -110,7 +110,8 @@ fn main() {
         Protocol::quick(args.seed)
     } else {
         Protocol::paper(args.seed)
-    };
+    }
+    .unwrap_or_else(|e| die(&e.to_string()));
     println!(
         "usable days: {} of {} (outages: {} days) [{:.1?}]\n",
         protocol.usable_days.len(),
@@ -122,97 +123,100 @@ fn main() {
     for name in &args.experiments {
         let t = Instant::now();
         println!("==== {name} ====");
-        match name.as_str() {
-            "table1" => {
-                let rows = model::table1(&protocol);
-                print!("{}", model::render_table1(&rows));
-            }
-            "fig3" => {
-                let r = model::fig3(&protocol);
-                let (chart, csv) = model::render_fig3(&r);
-                println!("CDF of per-sensor RMS (occupied, 13.5 h):");
-                print!("{chart}");
-                save(&args.out, "fig3.csv", &csv);
-            }
-            "fig4" => {
-                let r = model::fig4(&protocol, "t01");
-                let (chart, csv) = model::render_fig4(&r);
-                println!(
-                    "measured vs predicted for sensor {} over one day:",
-                    r.sensor
-                );
-                print!("{chart}");
-                save(&args.out, "fig4.csv", &csv);
-            }
-            "fig5" => {
-                let r = model::fig5(&protocol);
-                print!("{}", model::render_fig5(&r));
-            }
-            "fig6" => {
-                let sides = clustering::fig6(&protocol);
-                print!("{}", clustering::render_fig6(&sides));
-            }
-            "fig7" => {
-                let cols =
-                    clustering::quality_columns(&protocol, Similarity::euclidean(), &[3, 4, 5]);
-                print!(
-                    "{}",
-                    clustering::render_quality(Similarity::euclidean(), &cols)
-                );
-            }
-            "fig8" => {
-                let cols = clustering::quality_columns(
-                    &protocol,
-                    Similarity::correlation(),
-                    &[2, 3, 4, 5],
-                );
-                print!(
-                    "{}",
-                    clustering::render_quality(Similarity::correlation(), &cols)
-                );
-            }
-            "table2" => {
-                let rows = selection::table2(&protocol);
-                print!("{}", selection::render_table2(&rows));
-            }
-            "fig9" => {
-                let points = selection::fig9(&protocol, 8);
-                print!("{}", selection::render_fig9(&points));
-            }
-            "fig10" => {
-                let rows = selection::fig10(&protocol, &[2, 3, 4, 5, 6, 7, 8]);
-                print!(
-                    "{}",
-                    selection::render_k_comparison(
-                        "99th-pct cluster-mean error by selection strategy:",
-                        &rows
-                    )
-                );
-            }
-            "fig11" => {
-                let rows = selection::fig11(&protocol, &[2, 3, 4, 5, 6, 7, 8]);
-                print!(
-                    "{}",
-                    selection::render_k_comparison(
-                        "99th-pct cluster-mean error of reduced identified models:",
-                        &rows
-                    )
-                );
-            }
-            "diagnostics" => {
-                let r = model::diagnostics(&protocol, 6);
-                println!("one-step residual whiteness (validation half, occupied):");
-                print!("{}", model::render_diagnostics(&r));
-            }
-            "ablation" => {
-                let days = if args.quick { 40 } else { 60 };
-                let rows = ablation::ablation(days, args.seed);
-                println!("simulator design-choice ablation ({days}-day campaigns):");
-                print!("{}", ablation::render_ablation(&rows));
-            }
-            other => die(&format!("unknown experiment {other:?}")),
+        if let Err(e) = run_experiment(name, &protocol, &args) {
+            die(&format!("{name} failed: {e}"));
         }
         println!("[{name} took {:.1?}]\n", t.elapsed());
     }
     println!("total: {:.1?}", t0.elapsed());
+}
+
+fn run_experiment(name: &str, protocol: &Protocol, args: &Args) -> thermal_bench::Result<()> {
+    match name {
+        "table1" => {
+            let rows = model::table1(protocol)?;
+            print!("{}", model::render_table1(&rows));
+        }
+        "fig3" => {
+            let r = model::fig3(protocol)?;
+            let (chart, csv) = model::render_fig3(&r);
+            println!("CDF of per-sensor RMS (occupied, 13.5 h):");
+            print!("{chart}");
+            save(&args.out, "fig3.csv", &csv);
+        }
+        "fig4" => {
+            let r = model::fig4(protocol, "t01")?;
+            let (chart, csv) = model::render_fig4(&r);
+            println!(
+                "measured vs predicted for sensor {} over one day:",
+                r.sensor
+            );
+            print!("{chart}");
+            save(&args.out, "fig4.csv", &csv);
+        }
+        "fig5" => {
+            let r = model::fig5(protocol)?;
+            print!("{}", model::render_fig5(&r));
+        }
+        "fig6" => {
+            let sides = clustering::fig6(protocol)?;
+            print!("{}", clustering::render_fig6(&sides));
+        }
+        "fig7" => {
+            let cols = clustering::quality_columns(protocol, Similarity::euclidean(), &[3, 4, 5])?;
+            print!(
+                "{}",
+                clustering::render_quality(Similarity::euclidean(), &cols)
+            );
+        }
+        "fig8" => {
+            let cols =
+                clustering::quality_columns(protocol, Similarity::correlation(), &[2, 3, 4, 5])?;
+            print!(
+                "{}",
+                clustering::render_quality(Similarity::correlation(), &cols)
+            );
+        }
+        "table2" => {
+            let rows = selection::table2(protocol)?;
+            print!("{}", selection::render_table2(&rows));
+        }
+        "fig9" => {
+            let points = selection::fig9(protocol, 8)?;
+            print!("{}", selection::render_fig9(&points));
+        }
+        "fig10" => {
+            let rows = selection::fig10(protocol, &[2, 3, 4, 5, 6, 7, 8])?;
+            print!(
+                "{}",
+                selection::render_k_comparison(
+                    "99th-pct cluster-mean error by selection strategy:",
+                    &rows
+                )
+            );
+        }
+        "fig11" => {
+            let rows = selection::fig11(protocol, &[2, 3, 4, 5, 6, 7, 8])?;
+            print!(
+                "{}",
+                selection::render_k_comparison(
+                    "99th-pct cluster-mean error of reduced identified models:",
+                    &rows
+                )
+            );
+        }
+        "diagnostics" => {
+            let r = model::diagnostics(protocol, 6)?;
+            println!("one-step residual whiteness (validation half, occupied):");
+            print!("{}", model::render_diagnostics(&r));
+        }
+        "ablation" => {
+            let days = if args.quick { 40 } else { 60 };
+            let rows = ablation::ablation(days, args.seed)?;
+            println!("simulator design-choice ablation ({days}-day campaigns):");
+            print!("{}", ablation::render_ablation(&rows));
+        }
+        other => die(&format!("unknown experiment {other:?}")),
+    }
+    Ok(())
 }

@@ -1,0 +1,116 @@
+//! Typed errors for the experiment harness.
+//!
+//! Experiments propagate failures from every pipeline stage instead of
+//! panicking; the `repro` binary is the only place that turns a
+//! [`BenchError`] into a process exit.
+
+use std::fmt;
+
+use thermal_cluster::ClusterError;
+use thermal_core::CoreError;
+use thermal_linalg::LinalgError;
+use thermal_select::SelectError;
+use thermal_sim::SimError;
+use thermal_sysid::SysidError;
+use thermal_timeseries::TimeSeriesError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+/// Errors produced while regenerating the paper's tables and figures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The campaign simulation failed.
+    Sim(SimError),
+    /// A dataset operation failed.
+    TimeSeries(TimeSeriesError),
+    /// A statistics kernel failed.
+    Linalg(LinalgError),
+    /// Model identification or evaluation failed.
+    Sysid(SysidError),
+    /// Sensor clustering failed.
+    Cluster(ClusterError),
+    /// Sensor selection failed.
+    Select(SelectError),
+    /// The end-to-end pipeline failed.
+    Core(CoreError),
+    /// The campaign produced data the experiment cannot use (missing
+    /// channel, no usable segment, …).
+    Protocol {
+        /// What was missing or inconsistent.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Sim(e) => write!(f, "campaign simulation failed: {e}"),
+            BenchError::TimeSeries(e) => write!(f, "dataset operation failed: {e}"),
+            BenchError::Linalg(e) => write!(f, "statistics kernel failed: {e}"),
+            BenchError::Sysid(e) => write!(f, "identification failed: {e}"),
+            BenchError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            BenchError::Select(e) => write!(f, "selection failed: {e}"),
+            BenchError::Core(e) => write!(f, "pipeline failed: {e}"),
+            BenchError::Protocol { context } => {
+                write!(f, "campaign unusable for this experiment: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Sim(e) => Some(e),
+            BenchError::TimeSeries(e) => Some(e),
+            BenchError::Linalg(e) => Some(e),
+            BenchError::Sysid(e) => Some(e),
+            BenchError::Cluster(e) => Some(e),
+            BenchError::Select(e) => Some(e),
+            BenchError::Core(e) => Some(e),
+            BenchError::Protocol { .. } => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($source:ty => $variant:ident),* $(,)?) => {
+        $(
+            #[doc(hidden)]
+            impl From<$source> for BenchError {
+                fn from(e: $source) -> Self {
+                    BenchError::$variant(e)
+                }
+            }
+        )*
+    };
+}
+
+impl_from!(
+    SimError => Sim,
+    TimeSeriesError => TimeSeries,
+    LinalgError => Linalg,
+    SysidError => Sysid,
+    ClusterError => Cluster,
+    SelectError => Select,
+    CoreError => Core,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<BenchError>();
+        let e = BenchError::Protocol {
+            context: "no usable segment",
+        };
+        assert!(e.to_string().contains("no usable segment"));
+        let e = BenchError::from(LinalgError::Empty { op: "rms" });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -18,6 +18,7 @@ use thermal_cluster::{
 use thermal_sim::Scenario;
 use thermal_sysid::{evaluate, identify, EvalConfig, FitConfig, ModelOrder, ModelSpec};
 
+use crate::error::Result;
 use crate::protocol::{occupied_horizon, Protocol};
 use crate::render;
 
@@ -42,8 +43,8 @@ const FRONT: [&str; 11] = [
     "t03", "t06", "t07", "t08", "t13", "t14", "t17", "t23", "t28", "t33", "t38",
 ];
 
-fn measure(name: &'static str, scenario: &Scenario) -> AblationRow {
-    let p = Protocol::new(scenario);
+fn measure(name: &'static str, scenario: &Scenario) -> Result<AblationRow> {
+    let p = Protocol::new(scenario)?;
     let dataset = &p.output.dataset;
     let horizon = occupied_horizon(&p.output);
 
@@ -52,19 +53,15 @@ fn measure(name: &'static str, scenario: &Scenario) -> AblationRow {
         .into_iter()
         .enumerate()
     {
-        let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)
-            .expect("valid spec");
-        let model = identify(dataset, &spec, &p.train_occupied, &FitConfig::default())
-            .expect("identifiable");
+        let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)?;
+        let model = identify(dataset, &spec, &p.train_occupied, &FitConfig::default())?;
         rms[slot] = evaluate(
             &model,
             dataset,
             &p.val_occupied,
             &EvalConfig::with_horizon(horizon),
-        )
-        .expect("evaluable")
-        .rms_percentile(90.0)
-        .expect("non-empty");
+        )?
+        .rms_percentile(90.0)?;
     }
 
     // Correlation clustering of the wireless sensors.
@@ -96,52 +93,57 @@ fn measure(name: &'static str, scenario: &Scenario) -> AblationRow {
     })()
     .unwrap_or(false);
 
-    AblationRow {
+    Ok(AblationRow {
         name,
         first: rms[0],
         second: rms[1],
         ratio: rms[0] / rms[1],
         clusters_split,
-    }
+    })
 }
 
 /// Runs the ablation suite on campaigns of `days` days.
-pub fn ablation(days: usize, seed: u64) -> Vec<AblationRow> {
+///
+/// # Errors
+///
+/// Propagates campaign, identification and evaluation failures from
+/// any variant.
+pub fn ablation(days: usize, seed: u64) -> Result<Vec<AblationRow>> {
     let base = {
         let mut s = Scenario::paper().with_days(days).with_seed(seed);
         s.min_usable_days = (days * 2) / 3;
         s
     };
     let mut rows = Vec::new();
-    rows.push(measure("baseline", &base));
+    rows.push(measure("baseline", &base)?);
 
     let mut no_capsule = base.clone();
     no_capsule.sensors.time_constant_s = 0.0;
-    rows.push(measure("no sensor-capsule lag", &no_capsule));
+    rows.push(measure("no sensor-capsule lag", &no_capsule)?);
 
     let mut no_mass = base.clone();
     no_mass.thermal.mass_coupling = 0.0;
-    rows.push(measure("no hidden thermal mass", &no_mass));
+    rows.push(measure("no hidden thermal mass", &no_mass)?);
 
     let mut no_hidden = base.clone();
     no_hidden.thermal.hidden_grid_x = 0;
     no_hidden.thermal.hidden_grid_y = 0;
-    rows.push(measure("no hidden field nodes", &no_hidden));
+    rows.push(measure("no hidden field nodes", &no_hidden)?);
 
     let mut no_quant = base.clone();
     no_quant.sensors.quantisation = 0.0;
     no_quant.sensors.noise_sigma = 0.0;
-    rows.push(measure("no measurement noise", &no_quant));
+    rows.push(measure("no measurement noise", &no_quant)?);
 
     let mut no_bias = base.clone();
     no_bias.occupancy.front_bias_range = (0.25, 0.2500001);
-    rows.push(measure("no seating-bias latency", &no_bias));
+    rows.push(measure("no seating-bias latency", &no_bias)?);
 
     let mut no_regional = base.clone();
     no_regional.regional_disturbance_sigma = 0.0;
-    rows.push(measure("no regional disturbance", &no_regional));
+    rows.push(measure("no regional disturbance", &no_regional)?);
 
-    rows
+    Ok(rows)
 }
 
 /// Renders the ablation table.

@@ -4,36 +4,53 @@ use thermal_cluster::{
     cluster_trajectories, quality, trajectory_matrix, ClusterCount, Clustering, Similarity,
     SpectralConfig,
 };
+use thermal_linalg::stats::EmpiricalCdf;
 use thermal_linalg::Matrix;
 
+use crate::error::Result;
 use crate::protocol::Protocol;
 use crate::render;
 
 /// Training-half trajectories of the wireless sensors (the 25
 /// channels the paper clusters).
-pub fn wireless_training_trajectories(p: &Protocol) -> (Vec<String>, Matrix) {
+///
+/// # Errors
+///
+/// Propagates trajectory-extraction failures.
+pub fn wireless_training_trajectories(p: &Protocol) -> Result<(Vec<String>, Matrix)> {
     let names = p.wireless_channels();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let traj = trajectory_matrix(&p.output.dataset, &refs, &p.train_occupied)
-        .expect("training trajectories");
-    (names, traj)
+    let traj = trajectory_matrix(&p.output.dataset, &refs, &p.train_occupied)?;
+    Ok((names, traj))
 }
 
 /// Validation-half trajectories of the wireless sensors.
-pub fn wireless_validation_trajectories(p: &Protocol) -> Matrix {
+///
+/// # Errors
+///
+/// Propagates trajectory-extraction failures.
+pub fn wireless_validation_trajectories(p: &Protocol) -> Result<Matrix> {
     let names = p.wireless_channels();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    trajectory_matrix(&p.output.dataset, &refs, &p.val_occupied).expect("validation trajectories")
+    Ok(trajectory_matrix(
+        &p.output.dataset,
+        &refs,
+        &p.val_occupied,
+    )?)
 }
 
 /// Clusters the wireless sensors with the given similarity and count
 /// policy (seeded like the rest of the harness).
+///
+/// # Errors
+///
+/// Propagates spectral-clustering failures.
 pub fn cluster_wireless(
     trajectories: &Matrix,
     similarity: Similarity,
     count: ClusterCount,
-) -> Clustering {
-    cluster_trajectories(
+) -> Result<Clustering> {
+    Ok(cluster_trajectories(
         trajectories,
         &SpectralConfig {
             similarity,
@@ -41,8 +58,7 @@ pub fn cluster_wireless(
             seed: 7,
             restarts: 8,
         },
-    )
-    .expect("spectral clustering")
+    )?)
 }
 
 /// Figure 6 for one similarity measure.
@@ -63,31 +79,34 @@ pub struct Fig6Side {
 
 /// Computes both sides of Fig. 6 (Euclidean above, correlation
 /// below).
-pub fn fig6(p: &Protocol) -> Vec<Fig6Side> {
-    let (names, traj) = wireless_training_trajectories(p);
-    [Similarity::euclidean(), Similarity::correlation()]
-        .into_iter()
-        .map(|similarity| {
-            let clustering = cluster_wireless(&traj, similarity, ClusterCount::Eigengap { max: 8 });
-            let means = quality::cluster_means(&traj, &clustering).expect("cluster means");
-            let members = clustering
-                .clusters()
-                .into_iter()
-                .map(|m| m.into_iter().map(|i| names[i].clone()).collect())
-                .collect();
-            Fig6Side {
-                similarity,
-                k: clustering.k(),
-                log_eigenvalues: clustering
-                    .eigenvalues()
-                    .iter()
-                    .map(|&v| v.max(1e-12).ln())
-                    .collect(),
-                members,
-                mean_temps: means,
-            }
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Propagates clustering failures.
+pub fn fig6(p: &Protocol) -> Result<Vec<Fig6Side>> {
+    let (names, traj) = wireless_training_trajectories(p)?;
+    let mut sides = Vec::with_capacity(2);
+    for similarity in [Similarity::euclidean(), Similarity::correlation()] {
+        let clustering = cluster_wireless(&traj, similarity, ClusterCount::Eigengap { max: 8 })?;
+        let means = quality::cluster_means(&traj, &clustering)?;
+        let members = clustering
+            .clusters()
+            .into_iter()
+            .map(|m| m.into_iter().map(|i| names[i].clone()).collect())
+            .collect();
+        sides.push(Fig6Side {
+            similarity,
+            k: clustering.k(),
+            log_eigenvalues: clustering
+                .eigenvalues()
+                .iter()
+                .map(|&v| v.max(1e-12).ln())
+                .collect(),
+            members,
+            mean_temps: means,
+        });
+    }
+    Ok(sides)
 }
 
 /// Renders Fig. 6.
@@ -130,35 +149,45 @@ pub struct QualityColumn {
     pub corr_between: f64,
 }
 
+/// (median, 95th percentile) of a temperature-difference CDF.
+fn summarise(cdf: &EmpiricalCdf) -> Result<(f64, f64)> {
+    Ok((cdf.quantile(0.5)?, cdf.quantile(0.95)?))
+}
+
 /// Figures 7 (Euclidean, k ∈ 3..5) and 8 (correlation, k ∈ 2..5):
-/// intra-cluster temperature-difference CDog summaries and
+/// intra-cluster temperature-difference CDF summaries and
 /// correlation-map block contrast.
-pub fn quality_columns(p: &Protocol, similarity: Similarity, ks: &[usize]) -> Vec<QualityColumn> {
-    let (_, traj) = wireless_training_trajectories(p);
-    ks.iter()
-        .map(|&k| {
-            let clustering = cluster_wireless(&traj, similarity, ClusterCount::Fixed(k));
-            let report = quality::temp_diff_report(&traj, &clustering).expect("quality report");
-            let map = quality::correlation_map(&traj, &clustering).expect("correlation map");
-            let summarise = |cdf: &thermal_linalg::stats::EmpiricalCdf| {
-                (
-                    cdf.quantile(0.5).expect("valid quantile"),
-                    cdf.quantile(0.95).expect("valid quantile"),
-                )
-            };
-            QualityColumn {
-                k,
-                per_cluster: report
-                    .per_cluster
-                    .iter()
-                    .map(|c| c.as_ref().map(summarise))
-                    .collect(),
-                overall: summarise(&report.overall),
-                corr_within: map.mean_within(),
-                corr_between: map.mean_between(),
-            }
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Propagates clustering and quality-report failures.
+pub fn quality_columns(
+    p: &Protocol,
+    similarity: Similarity,
+    ks: &[usize],
+) -> Result<Vec<QualityColumn>> {
+    let (_, traj) = wireless_training_trajectories(p)?;
+    let mut cols = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let clustering = cluster_wireless(&traj, similarity, ClusterCount::Fixed(k))?;
+        let report = quality::temp_diff_report(&traj, &clustering)?;
+        let map = quality::correlation_map(&traj, &clustering)?;
+        let mut per_cluster = Vec::with_capacity(report.per_cluster.len());
+        for c in &report.per_cluster {
+            per_cluster.push(match c.as_ref() {
+                Some(cdf) => Some(summarise(cdf)?),
+                None => None,
+            });
+        }
+        cols.push(QualityColumn {
+            k,
+            per_cluster,
+            overall: summarise(&report.overall)?,
+            corr_within: map.mean_within(),
+            corr_between: map.mean_between(),
+        });
+    }
+    Ok(cols)
 }
 
 /// Renders a set of quality columns.

@@ -1,19 +1,25 @@
 //! Model-identification experiments: Table I and Figures 3–5.
 
+use thermal_linalg::cast;
 use thermal_sysid::{
     evaluate, identify, predict_segment, regressors, EvalConfig, FitConfig, ModelOrder, ModelSpec,
     ThermalModel,
 };
 use thermal_timeseries::Mask;
 
+use crate::error::{BenchError, Result};
 use crate::protocol::{occupied_horizon, steps_per_hour, unoccupied_horizon, Protocol};
 use crate::render;
 
 /// Fits the dense model of the given order on a mask.
-fn fit_dense(p: &Protocol, order: ModelOrder, mask: &Mask) -> ThermalModel {
-    let spec =
-        ModelSpec::new(p.temperature_channels(), p.input_channels(), order).expect("valid spec");
-    identify(&p.output.dataset, &spec, mask, &FitConfig::default()).expect("dense identification")
+fn fit_dense(p: &Protocol, order: ModelOrder, mask: &Mask) -> Result<ThermalModel> {
+    let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)?;
+    Ok(identify(
+        &p.output.dataset,
+        &spec,
+        mask,
+        &FitConfig::default(),
+    )?)
 }
 
 /// One row of Table I.
@@ -35,7 +41,11 @@ pub struct Table1Row {
 
 /// Table I: 90th-percentile RMS of the open-loop prediction error for
 /// first- and second-order models in both HVAC modes.
-pub fn table1(p: &Protocol) -> Vec<Table1Row> {
+///
+/// # Errors
+///
+/// Propagates identification and evaluation failures.
+pub fn table1(p: &Protocol) -> Result<Vec<Table1Row>> {
     let mut rows = Vec::with_capacity(4);
     let cases = [
         (
@@ -53,26 +63,25 @@ pub fn table1(p: &Protocol) -> Vec<Table1Row> {
     ];
     for (mode, train, val, horizon) in cases {
         for order in [ModelOrder::First, ModelOrder::Second] {
-            let model = fit_dense(p, order, train);
+            let model = fit_dense(p, order, train)?;
             let report = evaluate(
                 &model,
                 &p.output.dataset,
                 val,
                 &EvalConfig::with_horizon(horizon),
-            )
-            .expect("evaluation");
+            )?;
             let rms = report.per_sensor_rms();
             rows.push(Table1Row {
                 mode,
                 order,
-                p90: report.rms_percentile(90.0).expect("non-empty"),
+                p90: report.rms_percentile(90.0)?,
                 overall: report.overall_rms(),
-                min: rms.iter().cloned().fold(f64::INFINITY, f64::min),
-                max: rms.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                min: rms.iter().copied().fold(f64::INFINITY, f64::min),
+                max: rms.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders Table I alongside the paper's published values.
@@ -119,23 +128,30 @@ pub struct Fig3Result {
 }
 
 /// Computes Fig. 3.
-pub fn fig3(p: &Protocol) -> Fig3Result {
+///
+/// # Errors
+///
+/// Propagates identification and evaluation failures.
+pub fn fig3(p: &Protocol) -> Result<Fig3Result> {
     let horizon = occupied_horizon(&p.output);
     let mut curves = Vec::with_capacity(2);
     for order in [ModelOrder::First, ModelOrder::Second] {
-        let model = fit_dense(p, order, &p.train_occupied);
+        let model = fit_dense(p, order, &p.train_occupied)?;
         let report = evaluate(
             &model,
             &p.output.dataset,
             &p.val_occupied,
             &EvalConfig::with_horizon(horizon),
-        )
-        .expect("evaluation");
-        curves.push(report.cdf().expect("non-empty").steps());
+        )?;
+        curves.push(report.cdf()?.steps());
     }
-    let second = curves.pop().expect("two curves");
-    let first = curves.pop().expect("two curves");
-    Fig3Result { first, second }
+    let second = curves.pop().ok_or(BenchError::Protocol {
+        context: "Fig. 3 produced no curves",
+    })?;
+    let first = curves.pop().ok_or(BenchError::Protocol {
+        context: "Fig. 3 produced one curve, expected two",
+    })?;
+    Ok(Fig3Result { first, second })
 }
 
 /// Renders Fig. 3 as an ASCII chart plus CSV.
@@ -166,41 +182,44 @@ pub struct Fig4Result {
 
 /// Computes Fig. 4 for the named sensor (the paper traces sensor 1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the sensor is not a modelled channel or no validation
+/// Fails when the sensor is not a modelled channel or no validation
 /// day has a long-enough gap-free occupied window.
-pub fn fig4(p: &Protocol, sensor: &str) -> Fig4Result {
+pub fn fig4(p: &Protocol, sensor: &str) -> Result<Fig4Result> {
     let dataset = &p.output.dataset;
     let temps = p.temperature_channels();
     let col = temps
         .iter()
         .position(|n| n == sensor)
-        .expect("sensor must be a temperature channel");
+        .ok_or(BenchError::Protocol {
+            context: "Fig. 4 sensor is not a temperature channel",
+        })?;
     let horizon = occupied_horizon(&p.output);
 
-    let first_model = fit_dense(p, ModelOrder::First, &p.train_occupied);
-    let second_model = fit_dense(p, ModelOrder::Second, &p.train_occupied);
+    let first_model = fit_dense(p, ModelOrder::First, &p.train_occupied)?;
+    let second_model = fit_dense(p, ModelOrder::Second, &p.train_occupied)?;
 
     // Longest usable validation segment (second-order needs warmup 2).
-    let segments = regressors::usable_segments(dataset, second_model.spec(), &p.val_occupied)
-        .expect("segmentation");
+    let segments = regressors::usable_segments(dataset, second_model.spec(), &p.val_occupied)?;
     let segment = segments
         .iter()
         .copied()
-        .max_by_key(|s| s.len())
-        .expect("at least one validation segment");
+        .max_by_key(thermal_timeseries::Segment::len)
+        .ok_or(BenchError::Protocol {
+            context: "no usable validation segment for Fig. 4",
+        })?;
 
-    let pred1 = predict_segment(&first_model, dataset, segment, Some(horizon))
-        .expect("first-order prediction");
-    let pred2 = predict_segment(&second_model, dataset, segment, Some(horizon))
-        .expect("second-order prediction");
+    let pred1 = predict_segment(&first_model, dataset, segment, Some(horizon))?;
+    let pred2 = predict_segment(&second_model, dataset, segment, Some(horizon))?;
     // Align on the shared indices (second order starts one step later).
     let start = pred1
         .indices
         .iter()
         .position(|i| *i == pred2.indices[0])
-        .expect("overlapping prediction windows");
+        .ok_or(BenchError::Protocol {
+            context: "prediction windows of the two orders do not overlap",
+        })?;
 
     let grid = dataset.grid();
     let n = pred2.indices.len().min(pred1.indices.len() - start);
@@ -210,18 +229,19 @@ pub fn fig4(p: &Protocol, sensor: &str) -> Fig4Result {
     let mut second = Vec::with_capacity(n);
     for k in 0..n {
         let idx = pred2.indices[k];
-        hours.push(grid.timestamp(idx).expect("index within grid").as_minutes() as f64 / 60.0);
+        let t = grid.timestamp(idx)?;
+        hours.push(t.as_minutes() as f64 / 60.0);
         measured.push(pred2.measured[(k, col)]);
         first.push(pred1.predicted[(start + k, col)]);
         second.push(pred2.predicted[(k, col)]);
     }
-    Fig4Result {
+    Ok(Fig4Result {
         sensor: sensor.to_owned(),
         hours,
         measured,
         first,
         second,
-    }
+    })
 }
 
 /// Renders Fig. 4 as an ASCII chart plus CSV.
@@ -256,10 +276,14 @@ pub struct Fig5Result {
 /// Computes Fig. 5. Training-day counts follow the paper
 /// (13/27/34/44/58) clipped to the available training half;
 /// prediction lengths are 2.5/5/7.5/10/13.5 hours.
-pub fn fig5(p: &Protocol) -> Fig5Result {
+///
+/// # Errors
+///
+/// Propagates sweep failures.
+pub fn fig5(p: &Protocol) -> Result<Fig5Result> {
     let dataset = &p.output.dataset;
     let sph = steps_per_hour(&p.output);
-    let one_day = (13.5 * sph as f64) as usize;
+    let one_day = cast::floor_to_index(13.5 * sph as f64, usize::MAX - 1);
 
     // Top panel: sweep training horizon, predict one day ahead.
     let candidate_counts = [13usize, 27, 34, 44, 58];
@@ -280,8 +304,7 @@ pub fn fig5(p: &Protocol) -> Fig5Result {
             .into_iter()
             .enumerate()
         {
-            let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)
-                .expect("valid spec");
+            let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)?;
             let points = thermal_sysid::sweep::sweep_training_horizon(
                 dataset,
                 &spec,
@@ -291,9 +314,11 @@ pub fn fig5(p: &Protocol) -> Fig5Result {
                 &p.split.validation,
                 &FitConfig::default(),
                 &EvalConfig::with_horizon(one_day),
-            )
-            .expect("training sweep");
-            let v = points[0].report.rms_percentile(90.0).expect("non-empty");
+            )?;
+            let point = points.first().ok_or(BenchError::Protocol {
+                context: "training sweep returned no points",
+            })?;
+            let v = point.report.rms_percentile(90.0)?;
             if slot == 0 {
                 row.1 = v;
             } else {
@@ -306,7 +331,7 @@ pub fn fig5(p: &Protocol) -> Fig5Result {
     // Bottom panel: one model per order, sweep the horizon.
     let horizons: Vec<usize> = [2.5_f64, 5.0, 7.5, 10.0, 13.5]
         .into_iter()
-        .map(|h| (h * sph as f64) as usize)
+        .map(|h| cast::floor_to_index(h * sph as f64, usize::MAX - 1))
         .collect();
     let mut prediction: Vec<(f64, f64, f64)> = horizons
         .iter()
@@ -316,8 +341,7 @@ pub fn fig5(p: &Protocol) -> Fig5Result {
         .into_iter()
         .enumerate()
     {
-        let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)
-            .expect("valid spec");
+        let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)?;
         let points = thermal_sysid::sweep::sweep_prediction_length(
             dataset,
             &spec,
@@ -325,10 +349,9 @@ pub fn fig5(p: &Protocol) -> Fig5Result {
             &p.val_occupied,
             &horizons,
             &FitConfig::default(),
-        )
-        .expect("prediction sweep");
+        )?;
         for (row, point) in prediction.iter_mut().zip(&points) {
-            let v = point.report.rms_percentile(90.0).expect("non-empty");
+            let v = point.report.rms_percentile(90.0)?;
             if slot == 0 {
                 row.1 = v;
             } else {
@@ -337,10 +360,10 @@ pub fn fig5(p: &Protocol) -> Fig5Result {
         }
     }
 
-    Fig5Result {
+    Ok(Fig5Result {
         training,
         prediction,
-    }
+    })
 }
 
 /// Renders Fig. 5 as two tables.
@@ -391,23 +414,29 @@ pub struct DiagnosticsResult {
 }
 
 /// Computes the whiteness comparison.
-pub fn diagnostics(p: &Protocol, max_lag: usize) -> DiagnosticsResult {
+///
+/// # Errors
+///
+/// Propagates identification and residual-analysis failures.
+pub fn diagnostics(p: &Protocol, max_lag: usize) -> Result<DiagnosticsResult> {
     let mut qs = [0.0_f64; 2];
     for (slot, order) in [ModelOrder::First, ModelOrder::Second]
         .into_iter()
         .enumerate()
     {
-        let model = fit_dense(p, order, &p.train_occupied);
-        let report =
-            thermal_sysid::diagnostics::residual_report(&model, &p.output.dataset, &p.val_occupied)
-                .expect("residuals");
-        qs[slot] = report.mean_ljung_box(max_lag).expect("whiteness statistic");
+        let model = fit_dense(p, order, &p.train_occupied)?;
+        let report = thermal_sysid::diagnostics::residual_report(
+            &model,
+            &p.output.dataset,
+            &p.val_occupied,
+        )?;
+        qs[slot] = report.mean_ljung_box(max_lag)?;
     }
-    DiagnosticsResult {
+    Ok(DiagnosticsResult {
         first_q: qs[0],
         second_q: qs[1],
         max_lag,
-    }
+    })
 }
 
 /// Renders the whiteness comparison.

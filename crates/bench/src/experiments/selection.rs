@@ -12,6 +12,7 @@ use thermal_select::{
 };
 use thermal_sysid::ModelOrder;
 
+use crate::error::Result;
 use crate::protocol::{occupied_horizon, Protocol};
 use crate::render;
 
@@ -20,7 +21,7 @@ const STOCHASTIC_SEEDS: u64 = 10;
 
 /// All 27 temperature channels' trajectories (wireless + thermostats)
 /// over a mask, in dataset order.
-fn all_trajectories(p: &Protocol, validation: bool) -> (Vec<String>, Matrix) {
+fn all_trajectories(p: &Protocol, validation: bool) -> Result<(Vec<String>, Matrix)> {
     let names = p.temperature_channels();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let mask = if validation {
@@ -28,14 +29,14 @@ fn all_trajectories(p: &Protocol, validation: bool) -> (Vec<String>, Matrix) {
     } else {
         &p.train_occupied
     };
-    let traj = trajectory_matrix(&p.output.dataset, &refs, mask).expect("trajectory extraction");
-    (names, traj)
+    let traj = trajectory_matrix(&p.output.dataset, &refs, mask)?;
+    Ok((names, traj))
 }
 
 /// Clusters all temperature channels with correlation similarity at a
 /// fixed count.
-fn cluster_all(traj: &Matrix, k: usize) -> Clustering {
-    cluster_trajectories(
+fn cluster_all(traj: &Matrix, k: usize) -> Result<Clustering> {
+    Ok(cluster_trajectories(
         traj,
         &SpectralConfig {
             similarity: Similarity::correlation(),
@@ -43,8 +44,7 @@ fn cluster_all(traj: &Matrix, k: usize) -> Clustering {
             seed: 7,
             restarts: 8,
         },
-    )
-    .expect("spectral clustering")
+    )?)
 }
 
 /// Mean 99th-percentile cluster-mean error of a selector, averaged
@@ -55,23 +55,21 @@ fn selector_p99(
     val: &Matrix,
     clustering: &Clustering,
     per_cluster: usize,
-) -> f64 {
+) -> Result<f64> {
     let stochastic = matches!(selector.name(), "srs" | "rs");
     let seeds = if stochastic { STOCHASTIC_SEEDS } else { 1 };
     let mut total = 0.0;
     for seed in 0..seeds {
-        let selection = selector
-            .select(&SelectionInput {
-                trajectories: train,
-                clustering,
-                per_cluster,
-                seed: 1000 + seed,
-            })
-            .expect("selection");
-        let report = cluster_mean_errors(val, clustering, &selection).expect("cluster-mean errors");
-        total += report.percentile(99.0).expect("non-empty");
+        let selection = selector.select(&SelectionInput {
+            trajectories: train,
+            clustering,
+            per_cluster,
+            seed: 1000 + seed,
+        })?;
+        let report = cluster_mean_errors(val, clustering, &selection)?;
+        total += report.percentile(99.0)?;
     }
-    total / seeds as f64
+    Ok(total / seeds as f64)
 }
 
 /// One row of Table II.
@@ -85,10 +83,14 @@ pub struct Table2Row {
 
 /// Table II: selection strategies compared at 2 clusters, one sensor
 /// per cluster.
-pub fn table2(p: &Protocol) -> Vec<Table2Row> {
-    let (names, train) = all_trajectories(p, false);
-    let val = all_trajectories(p, true).1;
-    let clustering = cluster_all(&train, 2);
+///
+/// # Errors
+///
+/// Propagates clustering and selection failures.
+pub fn table2(p: &Protocol) -> Result<Vec<Table2Row>> {
+    let (names, train) = all_trajectories(p, false)?;
+    let val = all_trajectories(p, true)?.1;
+    let clustering = cluster_all(&train, 2)?;
     let thermostats: Vec<usize> = names
         .iter()
         .enumerate()
@@ -102,20 +104,22 @@ pub fn table2(p: &Protocol) -> Vec<Table2Row> {
         Box::new(FixedSelector::thermostats(thermostats)),
         Box::new(GpSelector),
     ];
-    selectors
-        .iter()
-        .map(|s| Table2Row {
-            name: match s.name() {
-                "sms" => "SMS",
-                "srs" => "SRS",
-                "rs" => "RS",
-                "thermostats" => "Thermostats",
-                "gp" => "GP",
-                other => Box::leak(other.to_owned().into_boxed_str()),
-            },
-            p99: selector_p99(s.as_ref(), &train, &val, &clustering, 1),
-        })
-        .collect()
+    let mut rows = Vec::with_capacity(selectors.len());
+    for s in &selectors {
+        let name = match s.name() {
+            "sms" => "SMS",
+            "srs" => "SRS",
+            "rs" => "RS",
+            "thermostats" => "Thermostats",
+            "gp" => "GP",
+            other => Box::leak(other.to_owned().into_boxed_str()),
+        };
+        rows.push(Table2Row {
+            name,
+            p99: selector_p99(s.as_ref(), &train, &val, &clustering, 1)?,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders Table II with the paper's values alongside.
@@ -146,24 +150,28 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 /// Figure 9: SRS error shrinks as more sensors are kept per cluster.
 /// The sweep stops at the smallest cluster's size (beyond that the
 /// request is unsatisfiable).
-pub fn fig9(p: &Protocol, max_per_cluster: usize) -> Vec<(f64, f64)> {
-    let train = all_trajectories(p, false).1;
-    let val = all_trajectories(p, true).1;
-    let clustering = cluster_all(&train, 2);
+///
+/// # Errors
+///
+/// Propagates clustering and selection failures.
+pub fn fig9(p: &Protocol, max_per_cluster: usize) -> Result<Vec<(f64, f64)>> {
+    let train = all_trajectories(p, false)?.1;
+    let val = all_trajectories(p, true)?.1;
+    let clustering = cluster_all(&train, 2)?;
     let smallest = clustering
         .clusters()
         .iter()
         .map(Vec::len)
         .min()
         .unwrap_or(1);
-    (1..=max_per_cluster.min(smallest))
-        .map(|per| {
-            (
-                per as f64,
-                selector_p99(&StratifiedRandomSelector, &train, &val, &clustering, per),
-            )
-        })
-        .collect()
+    let mut points = Vec::new();
+    for per in 1..=max_per_cluster.min(smallest) {
+        points.push((
+            per as f64,
+            selector_p99(&StratifiedRandomSelector, &train, &val, &clustering, per)?,
+        ));
+    }
+    Ok(points)
 }
 
 /// Renders Fig. 9.
@@ -193,26 +201,34 @@ pub struct KComparison {
 }
 
 /// Figure 10: selection-strategy comparison across cluster counts.
-pub fn fig10(p: &Protocol, ks: &[usize]) -> Vec<KComparison> {
-    let train = all_trajectories(p, false).1;
-    let val = all_trajectories(p, true).1;
-    ks.iter()
-        .map(|&k| {
-            let clustering = cluster_all(&train, k);
-            KComparison {
-                k,
-                sms: selector_p99(&NearMeanSelector, &train, &val, &clustering, 1),
-                srs: selector_p99(&StratifiedRandomSelector, &train, &val, &clustering, 1),
-                rs: selector_p99(&RandomSelector, &train, &val, &clustering, 1),
-            }
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Propagates clustering and selection failures.
+pub fn fig10(p: &Protocol, ks: &[usize]) -> Result<Vec<KComparison>> {
+    let train = all_trajectories(p, false)?.1;
+    let val = all_trajectories(p, true)?.1;
+    let mut rows = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let clustering = cluster_all(&train, k)?;
+        rows.push(KComparison {
+            k,
+            sms: selector_p99(&NearMeanSelector, &train, &val, &clustering, 1)?,
+            srs: selector_p99(&StratifiedRandomSelector, &train, &val, &clustering, 1)?,
+            rs: selector_p99(&RandomSelector, &train, &val, &clustering, 1)?,
+        });
+    }
+    Ok(rows)
 }
 
 /// Figure 11: the same comparison, but the errors are those of
 /// *identified reduced models* predicting the cluster means open-loop
 /// over the validation half.
-pub fn fig11(p: &Protocol, ks: &[usize]) -> Vec<KComparison> {
+///
+/// # Errors
+///
+/// Propagates pipeline-fit and evaluation failures.
+pub fn fig11(p: &Protocol, ks: &[usize]) -> Result<Vec<KComparison>> {
     let dataset = &p.output.dataset;
     let temps = p.temperature_channels();
     let refs: Vec<&str> = temps.iter().map(String::as_str).collect();
@@ -220,40 +236,38 @@ pub fn fig11(p: &Protocol, ks: &[usize]) -> Vec<KComparison> {
     let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
     let horizon = occupied_horizon(&p.output);
 
-    let run_kind = |kind: SelectorKind, k: usize, seed: u64| -> f64 {
+    let run_kind = |kind: SelectorKind, k: usize, seed: u64| -> Result<f64> {
         let pipeline = ThermalPipeline::builder()
             .similarity(Similarity::correlation())
             .cluster_count(ClusterCount::Fixed(k))
             .selector(kind)
             .model_order(ModelOrder::Second)
             .seed(seed)
-            .build()
-            .expect("valid pipeline");
-        let reduced = pipeline
-            .fit(dataset, &refs, &input_refs, &p.train_occupied)
-            .expect("pipeline fit");
-        reduced
-            .evaluate_cluster_means(dataset, &p.val_occupied, horizon)
-            .expect("cluster-mean evaluation")
-            .percentile(99.0)
-            .expect("non-empty")
+            .build()?;
+        let reduced = pipeline.fit(dataset, &refs, &input_refs, &p.train_occupied)?;
+        Ok(reduced
+            .evaluate_cluster_means(dataset, &p.val_occupied, horizon)?
+            .percentile(99.0)?)
     };
-    let averaged = |kind: SelectorKind, k: usize, stochastic: bool| -> f64 {
+    let averaged = |kind: SelectorKind, k: usize, stochastic: bool| -> Result<f64> {
         let seeds = if stochastic { 5 } else { 1 };
-        (0..seeds)
-            .map(|s| run_kind(kind.clone(), k, 900 + s))
-            .sum::<f64>()
-            / seeds as f64
+        let mut total = 0.0;
+        for s in 0..seeds {
+            total += run_kind(kind.clone(), k, 900 + s)?;
+        }
+        Ok(total / seeds as f64)
     };
 
-    ks.iter()
-        .map(|&k| KComparison {
+    let mut rows = Vec::with_capacity(ks.len());
+    for &k in ks {
+        rows.push(KComparison {
             k,
-            sms: averaged(SelectorKind::NearMean, k, false),
-            srs: averaged(SelectorKind::StratifiedRandom, k, true),
-            rs: averaged(SelectorKind::Random, k, true),
-        })
-        .collect()
+            sms: averaged(SelectorKind::NearMean, k, false)?,
+            srs: averaged(SelectorKind::StratifiedRandom, k, true)?,
+            rs: averaged(SelectorKind::Random, k, true)?,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders Fig. 10 or 11.

@@ -18,6 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
 pub mod protocol;
 pub mod render;
+
+pub use error::{BenchError, Result};

@@ -2,23 +2,28 @@
 //! every experiment: simulate the campaign, account usable days,
 //! split train/validation halves, and build the mode masks.
 
+use thermal_linalg::cast;
 use thermal_sim::{run, Scenario, SimOutput};
 use thermal_timeseries::{split, Mask};
 
+use crate::error::{BenchError, Result};
+
 /// Samples per hour on the campaign grid.
 pub fn steps_per_hour(output: &SimOutput) -> usize {
-    (60 / output.dataset.grid().step_minutes()) as usize
+    // The grid step divides the hour by construction; u32 → usize is
+    // lossless on every supported target.
+    usize::try_from(60 / output.dataset.grid().step_minutes()).unwrap_or(1)
 }
 
 /// The paper's occupied-mode prediction window (13.5 h), in samples.
 pub fn occupied_horizon(output: &SimOutput) -> usize {
-    (13.5 * steps_per_hour(output) as f64) as usize
+    cast::floor_to_index(13.5 * steps_per_hour(output) as f64, usize::MAX - 1)
 }
 
 /// The unoccupied-mode prediction window (one night ≈ 7.5 h of the
 /// 9-hour off period after warmup), in samples.
 pub fn unoccupied_horizon(output: &SimOutput) -> usize {
-    (7.5 * steps_per_hour(output) as f64) as usize
+    cast::floor_to_index(7.5 * steps_per_hour(output) as f64, usize::MAX - 1)
 }
 
 /// Everything the experiments need about one campaign.
@@ -47,51 +52,58 @@ pub struct Protocol {
 impl Protocol {
     /// Runs the scenario and assembles the protocol around it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the scenario fails to run or leaves fewer than two
-    /// usable days — the experiment harness treats that as fatal
-    /// mis-configuration.
-    pub fn new(scenario: &Scenario) -> Self {
-        let output = run(scenario).expect("scenario must be valid");
+    /// Returns an error when the scenario fails to run or leaves
+    /// fewer than two usable days — the experiment harness treats
+    /// that as fatal mis-configuration.
+    pub fn new(scenario: &Scenario) -> Result<Self> {
+        let output = run(scenario)?;
         let dataset = &output.dataset;
         let grid = dataset.grid();
 
-        let temp_idx: Vec<usize> = output
-            .temperature_channels()
-            .iter()
-            .map(|n| dataset.channel_index(n).expect("simulated channel"))
-            .collect();
-        let usable_days = dataset
-            .usable_days(&temp_idx, 0.5)
-            .expect("coverage accounting");
-        let split = split::halves(&usable_days).expect("enough usable days");
+        let mut temp_idx = Vec::new();
+        for name in output.temperature_channels() {
+            temp_idx.push(dataset.channel_index(&name).ok_or(BenchError::Protocol {
+                context: "simulator output is missing a temperature channel",
+            })?);
+        }
+        let usable_days = dataset.usable_days(&temp_idx, 0.5)?;
+        let split = split::halves(&usable_days)?;
 
-        let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60).expect("valid window");
+        let occupied = Mask::daily_window(grid, 6 * 60, 21 * 60)?;
         let unoccupied = occupied.not();
         let train_days = Mask::days(grid, &split.train);
         let val_days = Mask::days(grid, &split.validation);
 
-        Protocol {
-            train_occupied: train_days.and(&occupied).expect("same grid"),
-            val_occupied: val_days.and(&occupied).expect("same grid"),
-            train_unoccupied: train_days.and(&unoccupied).expect("same grid"),
-            val_unoccupied: val_days.and(&unoccupied).expect("same grid"),
+        Ok(Protocol {
+            train_occupied: train_days.and(&occupied)?,
+            val_occupied: val_days.and(&occupied)?,
+            train_unoccupied: train_days.and(&unoccupied)?,
+            val_unoccupied: val_days.and(&unoccupied)?,
             occupied,
             unoccupied,
             usable_days,
             split,
             output,
-        }
+        })
     }
 
     /// The paper-scale campaign (98 days, ≈64+ usable).
-    pub fn paper(seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Protocol::new`] failures.
+    pub fn paper(seed: u64) -> Result<Self> {
         Protocol::new(&Scenario::paper().with_seed(seed))
     }
 
     /// A reduced campaign for quick runs (40 days).
-    pub fn quick(seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Protocol::new`] failures.
+    pub fn quick(seed: u64) -> Result<Self> {
         let mut scenario = Scenario::paper().with_days(40).with_seed(seed);
         scenario.min_usable_days = 26;
         Protocol::new(&scenario)
@@ -119,7 +131,7 @@ mod tests {
 
     #[test]
     fn quick_protocol_is_coherent() {
-        let p = Protocol::quick(7);
+        let p = Protocol::quick(7).unwrap();
         assert!(p.usable_days.len() >= 26);
         assert_eq!(
             p.split.train.len() + p.split.validation.len(),
@@ -140,5 +152,14 @@ mod tests {
         assert_eq!(p.input_channels().len(), 7);
         assert!(occupied_horizon(&p.output) > 100);
         assert!(unoccupied_horizon(&p.output) < occupied_horizon(&p.output));
+    }
+
+    #[test]
+    fn invalid_scenario_is_reported_not_panicked() {
+        let scenario = Scenario::paper().with_days(0);
+        assert!(matches!(
+            Protocol::new(&scenario),
+            Err(BenchError::Sim(_)) | Err(BenchError::TimeSeries(_))
+        ));
     }
 }

@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use thermal_linalg::cast;
+
 /// Renders an aligned text table. The first row is the header.
 ///
 /// # Panics
@@ -70,9 +72,9 @@ pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize
     for (si, (_, pts)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
         for &(x, y) in pts.iter() {
-            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
-            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
-            canvas[height - 1 - cy][cx.min(width - 1)] = glyph;
+            let cx = cast::round_to_index(((x - x0) / (x1 - x0)) * (width - 1) as f64, width - 1);
+            let cy = cast::round_to_index(((y - y0) / (y1 - y0)) * (height - 1) as f64, height - 1);
+            canvas[height - 1 - cy][cx] = glyph;
         }
     }
     let mut out = String::new();
@@ -102,7 +104,7 @@ pub fn series_csv(series: &[(&str, &[(f64, f64)])]) -> String {
         .iter()
         .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
         .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.sort_by(f64::total_cmp);
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut out = String::from("x");

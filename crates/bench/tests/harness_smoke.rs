@@ -3,6 +3,9 @@
 //! full-scale numbers live in EXPERIMENTS.md; this guards the
 //! plumbing.)
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::OnceLock;
 
 use thermal_bench::experiments::{clustering, model, selection};
@@ -15,13 +18,13 @@ fn tiny_protocol() -> &'static Protocol {
     P.get_or_init(|| {
         let mut scenario = Scenario::quick().with_days(8).with_seed(77);
         scenario.min_usable_days = 8;
-        Protocol::new(&scenario)
+        Protocol::new(&scenario).expect("tiny protocol")
     })
 }
 
 #[test]
 fn table1_has_four_finite_rows() {
-    let rows = model::table1(tiny_protocol());
+    let rows = model::table1(tiny_protocol()).unwrap();
     assert_eq!(rows.len(), 4);
     for r in &rows {
         assert!(r.p90.is_finite() && r.p90 > 0.0);
@@ -34,7 +37,7 @@ fn table1_has_four_finite_rows() {
 
 #[test]
 fn fig3_cdfs_are_monotone() {
-    let r = model::fig3(tiny_protocol());
+    let r = model::fig3(tiny_protocol()).unwrap();
     for curve in [&r.first, &r.second] {
         assert!(!curve.is_empty());
         for w in curve.windows(2) {
@@ -50,7 +53,7 @@ fn fig3_cdfs_are_monotone() {
 
 #[test]
 fn fig4_aligns_measured_and_predicted() {
-    let r = model::fig4(tiny_protocol(), "t01");
+    let r = model::fig4(tiny_protocol(), "t01").unwrap();
     assert_eq!(r.hours.len(), r.measured.len());
     assert_eq!(r.hours.len(), r.first.len());
     assert_eq!(r.hours.len(), r.second.len());
@@ -63,7 +66,7 @@ fn fig4_aligns_measured_and_predicted() {
 
 #[test]
 fn fig5_sweeps_have_expected_axes() {
-    let r = model::fig5(tiny_protocol());
+    let r = model::fig5(tiny_protocol()).unwrap();
     assert!(!r.training.is_empty());
     assert_eq!(r.prediction.len(), 5);
     assert_eq!(r.prediction[0].0, 2.5);
@@ -74,7 +77,7 @@ fn fig5_sweeps_have_expected_axes() {
 
 #[test]
 fn fig6_covers_both_similarities() {
-    let sides = clustering::fig6(tiny_protocol());
+    let sides = clustering::fig6(tiny_protocol()).unwrap();
     assert_eq!(sides.len(), 2);
     for s in &sides {
         assert!(s.k >= 2);
@@ -89,7 +92,8 @@ fn fig6_covers_both_similarities() {
 
 #[test]
 fn quality_columns_match_requested_ks() {
-    let cols = clustering::quality_columns(tiny_protocol(), Similarity::correlation(), &[2, 3]);
+    let cols =
+        clustering::quality_columns(tiny_protocol(), Similarity::correlation(), &[2, 3]).unwrap();
     assert_eq!(cols.len(), 2);
     assert_eq!(cols[0].k, 2);
     assert_eq!(cols[0].per_cluster.len(), 2);
@@ -105,7 +109,7 @@ fn quality_columns_match_requested_ks() {
 
 #[test]
 fn table2_ranks_sms_reasonably() {
-    let rows = selection::table2(tiny_protocol());
+    let rows = selection::table2(tiny_protocol()).unwrap();
     assert_eq!(rows.len(), 5);
     let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().p99;
     // SMS never loses to blind random selection.
@@ -118,7 +122,7 @@ fn table2_ranks_sms_reasonably() {
 
 #[test]
 fn fig9_is_weakly_decreasing_overall() {
-    let points = selection::fig9(tiny_protocol(), 4);
+    let points = selection::fig9(tiny_protocol(), 4).unwrap();
     // The sweep may stop early when a cluster is small, but never
     // exceeds the request and always yields at least one point.
     assert!(!points.is_empty() && points.len() <= 4);
@@ -130,12 +134,12 @@ fn fig9_is_weakly_decreasing_overall() {
 #[test]
 fn fig10_and_fig11_cover_requested_ks() {
     let p = tiny_protocol();
-    let f10 = selection::fig10(p, &[2, 3]);
+    let f10 = selection::fig10(p, &[2, 3]).unwrap();
     assert_eq!(f10.len(), 2);
     for row in &f10 {
         assert!(row.sms.is_finite() && row.srs.is_finite() && row.rs.is_finite());
     }
-    let f11 = selection::fig11(p, &[2]);
+    let f11 = selection::fig11(p, &[2]).unwrap();
     assert_eq!(f11.len(), 1);
     assert!(f11[0].sms > 0.0);
     let rendered = selection::render_k_comparison("title:", &f11);

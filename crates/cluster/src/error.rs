@@ -1,3 +1,5 @@
+//! Typed errors for the sensor-clustering stage.
+
 use std::fmt;
 
 use thermal_linalg::LinalgError;
@@ -30,6 +32,13 @@ pub enum ClusterError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// An internal invariant was violated — a bug in this crate, not
+    /// bad input. Reported as an error instead of panicking so library
+    /// callers stay in control.
+    Internal {
+        /// Which invariant failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -45,6 +54,9 @@ impl fmt::Display for ClusterError {
             ClusterError::TimeSeries(e) => write!(f, "dataset failure: {e}"),
             ClusterError::NoConvergence { iterations } => {
                 write!(f, "k-means did not converge after {iterations} iterations")
+            }
+            ClusterError::Internal { context } => {
+                write!(f, "internal clustering invariant violated: {context}")
             }
         }
     }

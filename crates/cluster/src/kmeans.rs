@@ -44,14 +44,14 @@ pub fn kmeans(points: &Matrix, k: usize, restarts: usize, seed: u64) -> Result<K
         });
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut best: Option<KmeansResult> = None;
-    for _ in 0..restarts.max(1) {
+    let mut best = run_once(points, k, &mut rng)?;
+    for _ in 1..restarts.max(1) {
         let result = run_once(points, k, &mut rng)?;
-        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
-            best = Some(result);
+        if result.inertia < best.inertia {
+            best = result;
         }
     }
-    Ok(best.expect("at least one restart ran"))
+    Ok(best)
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -129,13 +129,15 @@ fn run_once(points: &Matrix, k: usize, rng: &mut StdRng) -> Result<KmeansResult>
             if counts[c] == 0 {
                 // Re-seed an empty cluster at the point farthest from
                 // its centroid.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        sq_dist(points.row(a), centroids.row(assignments[a]))
-                            .partial_cmp(&sq_dist(points.row(b), centroids.row(assignments[b])))
-                            .expect("finite distances")
-                    })
-                    .expect("non-empty point set");
+                let mut far = 0;
+                let mut far_d = f64::NEG_INFINITY;
+                for i in 0..n {
+                    let d = sq_dist(points.row(i), centroids.row(assignments[i]));
+                    if d > far_d {
+                        far_d = d;
+                        far = i;
+                    }
+                }
                 centroids.row_mut(c).copy_from_slice(points.row(far));
             } else {
                 let inv = 1.0 / counts[c] as f64;

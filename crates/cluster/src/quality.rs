@@ -128,17 +128,19 @@ impl CorrelationMap {
     pub fn mean_between(&self) -> f64 {
         let n = self.matrix.rows();
         let bounds = self.cluster_ranges();
-        let cluster_of = |i: usize| {
-            bounds
-                .iter()
-                .position(|&(s, e)| i >= s && i < e)
-                .expect("index covered by ranges")
-        };
+        // The ranges partition 0..n by construction; build a label
+        // table instead of searching per index.
+        let mut label = vec![0usize; n];
+        for (c, &(start, end)) in bounds.iter().enumerate() {
+            for l in label.iter_mut().take(end.min(n)).skip(start) {
+                *l = c;
+            }
+        }
         let mut sum = 0.0;
         let mut count = 0usize;
         for i in 0..n {
             for j in 0..n {
-                if cluster_of(i) != cluster_of(j) {
+                if label[i] != label[j] {
                     sum += self.matrix[(i, j)];
                     count += 1;
                 }

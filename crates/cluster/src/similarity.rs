@@ -77,7 +77,9 @@ pub fn trajectory_matrix(dataset: &Dataset, channels: &[&str], mask: &Mask) -> R
     for (r, &ci) in idx.iter().enumerate() {
         let ch = dataset.channel_at(ci)?;
         for (c, &slot) in slots.iter().enumerate() {
-            m[(r, c)] = ch.value(slot).expect("joint presence checked");
+            m[(r, c)] = ch.value(slot).ok_or(ClusterError::Internal {
+                context: "joint-presence mask admitted a missing sample",
+            })?;
         }
     }
     Ok(m)

@@ -1,5 +1,7 @@
 //! Property-based tests for spectral clustering.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use thermal_cluster::{
     cluster_trajectories, eigengap_cluster_count, laplacian, log_eigengaps, spectrum,

@@ -291,7 +291,9 @@ impl<'a> FlowPlanner<'a> {
             let lookahead = self.config.lookahead.min(steps - k);
             // Smallest feasible level; fall back to the one with the
             // least violation.
-            let mut chosen = *self.config.flow_levels.last().expect("validated non-empty");
+            let mut chosen = *self.config.flow_levels.last().ok_or(CoreError::Internal {
+                context: "flow_levels emptied after validation",
+            })?;
             let mut chosen_violation = f64::INFINITY;
             let mut feasible = false;
             for &level in &self.config.flow_levels {
@@ -374,14 +376,20 @@ mod tests {
     #[test]
     fn config_validation() {
         let model = cooling_model();
-        let mut cfg = ControlConfig::default();
-        cfg.lookahead = 0;
+        let cfg = ControlConfig {
+            lookahead: 0,
+            ..ControlConfig::default()
+        };
         assert!(FlowPlanner::new(&model, cfg, &["flow"]).is_err());
-        let mut cfg = ControlConfig::default();
-        cfg.flow_levels = vec![];
+        let cfg = ControlConfig {
+            flow_levels: vec![],
+            ..ControlConfig::default()
+        };
         assert!(FlowPlanner::new(&model, cfg, &["flow"]).is_err());
-        let mut cfg = ControlConfig::default();
-        cfg.flow_levels = vec![0.5, 0.5];
+        let cfg = ControlConfig {
+            flow_levels: vec![0.5, 0.5],
+            ..ControlConfig::default()
+        };
         assert!(FlowPlanner::new(&model, cfg, &["flow"]).is_err());
         assert!(FlowPlanner::new(&model, ControlConfig::default(), &[]).is_err());
         assert!(FlowPlanner::new(&model, ControlConfig::default(), &["zz"]).is_err());
@@ -438,9 +446,11 @@ mod tests {
     #[test]
     fn impossible_band_reports_infeasibility() {
         let model = cooling_model();
-        let mut cfg = ControlConfig::default();
         // A band no flow level can reach given the heat load.
-        cfg.band = ComfortBand::new(10.0, 12.0).unwrap();
+        let cfg = ControlConfig {
+            band: ComfortBand::new(10.0, 12.0).unwrap(),
+            ..ControlConfig::default()
+        };
         let planner = FlowPlanner::new(&model, cfg, &["flow"]).unwrap();
         let plan = planner
             .plan(

@@ -1,3 +1,5 @@
+//! Typed errors for the end-to-end modeling pipeline.
+
 use std::fmt;
 
 use thermal_cluster::ClusterError;
@@ -22,6 +24,13 @@ pub enum CoreError {
     Sysid(SysidError),
     /// A dataset operation failed.
     TimeSeries(TimeSeriesError),
+    /// An internal invariant was violated — a bug in this crate, not
+    /// bad input. Reported as an error instead of panicking so library
+    /// callers stay in control.
+    Internal {
+        /// Which invariant failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +41,9 @@ impl fmt::Display for CoreError {
             CoreError::Select(e) => write!(f, "selection stage failed: {e}"),
             CoreError::Sysid(e) => write!(f, "identification stage failed: {e}"),
             CoreError::TimeSeries(e) => write!(f, "dataset operation failed: {e}"),
+            CoreError::Internal { context } => {
+                write!(f, "internal pipeline invariant violated: {context}")
+            }
         }
     }
 }

@@ -296,7 +296,8 @@ mod tests {
             let mut t = vec![base];
             for k in 0..n - 1 {
                 let drive: f64 = gain * u[k];
-                let wiggle = 0.01 * (((k * 31 + (gain * 10.0) as usize) % 17) as f64 / 17.0);
+                let salt = thermal_linalg::cast::floor_to_index(gain * 10.0, usize::MAX - 1);
+                let wiggle = 0.01 * (((k * 31 + salt) % 17) as f64 / 17.0);
                 t.push(0.9 * t[k] + 0.1 * base + drive * 0.2 + wiggle);
             }
             families.push(t);

@@ -145,9 +145,12 @@ impl ReducedModel {
                     let predicted: f64 =
                         cols.iter().map(|&j| pred.predicted[(row, j)]).sum::<f64>()
                             / cols.len() as f64;
-                    let truth_vals = dataset
-                        .values_at(grid_idx, &member_idx[c])
-                        .expect("joint presence checked by segmentation");
+                    let truth_vals =
+                        dataset
+                            .values_at(grid_idx, &member_idx[c])
+                            .ok_or(CoreError::Internal {
+                                context: "segmentation admitted a missing sample",
+                            })?;
                     let truth: f64 = truth_vals.iter().sum::<f64>() / truth_vals.len() as f64;
                     errors.push((predicted - truth).abs());
                 }

@@ -1,3 +1,8 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! Backs the ridge-regularised normal equations of the identification
+//! stage and the Gaussian-process mutual-information selector.
+
 use crate::{LinalgError, Matrix, Result, Vector};
 
 /// Cholesky decomposition `A = L Lᵀ` of a symmetric positive-definite
@@ -160,10 +165,13 @@ impl CholeskyDecomposition {
 
     /// Inverse of `A` (solve against the identity). Prefer
     /// [`CholeskyDecomposition::solve`] when a solve suffices.
-    pub fn inverse(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LinalgError`] from the underlying solve.
+    pub fn inverse(&self) -> Result<Matrix> {
         let n = self.dim();
         self.solve_matrix(&Matrix::identity(n))
-            .expect("identity has matching dimension")
     }
 }
 
@@ -217,7 +225,7 @@ mod tests {
     fn solve_matrix_and_inverse() {
         let a = spd3();
         let chol = CholeskyDecomposition::new(&a).unwrap();
-        let inv = chol.inverse();
+        let inv = chol.inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
         assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());

@@ -1,3 +1,5 @@
+//! Typed errors for the linear-algebra kernels.
+
 use std::fmt;
 
 /// Errors produced by the linear-algebra kernels.

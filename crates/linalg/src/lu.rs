@@ -1,3 +1,8 @@
+//! LU factorisation with partial pivoting for general square solves.
+//!
+//! The workspace's general-purpose solver, used where the matrix is
+//! not known to be symmetric positive-definite.
+
 use crate::{LinalgError, Matrix, Result, Vector};
 
 /// LU decomposition with partial pivoting, `P A = L U`.
@@ -166,9 +171,12 @@ impl LuDecomposition {
 
     /// Inverse of the original matrix. Prefer
     /// [`LuDecomposition::solve`] when a solve suffices.
-    pub fn inverse(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LinalgError`] from the underlying solve.
+    pub fn inverse(&self) -> Result<Matrix> {
         self.solve_matrix(&Matrix::identity(self.dim()))
-            .expect("identity has matching dimension")
     }
 }
 
@@ -215,7 +223,7 @@ mod tests {
     #[test]
     fn inverse_roundtrip() {
         let a = a3();
-        let inv = LuDecomposition::new(&a).unwrap().inverse();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
         assert!(a
             .matmul(&inv)
             .unwrap()

@@ -1,3 +1,7 @@
+//! Dense row-major `f64` matrix container and arithmetic.
+//!
+//! The shared data structure under every kernel in this crate.
+
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 

@@ -1,3 +1,7 @@
+//! Householder QR decomposition for least-squares solves.
+//!
+//! The numerically stable work-horse behind the identification step.
+
 use crate::{LinalgError, Matrix, Result, Vector};
 
 /// Householder QR decomposition of a tall (or square) matrix.

@@ -92,14 +92,14 @@ pub fn percentile(values: &[f64], p: f64) -> Result<f64> {
         return Err(LinalgError::NonFinite { op: "percentile" });
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n == 1 {
         return Ok(sorted[0]);
     }
     let rank = p / 100.0 * (n - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let lo = crate::cast::floor_to_index(rank, n - 1);
+    let hi = crate::cast::ceil_to_index(rank, n - 1);
     let frac = rank - lo as f64;
     Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
 }
@@ -138,7 +138,7 @@ impl EmpiricalCdf {
             return Err(LinalgError::NonFinite { op: "ecdf" });
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        sorted.sort_by(f64::total_cmp);
         Ok(EmpiricalCdf { sorted })
     }
 

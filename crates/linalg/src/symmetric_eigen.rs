@@ -1,3 +1,8 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Supplies the sorted Laplacian eigenpairs the spectral-clustering
+//! stage embeds sensors with.
+
 use crate::{LinalgError, Matrix, Result, Vector};
 
 /// Eigendecomposition of a real symmetric matrix via the cyclic Jacobi
@@ -173,11 +178,7 @@ impl SymmetricEigen {
 
         // Sort ascending by eigenvalue, permuting eigenvector columns.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| {
-            m[(i, i)]
-                .partial_cmp(&m[(j, j)])
-                .expect("eigenvalues are finite")
-        });
+        order.sort_by(|&i, &j| m[(i, i)].total_cmp(&m[(j, j)]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
         let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
 

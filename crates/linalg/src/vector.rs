@@ -1,3 +1,5 @@
+//! Dense `f64` column vector container and arithmetic.
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 

@@ -1,5 +1,7 @@
 //! Property-based tests for the linear-algebra kernels.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use thermal_linalg::{
     lstsq, stats, CholeskyDecomposition, LuDecomposition, Matrix, QrDecomposition, SymmetricEigen,

@@ -1,3 +1,5 @@
+//! Typed errors for the sensor-selection stage.
+
 use std::fmt;
 
 use thermal_cluster::ClusterError;
@@ -17,6 +19,13 @@ pub enum SelectError {
     Linalg(LinalgError),
     /// A clustering operation failed.
     Cluster(ClusterError),
+    /// An internal invariant was violated — a bug in this crate, not
+    /// bad input. Reported as an error instead of panicking so library
+    /// callers stay in control.
+    Internal {
+        /// Which invariant failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for SelectError {
@@ -27,6 +36,9 @@ impl fmt::Display for SelectError {
             }
             SelectError::Linalg(e) => write!(f, "numerical failure: {e}"),
             SelectError::Cluster(e) => write!(f, "clustering failure: {e}"),
+            SelectError::Internal { context } => {
+                write!(f, "internal selection invariant violated: {context}")
+            }
         }
     }
 }

@@ -46,15 +46,12 @@ impl Selector for NearMeanSelector {
                 *m /= members.len() as f64;
             }
             // Distance of each member to the mean.
-            let mut scored: Vec<(f64, usize)> = members
-                .iter()
-                .map(|&i| {
-                    let d = stats::euclidean_distance(traj.row(i), &mean)
-                        .expect("equal lengths by construction");
-                    (d, i)
-                })
-                .collect();
-            scored.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            let mut scored: Vec<(f64, usize)> = Vec::with_capacity(members.len());
+            for &i in &members {
+                let d = stats::euclidean_distance(traj.row(i), &mean)?;
+                scored.push((d, i));
+            }
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             out.push(
                 scored[..input.per_cluster]
                     .iter()
@@ -233,7 +230,9 @@ fn greedy_mutual_information(input: &SelectionInput<'_>, m: usize) -> Result<Vec
                 best = Some((gain, pos));
             }
         }
-        let (_, pos) = best.expect("remaining is non-empty");
+        let (_, pos) = best.ok_or(SelectError::Internal {
+            context: "GP-MI greedy step found no candidate",
+        })?;
         chosen.push(remaining.remove(pos));
     }
     Ok(chosen)
@@ -302,7 +301,9 @@ fn assign_to_clusters(input: &SelectionInput<'_>, chosen: &[usize]) -> Result<Se
                 }
             }
         }
-        let (_, pos, c) = best.expect("loop guard ensures candidates");
+        let (_, pos, c) = best.ok_or(SelectError::Internal {
+            context: "cluster assignment found no (sensor, cluster) pair",
+        })?;
         per_cluster[c].push(unassigned.remove(pos));
     }
     // Distribute leftovers to their best cluster.

@@ -1,5 +1,7 @@
 //! Property-based tests for sensor selection.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use thermal_cluster::Clustering;
 use thermal_linalg::Matrix;

@@ -1,3 +1,5 @@
+//! Typed errors for the synthetic-campaign simulator.
+
 use std::fmt;
 
 use thermal_timeseries::TimeSeriesError;

@@ -228,7 +228,8 @@ impl OccupancySchedule {
             };
             total += v;
         }
-        total.round().min(self.config.capacity as f64) as u32
+        let capped = total.round().min(f64::from(self.config.capacity));
+        u32::try_from(thermal_linalg::cast::floor_to_i64(capped).max(0)).unwrap_or(u32::MAX)
     }
 
     /// Lighting state at time `t`: lights are on from 20 minutes

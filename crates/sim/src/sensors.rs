@@ -223,9 +223,11 @@ mod tests {
 
     #[test]
     fn dropouts_form_bursts() {
-        let mut config = SensorConfig::default();
-        config.dropout_start_prob = 0.02;
-        config.dropout_mean_len = 6.0;
+        let config = SensorConfig {
+            dropout_start_prob: 0.02,
+            dropout_mean_len: 6.0,
+            ..SensorConfig::default()
+        };
         let layer = SensorLayer::new(config, 3);
         let clean = flat_signal(5000);
         let m = layer.measure(&clean, 1, &[], |_| 0);
@@ -269,8 +271,10 @@ mod tests {
 
     #[test]
     fn outage_draw_respects_min_usable() {
-        let mut config = SensorConfig::default();
-        config.outage_day_prob = 1.0; // would kill every day if allowed
+        let config = SensorConfig {
+            outage_day_prob: 1.0, // would kill every day if allowed
+            ..SensorConfig::default()
+        };
         let layer = SensorLayer::new(config, 5);
         let outages = layer.draw_outage_days(98, 64);
         assert_eq!(outages.len(), 98 - 64);

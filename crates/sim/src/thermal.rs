@@ -652,10 +652,12 @@ mod tests {
         // With zone coupling and loads off, the plume with constant
         // flow follows dT/dt = (g/C)(Ts - T) exactly; compare RK4 to
         // the closed form.
-        let mut params = ThermalParams::default();
-        params.zone_coupling = 0.0;
-        params.envelope_u = 0.0;
-        params.mix_leak = 0.0;
+        let params = ThermalParams {
+            zone_coupling: 0.0,
+            envelope_u: 0.0,
+            mix_leak: 0.0,
+            ..ThermalParams::default()
+        };
         let layout = Layout::auditorium();
         let net = ZoneNetwork::new(layout, params.clone());
         let mut state = net.initial_state(21.0);

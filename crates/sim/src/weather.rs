@@ -106,7 +106,7 @@ impl Weather {
     /// sample (the mean component keeps evolving).
     pub fn ambient(&self, t: Timestamp) -> f64 {
         let hours = (t.as_minutes() as f64 / MINUTES_PER_HOUR as f64).max(0.0);
-        let i = hours.floor() as usize;
+        let i = thermal_linalg::cast::floor_to_index(hours, usize::MAX - 1);
         let frac = hours - hours.floor();
         let n = self.noise.len();
         let (a, b) = if i + 1 < n {

@@ -1,5 +1,7 @@
 //! Property-based tests for the auditorium simulator.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use thermal_sim::{
     Drive, Layout, OccupancyConfig, OccupancySchedule, SensorConfig, SensorLayer, ThermalParams,
@@ -55,8 +57,10 @@ proptest! {
     /// room, the mean temperature never rises.
     #[test]
     fn cold_surroundings_never_warm_the_room(steps in 10usize..80) {
-        let mut params = ThermalParams::default();
-        params.ambient_blend = 1.0; // face the true ambient only
+        let params = ThermalParams {
+            ambient_blend: 1.0, // face the true ambient only
+            ..ThermalParams::default()
+        };
         let net = ZoneNetwork::new(Layout::auditorium(), params);
         let mut state = net.initial_state(22.0);
         let mut drive = Drive::quiescent(net.node_count(), 22.0);
@@ -133,7 +137,7 @@ proptest! {
         days in 4usize..120,
         keep_frac in 0.2_f64..0.9,
     ) {
-        let keep = ((days as f64) * keep_frac) as usize;
+        let keep = thermal_linalg::cast::floor_to_index((days as f64) * keep_frac, usize::MAX - 1);
         let layer = SensorLayer::new(SensorConfig::default(), seed);
         let outages = layer.draw_outage_days(days, keep);
         prop_assert!(outages.len() <= days - keep);

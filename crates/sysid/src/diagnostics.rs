@@ -148,17 +148,19 @@ pub fn residual_report(
     let mut residuals: Vec<Vec<f64>> = vec![Vec::new(); p];
     for seg in segments {
         for k in (seg.start + warmup - 1)..(seg.end - 1) {
-            let t_now = dataset
-                .values_at(k, &outputs)
-                .expect("presence checked by segmentation");
-            let u_now = dataset
-                .values_at(k, &inputs)
-                .expect("presence checked by segmentation");
+            let t_now = dataset.values_at(k, &outputs).ok_or(SysidError::Internal {
+                context: "segmentation admitted a missing sample",
+            })?;
+            let u_now = dataset.values_at(k, &inputs).ok_or(SysidError::Internal {
+                context: "segmentation admitted a missing sample",
+            })?;
             let t_prev = if warmup == 2 {
                 Some(
                     dataset
                         .values_at(k - 1, &outputs)
-                        .expect("presence checked by segmentation"),
+                        .ok_or(SysidError::Internal {
+                            context: "segmentation admitted a missing sample",
+                        })?,
                 )
             } else {
                 None
@@ -166,7 +168,9 @@ pub fn residual_report(
             let predicted = model.predict_next(&t_now, t_prev.as_deref(), &u_now)?;
             let actual = dataset
                 .values_at(k + 1, &outputs)
-                .expect("presence checked by segmentation");
+                .ok_or(SysidError::Internal {
+                    context: "segmentation admitted a missing sample",
+                })?;
             for s in 0..p {
                 residuals[s].push(actual[s] - predicted[s]);
             }

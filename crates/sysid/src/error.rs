@@ -1,3 +1,5 @@
+//! Typed errors for model identification and evaluation.
+
 use std::fmt;
 
 use thermal_linalg::LinalgError;
@@ -33,6 +35,13 @@ pub enum SysidError {
         /// Actual size.
         actual: usize,
     },
+    /// An internal invariant was violated — a bug in this crate, not
+    /// bad input. Reported as an error instead of panicking so library
+    /// callers stay in control.
+    Internal {
+        /// Which invariant failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for SysidError {
@@ -56,6 +65,9 @@ impl fmt::Display for SysidError {
                 f,
                 "dimension mismatch for {what}: expected {expected}, got {actual}"
             ),
+            SysidError::Internal { context } => {
+                write!(f, "internal identification invariant violated: {context}")
+            }
         }
     }
 }

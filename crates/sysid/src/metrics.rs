@@ -340,8 +340,10 @@ mod tests {
         for i in 50..54 {
             mask.set(i, true).unwrap();
         }
-        let mut cfg = EvalConfig::default();
-        cfg.min_segment_len = 10;
+        let cfg = EvalConfig {
+            min_segment_len: 10,
+            ..EvalConfig::default()
+        };
         let report = evaluate(&model, &ds, &mask, &cfg).unwrap();
         assert_eq!(report.segment_count(), 1);
     }

@@ -1,3 +1,6 @@
+//! Thermal state-space model container: coefficient blocks, one-
+//! step prediction and multi-step rollout (the paper's Eq. 2 family).
+
 use serde::{Deserialize, Serialize};
 
 use thermal_linalg::{Matrix, Vector};
@@ -150,22 +153,28 @@ impl ThermalModel {
     }
 
     /// The `A` block (effect of `T(k)` on `T(k+1)`), `p × p`.
-    pub fn a_matrix(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SysidError::Linalg`] if the column selection fails
+    /// (impossible for a model built through [`ThermalModel::new`]).
+    pub fn a_matrix(&self) -> Result<Matrix> {
         let p = self.spec.output_count();
         let idx: Vec<usize> = (0..p).collect();
-        self.coef
-            .select_columns(&idx)
-            .expect("A block within coefficient matrix")
+        Ok(self.coef.select_columns(&idx)?)
     }
 
     /// The `B` block (effect of inputs on `T(k+1)`), `p × m`.
-    pub fn b_matrix(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SysidError::Linalg`] if the column selection fails
+    /// (impossible for a model built through [`ThermalModel::new`]).
+    pub fn b_matrix(&self) -> Result<Matrix> {
         let p = self.spec.output_count();
         let start = self.spec.order.state_blocks() * p;
         let idx: Vec<usize> = (start..start + self.spec.input_count()).collect();
-        self.coef
-            .select_columns(&idx)
-            .expect("B block within coefficient matrix")
+        Ok(self.coef.select_columns(&idx)?)
     }
 
     /// One-step prediction.
@@ -275,7 +284,9 @@ impl ThermalModel {
     /// diagnostics (a healthy room model has `A` close to, but inside,
     /// the unit circle).
     pub fn a_symmetric_spectral_bound(&self) -> f64 {
-        let a = self.a_matrix();
+        let Ok(a) = self.a_matrix() else {
+            return f64::NAN;
+        };
         let sym = thermal_linalg::SymmetricEigen::new_symmetrized(&a);
         match sym {
             Ok(e) => e
@@ -343,10 +354,10 @@ mod tests {
         // coef = [A | B] with recognisable entries.
         let coef = Matrix::from_rows(&[&[0.9, 0.1, 5.0][..], &[0.2, 0.8, -3.0][..]]).unwrap();
         let model = ThermalModel::new(spec1(), coef).unwrap();
-        let a = model.a_matrix();
+        let a = model.a_matrix().unwrap();
         assert_eq!(a[(0, 0)], 0.9);
         assert_eq!(a[(1, 1)], 0.8);
-        let b = model.b_matrix();
+        let b = model.b_matrix().unwrap();
         assert_eq!(b.shape(), (2, 1));
         assert_eq!(b[(0, 0)], 5.0);
         assert_eq!(b[(1, 0)], -3.0);

@@ -94,23 +94,28 @@ pub fn assemble(dataset: &Dataset, spec: &ModelSpec, mask: &Mask) -> Result<Regr
     let mut row = 0usize;
     for seg in &segments {
         for k in (seg.start + warmup - 1)..(seg.end - 1) {
-            let t_now = dataset
-                .values_at(k, &outputs)
-                .expect("presence checked by segmentation");
-            let u_now = dataset
-                .values_at(k, &inputs)
-                .expect("presence checked by segmentation");
+            let t_now = dataset.values_at(k, &outputs).ok_or(SysidError::Internal {
+                context: "segmentation admitted a missing sample",
+            })?;
+            let u_now = dataset.values_at(k, &inputs).ok_or(SysidError::Internal {
+                context: "segmentation admitted a missing sample",
+            })?;
             let t_next = dataset
                 .values_at(k + 1, &outputs)
-                .expect("presence checked by segmentation");
+                .ok_or(SysidError::Internal {
+                    context: "segmentation admitted a missing sample",
+                })?;
             {
                 let xr = x.row_mut(row);
                 xr[..p].copy_from_slice(&t_now);
                 let mut col = p;
                 if warmup == 2 {
-                    let t_prev = dataset
-                        .values_at(k - 1, &outputs)
-                        .expect("presence checked by segmentation");
+                    let t_prev =
+                        dataset
+                            .values_at(k - 1, &outputs)
+                            .ok_or(SysidError::Internal {
+                                context: "segmentation admitted a missing sample",
+                            })?;
                     for i in 0..p {
                         xr[col + i] = t_now[i] - t_prev[i];
                     }

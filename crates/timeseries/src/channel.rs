@@ -1,3 +1,5 @@
+//! Named, gap-aware sample channels on the shared time grid.
+
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, TimeSeriesError};

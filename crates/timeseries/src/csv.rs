@@ -154,7 +154,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset> {
                 });
             }
         }
-        s as u32
+        u32::try_from(s).map_err(|_| TimeSeriesError::Csv {
+            line: 3,
+            reason: "timestamp step too large".to_owned(),
+        })?
     } else {
         1
     };

@@ -1,3 +1,8 @@
+//! Multi-channel datasets aligned on one time grid.
+//!
+//! The in-memory form of the auditorium trace: channels share a grid
+//! and carry optional samples so sensor gaps stay explicit.
+
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -249,19 +254,16 @@ impl Dataset {
         if mask.len() != self.grid.len() {
             return Err(TimeSeriesError::GridMismatch);
         }
-        let channels = self
-            .channels
-            .iter()
-            .map(|ch| {
-                let values = ch
-                    .values()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| if mask.get(i) { *v } else { None })
-                    .collect();
-                Channel::new(ch.name(), values).expect("values already validated")
-            })
-            .collect();
+        let mut channels = Vec::with_capacity(self.channels.len());
+        for ch in &self.channels {
+            let values = ch
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if mask.get(i) { *v } else { None })
+                .collect();
+            channels.push(Channel::new(ch.name(), values)?);
+        }
         Dataset::new(self.grid, channels)
     }
 

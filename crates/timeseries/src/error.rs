@@ -1,3 +1,5 @@
+//! Typed errors for time-series construction and access.
+
 use std::fmt;
 
 /// Errors produced by time-series construction and slicing.

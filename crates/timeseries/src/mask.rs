@@ -1,3 +1,5 @@
+//! Boolean slot masks for selecting subsets of a time grid.
+
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, TimeGrid, TimeSeriesError, MINUTES_PER_DAY};
@@ -60,7 +62,7 @@ impl Mask {
     /// Returns [`TimeSeriesError::InvalidWindow`] unless
     /// `start < end ≤ 1440`.
     pub fn daily_window(grid: &TimeGrid, start_minute: u32, end_minute: u32) -> Result<Self> {
-        if start_minute >= end_minute || end_minute > MINUTES_PER_DAY as u32 {
+        if start_minute >= end_minute || i64::from(end_minute) > MINUTES_PER_DAY {
             return Err(TimeSeriesError::InvalidWindow {
                 start: start_minute,
                 end: end_minute,
@@ -69,8 +71,8 @@ impl Mask {
         let bits = grid
             .iter()
             .map(|(_, t)| {
-                let m = t.minute_of_day() as u32;
-                m >= start_minute && m < end_minute
+                let m = t.minute_of_day();
+                m >= i64::from(start_minute) && m < i64::from(end_minute)
             })
             .collect();
         Ok(Mask { bits })

@@ -42,11 +42,13 @@ pub fn downsample(dataset: &Dataset, factor: usize, how: Aggregate) -> Result<Da
             reason: "downsample factor leaves no samples",
         });
     }
-    let coarse = TimeGrid::new(
-        fine.start(),
-        fine.step_minutes() * factor as u32,
-        coarse_len,
-    )?;
+    let factor_step = u32::try_from(factor)
+        .ok()
+        .and_then(|f| fine.step_minutes().checked_mul(f))
+        .ok_or(TimeSeriesError::InvalidGrid {
+            reason: "downsample factor overflows the grid step",
+        })?;
+    let coarse = TimeGrid::new(fine.start(), factor_step, coarse_len)?;
     let mut channels = Vec::with_capacity(dataset.channel_count());
     for ch in dataset.channels() {
         let values: Vec<Option<f64>> = (0..coarse_len)
@@ -93,11 +95,12 @@ pub fn upsample_hold(dataset: &Dataset, factor: usize) -> Result<Dataset> {
             reason: "upsample factor must divide the step into whole minutes",
         });
     }
-    let fine = TimeGrid::new(
-        coarse.start(),
-        coarse.step_minutes() / factor as u32,
-        coarse.len() * factor,
-    )?;
+    let fine_step = u32::try_from(factor)
+        .map(|f| coarse.step_minutes() / f)
+        .map_err(|_| TimeSeriesError::InvalidGrid {
+            reason: "upsample factor must divide the step into whole minutes",
+        })?;
+    let fine = TimeGrid::new(coarse.start(), fine_step, coarse.len() * factor)?;
     let mut channels = Vec::with_capacity(dataset.channel_count());
     for ch in dataset.channels() {
         let values: Vec<Option<f64>> = (0..fine.len()).map(|i| ch.value(i / factor)).collect();

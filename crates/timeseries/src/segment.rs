@@ -1,3 +1,8 @@
+//! Contiguous jointly-present segments across channels.
+//!
+//! Identification consumes runs where every input channel has data;
+//! this module finds those runs.
+
 use serde::{Deserialize, Serialize};
 
 use crate::Mask;

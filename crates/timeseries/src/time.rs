@@ -1,3 +1,5 @@
+//! Calendar dates and the uniform slot grid of the trace.
+
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -151,23 +153,25 @@ impl Date {
         match self.month {
             1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
             4 | 6 | 9 | 11 => 30,
-            2 => {
+            // Month is validated to 1..=12 at construction, so only
+            // February reaches this arm.
+            _ => {
                 if self.is_leap_year() {
                     29
                 } else {
                     28
                 }
             }
-            _ => unreachable!("validated month"),
         }
     }
 
     /// Returns the date `n` days after `self` (`n ≥ 0`).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // remaining ≤ days_in_month ≤ 31 at the cast
     pub fn plus_days(mut self, n: i64) -> Self {
         debug_assert!(n >= 0, "plus_days takes a non-negative offset");
         let mut remaining = n;
         while remaining > 0 {
-            let left_in_month = (self.days_in_month() - self.day) as i64;
+            let left_in_month = i64::from(self.days_in_month() - self.day);
             if remaining <= left_in_month {
                 self.day += remaining as u8;
                 return self;
@@ -280,7 +284,7 @@ impl TimeGrid {
         if offset < 0 || offset % self.step_minutes as i64 != 0 {
             return None;
         }
-        let idx = (offset / self.step_minutes as i64) as usize;
+        let idx = usize::try_from(offset / i64::from(self.step_minutes)).ok()?;
         (idx < self.len).then_some(idx)
     }
 
@@ -296,8 +300,8 @@ impl TimeGrid {
             return 0;
         }
         let first = self.start.day();
-        let last = (self.start + ((self.len as i64 - 1) * self.step_minutes as i64)).day();
-        (last - first + 1) as usize
+        let last = (self.start + ((self.len as i64 - 1) * i64::from(self.step_minutes))).day();
+        usize::try_from(last - first + 1).unwrap_or(0)
     }
 
     /// Day index (relative to the *epoch*, not the grid start) of

@@ -1,5 +1,7 @@
 //! Property-based tests for the time-series containers.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use thermal_timeseries::{
     csv, segments_from_mask, split, Channel, Dataset, Mask, TimeGrid, Timestamp,

@@ -1,0 +1,264 @@
+//! Parser and matcher for `xtask/lint-allow.toml`, the checked-in
+//! allowlist of justified exceptions to the custom lint rules.
+//!
+//! The file is restricted TOML parsed with a dependency-free reader:
+//! `[[allow]]` tables with string keys `path`, `pattern`, `rule`
+//! (optional), `reason`, and integer `count` (optional, default 1).
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Maximum number of allowlist entries the gate tolerates; beyond
+/// this the allowlist itself is a lint violation (the ISSUE budget).
+pub const MAX_ENTRIES: usize = 10;
+
+/// One justified exception.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative file the exception applies to.
+    pub path: String,
+    /// Substring that must occur on the allowed line.
+    pub pattern: String,
+    /// Rule the exception applies to (`None` = any rule).
+    pub rule: Option<String>,
+    /// One-line justification (required, non-empty).
+    pub reason: String,
+    /// Maximum number of occurrences covered.
+    pub count: usize,
+    /// Occurrences consumed so far in this run.
+    used: Cell<usize>,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers a violation at `path` on a line
+    /// containing `line`, for rule `rule`; consumes one use.
+    pub fn covers(&self, path: &str, line: &str, rule: &str) -> bool {
+        if self.path != path || !line.contains(&self.pattern) {
+            return false;
+        }
+        if let Some(r) = &self.rule {
+            if r != rule {
+                return false;
+            }
+        }
+        if self.used.get() >= self.count {
+            return false;
+        }
+        self.used.set(self.used.get() + 1);
+        true
+    }
+
+    /// Whether the entry matched anything during the run.
+    pub fn was_used(&self) -> bool {
+        self.used.get() > 0
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Error produced when the allowlist file is malformed.
+#[derive(Debug)]
+pub struct AllowlistError {
+    /// 1-based line number of the offending line (0 = whole file).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+fn unquote(raw: &str, line_no: usize) -> Result<String, AllowlistError> {
+    let raw = raw.trim();
+    if raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"') {
+        Ok(raw[1..raw.len() - 1]
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\"))
+    } else {
+        Err(AllowlistError {
+            line: line_no,
+            message: format!("expected a double-quoted string, got `{raw}`"),
+        })
+    }
+}
+
+impl Allowlist {
+    /// Parses the restricted-TOML allowlist format.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowlistError> {
+        struct Partial {
+            path: Option<String>,
+            pattern: Option<String>,
+            rule: Option<String>,
+            reason: Option<String>,
+            count: usize,
+            start_line: usize,
+        }
+        let mut entries = Vec::new();
+        let mut current: Option<Partial> = None;
+        let finish = |p: Partial, entries: &mut Vec<AllowEntry>| -> Result<(), AllowlistError> {
+            let missing = |key: &str| AllowlistError {
+                line: p.start_line,
+                message: format!("entry is missing required key `{key}`"),
+            };
+            let entry = AllowEntry {
+                path: p.path.clone().ok_or_else(|| missing("path"))?,
+                pattern: p.pattern.clone().ok_or_else(|| missing("pattern"))?,
+                rule: p.rule.clone(),
+                reason: p.reason.clone().ok_or_else(|| missing("reason"))?,
+                count: p.count,
+                used: Cell::new(0),
+            };
+            if entry.reason.trim().is_empty() {
+                return Err(AllowlistError {
+                    line: p.start_line,
+                    message: "`reason` must be a non-empty justification".to_owned(),
+                });
+            }
+            entries.push(entry);
+            Ok(())
+        };
+        for (i, raw_line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(p) = current.take() {
+                    finish(p, &mut entries)?;
+                }
+                current = Some(Partial {
+                    path: None,
+                    pattern: None,
+                    rule: None,
+                    reason: None,
+                    count: 1,
+                    start_line: line_no,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!("unrecognized line `{line}`"),
+                });
+            };
+            let Some(p) = current.as_mut() else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: "key outside an [[allow]] table".to_owned(),
+                });
+            };
+            match key.trim() {
+                "path" => p.path = Some(unquote(value, line_no)?),
+                "pattern" => p.pattern = Some(unquote(value, line_no)?),
+                "rule" => p.rule = Some(unquote(value, line_no)?),
+                "reason" => p.reason = Some(unquote(value, line_no)?),
+                "count" => {
+                    p.count = value.trim().parse().map_err(|_| AllowlistError {
+                        line: line_no,
+                        message: format!("`count` must be an integer, got `{}`", value.trim()),
+                    })?;
+                }
+                other => {
+                    return Err(AllowlistError {
+                        line: line_no,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        if let Some(p) = current.take() {
+            finish(p, &mut entries)?;
+        }
+        if entries.len() > MAX_ENTRIES {
+            return Err(AllowlistError {
+                line: 0,
+                message: format!(
+                    "allowlist has {} entries; the budget is {MAX_ENTRIES}",
+                    entries.len()
+                ),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether any entry covers the given violation (consumes a use).
+    pub fn covers(&self, path: &str, line: &str, rule: &str) -> bool {
+        self.entries.iter().any(|e| e.covers(path, line, rule))
+    }
+
+    /// Entries that never matched during the run (stale exceptions).
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.was_used()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_defaults() {
+        let list = Allowlist::parse(
+            r#"
+# comment
+[[allow]]
+path = "crates/linalg/src/stats.rs"
+pattern = "floor() as usize"
+reason = "rank is clamped to [0, n-1] two lines above"
+count = 2
+
+[[allow]]
+path = "crates/core/src/pipeline.rs"
+pattern = ".unwrap()"
+rule = "forbidden-call"
+reason = "guarded by is_some() on the previous line"
+"#,
+        )
+        .unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].count, 2);
+        assert_eq!(list.entries[1].count, 1);
+        assert_eq!(list.entries[1].rule.as_deref(), Some("forbidden-call"));
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let err = Allowlist::parse("[[allow]]\npath = \"a\"\npattern = \"b\"\n").unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn rejects_over_budget() {
+        let mut text = String::new();
+        for i in 0..=MAX_ENTRIES {
+            text.push_str(&format!(
+                "[[allow]]\npath = \"p{i}\"\npattern = \"x\"\nreason = \"r\"\n"
+            ));
+        }
+        let err = Allowlist::parse(&text).unwrap_err();
+        assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn coverage_consumes_budget() {
+        let list = Allowlist::parse(
+            "[[allow]]\npath = \"f.rs\"\npattern = \"unwrap\"\nreason = \"r\"\ncount = 1\n",
+        )
+        .unwrap();
+        assert!(list.covers("f.rs", "x.unwrap()", "forbidden-call"));
+        assert!(!list.covers("f.rs", "x.unwrap()", "forbidden-call"));
+        assert!(list.unused().is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! Custom source-level checks enforcing the workspace conventions
+//! described in `DESIGN.md` § static analysis:
+//!
+//! - `forbidden-call` — no `unwrap`/`expect`/`panic!`-family calls in
+//!   library code (`crates/*/src`), outside `#[cfg(test)]` modules.
+//! - `module-doc` — every library source file opens with a `//!` doc.
+//! - `float-int-cast` — no `as` float→int conversions in numerical
+//!   code; use checked/clamped conversions or allowlist with a bounds
+//!   rationale.
+//! - `error-type` — every crate with an `error.rs` implements both
+//!   `Display` and `std::error::Error` for its error type.
+//! - `lints-opt-in` — every member crate opts into the workspace lint
+//!   wall with `[lints] workspace = true`.
+//! - `stale-allow` — allowlist entries must match something; stale
+//!   exceptions are themselves violations.
+//!
+//! The scanner is deliberately line-based (the container has no
+//! network access, so `syn` is unavailable); it strips comments and
+//! string literals and tracks `#[cfg(test)]` brace regions, which is
+//! exact enough for the conventions above.
+
+use crate::allowlist::Allowlist;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A single finding of the custom checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: usize,
+    /// Rule identifier (e.g. `forbidden-call`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Panic-family call patterns banned from library code.
+const FORBIDDEN_CALLS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "dbg!(",
+];
+
+/// Integer types the float-cast rule protects against truncation.
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Float-producing method calls whose result must not be `as`-cast.
+const FLOAT_PRODUCERS: &[&str] = &[".floor()", ".ceil()", ".round()", ".trunc()"];
+
+/// Strips line comments, block comments, and string/char literals,
+/// replacing their contents with spaces so byte offsets and brace
+/// counts survive. `in_block_comment` carries state across lines.
+fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i..].starts_with(b"*/") {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes[i..].starts_with(b"//") => break,
+            b'/' if bytes[i..].starts_with(b"/*") => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#\"") => {
+                // Raw string: r"..." or r#"..."# (single-# form only).
+                let (open_len, close): (usize, &[u8]) = if bytes[i + 1] == b'#' {
+                    (3, b"\"#")
+                } else {
+                    (2, b"\"")
+                };
+                i += open_len;
+                while i < bytes.len() && !bytes[i..].starts_with(close) {
+                    i += 1;
+                }
+                i = (i + close.len()).min(bytes.len());
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: a literal closes with a
+                // quote within a few bytes ('x', '\n', '\u{..}').
+                let rest = &bytes[i + 1..];
+                let close = rest.iter().take(12).position(|&b| b == b'\'');
+                // A char literal closes within a few bytes and holds a
+                // single char or an escape ('x', '\n', '\u{7f}');
+                // anything else ('a in generics, 'static) is a
+                // lifetime and only the quote itself is skipped.
+                let is_char_literal = close.is_some_and(|p| {
+                    let inner = &rest[..p];
+                    p > 0 && (inner.len() == 1 || inner[0] == b'\\')
+                });
+                if let (true, Some(p)) = (is_char_literal, close) {
+                    i += p + 2;
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Per-file scan state for `#[cfg(test)]` region tracking.
+struct TestRegionTracker {
+    depth: i64,
+    pending: bool,
+    in_skip: bool,
+    skip_until_depth: i64,
+}
+
+impl TestRegionTracker {
+    fn new() -> Self {
+        TestRegionTracker {
+            depth: 0,
+            pending: false,
+            in_skip: false,
+            skip_until_depth: 0,
+        }
+    }
+
+    /// Processes one stripped line; returns true if the line lies in a
+    /// `#[cfg(test)]` region (and should not be checked).
+    fn process(&mut self, stripped: &str) -> bool {
+        let was_skipping = self.in_skip || self.pending;
+        if !self.in_skip && stripped.contains("#[cfg(test)]") {
+            self.pending = true;
+        }
+        let mut saw_brace = false;
+        for ch in stripped.chars() {
+            match ch {
+                '{' => {
+                    if self.pending {
+                        self.skip_until_depth = self.depth;
+                        self.pending = false;
+                        self.in_skip = true;
+                    }
+                    saw_brace = true;
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if self.in_skip && self.depth <= self.skip_until_depth {
+                        self.in_skip = false;
+                    }
+                }
+                ';' if self.pending && !saw_brace => {
+                    // `#[cfg(test)] use ...;` — item ends without a block.
+                    self.pending = false;
+                }
+                _ => {}
+            }
+        }
+        was_skipping || self.in_skip
+    }
+}
+
+/// Scans one library source file; pushes findings onto `out`.
+///
+/// `rel_path` is the workspace-relative path used for reporting and
+/// allowlist matching.
+pub fn check_source(rel_path: &str, content: &str, allow: &Allowlist, out: &mut Vec<Violation>) {
+    // module-doc: first non-empty line must open the module doc.
+    let first = content.lines().find(|l| !l.trim().is_empty());
+    if let Some(first) = first {
+        if !first.trim_start().starts_with("//!") {
+            push_unless_allowed(
+                out,
+                allow,
+                rel_path,
+                first,
+                Violation {
+                    file: rel_path.to_owned(),
+                    line: 0,
+                    rule: "module-doc",
+                    message: "library file must open with a `//!` module doc".to_owned(),
+                },
+            );
+        }
+    }
+
+    let mut in_block_comment = false;
+    let mut tracker = TestRegionTracker::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let stripped = strip_line(raw, &mut in_block_comment);
+        if tracker.process(&stripped) {
+            continue;
+        }
+        for pat in FORBIDDEN_CALLS {
+            if stripped.contains(pat) {
+                push_unless_allowed(
+                    out,
+                    allow,
+                    rel_path,
+                    raw,
+                    Violation {
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        rule: "forbidden-call",
+                        message: format!(
+                            "`{}` in library code; return a typed error instead",
+                            pat.trim_start_matches('.')
+                        ),
+                    },
+                );
+            }
+        }
+        for producer in FLOAT_PRODUCERS {
+            for ty in INT_TYPES {
+                if stripped.contains(&format!("{producer} as {ty}")) {
+                    push_unless_allowed(
+                        out,
+                        allow,
+                        rel_path,
+                        raw,
+                        Violation {
+                            file: rel_path.to_owned(),
+                            line: idx + 1,
+                            rule: "float-int-cast",
+                            message: format!(
+                                "float result cast `{producer} as {ty}`; use a checked conversion or allowlist with a bounds rationale"
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+        for f in ["f64", "f32"] {
+            for ty in INT_TYPES {
+                if stripped.contains(&format!("{f} as {ty}")) {
+                    push_unless_allowed(
+                        out,
+                        allow,
+                        rel_path,
+                        raw,
+                        Violation {
+                            file: rel_path.to_owned(),
+                            line: idx + 1,
+                            rule: "float-int-cast",
+                            message: format!("`{f} as {ty}` truncates; use a checked conversion"),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn push_unless_allowed(
+    out: &mut Vec<Violation>,
+    allow: &Allowlist,
+    rel_path: &str,
+    raw_line: &str,
+    violation: Violation,
+) {
+    if !allow.covers(rel_path, raw_line, violation.rule) {
+        out.push(violation);
+    }
+}
+
+/// Checks a crate's `Cargo.toml` for the `[lints] workspace = true`
+/// opt-in.
+pub fn check_lints_opt_in(rel_path: &str, manifest: &str, out: &mut Vec<Violation>) {
+    let mut in_lints = false;
+    let mut opted_in = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            opted_in = true;
+        }
+    }
+    if !opted_in {
+        out.push(Violation {
+            file: rel_path.to_owned(),
+            line: 0,
+            rule: "lints-opt-in",
+            message: "crate must opt into the workspace lint wall with `[lints] workspace = true`"
+                .to_owned(),
+        });
+    }
+}
+
+/// Checks a crate's `error.rs` for `Display` + `std::error::Error`
+/// implementations.
+pub fn check_error_type(rel_path: &str, content: &str, out: &mut Vec<Violation>) {
+    let has_display = content.contains("Display for");
+    let has_error = content.contains("std::error::Error for")
+        || content.contains("error::Error for")
+        || content.contains("impl Error for");
+    if !has_display {
+        out.push(Violation {
+            file: rel_path.to_owned(),
+            line: 0,
+            rule: "error-type",
+            message: "crate error type must implement `std::fmt::Display`".to_owned(),
+        });
+    }
+    if !has_error {
+        out.push(Violation {
+            file: rel_path.to_owned(),
+            line: 0,
+            rule: "error-type",
+            message: "crate error type must implement `std::error::Error`".to_owned(),
+        });
+    }
+}
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Runs every check over the workspace rooted at `root`; returns all
+/// findings (empty = gate passes).
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let allow_path = root.join("xtask").join("lint-allow.toml");
+    let allow = if allow_path.exists() {
+        let text = std::fs::read_to_string(&allow_path)?;
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                return Ok(vec![Violation {
+                    file: "xtask/lint-allow.toml".to_owned(),
+                    line: e.line,
+                    rule: "allowlist",
+                    message: e.message,
+                }]);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let mut violations = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").exists())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let rel = |p: &Path| -> String {
+            p.strip_prefix(root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/")
+        };
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let manifest = std::fs::read_to_string(&manifest_path)?;
+        check_lints_opt_in(&rel(&manifest_path), &manifest, &mut violations);
+
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk_rs_files(&src, &mut files)?;
+        for file in &files {
+            let content = std::fs::read_to_string(file)?;
+            let rel_path = rel(file);
+            check_source(&rel_path, &content, &allow, &mut violations);
+            if file.file_name().is_some_and(|n| n == "error.rs") {
+                check_error_type(&rel_path, &content, &mut violations);
+            }
+        }
+    }
+
+    for entry in allow.unused() {
+        violations.push(Violation {
+            file: "xtask/lint-allow.toml".to_owned(),
+            line: 0,
+            rule: "stale-allow",
+            message: format!(
+                "entry (path = \"{}\", pattern = \"{}\") matched nothing; remove it",
+                entry.path, entry.pattern
+            ),
+        });
+    }
+
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(content: &str) -> Vec<Violation> {
+        let allow = Allowlist::default();
+        let mut out = Vec::new();
+        check_source("crates/demo/src/lib.rs", content, &allow, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let v = scan("//! doc\nfn f() { x.unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbidden-call");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn flags_every_forbidden_pattern() {
+        for call in [
+            "x.unwrap()",
+            "x.expect(\"m\")",
+            "panic!(\"m\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+            "dbg!(x)",
+        ] {
+            let v = scan(&format!("//! doc\nfn f() {{ {call}; }}\n"));
+            assert_eq!(v.len(), 1, "expected one finding for `{call}`");
+        }
+    }
+
+    #[test]
+    fn ignores_test_modules() {
+        let v = scan(
+            "//! doc\n\
+             fn f() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { x.unwrap(); panic!(\"boom\"); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "test module should be exempt: {v:?}");
+    }
+
+    #[test]
+    fn resumes_checking_after_test_module() {
+        let v = scan(
+            "//! doc\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { x.unwrap(); } }\n\
+             fn g() { y.unwrap(); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn ignores_comments_and_strings() {
+        let v = scan(
+            "//! doc\n\
+             // calling x.unwrap() would be bad\n\
+             /* panic!(\"no\") */\n\
+             fn f() { let s = \"don't panic!(here)\"; let _ = s; }\n",
+        );
+        assert!(v.is_empty(), "comments/strings should be exempt: {v:?}");
+    }
+
+    #[test]
+    fn flags_float_int_casts() {
+        let v = scan("//! doc\nfn f(x: f64) -> usize { x.floor() as usize }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-int-cast");
+    }
+
+    #[test]
+    fn missing_module_doc_flagged() {
+        let v = scan("fn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "module-doc");
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_budget_enforced() {
+        let allow = Allowlist::parse(
+            "[[allow]]\npath = \"crates/demo/src/lib.rs\"\npattern = \".unwrap()\"\nreason = \"r\"\ncount = 1\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        check_source(
+            "crates/demo/src/lib.rs",
+            "//! doc\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }\n",
+            &allow,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "second occurrence exceeds count budget");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn lints_opt_in_detected() {
+        let mut out = Vec::new();
+        check_lints_opt_in("a/Cargo.toml", "[package]\nname = \"a\"\n", &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        check_lints_opt_in(
+            "a/Cargo.toml",
+            "[package]\nname = \"a\"\n\n[lints]\nworkspace = true\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn error_type_impls_required() {
+        let mut out = Vec::new();
+        check_error_type("a/src/error.rs", "pub enum Error {}\n", &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        check_error_type(
+            "a/src/error.rs",
+            "impl fmt::Display for Error {}\nimpl std::error::Error for Error {}\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

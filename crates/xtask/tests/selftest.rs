@@ -1,0 +1,109 @@
+//! End-to-end self-test of the `cargo xtask lint` gate: the binary
+//! must exit non-zero on a workspace containing a seeded violation
+//! and zero once the violation is remediated.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("xtask-selftest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+        std::fs::write(
+            root.join("crates/demo/Cargo.toml"),
+            "[package]\nname = \"demo\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[lints]\nworkspace = true\n",
+        )
+        .unwrap();
+        Fixture { root }
+    }
+
+    fn write_lib(&self, content: &str) {
+        std::fs::write(self.root.join("crates/demo/src/lib.rs"), content).unwrap();
+    }
+
+    fn lint(&self) -> (bool, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(["lint", "--root"])
+            .arg(&self.root)
+            .output()
+            .expect("xtask binary runs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn seeded_violation_fails_and_clean_tree_passes() {
+    let fx = Fixture::new("seeded");
+    fx.write_lib("//! Demo crate.\n\n/// Doc.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    let (ok, stderr) = fx.lint();
+    assert!(!ok, "lint must fail on a seeded unwrap: {stderr}");
+    assert!(
+        stderr.contains("forbidden-call"),
+        "stderr names the rule: {stderr}"
+    );
+
+    fx.write_lib(
+        "//! Demo crate.\n\n/// Doc.\npub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    );
+    let (ok, stderr) = fx.lint();
+    assert!(ok, "lint must pass once remediated: {stderr}");
+}
+
+#[test]
+fn allowlist_suppresses_seeded_violation_but_stale_entries_fail() {
+    let fx = Fixture::new("allow");
+    fx.write_lib("//! Demo crate.\n\n/// Doc.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    std::fs::create_dir_all(fx.root.join("xtask")).unwrap();
+    std::fs::write(
+        fx.root.join("xtask/lint-allow.toml"),
+        "[[allow]]\npath = \"crates/demo/src/lib.rs\"\npattern = \".unwrap()\"\nreason = \"seeded fixture\"\n",
+    )
+    .unwrap();
+    let (ok, stderr) = fx.lint();
+    assert!(ok, "allowlisted violation must pass: {stderr}");
+
+    // Remediate the source but keep the entry: now it is stale.
+    fx.write_lib(
+        "//! Demo crate.\n\n/// Doc.\npub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    );
+    let (ok, stderr) = fx.lint();
+    assert!(!ok, "stale allowlist entry must fail the gate");
+    assert!(
+        stderr.contains("stale-allow"),
+        "stderr names the rule: {stderr}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The acceptance gate: the remediated workspace itself passes.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&root)
+        .output()
+        .expect("xtask binary runs");
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

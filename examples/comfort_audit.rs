@@ -10,6 +10,8 @@
 //! cargo run --release -p thermal-core --example comfort_audit
 //! ```
 
+// Examples are demos: panicking with a clear message is the right UX.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use thermal_comfort::{pmv, ppd, Environment, Sensation};
 use thermal_sim::{run, Scenario};
 

@@ -7,6 +7,8 @@
 //! cargo run --release -p thermal-core --example full_pipeline
 //! ```
 
+// Examples are demos: panicking with a clear message is the right UX.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use thermal_core::timeseries::{split, Mask};
 use thermal_core::{
     ClusterCount, EvalConfig, FitConfig, ModelOrder, ModelSpec, SelectorKind, Similarity,
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dense identification: first vs second order, 13.5 h open loop.
     let inputs = output.input_channels();
-    let horizon = (13.5 * 60.0 / grid.step_minutes() as f64) as usize;
+    let horizon = thermal_linalg::cast::floor_to_index(
+        13.5 * 60.0 / f64::from(grid.step_minutes()),
+        usize::MAX - 1,
+    );
     println!("\ndense models (all 27 temperature channels), occupied mode:");
     for order in [ModelOrder::First, ModelOrder::Second] {
         let spec = ModelSpec::new(temps.clone(), inputs.clone(), order)?;

@@ -6,6 +6,8 @@
 //! cargo run --release -p thermal-core --example model_based_control
 //! ```
 
+// Examples are demos: panicking with a clear message is the right UX.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 use thermal_core::control::{ComfortBand, ControlConfig, FlowPlanner};
 use thermal_core::timeseries::Mask;
 use thermal_core::{ClusterCount, ModelOrder, SelectorKind, Similarity, ThermalPipeline};

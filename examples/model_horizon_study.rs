@@ -5,6 +5,8 @@
 //! cargo run --release -p thermal-core --example model_horizon_study
 //! ```
 
+// Examples are demos: panicking with a clear message is the right UX.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use thermal_core::timeseries::{split, Mask};
 use thermal_core::{EvalConfig, FitConfig, ModelOrder, ModelSpec};
 use thermal_sim::{run, Scenario};
@@ -59,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let val_mask = Mask::days(grid, &halves.validation).and(&occupied)?;
     let horizons: Vec<usize> = [2.5_f64, 5.0, 7.5, 10.0, 13.5]
         .into_iter()
-        .map(|h| (h * steps_per_hour as f64) as usize)
+        .map(|h| thermal_linalg::cast::floor_to_index(h * steps_per_hour as f64, usize::MAX - 1))
         .collect();
     for order in [ModelOrder::First, ModelOrder::Second] {
         let spec = ModelSpec::new(temps.clone(), inputs.clone(), order)?;

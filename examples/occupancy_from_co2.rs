@@ -19,6 +19,8 @@
 //! cargo run --release -p thermal-core --example occupancy_from_co2
 //! ```
 
+// Examples are demos: panicking with a clear message is the right UX.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use thermal_core::timeseries::Mask;
 use thermal_sim::{run, Scenario};
 

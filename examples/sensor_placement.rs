@@ -7,6 +7,8 @@
 //! cargo run --release -p thermal-core --example sensor_placement
 //! ```
 
+// Examples are demos: panicking with a clear message is the right UX.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use thermal_cluster::{
     cluster_trajectories, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
 };

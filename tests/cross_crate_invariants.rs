@@ -1,5 +1,7 @@
 //! Invariants that hold across crate boundaries on realistic data.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use thermal_cluster::{
     cluster_trajectories, quality, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
 };

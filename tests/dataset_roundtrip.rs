@@ -1,6 +1,8 @@
 //! CSV round-tripping of simulated campaigns: nothing is lost or
 //! invented on the way through the text format.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use thermal_core::timeseries::csv;
 use thermal_sim::{run, Scenario};
 

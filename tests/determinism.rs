@@ -1,6 +1,8 @@
 //! Determinism: identical seeds reproduce campaigns and pipeline
 //! products bit-for-bit; different seeds genuinely differ.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use thermal_core::timeseries::Mask;
 use thermal_core::{ClusterCount, SelectorKind, Similarity, ThermalPipeline};
 use thermal_sim::{run, Scenario};

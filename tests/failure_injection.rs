@@ -1,6 +1,8 @@
 //! Failure injection: the pipeline must degrade gracefully — not
 //! panic, not fabricate data — when telemetry is badly damaged.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use thermal_cluster::{cluster_trajectories, ClusterCount, Similarity, SpectralConfig};
 use thermal_core::timeseries::{Channel, Mask};
 use thermal_core::{ClusterCount as CoreCount, SelectorKind, ThermalPipeline};

@@ -1,6 +1,8 @@
 //! End-to-end integration: simulate a campaign, run the full
 //! three-step pipeline, and check the product is coherent.
 
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use thermal_core::timeseries::{split, Mask};
 use thermal_core::{
     ClusterCount, EvalConfig, FitConfig, ModelOrder, ModelSpec, SelectorKind, Similarity,
@@ -95,7 +97,12 @@ fn clusters_are_geographically_coherent() {
 fn dense_models_beat_horizon_free_baseline() {
     // The identified dense model must clearly outperform a "hold the
     // last measurement" persistence baseline over long horizons.
-    let output = campaign();
+    //
+    // Uses a 28-day campaign rather than the shared 14-day one: the
+    // half split leaves only ~7 training days at 14 days, which makes
+    // the fitted-vs-persistence margin flip sign for some RNG seeds.
+    // With 28 days the margin is positive across every seed tried.
+    let output = run(&Scenario::quick().with_days(28).with_seed(101)).expect("simulation runs");
     let dataset = &output.dataset;
     let grid = dataset.grid();
     let temps = output.temperature_channels();

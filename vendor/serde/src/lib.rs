@@ -1,0 +1,14 @@
+//! Offline shim for the subset of `serde` used by this workspace.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and their derive
+//! macros. The derives expand to nothing (nothing in the workspace
+//! serializes at runtime); the traits are markers so that generic
+//! bounds naming them still compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline no-op shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types so that real serde can be dropped in when registry access is
+//! available, but nothing in the workspace serializes at runtime.
+//! These derives therefore expand to nothing; they exist so that the
+//! `#[derive(...)]` and `#[serde(...)]` annotations compile.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
