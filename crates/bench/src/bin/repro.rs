@@ -11,7 +11,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use thermal_bench::experiments::{ablation, clustering, model, selection};
+use thermal_bench::experiments::{ablation, clustering, fault_matrix, model, selection};
 use thermal_bench::protocol::Protocol;
 use thermal_cluster::Similarity;
 
@@ -29,6 +29,7 @@ const ALL: &[&str] = &[
     "fig11",
     "ablation",
     "diagnostics",
+    "fault_matrix",
 ];
 
 struct Args {
@@ -209,6 +210,18 @@ fn run_experiment(name: &str, protocol: &Protocol, args: &Args) -> thermal_bench
             let r = model::diagnostics(protocol, 6)?;
             println!("one-step residual whiteness (validation half, occupied):");
             print!("{}", model::render_diagnostics(&r));
+        }
+        "fault_matrix" => {
+            let intensities = if args.quick {
+                &[0.0, 0.5, 1.0][..]
+            } else {
+                fault_matrix::DEFAULT_INTENSITIES
+            };
+            let cells = fault_matrix::fault_matrix(protocol, intensities)?;
+            let (table, csv) = fault_matrix::render_fault_matrix(&cells);
+            println!("RMSE degradation by fault class and intensity:");
+            print!("{table}");
+            save(&args.out, "fault_matrix.csv", &csv);
         }
         "ablation" => {
             let days = if args.quick { 40 } else { 60 };

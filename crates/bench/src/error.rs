@@ -8,6 +8,7 @@ use std::fmt;
 
 use thermal_cluster::ClusterError;
 use thermal_core::CoreError;
+use thermal_faults::FaultError;
 use thermal_linalg::LinalgError;
 use thermal_select::SelectError;
 use thermal_sim::SimError;
@@ -35,6 +36,8 @@ pub enum BenchError {
     Select(SelectError),
     /// The end-to-end pipeline failed.
     Core(CoreError),
+    /// Fault injection failed.
+    Fault(FaultError),
     /// The campaign produced data the experiment cannot use (missing
     /// channel, no usable segment, …).
     Protocol {
@@ -53,6 +56,7 @@ impl fmt::Display for BenchError {
             BenchError::Cluster(e) => write!(f, "clustering failed: {e}"),
             BenchError::Select(e) => write!(f, "selection failed: {e}"),
             BenchError::Core(e) => write!(f, "pipeline failed: {e}"),
+            BenchError::Fault(e) => write!(f, "fault injection failed: {e}"),
             BenchError::Protocol { context } => {
                 write!(f, "campaign unusable for this experiment: {context}")
             }
@@ -70,6 +74,7 @@ impl std::error::Error for BenchError {
             BenchError::Cluster(e) => Some(e),
             BenchError::Select(e) => Some(e),
             BenchError::Core(e) => Some(e),
+            BenchError::Fault(e) => Some(e),
             BenchError::Protocol { .. } => None,
         }
     }
@@ -96,6 +101,7 @@ impl_from!(
     ClusterError => Cluster,
     SelectError => Select,
     CoreError => Core,
+    FaultError => Fault,
 );
 
 #[cfg(test)]

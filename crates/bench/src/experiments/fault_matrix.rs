@@ -1,0 +1,319 @@
+//! `fault_matrix` — robustness sweep over fault class × intensity.
+//!
+//! The testbed lost a third of its campaign to sensor and server
+//! faults; this experiment measures how gracefully the full stack
+//! (fault injection → validation/quarantine → degradation-aware
+//! reduced-model evaluation) absorbs each fault class as its
+//! intensity grows:
+//!
+//! 1. fit the reduced model once on the *clean* training half,
+//! 2. for every `(class, intensity)` cell, inject that fault class
+//!    into the temperature channels with [`thermal_faults::FaultPlan`],
+//! 3. pass the corrupted telemetry through the
+//!    [`thermal_timeseries::validate`] quarantine layer,
+//! 4. evaluate the clean-fitted model on the damaged validation data
+//!    with [`ReducedModel::evaluate_degraded`] — backups stand in for
+//!    dead representatives, and total blackout yields a structured
+//!    outcome instead of an error,
+//! 5. report the RMSE-degradation curve of each class against the
+//!    zero-intensity baseline.
+//!
+//! Zero intensity is an exact no-op in the injector, so every class's
+//! first cell reproduces the clean-baseline RMSE bit-for-bit — the
+//! anchor that makes the curves comparable.
+
+use thermal_cluster::ClusterCount;
+use thermal_core::{DegradationPolicy, ModelOrder, ReducedModel, SelectorKind, ThermalPipeline};
+use thermal_faults::{FaultDirective, FaultKind, FaultPlan};
+use thermal_timeseries::validate::{validate_channel, ValidationConfig};
+use thermal_timeseries::{Channel, Dataset};
+
+use crate::error::{BenchError, Result};
+use crate::protocol::{occupied_horizon, Protocol};
+use crate::render;
+
+/// Every fault class the injector knows, in reporting order.
+pub const FAULT_CLASSES: &[&str] = &[
+    "stuck", "drift", "spike", "garbage", "skew", "death", "outage",
+];
+
+/// Default intensity sweep (0 anchors the clean baseline).
+pub const DEFAULT_INTENSITIES: &[f64] = &[0.0, 0.25, 0.5, 1.0];
+
+/// Seed of the fault streams (independent of the campaign seed so the
+/// same campaign can be swept under different fault realisations).
+const FAULT_SEED: u64 = 0xFA17_2026;
+
+/// One cell of the fault matrix.
+#[derive(Debug, Clone)]
+pub struct FaultMatrixCell {
+    /// Fault class name (see [`FAULT_CLASSES`]).
+    pub class: &'static str,
+    /// Injection intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Fault events the injector logged (ground truth).
+    pub injected: usize,
+    /// Samples the validation layer quarantined.
+    pub quarantined: usize,
+    /// Representatives that needed a fallback during evaluation.
+    pub degraded_reps: usize,
+    /// Pooled cluster-mean RMSE on the *raw* faulted telemetry
+    /// (quarantine bypassed), °C — the degradation curve. `None`
+    /// under total blackout (the pipeline still completed, with a
+    /// degradation report).
+    pub rmse_raw: Option<f64>,
+    /// The same after the validation/quarantine layer — the
+    /// mitigation curve.
+    pub rmse_validated: Option<f64>,
+}
+
+/// Fits the reduced model the sweep evaluates, on clean data.
+fn fit_clean(p: &Protocol) -> Result<ReducedModel> {
+    let temps = p.temperature_channels();
+    let temp_refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let inputs = p.input_channels();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let pipeline = ThermalPipeline::builder()
+        .cluster_count(ClusterCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .model_order(ModelOrder::Second)
+        .build()?;
+    Ok(pipeline.fit(
+        &p.output.dataset,
+        &temp_refs,
+        &input_refs,
+        &p.train_occupied,
+    )?)
+}
+
+/// Runs the validation/quarantine layer over the temperature channels
+/// only (the exogenous inputs live on different physical scales and
+/// are not faulted here), returning the cleaned dataset and the total
+/// quarantined-sample count.
+fn validate_temps(
+    dataset: &Dataset,
+    temps: &[String],
+    config: &ValidationConfig,
+) -> Result<(Dataset, usize)> {
+    let mut quarantined = 0usize;
+    let mut channels: Vec<Channel> = Vec::with_capacity(dataset.channel_count());
+    for ch in dataset.channels() {
+        if temps.iter().any(|t| t == ch.name()) {
+            let (cleaned, quality) = validate_channel(ch, config)?;
+            quarantined += quality.quarantined();
+            channels.push(cleaned);
+        } else {
+            channels.push(ch.clone());
+        }
+    }
+    Ok((Dataset::new(*dataset.grid(), channels)?, quarantined))
+}
+
+/// Everything a cell evaluation shares across the sweep.
+struct SweepContext<'a> {
+    p: &'a Protocol,
+    reduced: ReducedModel,
+    temps: Vec<String>,
+    config: ValidationConfig,
+    policy: DegradationPolicy,
+    horizon: usize,
+}
+
+/// Runs one `(class, intensity)` cell.
+fn run_cell(
+    ctx: &SweepContext<'_>,
+    class: &'static str,
+    intensity: f64,
+) -> Result<FaultMatrixCell> {
+    let kind = FaultKind::default_params(class).ok_or(BenchError::Protocol {
+        context: "unknown fault class in sweep",
+    })?;
+    let plan = FaultPlan::new(FAULT_SEED).with(FaultDirective::channels(
+        kind,
+        ctx.temps.clone(),
+        intensity,
+    ));
+    let (faulted, log) = plan.apply(&ctx.p.output.dataset)?;
+    let raw =
+        ctx.reduced
+            .evaluate_degraded(&faulted, &ctx.p.val_occupied, ctx.horizon, &ctx.policy)?;
+    let (cleaned, quarantined) = validate_temps(&faulted, &ctx.temps, &ctx.config)?;
+    let validated =
+        ctx.reduced
+            .evaluate_degraded(&cleaned, &ctx.p.val_occupied, ctx.horizon, &ctx.policy)?;
+    let rms_of = |out: &thermal_core::DegradedEvaluation| -> Result<Option<f64>> {
+        match &out.report {
+            Some(r) => Ok(Some(r.rms()?)),
+            None => Ok(None),
+        }
+    };
+    Ok(FaultMatrixCell {
+        class,
+        intensity,
+        injected: log.events().len(),
+        quarantined,
+        degraded_reps: validated.degradation.degraded_count(),
+        rmse_raw: rms_of(&raw)?,
+        rmse_validated: rms_of(&validated)?,
+    })
+}
+
+/// Runs the full sweep: every fault class at every intensity.
+///
+/// # Errors
+///
+/// Propagates pipeline-fitting, injection and validation failures.
+/// Degraded or blacked-out evaluation is *not* an error — it lands in
+/// the cell as `degraded_reps` / `rmse: None`.
+pub fn fault_matrix(p: &Protocol, intensities: &[f64]) -> Result<Vec<FaultMatrixCell>> {
+    let ctx = SweepContext {
+        p,
+        reduced: fit_clean(p)?,
+        temps: p.temperature_channels(),
+        config: ValidationConfig::default(),
+        policy: DegradationPolicy::default(),
+        horizon: occupied_horizon(&p.output),
+    };
+    let mut cells = Vec::with_capacity(FAULT_CLASSES.len() * intensities.len());
+    for &class in FAULT_CLASSES {
+        for &intensity in intensities {
+            cells.push(run_cell(&ctx, class, intensity)?);
+        }
+    }
+    Ok(cells)
+}
+
+/// Renders the sweep as an aligned table plus a CSV document.
+pub fn render_fault_matrix(cells: &[FaultMatrixCell]) -> (String, String) {
+    let baseline = cells
+        .iter()
+        .find(|c| c.intensity == 0.0)
+        .and_then(|c| c.rmse_raw);
+    let fmt_rmse = |r: Option<f64>| -> (String, String) {
+        match r {
+            Some(v) => (
+                format!("{v:.4}"),
+                baseline.map_or_else(|| "-".to_owned(), |b| format!("x{:.2}", v / b.max(1e-12))),
+            ),
+            None => ("blackout".to_owned(), "-".to_owned()),
+        }
+    };
+    let mut table = vec![vec![
+        "class".to_owned(),
+        "intensity".to_owned(),
+        "injected".to_owned(),
+        "quarantined".to_owned(),
+        "degraded reps".to_owned(),
+        "raw rmse [°C]".to_owned(),
+        "vs clean".to_owned(),
+        "validated rmse".to_owned(),
+        "vs clean".to_owned(),
+    ]];
+    let mut csv = String::from(
+        "class,intensity,injected,quarantined,degraded_reps,rmse_raw,rmse_validated\n",
+    );
+    for c in cells {
+        let (raw_s, raw_ratio) = fmt_rmse(c.rmse_raw);
+        let (val_s, val_ratio) = fmt_rmse(c.rmse_validated);
+        table.push(vec![
+            c.class.to_owned(),
+            format!("{:.2}", c.intensity),
+            c.injected.to_string(),
+            c.quarantined.to_string(),
+            c.degraded_reps.to_string(),
+            raw_s,
+            raw_ratio,
+            val_s,
+            val_ratio,
+        ]);
+        let as_csv = |r: Option<f64>| r.map_or_else(|| "nan".to_owned(), |v| v.to_string());
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            c.class,
+            c.intensity,
+            c.injected,
+            c.quarantined,
+            c.degraded_reps,
+            as_csv(c.rmse_raw),
+            as_csv(c.rmse_validated),
+        ));
+    }
+    (render::table(&table), csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole acceptance contract in one (slow) sweep: end-to-end
+    /// completion, a clean-baseline anchor shared by every class, and
+    /// degradation that grows with intensity.
+    #[test]
+    fn fault_matrix_sweeps_end_to_end() {
+        let p = Protocol::quick(11).unwrap();
+        let cells = fault_matrix(&p, &[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(cells.len(), FAULT_CLASSES.len() * 3);
+
+        // Zero intensity injects nothing and reproduces the same
+        // clean-baseline RMSE for every class, raw and validated
+        // alike.
+        let baselines: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.intensity == 0.0)
+            .map(|c| {
+                assert_eq!(c.injected, 0, "{} injected at intensity 0", c.class);
+                assert_eq!(c.degraded_reps, 0);
+                c.rmse_raw.expect("clean baseline must evaluate")
+            })
+            .collect();
+        assert_eq!(baselines.len(), FAULT_CLASSES.len());
+        for b in &baselines {
+            assert!((b - baselines[0]).abs() < 1e-12, "baselines disagree");
+        }
+
+        // Injection happens at full intensity, and the value-altering
+        // classes degrade raw RMSE monotonically along the sweep.
+        for class in ["drift", "spike", "garbage"] {
+            let curve: Vec<&FaultMatrixCell> = cells.iter().filter(|c| c.class == class).collect();
+            assert!(curve[2].injected > 0, "{class} injected nothing");
+            let raw: Vec<f64> = curve
+                .iter()
+                .map(|c| c.rmse_raw.expect("raw curve cell must evaluate"))
+                .collect();
+            assert!(
+                raw[0] <= raw[1] + 1e-9 && raw[1] <= raw[2] + 1e-9,
+                "{class} raw RMSE not monotone: {raw:?}"
+            );
+            assert!(
+                raw[2] > raw[0],
+                "{class} full intensity did not degrade raw RMSE"
+            );
+        }
+
+        // The quarantine layer mitigates: at full intensity the
+        // validated RMSE of the implausible-value classes beats raw.
+        for class in ["garbage", "spike"] {
+            let full = cells
+                .iter()
+                .find(|c| c.class == class && c.intensity == 1.0)
+                .unwrap();
+            assert!(full.quarantined > 0, "{class} nothing quarantined");
+            let (raw, validated) = (full.rmse_raw.unwrap(), full.rmse_validated.unwrap());
+            assert!(
+                validated < raw,
+                "{class}: validation did not mitigate ({validated} vs {raw})"
+            );
+        }
+
+        // Every cell completed: blackout is allowed, an error is not
+        // (the pipeline promise under sensor death).
+        for c in &cells {
+            assert!(
+                c.rmse_validated.is_some() || c.degraded_reps > 0,
+                "{} at {} reported blackout without degradation",
+                c.class,
+                c.intensity
+            );
+        }
+    }
+}

@@ -3,5 +3,6 @@
 
 pub mod ablation;
 pub mod clustering;
+pub mod fault_matrix;
 pub mod model;
 pub mod selection;

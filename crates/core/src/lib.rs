@@ -64,12 +64,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degradation;
 mod error;
 mod pipeline;
 mod reduced;
 
 pub mod control;
 
+pub use degradation::{
+    DegradationEvent, DegradationPolicy, DegradationReport, DegradedEvaluation, FallbackAction,
+};
 pub use error::CoreError;
 pub use pipeline::{SelectorKind, ThermalPipeline, ThermalPipelineBuilder};
 pub use reduced::{ClusterMeanModelReport, ReducedModel};

@@ -8,8 +8,8 @@ use thermal_cluster::{
     cluster_trajectories, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
 };
 use thermal_select::{
-    FixedSelector, GpSelector, NearMeanSelector, RandomSelector, SelectionInput, Selector,
-    StratifiedRandomSelector,
+    rank_backups, FixedSelector, GpSelector, NearMeanSelector, RandomSelector, SelectionInput,
+    Selector, StratifiedRandomSelector,
 };
 use thermal_sysid::{identify, FitConfig, ModelOrder, ModelSpec};
 use thermal_timeseries::{Dataset, Mask};
@@ -131,15 +131,20 @@ impl ThermalPipeline {
         };
         let clustering = cluster_trajectories(&trajectories, &spectral)?;
 
-        // Step 2: select representative sensors.
+        // Step 2: select representative sensors, then rank each
+        // cluster's remaining members as backups so operation can
+        // degrade gracefully when a representative dies (see
+        // [`ReducedModel::evaluate_degraded`]).
         let owned_names: Vec<String> = sensor_channels.iter().map(|s| (*s).to_owned()).collect();
         let selector = self.selector.build(&owned_names)?;
-        let selection = selector.select(&SelectionInput {
+        let selection_input = SelectionInput {
             trajectories: &trajectories,
             clustering: &clustering,
             per_cluster: self.per_cluster,
             seed: self.seed,
-        })?;
+        };
+        let selection = selector.select(&selection_input)?;
+        let selection = rank_backups(&selection_input, &selection)?;
 
         // Step 3: identify the simplified model on the selected
         // sensors.

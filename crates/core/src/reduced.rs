@@ -8,8 +8,11 @@ use thermal_cluster::Clustering;
 use thermal_linalg::stats::{self, EmpiricalCdf};
 use thermal_select::Selection;
 use thermal_sysid::{predict_segment, regressors, ThermalModel};
-use thermal_timeseries::{Dataset, Mask};
+use thermal_timeseries::{Channel, Dataset, Mask};
 
+use crate::degradation::{
+    DegradationEvent, DegradationPolicy, DegradationReport, DegradedEvaluation, FallbackAction,
+};
 use crate::{CoreError, Result};
 
 /// A simplified thermal model built on selected sensors, with the
@@ -170,6 +173,236 @@ impl ReducedModel {
             cluster_count: clusters.len(),
         })
     }
+
+    /// Degradation-aware version of [`Self::evaluate_cluster_means`]:
+    /// instead of failing when sensors are dark, it substitutes each
+    /// dead representative (ranked cluster-mate backup first, then the
+    /// per-slot mean of still-reporting cluster members) and records
+    /// every fallback in a [`DegradationReport`].
+    ///
+    /// Differences from the clean evaluation, by design:
+    ///
+    /// * ground truth per cluster is the mean over the members
+    ///   *present at each slot* (the clean version requires the full
+    ///   dense deployment, which dead sensors would veto outright),
+    /// * a cluster whose members are all dark is frozen at a constant
+    ///   (so the coupled model stays evaluable) and excluded from the
+    ///   pooled errors,
+    /// * total blackout returns `report: None` instead of an error —
+    ///   the pipeline always completes and explains itself through
+    ///   the degradation report.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] for a zero `horizon` or an
+    ///   invalid `policy`,
+    /// * dataset errors when `dataset` lacks modelled channels or
+    ///   `mask` lives on another grid.
+    pub fn evaluate_degraded(
+        &self,
+        dataset: &Dataset,
+        mask: &Mask,
+        horizon: usize,
+        policy: &DegradationPolicy,
+    ) -> Result<DegradedEvaluation> {
+        if horizon == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "evaluation horizon must be at least one step".to_owned(),
+            });
+        }
+        policy.validate()?;
+        let n = dataset.grid().len();
+        if mask.len() != n {
+            return Err(CoreError::TimeSeries(
+                thermal_timeseries::TimeSeriesError::GridMismatch,
+            ));
+        }
+        let all_refs: Vec<&str> = self.all_channels.iter().map(String::as_str).collect();
+        let dense_idx = dataset.resolve(&all_refs)?;
+
+        let mask_slots: Vec<usize> = mask.iter_selected().collect();
+        let denom = mask_slots.len().max(1) as f64;
+        let coverage_of = |di: usize| -> f64 {
+            let ch = &dataset.channels()[di];
+            mask_slots
+                .iter()
+                .filter(|&&i| ch.value(i).is_some())
+                .count() as f64
+                / denom
+        };
+
+        let clusters = self.clustering.clusters();
+        let mut events = Vec::new();
+        let mut channels: Vec<Channel> = dataset.channels().to_vec();
+        let mut cluster_evaluable = vec![true; clusters.len()];
+
+        for (c, members) in clusters.iter().enumerate() {
+            for &r in self.selection.representatives(c) {
+                let rep_name = self.all_channels[r].clone();
+                let rep_di = dense_idx[r];
+                let cov = coverage_of(rep_di);
+                if cov >= policy.min_rep_coverage {
+                    events.push(DegradationEvent {
+                        cluster: c,
+                        representative: rep_name,
+                        coverage: cov,
+                        action: FallbackAction::Healthy,
+                    });
+                    continue;
+                }
+                // First choice: the ranked backups attached at
+                // selection time, best substitute first.
+                let mut action = None;
+                for &b in self.selection.backups(c) {
+                    if coverage_of(dense_idx[b]) >= policy.min_rep_coverage {
+                        channels[rep_di] = Channel::new(
+                            rep_name.clone(),
+                            dataset.channels()[dense_idx[b]].values().to_vec(),
+                        )?;
+                        action = Some(FallbackAction::Backup {
+                            substitute: self.all_channels[b].clone(),
+                        });
+                        break;
+                    }
+                }
+                let action = if let Some(a) = action {
+                    a
+                } else {
+                    // Second choice: per-slot mean of whatever cluster
+                    // members still report.
+                    let member_di: Vec<usize> = members.iter().map(|&m| dense_idx[m]).collect();
+                    let mut col: Vec<Option<f64>> = vec![None; n];
+                    for (i, slot) in col.iter_mut().enumerate() {
+                        let mut sum = 0.0;
+                        let mut k = 0usize;
+                        for &mi in &member_di {
+                            if let Some(v) = dataset.channels()[mi].value(i) {
+                                sum += v;
+                                k += 1;
+                            }
+                        }
+                        if k > 0 {
+                            *slot = Some(sum / k as f64);
+                        }
+                    }
+                    let col_cov =
+                        mask_slots.iter().filter(|&&i| col[i].is_some()).count() as f64 / denom;
+                    if col_cov >= policy.min_rep_coverage {
+                        channels[rep_di] = Channel::new(rep_name.clone(), col)?;
+                        FallbackAction::ClusterMean {
+                            members: members.len(),
+                        }
+                    } else {
+                        // Last resort: freeze the channel at a
+                        // constant so the coupled model still rolls
+                        // forward for the live clusters, and exclude
+                        // this cluster from the pooled errors.
+                        let present: Vec<f64> = col.iter().flatten().copied().collect();
+                        let fill = if present.is_empty() {
+                            let mut sum = 0.0;
+                            let mut k = 0usize;
+                            for &di in &dense_idx {
+                                for v in dataset.channels()[di].values().iter().flatten() {
+                                    sum += v;
+                                    k += 1;
+                                }
+                            }
+                            if k > 0 {
+                                sum / k as f64
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            present.iter().sum::<f64>() / present.len() as f64
+                        };
+                        channels[rep_di] = Channel::new(rep_name.clone(), vec![Some(fill); n])?;
+                        cluster_evaluable[c] = false;
+                        FallbackAction::Unavailable
+                    }
+                };
+                events.push(DegradationEvent {
+                    cluster: c,
+                    representative: rep_name,
+                    coverage: cov,
+                    action,
+                });
+            }
+        }
+
+        let degradation = DegradationReport::new(events);
+        let substituted = Dataset::new(*dataset.grid(), channels)?;
+
+        // Segments need only the model's own (substituted) channels —
+        // dead cluster members must not veto the live clusters the
+        // way the clean evaluation's dense-presence mask would.
+        let segments = regressors::usable_segments(&substituted, self.model.spec(), mask)?;
+        let spec_outputs = &self.model.spec().outputs;
+        let mut rep_cols: Vec<Vec<usize>> = Vec::with_capacity(clusters.len());
+        let mut member_idx: Vec<Vec<usize>> = Vec::with_capacity(clusters.len());
+        for (c, members) in clusters.iter().enumerate() {
+            let cols = self
+                .selection
+                .representatives(c)
+                .iter()
+                .map(|&r| {
+                    let name = &self.all_channels[r];
+                    spec_outputs.iter().position(|o| o == name).ok_or_else(|| {
+                        CoreError::InvalidConfig {
+                            reason: format!("representative {name:?} missing from model outputs"),
+                        }
+                    })
+                })
+                .collect::<Result<Vec<usize>>>()?;
+            rep_cols.push(cols);
+            member_idx.push(members.iter().map(|&m| dense_idx[m]).collect());
+        }
+
+        let mut errors = Vec::new();
+        let mut segments_used = 0usize;
+        for seg in segments {
+            let Ok(pred) = predict_segment(&self.model, &substituted, seg, Some(horizon)) else {
+                continue;
+            };
+            segments_used += 1;
+            for (row, &grid_idx) in pred.indices.iter().enumerate() {
+                for (c, cols) in rep_cols.iter().enumerate() {
+                    if !cluster_evaluable[c] {
+                        continue;
+                    }
+                    let predicted: f64 =
+                        cols.iter().map(|&j| pred.predicted[(row, j)]).sum::<f64>()
+                            / cols.len() as f64;
+                    // Ground truth over members present at this slot
+                    // in the *original* (faulty) dataset.
+                    let mut sum = 0.0;
+                    let mut k = 0usize;
+                    for &mi in &member_idx[c] {
+                        if let Some(v) = dataset.channels()[mi].value(grid_idx) {
+                            sum += v;
+                            k += 1;
+                        }
+                    }
+                    if k == 0 {
+                        continue;
+                    }
+                    errors.push((predicted - sum / k as f64).abs());
+                }
+            }
+        }
+        let report = if errors.is_empty() {
+            None
+        } else {
+            Some(ClusterMeanModelReport {
+                errors,
+                segments_used,
+                cluster_count: cluster_evaluable.iter().filter(|&&e| e).count(),
+            })
+        };
+        Ok(DegradedEvaluation {
+            degradation,
+            report,
+        })
+    }
 }
 
 /// Pooled cluster-mean prediction errors of a reduced model.
@@ -299,6 +532,181 @@ mod tests {
         let reduced = fit_reduced(&ds);
         let none = Mask::none(ds.grid());
         assert!(reduced.evaluate_cluster_means(&ds, &none, 10).is_err());
+    }
+
+    /// Returns `ds` with the named channel's samples blanked on
+    /// `[start, end)`.
+    fn kill_channel(ds: &Dataset, name: &str, start: usize, end: usize) -> Dataset {
+        let channels: Vec<Channel> = ds
+            .channels()
+            .iter()
+            .map(|ch| {
+                if ch.name() == name {
+                    let values = ch
+                        .values()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| if (start..end).contains(&i) { None } else { *v })
+                        .collect();
+                    Channel::new(ch.name(), values).unwrap()
+                } else {
+                    ch.clone()
+                }
+            })
+            .collect();
+        Dataset::new(*ds.grid(), channels).unwrap()
+    }
+
+    #[test]
+    fn degraded_evaluation_on_clean_data_matches_healthy_path() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let out = reduced
+            .evaluate_degraded(
+                &ds,
+                &Mask::all(ds.grid()),
+                50,
+                &DegradationPolicy::default(),
+            )
+            .unwrap();
+        assert!(!out.degradation.is_degraded());
+        let report = out.report.expect("clean data must be evaluable");
+        // Same segments and error count as the clean evaluation (all
+        // members are present at every slot, so truth agrees too).
+        let clean = reduced
+            .evaluate_cluster_means(&ds, &Mask::all(ds.grid()), 50)
+            .unwrap();
+        assert_eq!(report.errors().len(), clean.errors().len());
+        assert!((report.rms().unwrap() - clean.rms().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn killing_any_single_representative_yields_a_degradation_report() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let n = ds.grid().len();
+        for rep in reduced.selected_channels().to_vec() {
+            let faulty = kill_channel(&ds, &rep, 0, n);
+            let out = reduced
+                .evaluate_degraded(
+                    &faulty,
+                    &Mask::all(ds.grid()),
+                    50,
+                    &DegradationPolicy::default(),
+                )
+                .unwrap();
+            assert!(out.degradation.is_degraded(), "{rep} death went unnoticed");
+            assert_eq!(out.degradation.degraded_count(), 1);
+            let event = out
+                .degradation
+                .substitutions()
+                .next()
+                .expect("one substitution");
+            assert_eq!(event.representative, rep);
+            // The cluster has live mates, so a backup stands in and
+            // evaluation still succeeds with bounded error.
+            assert!(
+                matches!(event.action, FallbackAction::Backup { .. }),
+                "expected a backup for {rep}, got {:?}",
+                event.action
+            );
+            let report = out.report.expect("backup keeps the cluster evaluable");
+            assert!(report.rms().unwrap() < 1.0, "rms {}", report.rms().unwrap());
+        }
+    }
+
+    #[test]
+    fn mid_validation_death_falls_back_without_panicking() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let n = ds.grid().len();
+        for rep in reduced.selected_channels().to_vec() {
+            // The channel dies at 10% of the trace and never returns.
+            let faulty = kill_channel(&ds, &rep, n / 10, n);
+            let out = reduced
+                .evaluate_degraded(
+                    &faulty,
+                    &Mask::all(ds.grid()),
+                    50,
+                    &DegradationPolicy::default(),
+                )
+                .unwrap();
+            assert!(out.degradation.is_degraded());
+            assert!(out.report.is_some());
+        }
+    }
+
+    #[test]
+    fn whole_cluster_dark_is_excluded_not_fatal() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let n = ds.grid().len();
+        // Kill every member of the first representative's cluster.
+        let rep = reduced.selected_channels()[0].clone();
+        let all = reduced.all_channels().to_vec();
+        let rep_pos = all.iter().position(|c| *c == rep).unwrap();
+        let cluster = reduced
+            .clustering()
+            .clusters()
+            .into_iter()
+            .find(|m| m.contains(&rep_pos))
+            .unwrap();
+        let mut faulty = ds.clone();
+        for &m in &cluster {
+            faulty = kill_channel(&faulty, &all[m], 0, n);
+        }
+        let out = reduced
+            .evaluate_degraded(
+                &faulty,
+                &Mask::all(ds.grid()),
+                50,
+                &DegradationPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(out.degradation.unavailable_clusters().len(), 1);
+        // The other cluster is still evaluated.
+        let report = out.report.expect("live cluster still evaluable");
+        assert_eq!(report.cluster_count(), 1);
+    }
+
+    #[test]
+    fn total_blackout_reports_none_instead_of_erroring() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let n = ds.grid().len();
+        let mut faulty = ds.clone();
+        for name in reduced.all_channels().to_vec() {
+            faulty = kill_channel(&faulty, &name, 0, n);
+        }
+        let out = reduced
+            .evaluate_degraded(
+                &faulty,
+                &Mask::all(ds.grid()),
+                50,
+                &DegradationPolicy::default(),
+            )
+            .unwrap();
+        assert!(out.report.is_none(), "no ground truth anywhere");
+        assert!(out.degradation.is_degraded());
+        for e in out.degradation.events() {
+            assert_eq!(e.action, FallbackAction::Unavailable);
+        }
+    }
+
+    #[test]
+    fn degraded_rejects_bad_inputs() {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let policy = DegradationPolicy::default();
+        assert!(reduced
+            .evaluate_degraded(&ds, &Mask::all(ds.grid()), 0, &policy)
+            .is_err());
+        let bad = DegradationPolicy {
+            min_rep_coverage: 2.0,
+        };
+        assert!(reduced
+            .evaluate_degraded(&ds, &Mask::all(ds.grid()), 10, &bad)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Typed errors for fault-plan construction and injection.
+
+use std::fmt;
+
+use thermal_timeseries::TimeSeriesError;
+
+/// Errors produced by fault-plan construction and injection.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A fault directive is internally inconsistent (negative
+    /// intensity, zero burst length, …).
+    InvalidSpec {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A directive targeted a channel the dataset does not contain.
+    UnknownChannel {
+        /// The offending channel name.
+        name: String,
+    },
+    /// A dataset operation failed while rebuilding the faulted trace.
+    TimeSeries(TimeSeriesError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidSpec { reason } => {
+                write!(f, "invalid fault directive: {reason}")
+            }
+            FaultError::UnknownChannel { name } => {
+                write!(f, "fault directive targets unknown channel {name:?}")
+            }
+            FaultError::TimeSeries(e) => write!(f, "dataset operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::TimeSeries(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TimeSeriesError> for FaultError {
+    fn from(e: TimeSeriesError) -> Self {
+        FaultError::TimeSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FaultError>();
+        let e = FaultError::InvalidSpec {
+            reason: "negative intensity".into(),
+        };
+        assert!(e.to_string().contains("negative intensity"));
+        let e = FaultError::from(TimeSeriesError::GridMismatch);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! Ingest-boundary chaos: corrupting CSV *text* before parsing.
+//!
+//! The dataset containers uphold a finite-value invariant (`NaN`
+//! never enters a [`thermal_timeseries::Channel`]), so NaN/garbage
+//! literals and malformed rows can only be exercised at the ingest
+//! boundary. This module deterministically corrupts CSV text the way
+//! a flaky export pipeline would, so parser-hardening tests have a
+//! realistic adversary: NaN/inf literals, truncated rows, and
+//! non-numeric junk.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt for the CSV-corruption RNG stream.
+const INGEST_STREAM_SALT: u64 = 0x4353_565f_4348_414f; // "CSV_CHAO"
+
+/// How one CSV line was corrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvCorruption {
+    /// A numeric field replaced by a `NaN` literal.
+    NanLiteral,
+    /// A numeric field replaced by an `inf` literal.
+    InfLiteral,
+    /// A numeric field replaced by non-numeric junk.
+    Junk,
+    /// The row truncated mid-way (fewer fields than the header).
+    Truncated,
+}
+
+/// Deterministically corrupts data lines of a CSV document.
+///
+/// Each data line (everything after the header) is corrupted with
+/// probability `intensity`; the corruption class cycles through
+/// [`CsvCorruption`] variants. Returns the corrupted text plus
+/// `(1-based line number, corruption)` ground truth so tests can
+/// assert the parser reports exactly the right line.
+///
+/// The RNG stream depends only on `(seed, line index)`, mirroring the
+/// [`crate::FaultPlan`] determinism contract.
+pub fn corrupt_csv(text: &str, seed: u64, intensity: f64) -> (String, Vec<(usize, CsvCorruption)>) {
+    let mut out = String::with_capacity(text.len());
+    let mut log = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if idx == 0 || line.trim().is_empty() {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ INGEST_STREAM_SALT ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        if rng.gen::<f64>() >= intensity {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 2 {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        // Never corrupt the timestamp column: timestamp errors are a
+        // different parser path with its own tests.
+        let target = 1 + rng.gen_range(0..fields.len() - 1);
+        let corruption = match rng.gen_range(0..4_u32) {
+            0 => CsvCorruption::NanLiteral,
+            1 => CsvCorruption::InfLiteral,
+            2 => CsvCorruption::Junk,
+            _ => CsvCorruption::Truncated,
+        };
+        let mut mutated: Vec<String> = fields.iter().map(|s| (*s).to_owned()).collect();
+        match corruption {
+            CsvCorruption::NanLiteral => mutated[target] = "NaN".to_owned(),
+            CsvCorruption::InfLiteral => mutated[target] = "inf".to_owned(),
+            CsvCorruption::Junk => mutated[target] = "##ERR##".to_owned(),
+            CsvCorruption::Truncated => mutated.truncate(target),
+        }
+        out.push_str(&mutated.join(","));
+        out.push('\n');
+        log.push((lineno, corruption));
+    }
+    (out, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "minutes,a,b\n0,20.0,21.0\n5,20.1,21.1\n10,20.2,21.2\n15,20.3,21.3\n";
+
+    #[test]
+    fn zero_intensity_is_identity() {
+        let (out, log) = corrupt_csv(CSV, 1, 0.0);
+        assert_eq!(out, CSV);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_logged() {
+        let (a, log_a) = corrupt_csv(CSV, 42, 1.0);
+        let (b, log_b) = corrupt_csv(CSV, 42, 1.0);
+        assert_eq!(a, b);
+        assert_eq!(log_a, log_b);
+        assert_eq!(log_a.len(), 4, "every data line corrupted at intensity 1");
+        for (lineno, _) in &log_a {
+            assert!((2..=5).contains(lineno), "header must stay intact");
+        }
+        // A different seed corrupts differently.
+        let (c, _) = corrupt_csv(CSV, 43, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corrupted_lines_actually_differ() {
+        let (out, log) = corrupt_csv(CSV, 7, 1.0);
+        let before: Vec<&str> = CSV.lines().collect();
+        let after: Vec<&str> = out.lines().collect();
+        for (lineno, _) in &log {
+            assert_ne!(before[lineno - 1], after[lineno - 1]);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fault injection for auditorium telemetry — the testbed's
+//! 98 → 64-day reality, on demand.
+//!
+//! The ICDCS'14 deployment lost a third of its campaign to real
+//! faults: Bluetooth dropout bursts, stuck and drifting sensors, and
+//! whole days of server outage. Its piece-wise least-squares
+//! identification (Eq. 4) exists *because* the data is imperfect.
+//! This crate makes that imperfection a first-class, reproducible
+//! test input:
+//!
+//! * [`FaultPlan`] — a composable, seed-deterministic list of
+//!   [`FaultDirective`]s injecting typed faults into any
+//!   [`thermal_timeseries::Dataset`]: stuck-at readings, slow drift,
+//!   spike outliers, implausible garbage values, clock-skewed
+//!   channels, channel death mid-trace, and whole-day server outages,
+//! * [`FaultLog`] — ground truth of every injected event, so tests
+//!   can assert that detection and quarantine caught exactly the
+//!   corrupted samples,
+//! * [`ingest::corrupt_csv`] — CSV-text corruption (NaN/inf literals,
+//!   truncated rows) for parser-hardening tests, since the dataset
+//!   containers themselves never admit non-finite values.
+//!
+//! # Determinism
+//!
+//! Same seed ⇒ identical faulted trace and log on every platform;
+//! see the [`plan`] module docs for the exact stream-derivation
+//! contract and `tests/pinned.rs` for the pinned-trace regression
+//! test.
+//!
+//! # Example
+//!
+//! ```
+//! use thermal_faults::{FaultDirective, FaultKind, FaultPlan};
+//! use thermal_timeseries::{Channel, Dataset, TimeGrid, Timestamp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 288)?;
+//! let ds = Dataset::new(grid, vec![Channel::from_values("t01", vec![21.0; 288])?])?;
+//! let plan = FaultPlan::new(7).with(FaultDirective::all(
+//!     FaultKind::Spike { prob: 0.05, magnitude: 6.0 },
+//!     1.0,
+//! ));
+//! let (faulted, log) = plan.apply(&ds)?;
+//! assert_eq!(faulted.grid(), ds.grid());
+//! assert_eq!(log.count_kind("spike"), log.events().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod log;
+
+pub mod ingest;
+pub mod plan;
+
+pub use error::FaultError;
+pub use log::{FaultEvent, FaultLog};
+pub use plan::{FaultDirective, FaultKind, FaultPlan, FaultTargets};
+
+/// Convenient crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FaultError>;

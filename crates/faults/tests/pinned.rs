@@ -1,0 +1,122 @@
+//! Pinned-trace regression test for the fault-injection determinism
+//! contract (see `plan.rs` module docs): the exact faulted trace and
+//! log produced by a fixed plan on a fixed dataset are fingerprinted
+//! here, so any change to stream derivation, draw order or float
+//! arithmetic — however innocent-looking — fails loudly instead of
+//! silently invalidating every seed-pinned experiment downstream.
+//!
+//! If a change *intentionally* alters the injected trace (new draw
+//! order, different mixing constants), update the pinned constants in
+//! the same commit and say so in the commit message: every consumer's
+//! pinned seeds change meaning with them.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use thermal_faults::{FaultDirective, FaultKind, FaultPlan};
+use thermal_timeseries::{Channel, Dataset, TimeGrid, Timestamp};
+
+/// FNV-1a over raw bytes — stable, dependency-free fingerprinting.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints a dataset: every channel's name and every slot's
+/// exact bit pattern (gaps fold in a sentinel distinct from any
+/// finite value's bits).
+fn dataset_fingerprint(ds: &Dataset) -> u64 {
+    const GAP_SENTINEL: u64 = 0x7ff8_0000_dead_beef;
+    let mut h = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    for ch in ds.channels() {
+        h = fnv1a(h, ch.name().as_bytes());
+        for v in ch.values() {
+            let bits = v.map_or(GAP_SENTINEL, f64::to_bits);
+            h = fnv1a(h, &bits.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Two days of 5-minute telemetry with pure-arithmetic values (no
+/// transcendental functions, so construction is bit-exact on every
+/// platform, like the injection itself).
+fn fixture() -> Dataset {
+    let n = 288 * 2;
+    let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, n).unwrap();
+    let channels = (0..3)
+        .map(|c| {
+            let values: Vec<f64> = (0..n)
+                .map(|i| 20.0 + (i % 288) as f64 * 0.01 + c as f64)
+                .collect();
+            Channel::from_values(format!("t{c:02}"), values).unwrap()
+        })
+        .collect();
+    Dataset::new(grid, channels).unwrap()
+}
+
+/// The pinned plan: every fault class at a mid-sweep intensity.
+fn plan() -> FaultPlan {
+    let mut plan = FaultPlan::new(0x00D5_2026);
+    for (class, intensity) in [
+        ("stuck", 0.8),
+        ("drift", 1.0),
+        ("spike", 0.6),
+        ("garbage", 0.5),
+        ("skew", 0.5),
+        ("death", 0.9),
+        ("outage", 1.0),
+    ] {
+        let kind = FaultKind::default_params(class).unwrap();
+        plan = plan.with(FaultDirective::all(kind, intensity));
+    }
+    plan
+}
+
+#[test]
+fn pinned_trace_and_log_are_reproduced_exactly() {
+    let ds = fixture();
+    let (faulted, log) = plan().apply(&ds).unwrap();
+
+    // The exact per-kind event counts of this seed.
+    let counts: Vec<(&str, usize)> = [
+        "stuck", "drift", "spike", "garbage", "skew", "death", "outage",
+    ]
+    .iter()
+    .map(|k| (*k, log.count_kind(k)))
+    .collect();
+    assert_eq!(
+        counts,
+        [
+            ("stuck", 5),
+            ("drift", 3),
+            ("spike", 9),
+            ("garbage", 7),
+            ("skew", 3),
+            ("death", 3),
+            ("outage", 1),
+        ],
+        "pinned event counts changed — the fault streams moved"
+    );
+
+    // Bit-exact fingerprints of the faulted trace and the log.
+    assert_eq!(
+        dataset_fingerprint(&faulted),
+        0xc9f8_cc41_a318_d751,
+        "pinned trace fingerprint changed — injected values moved"
+    );
+    assert_eq!(
+        fnv1a(0xcbf2_9ce4_8422_2325, format!("{log:?}").as_bytes()),
+        0xc496_c3b7_65dd_47b9,
+        "pinned log fingerprint changed — event order or payloads moved"
+    );
+
+    // Re-application from an identical plan value reproduces both.
+    let (again, log_again) = plan().apply(&ds).unwrap();
+    assert_eq!(again, faulted);
+    assert_eq!(log_again, log);
+}

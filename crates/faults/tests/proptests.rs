@@ -1,0 +1,141 @@
+//! Property-based tests tying the injector's ground-truth log to the
+//! segmentation machinery the identification pipeline runs on: for
+//! *any* fault plan, the gap-free segments fitted downstream must
+//! never overlap a slot the log says was erased, and every slot the
+//! log does not claim must come through bit-identical.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use thermal_faults::{FaultDirective, FaultKind, FaultPlan};
+use thermal_timeseries::{segments_from_mask, Channel, Dataset, TimeGrid, Timestamp};
+
+/// A one-channel dataset over a 30-minute grid with ~15 % natural
+/// gaps, so injected erasure composes with pre-existing dropout.
+fn dataset(values: Vec<Option<f64>>) -> Dataset {
+    let grid = TimeGrid::new(Timestamp::from_minutes(0), 30, values.len()).unwrap();
+    Dataset::new(grid, vec![Channel::new("t00", values).unwrap()]).unwrap()
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<Option<f64>>> {
+    prop::collection::vec(prop::option::weighted(0.85, 15.0_f64..30.0), 96..288)
+}
+
+proptest! {
+    /// The satellite contract: segments derived from the faulted
+    /// presence mask (exactly what `usable_segments` feeds the
+    /// least-squares fit) never contain a slot that channel death or
+    /// a day outage erased, for any seed, any intensity mix and any
+    /// pre-existing gap pattern. Erasure directives come last, as in
+    /// any physically ordered plan (a dead channel cannot skew).
+    #[test]
+    fn fitted_segments_never_overlap_injected_outages(
+        seed in any::<u64>(),
+        values in values_strategy(),
+        skew_i in 0.0_f64..=1.0,
+        death_i in 0.0_f64..=1.0,
+        outage_i in 0.0_f64..=1.0,
+        min_len in 1_usize..8,
+    ) {
+        let ds = dataset(values);
+        let n = ds.grid().len();
+        let days: Vec<i64> = ds.grid().iter().map(|(_, t)| t.day()).collect();
+        let plan = FaultPlan::new(seed)
+            .with(FaultDirective::all(
+                FaultKind::default_params("spike").unwrap(),
+                0.5,
+            ))
+            .with(FaultDirective::all(FaultKind::ClockSkew { max_slots: 6 }, skew_i))
+            .with(FaultDirective::all(FaultKind::ChannelDeath, death_i))
+            .with(FaultDirective::all(
+                FaultKind::DayOutage { day_prob: 0.5 },
+                outage_i,
+            ));
+        let (faulted, log) = plan.apply(&ds).unwrap();
+        let lost = log.lost_mask("t00", n, |i| days[i]);
+
+        // Every slot the log claims erased is a gap in the trace.
+        let ch = faulted.channel("t00").unwrap();
+        for i in lost.iter_selected() {
+            prop_assert!(!ch.is_present(i), "lost slot {i} still present");
+        }
+
+        // So no fitted segment can contain one.
+        let presence = faulted.presence_mask(&[0]).unwrap();
+        for seg in segments_from_mask(&presence, min_len) {
+            for i in lost.iter_selected() {
+                prop_assert!(
+                    !seg.contains(i),
+                    "segment {}..{} overlaps erased slot {i}",
+                    seg.start,
+                    seg.end
+                );
+            }
+        }
+    }
+
+    /// Zero intensity is an exact no-op for every class, any seed and
+    /// any gap pattern — the anchor of the fault-matrix sweep.
+    #[test]
+    fn zero_intensity_is_identity_for_any_seed(
+        seed in any::<u64>(),
+        values in values_strategy(),
+    ) {
+        let ds = dataset(values);
+        let mut plan = FaultPlan::new(seed);
+        for class in ["stuck", "drift", "spike", "garbage", "skew", "death", "outage"] {
+            plan = plan.with(FaultDirective::all(
+                FaultKind::default_params(class).unwrap(),
+                0.0,
+            ));
+        }
+        let (faulted, log) = plan.apply(&ds).unwrap();
+        prop_assert!(log.is_clean());
+        prop_assert_eq!(faulted, ds);
+    }
+
+    /// The log is complete for value faults: a slot outside
+    /// `corrupted_slots` is bit-identical to the original, and value
+    /// faults never change which slots are present.
+    #[test]
+    fn unlogged_slots_are_bit_identical(
+        seed in any::<u64>(),
+        values in values_strategy(),
+        intensity in 0.0_f64..=1.0,
+    ) {
+        let ds = dataset(values);
+        let n = ds.grid().len();
+        let mut plan = FaultPlan::new(seed);
+        for class in ["stuck", "drift", "spike", "garbage"] {
+            plan = plan.with(FaultDirective::all(
+                FaultKind::default_params(class).unwrap(),
+                intensity,
+            ));
+        }
+        let (faulted, log) = plan.apply(&ds).unwrap();
+        let corrupted = log.corrupted_slots("t00", n);
+        let before = ds.channel("t00").unwrap();
+        let after = faulted.channel("t00").unwrap();
+        for i in 0..n {
+            prop_assert_eq!(
+                before.is_present(i),
+                after.is_present(i),
+                "value faults must not change presence at {}",
+                i
+            );
+            if corrupted.binary_search(&i).is_err() {
+                match (before.value(i), after.value(i)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "unlogged slot {} changed",
+                        i
+                    ),
+                    _ => prop_assert!(false, "presence flipped at {i}"),
+                }
+            }
+        }
+    }
+}

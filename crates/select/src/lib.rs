@@ -17,7 +17,9 @@
 //! plus the paper's evaluation metric: [`cluster_mean_errors`], the
 //! absolute error with which the chosen sensors reproduce each
 //! cluster's thermal mean on held-out data (Table II reports its 99th
-//! percentile).
+//! percentile), and [`rank_backups`], which ranks every cluster's
+//! remaining members as fallback sensors for degradation-aware
+//! operation (a representative dying in the reduced deployment).
 //!
 //! # Example
 //!
@@ -58,7 +60,8 @@ pub use error::SelectError;
 pub use eval::{cluster_mean_errors, ClusterMeanReport};
 pub use selection::{Selection, SelectionInput, Selector};
 pub use strategies::{
-    FixedSelector, GpSelector, NearMeanSelector, RandomSelector, StratifiedRandomSelector,
+    rank_backups, FixedSelector, GpSelector, NearMeanSelector, RandomSelector,
+    StratifiedRandomSelector,
 };
 
 /// Convenient crate-wide result alias.

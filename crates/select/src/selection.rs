@@ -71,6 +71,11 @@ impl<'a> SelectionInput<'a> {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Selection {
     per_cluster: Vec<Vec<usize>>,
+    /// Ranked fallback sensors per cluster (best substitute first),
+    /// used when a representative goes dark in operation. Empty for
+    /// selections that never ranked backups (older serialised data).
+    #[serde(default)]
+    backups: Vec<Vec<usize>>,
 }
 
 impl Selection {
@@ -86,7 +91,55 @@ impl Selection {
                 reason: "every cluster needs at least one representative".to_owned(),
             });
         }
-        Ok(Selection { per_cluster })
+        Ok(Selection {
+            per_cluster,
+            backups: Vec::new(),
+        })
+    }
+
+    /// Attaches ranked per-cluster backup lists (best substitute
+    /// first); see [`crate::rank_backups`] for the standard ranking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectError::InvalidRequest`] when the backup list
+    /// count differs from the cluster count or a backup duplicates a
+    /// representative of its own cluster.
+    pub fn with_backups(mut self, backups: Vec<Vec<usize>>) -> Result<Self> {
+        if backups.len() != self.per_cluster.len() {
+            return Err(SelectError::InvalidRequest {
+                reason: format!(
+                    "{} backup lists supplied for {} clusters",
+                    backups.len(),
+                    self.per_cluster.len()
+                ),
+            });
+        }
+        for (c, (reps, bs)) in self.per_cluster.iter().zip(&backups).enumerate() {
+            if bs.iter().any(|b| reps.contains(b)) {
+                return Err(SelectError::InvalidRequest {
+                    reason: format!("cluster {c} lists a representative among its backups"),
+                });
+            }
+        }
+        self.backups = backups;
+        Ok(self)
+    }
+
+    /// Ranked backups of cluster `c` (best substitute first); empty
+    /// when no backups were ranked.
+    pub fn backups(&self, c: usize) -> &[usize] {
+        self.backups.get(c).map_or(&[], Vec::as_slice)
+    }
+
+    /// Per-cluster ranked backup lists (empty when none were ranked).
+    pub fn backup_lists(&self) -> &[Vec<usize>] {
+        &self.backups
+    }
+
+    /// `true` when ranked backups are attached.
+    pub fn has_backups(&self) -> bool {
+        !self.backups.is_empty()
     }
 
     /// Representatives of cluster `c`.

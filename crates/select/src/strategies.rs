@@ -255,6 +255,58 @@ fn conditional_variance(
     Ok((cov[(y, y)] - quad).max(0.0))
 }
 
+/// Ranks every cluster's non-selected members as fallback sensors for
+/// its representatives, best substitute first (closest in RMS to the
+/// cluster-mean trajectory — the same criterion [`NearMeanSelector`]
+/// uses to pick representatives in the first place).
+///
+/// Works for any strategy's output: cluster-blind selections simply
+/// get all cluster members not chosen anywhere ranked as backups.
+/// Returns the selection with the backup lists attached.
+///
+/// # Errors
+///
+/// Returns [`SelectError::InvalidRequest`] when `selection` does not
+/// cover the clustering, and propagates numerical failures.
+pub fn rank_backups(input: &SelectionInput<'_>, selection: &Selection) -> Result<Selection> {
+    input.validate()?;
+    if selection.cluster_count() != input.clustering.k() {
+        return Err(SelectError::InvalidRequest {
+            reason: format!(
+                "selection covers {} clusters but clustering has {}",
+                selection.cluster_count(),
+                input.clustering.k()
+            ),
+        });
+    }
+    let traj = input.trajectories;
+    let samples = traj.cols();
+    let taken = selection.sensors();
+    let mut backups = Vec::with_capacity(input.clustering.k());
+    for members in input.clustering.clusters() {
+        let mut mean = vec![0.0; samples];
+        for &i in &members {
+            for (m, v) in mean.iter_mut().zip(traj.row(i)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= members.len() as f64;
+        }
+        let mut scored: Vec<(f64, usize)> = Vec::new();
+        for &i in &members {
+            if taken.binary_search(&i).is_ok() {
+                continue;
+            }
+            let d = stats::euclidean_distance(traj.row(i), &mean)?;
+            scored.push((d, i));
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        backups.push(scored.into_iter().map(|(_, i)| i).collect());
+    }
+    selection.clone().with_backups(backups)
+}
+
 /// Assigns an arbitrary chosen sensor set to clusters: each cluster
 /// receives the not-yet-taken sensor whose trajectory best correlates
 /// with the cluster-mean trajectory; leftovers go to the cluster they
@@ -460,6 +512,50 @@ mod tests {
     fn gp_cannot_place_more_than_available() {
         let (m, c) = fixture();
         assert!(GpSelector.select(&input(&m, &c, 4, 0)).is_err());
+    }
+
+    #[test]
+    fn backups_are_cluster_mates_ranked_near_mean_first() {
+        let (m, c) = fixture();
+        let inp = input(&m, &c, 1, 0);
+        let sel = NearMeanSelector.select(&inp).unwrap();
+        let with = rank_backups(&inp, &sel).unwrap();
+        assert!(with.has_backups());
+        // Cluster 0 keeps sensor 1; backups are 0 and 2, and neither
+        // is the representative.
+        assert_eq!(with.representatives(0), &[1]);
+        let b0 = with.backups(0);
+        assert_eq!(b0.len(), 2);
+        assert!(b0.contains(&0) && b0.contains(&2));
+        assert!(!b0.contains(&1));
+        // Same for cluster 1 (rep 4, backups 3/5).
+        let b1 = with.backups(1);
+        assert!(b1.contains(&3) && b1.contains(&5) && !b1.contains(&4));
+        // Ranking is deterministic.
+        let again = rank_backups(&inp, &sel).unwrap();
+        assert_eq!(with, again);
+    }
+
+    #[test]
+    fn backups_for_cluster_blind_selections_exclude_taken_sensors() {
+        let (m, c) = fixture();
+        let inp = input(&m, &c, 1, 3);
+        let sel = RandomSelector.select(&inp).unwrap();
+        let with = rank_backups(&inp, &sel).unwrap();
+        let taken = with.sensors();
+        for cluster in 0..with.cluster_count() {
+            for b in with.backups(cluster) {
+                assert!(!taken.contains(b), "backup {b} is already selected");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_backups_rejects_mismatched_clustering() {
+        let (m, c) = fixture();
+        let inp = input(&m, &c, 1, 0);
+        let wrong = Selection::new(vec![vec![0]]).unwrap();
+        assert!(rank_backups(&inp, &wrong).is_err());
     }
 
     #[test]

@@ -12,6 +12,25 @@
 //! * 0.1 °C report quantisation,
 //! * per-sensor Bluetooth dropout bursts,
 //! * whole-day server outages shared by all channels.
+//!
+//! # Determinism contract
+//!
+//! [`SensorLayer`] derives every random stream from
+//! `seed ^ SENSOR_STREAM_SALT ^ h(sensor index)` (`StdRng`, a
+//! portable ChaCha-based generator), mirroring the contract of
+//! `thermal_faults::FaultPlan` (same mixing shape, different salt, so
+//! the two layers never share a stream even under the same seed):
+//!
+//! * the same seed and config reproduce the identical telemetry on
+//!   every platform and every run,
+//! * sensors are independent: channel `c`'s noise, bias and dropout
+//!   pattern do not depend on how many other channels are measured,
+//! * outage days come from a dedicated sub-stream
+//!   (`seed ^ SENSOR_STREAM_SALT ^ 0xdead_beef`), so redrawing them
+//!   never moves any sensor's noise,
+//! * the per-sample stream advances by exactly one draw on outage and
+//!   dropout-continuation slots, so gap patterns do not shift the
+//!   noise applied to later samples.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

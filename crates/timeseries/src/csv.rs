@@ -89,7 +89,21 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset> {
             reason: "header must start with \"minutes\" and name at least one channel".to_owned(),
         });
     }
-    let names: Vec<String> = cols[1..].iter().map(|s| (*s).to_owned()).collect();
+    let names: Vec<String> = cols[1..].iter().map(|s| s.trim().to_owned()).collect();
+    for (i, name) in names.iter().enumerate() {
+        if name.is_empty() {
+            return Err(TimeSeriesError::Csv {
+                line: 1,
+                reason: format!("empty channel name in header column {}", i + 2),
+            });
+        }
+        if names[..i].contains(name) {
+            return Err(TimeSeriesError::Csv {
+                line: 1,
+                reason: format!("duplicate channel name {name:?} in header"),
+            });
+        }
+    }
 
     let mut stamps: Vec<i64> = Vec::new();
     let mut columns: Vec<Vec<Option<f64>>> = vec![Vec::new(); names.len()];
@@ -127,6 +141,18 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset> {
                     line: lineno,
                     reason: format!("bad number {field:?}"),
                 })?;
+                // `"NaN".parse::<f64>()` succeeds, but non-finite
+                // samples would violate the Channel invariant (missing
+                // data must be an empty cell, never NaN/inf) — reject
+                // them here with the line number.
+                if !v.is_finite() {
+                    return Err(TimeSeriesError::Csv {
+                        line: lineno,
+                        reason: format!(
+                            "non-finite value {field:?} (missing samples must be empty cells)"
+                        ),
+                    });
+                }
                 columns[c].push(Some(v));
             }
         }
@@ -239,6 +265,43 @@ mod tests {
             from_csv_str("minutes,a\nfoo,1\n"),
             Err(TimeSeriesError::Csv { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn rejects_non_finite_literals_with_line_numbers() {
+        // `"NaN".parse::<f64>()` succeeds — the parser must reject it
+        // itself, with the offending line, not let it reach Channel.
+        for field in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!("minutes,a\n0,1.0\n5,{field}\n");
+            match from_csv_str(&text) {
+                Err(TimeSeriesError::Csv { line, reason }) => {
+                    assert_eq!(line, 3, "wrong line for {field:?}");
+                    assert!(
+                        reason.contains(field),
+                        "reason must quote {field:?}: {reason}"
+                    );
+                }
+                other => panic!("{field:?} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_and_empty_header_names() {
+        assert!(matches!(
+            from_csv_str("minutes,a,b,a\n0,1,2,3\n"),
+            Err(TimeSeriesError::Csv { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_csv_str("minutes,a,,b\n0,1,2,3\n"),
+            Err(TimeSeriesError::Csv { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn header_names_are_trimmed() {
+        let ds = from_csv_str("minutes, a , b\n0,1,2\n").unwrap();
+        assert_eq!(ds.channel_names(), vec!["a", "b"]);
     }
 
     #[test]

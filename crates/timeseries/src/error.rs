@@ -69,6 +69,11 @@ pub enum TimeSeriesError {
         /// Human-readable name of the offending operation.
         op: &'static str,
     },
+    /// A validation/healing policy was configured inconsistently.
+    InvalidPolicy {
+        /// Explanation of the problem.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for TimeSeriesError {
@@ -107,6 +112,9 @@ impl fmt::Display for TimeSeriesError {
                 "invalid daily window: start {start} must be before end {end} within 1440 minutes"
             ),
             TimeSeriesError::Empty { op } => write!(f, "empty input to {op}"),
+            TimeSeriesError::InvalidPolicy { reason } => {
+                write!(f, "invalid validation policy: {reason}")
+            }
         }
     }
 }

@@ -20,7 +20,9 @@
 //!   usable as the intervals `i = 1..K` of the paper's Eq. (4),
 //! * [`split`] — day-based train/validation splitting,
 //! * [`resample`] — moving datasets between sampling rates,
-//! * [`csv`] — plain-text round-tripping of datasets.
+//! * [`csv`] — plain-text round-tripping of datasets,
+//! * [`validate`] — quality flags, outlier quarantine, and gap
+//!   healing for raw, possibly faulty telemetry.
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ mod time;
 pub mod csv;
 pub mod resample;
 pub mod split;
+pub mod validate;
 
 pub use channel::Channel;
 pub use dataset::Dataset;
@@ -58,6 +61,7 @@ pub use error::TimeSeriesError;
 pub use mask::Mask;
 pub use segment::{segments_from_mask, Segment};
 pub use time::{Date, TimeGrid, Timestamp, MINUTES_PER_DAY, MINUTES_PER_HOUR};
+pub use validate::{ChannelQuality, GapPolicy, ValidationConfig, ValidationReport};
 
 /// Convenient crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TimeSeriesError>;

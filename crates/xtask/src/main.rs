@@ -6,7 +6,8 @@
 //!
 //! - `cargo xtask lint` — custom source-level conventions gate.
 //! - `cargo xtask fmt` — `cargo fmt --all`.
-//! - `cargo xtask ci` — fmt-check → clippy → lint → build → test.
+//! - `cargo xtask ci` — fmt-check → clippy → lint → build → test →
+//!   fault-matrix smoke.
 //! - `cargo xtask miri` — Miri over the `linalg`/`timeseries` unit
 //!   tests (skips with a notice when Miri is not installed).
 
@@ -48,7 +49,7 @@ fn print_help() {
          commands:\n\
          \x20 lint [--root <dir>]  run the custom static-analysis gate\n\
          \x20 fmt                  format the workspace (cargo fmt --all)\n\
-         \x20 ci                   fmt-check, clippy, lint, build, test\n\
+         \x20 ci                   fmt-check, clippy, lint, build, test, fault-matrix smoke\n\
          \x20 miri                 Miri over linalg/timeseries unit tests\n\
          \x20 help                 show this message"
     );
@@ -152,6 +153,24 @@ fn ci() -> ExitCode {
     run_steps(&[
         step("build", &["build", "--release", "--offline"]),
         step("test", &["test", "-q", "--offline"]),
+        // Robustness smoke: the fault-class × intensity sweep must
+        // complete end-to-end on a quick campaign (sensor death and
+        // total blackout included) — see DESIGN.md § robustness.
+        step(
+            "fault-matrix",
+            &[
+                "run",
+                "--release",
+                "--offline",
+                "-p",
+                "thermal-bench",
+                "--bin",
+                "repro",
+                "--",
+                "--quick",
+                "fault_matrix",
+            ],
+        ),
     ])
 }
 
