@@ -45,7 +45,7 @@ pub const DEFAULT_INTENSITIES: &[f64] = &[0.0, 0.25, 0.5, 1.0];
 const FAULT_SEED: u64 = 0xFA17_2026;
 
 /// One cell of the fault matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultMatrixCell {
     /// Fault class name (see [`FAULT_CLASSES`]).
     pub class: &'static str,
@@ -160,6 +160,13 @@ fn run_cell(
 
 /// Runs the full sweep: every fault class at every intensity.
 ///
+/// The `(class, intensity)` cells are independent — each fault stream
+/// is seeded from the cell's own directive, not a shared RNG — so the
+/// grid fans out over the configured [`thermal_par::thread_count`].
+/// Cells are returned in class-major, intensity-minor order and the
+/// result is bitwise identical for every thread count
+/// (`THERMAL_THREADS=1` forces the sequential walk).
+///
 /// # Errors
 ///
 /// Propagates pipeline-fitting, injection and validation failures.
@@ -174,13 +181,15 @@ pub fn fault_matrix(p: &Protocol, intensities: &[f64]) -> Result<Vec<FaultMatrix
         policy: DegradationPolicy::default(),
         horizon: occupied_horizon(&p.output),
     };
-    let mut cells = Vec::with_capacity(FAULT_CLASSES.len() * intensities.len());
+    let mut grid = Vec::with_capacity(FAULT_CLASSES.len() * intensities.len());
     for &class in FAULT_CLASSES {
         for &intensity in intensities {
-            cells.push(run_cell(&ctx, class, intensity)?);
+            grid.push((class, intensity));
         }
     }
-    Ok(cells)
+    thermal_par::try_parallel_map(&grid, |&(class, intensity)| {
+        run_cell(&ctx, class, intensity)
+    })
 }
 
 /// Renders the sweep as an aligned table plus a CSV document.
@@ -315,5 +324,19 @@ mod tests {
                 c.intensity
             );
         }
+    }
+
+    /// The grid fan-out keeps the determinism contract: the sweep is
+    /// bitwise identical under `THERMAL_THREADS=1` (sequential walk)
+    /// and `THERMAL_THREADS=4`.
+    #[test]
+    fn fault_matrix_bitwise_identical_across_thread_counts() {
+        let p = Protocol::quick(7).unwrap();
+        std::env::set_var(thermal_par::THREADS_ENV, "1");
+        let sequential = fault_matrix(&p, &[0.0, 1.0]).unwrap();
+        std::env::set_var(thermal_par::THREADS_ENV, "4");
+        let parallel = fault_matrix(&p, &[0.0, 1.0]).unwrap();
+        std::env::remove_var(thermal_par::THREADS_ENV);
+        assert_eq!(sequential, parallel);
     }
 }

@@ -25,12 +25,35 @@ pub struct KmeansResult {
 /// Runs k-means on the rows of `points` with `restarts` independent
 /// k-means++ seedings, keeping the lowest-inertia solution.
 ///
+/// Each restart draws from its own RNG stream seeded via
+/// [`thermal_par::derive_seed`], so restarts are order-independent
+/// and run in parallel over the configured
+/// [`thermal_par::thread_count`] while staying bitwise deterministic:
+/// ties in inertia resolve to the lowest restart index.
+///
 /// # Errors
 ///
 /// * [`ClusterError::BadClusterCount`] when `k` is zero or exceeds
 ///   the number of points,
 /// * [`ClusterError::InsufficientData`] for an empty point set.
 pub fn kmeans(points: &Matrix, k: usize, restarts: usize, seed: u64) -> Result<KmeansResult> {
+    kmeans_with_threads(points, k, restarts, seed, thermal_par::thread_count())
+}
+
+/// [`kmeans`] with an explicit worker count; `threads <= 1` runs the
+/// restarts inline on the calling thread. The result is bitwise
+/// identical for every `threads` value.
+///
+/// # Errors
+///
+/// Same conditions as [`kmeans`].
+pub fn kmeans_with_threads(
+    points: &Matrix,
+    k: usize,
+    restarts: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<KmeansResult> {
     let (n, dims) = points.shape();
     if n == 0 || dims == 0 {
         return Err(ClusterError::InsufficientData {
@@ -43,15 +66,22 @@ pub fn kmeans(points: &Matrix, k: usize, restarts: usize, seed: u64) -> Result<K
             sensors: n,
         });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut best = run_once(points, k, &mut rng)?;
-    for _ in 1..restarts.max(1) {
-        let result = run_once(points, k, &mut rng)?;
-        if result.inertia < best.inertia {
-            best = result;
+    let restart_ids: Vec<u64> = (0..restarts.max(1) as u64).collect();
+    let runs = thermal_par::try_parallel_map_with(threads, &restart_ids, |&r| {
+        let mut rng = StdRng::seed_from_u64(thermal_par::derive_seed(seed, r));
+        run_once(points, k, &mut rng)
+    })?;
+    let mut best: Option<KmeansResult> = None;
+    for result in runs {
+        // Strict `<` keeps the lowest restart index on inertia ties,
+        // independent of how restarts were scheduled.
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+            best = Some(result);
         }
     }
-    Ok(best)
+    best.ok_or(ClusterError::Internal {
+        context: "k-means ran zero restarts",
+    })
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -215,6 +245,23 @@ mod tests {
         let a = kmeans(&pts, 2, 3, 9).unwrap();
         let b = kmeans(&pts, 2, 3, 9).unwrap();
         assert_eq!(a, b);
+        // Pin the exact output of the splitmix-derived per-restart
+        // seeding, so any change to the restart RNG streams is caught.
+        assert_eq!(a.assignments, vec![1, 1, 1, 0, 0, 0]);
+        assert_eq!(a.inertia, 0.064_999_999_999_999_72);
+        assert_eq!(a.centroids.row(0), &[5.0, 5.0]);
+        assert_eq!(a.centroids.row(1), &[0.0, 0.05]);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let pts = two_blobs();
+        for k in [1, 2, 3] {
+            let seq = kmeans_with_threads(&pts, k, 5, 11, 1).unwrap();
+            for threads in [2, 4, 7] {
+                assert_eq!(seq, kmeans_with_threads(&pts, k, 5, 11, threads).unwrap());
+            }
+        }
     }
 
     #[test]

@@ -54,11 +54,11 @@ mod spectral;
 pub mod quality;
 
 pub use error::ClusterError;
-pub use kmeans::{kmeans, KmeansResult};
+pub use kmeans::{kmeans, kmeans_with_threads, KmeansResult};
 pub use laplacian::{
     eigengap_cluster_count, laplacian, log_eigengaps, normalized_laplacian, spectrum,
 };
-pub use similarity::{trajectory_matrix, weight_matrix, Similarity};
+pub use similarity::{trajectory_matrix, weight_matrix, weight_matrix_with_threads, Similarity};
 pub use spectral::{
     cluster_sensors, cluster_trajectories, ClusterCount, Clustering, SpectralConfig,
 };

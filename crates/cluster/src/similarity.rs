@@ -75,11 +75,24 @@ pub fn trajectory_matrix(dataset: &Dataset, channels: &[&str], mask: &Mask) -> R
     }
     let mut m = Matrix::zeros(channels.len(), slots.len());
     for (r, &ci) in idx.iter().enumerate() {
-        let ch = dataset.channel_at(ci)?;
-        for (c, &slot) in slots.iter().enumerate() {
-            m[(r, c)] = ch.value(slot).ok_or(ClusterError::Internal {
+        // Bulk row copy: grab the channel's sample buffer once and
+        // gather the selected slots straight into the output row. The
+        // joint-presence mask guarantees every slot is present, so the
+        // error branch is hoisted to a single per-row check instead of
+        // an early return inside the gather loop.
+        let values = dataset.channel_at(ci)?.values();
+        let row = m.row_mut(r);
+        let mut missing = false;
+        for (dst, &slot) in row.iter_mut().zip(&slots) {
+            match values.get(slot).copied().flatten() {
+                Some(v) => *dst = v,
+                None => missing = true,
+            }
+        }
+        if missing {
+            return Err(ClusterError::Internal {
                 context: "joint-presence mask admitted a missing sample",
-            })?;
+            });
         }
     }
     Ok(m)
@@ -91,39 +104,74 @@ pub fn trajectory_matrix(dataset: &Dataset, channels: &[&str], mask: &Mask) -> R
 /// The diagonal is zero (no self-loops), as the graph-Laplacian
 /// construction expects.
 ///
+/// Both similarity kernels are fused: per-trajectory statistics
+/// (squared norms for Euclidean; means and centred norms for Pearson)
+/// are computed once instead of once per pair, each upper-triangle
+/// entry reduces to a single row dot product, and the triangle rows
+/// fan out in parallel over the configured
+/// [`thermal_par::thread_count`]. Each row of the triangle is owned by
+/// exactly one task, so the output is bitwise identical for every
+/// thread count.
+///
 /// # Errors
 ///
 /// * [`ClusterError::InsufficientData`] for fewer than two sensors or
 ///   samples,
 /// * [`ClusterError::Linalg`] on numerical failures.
 pub fn weight_matrix(trajectories: &Matrix, similarity: Similarity) -> Result<Matrix> {
+    weight_matrix_with_threads(trajectories, similarity, thermal_par::thread_count())
+}
+
+/// [`weight_matrix`] with an explicit worker count; `threads <= 1`
+/// runs sequentially on the calling thread. The result is bitwise
+/// identical for every `threads` value.
+///
+/// # Errors
+///
+/// Same conditions as [`weight_matrix`].
+pub fn weight_matrix_with_threads(
+    trajectories: &Matrix,
+    similarity: Similarity,
+    threads: usize,
+) -> Result<Matrix> {
     let (n, samples) = trajectories.shape();
     if n < 2 || samples < 2 {
         return Err(ClusterError::InsufficientData {
             reason: format!("need at least 2 sensors and 2 samples, got {n} x {samples}"),
         });
     }
+    let rows: Vec<usize> = (0..n).collect();
     let mut w = Matrix::zeros(n, n);
     match similarity {
         Similarity::Euclidean { scale } => {
-            // Pairwise distances first (needed for the median heuristic).
-            let mut dists = Matrix::zeros(n, n);
+            // d²(i, j) = ‖tᵢ‖² + ‖tⱼ‖² − 2⟨tᵢ, tⱼ⟩ with the squared
+            // norms hoisted out of the pair loop; clamp at zero
+            // against cancellation round-off.
+            let sq: Vec<f64> = (0..n)
+                .map(|i| dot(trajectories.row(i), trajectories.row(i)))
+                .collect();
+            let tri: Vec<Vec<f64>> = thermal_par::parallel_map_with(threads, &rows, |&i| {
+                let ti = trajectories.row(i);
+                ((i + 1)..n)
+                    .map(|j| {
+                        let g = dot(ti, trajectories.row(j));
+                        (sq[i] + sq[j] - 2.0 * g).max(0.0).sqrt()
+                    })
+                    .collect()
+            });
+            // Pairwise distances in (i, j)-ascending order for the
+            // median heuristic.
             let mut all = Vec::with_capacity(n * (n - 1) / 2);
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let d = stats::euclidean_distance(trajectories.row(i), trajectories.row(j))?;
-                    dists[(i, j)] = d;
-                    dists[(j, i)] = d;
-                    all.push(d);
-                }
+            for row in &tri {
+                all.extend_from_slice(row);
             }
             let sigma = match scale {
                 Some(s) if s > 0.0 => s,
                 _ => stats::median(&all)?.max(f64::MIN_POSITIVE),
             };
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let d = dists[(i, j)];
+            for (i, row) in tri.iter().enumerate() {
+                for (off, &d) in row.iter().enumerate() {
+                    let j = i + 1 + off;
                     let v = (-d * d / (2.0 * sigma * sigma)).exp();
                     w[(i, j)] = v;
                     w[(j, i)] = v;
@@ -131,10 +179,36 @@ pub fn weight_matrix(trajectories: &Matrix, similarity: Similarity) -> Result<Ma
             }
         }
         Similarity::Correlation => {
+            // Centre every trajectory once, then r(i, j) =
+            // ⟨zᵢ, zⱼ⟩ / (‖zᵢ‖·‖zⱼ‖) — the per-pair mean and norm
+            // recomputation of `stats::pearson` drops out.
+            // Zero-variance (dead) sensors keep the r = 0 convention.
+            let mut centred = trajectories.clone();
             for i in 0..n {
-                for j in (i + 1)..n {
-                    let r = stats::pearson(trajectories.row(i), trajectories.row(j))?;
-                    let v = r.max(0.0);
+                let row = centred.row_mut(i);
+                let mean = row.iter().sum::<f64>() / samples as f64;
+                for v in row.iter_mut() {
+                    *v -= mean;
+                }
+            }
+            let sq: Vec<f64> = (0..n)
+                .map(|i| dot(centred.row(i), centred.row(i)))
+                .collect();
+            let tri: Vec<Vec<f64>> = thermal_par::parallel_map_with(threads, &rows, |&i| {
+                let zi = centred.row(i);
+                ((i + 1)..n)
+                    .map(|j| {
+                        if sq[i] == 0.0 || sq[j] == 0.0 {
+                            return 0.0;
+                        }
+                        let r = dot(zi, centred.row(j)) / (sq[i].sqrt() * sq[j].sqrt());
+                        r.clamp(-1.0, 1.0).max(0.0)
+                    })
+                    .collect()
+            });
+            for (i, row) in tri.iter().enumerate() {
+                for (off, &v) in row.iter().enumerate() {
+                    let j = i + 1 + off;
                     w[(i, j)] = v;
                     w[(j, i)] = v;
                 }
@@ -142,6 +216,16 @@ pub fn weight_matrix(trajectories: &Matrix, similarity: Similarity) -> Result<Ma
         }
     }
     Ok(w)
+}
+
+/// Plain left-to-right dot product; the upper-triangle kernels above
+/// rely on its fixed accumulation order for bitwise determinism.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -198,6 +282,67 @@ mod tests {
         assert!((w[(0, 1)] - 1.0).abs() < 1e-12);
         assert_eq!(w[(0, 2)], 0.0, "anti-correlation clamps to zero");
         assert_eq!(w[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let m = Matrix::from_fn(9, 30, |i, j| ((i * 31 + j) as f64 * 0.37).sin() * 10.0);
+        for sim in [
+            Similarity::euclidean(),
+            Similarity::Euclidean { scale: Some(2.5) },
+            Similarity::correlation(),
+        ] {
+            let seq = weight_matrix_with_threads(&m, sim, 1).unwrap();
+            for threads in [2, 4, 8] {
+                assert_eq!(seq, weight_matrix_with_threads(&m, sim, threads).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pearson_matches_pairwise_stats() {
+        let m = Matrix::from_fn(6, 25, |i, j| {
+            ((i + 2) as f64 * (j as f64 * 0.11).cos()) + i as f64
+        });
+        let w = weight_matrix(&m, Similarity::correlation()).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let r = stats::pearson(m.row(i), m.row(j)).unwrap().max(0.0);
+                assert!(
+                    (w[(i, j)] - r).abs() < 1e-12,
+                    "fused kernel drifted from stats::pearson at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_euclidean_matches_pairwise_stats() {
+        let m = Matrix::from_fn(5, 20, |i, j| ((i * 17 + j) as f64 * 0.23).cos() * 4.0);
+        let w = weight_matrix(&m, Similarity::Euclidean { scale: Some(3.0) }).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let d = stats::euclidean_distance(m.row(i), m.row(j)).unwrap();
+                let expect = (-d * d / (2.0 * 3.0 * 3.0)).exp();
+                assert!(
+                    (w[(i, j)] - expect).abs() < 1e-12,
+                    "fused kernel drifted from stats::euclidean_distance at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_variance_sensor_gets_zero_correlation() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0][..],
+            &[5.0, 5.0, 5.0, 5.0][..],
+            &[4.0, 3.0, 2.0, 1.0][..],
+        ])
+        .unwrap();
+        let w = weight_matrix(&m, Similarity::correlation()).unwrap();
+        assert_eq!(w[(0, 1)], 0.0);
+        assert_eq!(w[(1, 2)], 0.0);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! * [`stats`] — means, covariance and correlation matrices,
 //!   percentiles and empirical CDFs used throughout the evaluation.
 //!
-//! Everything is `f64`; the matrices in this problem domain are tiny
-//! (tens of rows/columns for states, tens of thousands of sample rows),
-//! so clarity and numerical robustness are preferred over blocking or
-//! SIMD tricks.
+//! Everything is `f64`. The dense kernels on the identification hot
+//! path (`matmul`, `gram`, the Householder sweep) are cache-blocked
+//! and row-streamed, and the large products fan out over row panels
+//! via the deterministic `thermal-par` executor: outputs are bitwise
+//! identical for any thread count (see `DESIGN.md` § performance), and
+//! `THERMAL_THREADS=1` forces the sequential path.
 //!
 //! # Example
 //!
@@ -69,3 +71,16 @@ pub use vector::Vector;
 
 /// Convenient crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Flop count below which a kernel stays on the calling thread, per
+/// extra worker: scoped-thread spawn costs tens of microseconds, so a
+/// worker must amortise ~2ⁱ⁷ multiply-adds to pay for itself.
+const PAR_MIN_WORK_PER_THREAD: usize = 1 << 17;
+
+/// Worker count for a kernel performing `work` multiply-adds: the
+/// configured [`thermal_par::thread_count`], capped so every worker
+/// has at least [`PAR_MIN_WORK_PER_THREAD`] to do. Returns 1 (the
+/// inline sequential path) for small problems.
+pub(crate) fn kernel_threads(work: usize) -> usize {
+    thermal_par::thread_count().min((work / PAR_MIN_WORK_PER_THREAD).max(1))
+}

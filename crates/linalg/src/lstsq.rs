@@ -83,7 +83,7 @@ pub fn solve_ridge(a: &Matrix, b: &Vector, lambda: f64) -> Result<Vector> {
     for i in 0..gram.rows() {
         gram[(i, i)] += lambda;
     }
-    let atb = a.transpose().matvec(b)?;
+    let atb = a.transpose_matvec(b)?;
     CholeskyDecomposition::new(&gram)?.solve(&atb)
 }
 
@@ -120,7 +120,7 @@ pub fn solve_ridge_matrix(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix>
     for i in 0..gram.rows() {
         gram[(i, i)] += lambda;
     }
-    let atb = a.transpose().matmul(b)?;
+    let atb = a.transpose_matmul(b)?;
     CholeskyDecomposition::new(&gram)?.solve_matrix(&atb)
 }
 

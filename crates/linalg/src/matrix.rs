@@ -219,11 +219,30 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// The kernel is cache-blocked over the inner dimension and, for
+    /// large products, fans out over row panels of the result via the
+    /// deterministic `thermal-par` executor; every output row is
+    /// accumulated in the same order regardless of thread count, so
+    /// the result is bitwise identical at any parallelism.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when inner dimensions
     /// differ.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let work = self.rows * self.cols * rhs.cols;
+        self.matmul_with_threads(rhs, crate::kernel_threads(work))
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count — the
+    /// differential-testing surface of the determinism contract
+    /// (`threads == 1` is the sequential path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when inner dimensions
+    /// differ.
+    pub fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -232,22 +251,149 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner accesses sequential for the
-        // row-major layout.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+        if self.rows == 0 || rhs.cols == 0 {
+            return Ok(out);
+        }
+        let panel_rows = self.rows.div_ceil(threads.max(1)).max(1);
+        let n = rhs.cols;
+        thermal_par::parallel_chunks_mut_with(
+            threads,
+            &mut out.data,
+            panel_rows * n,
+            |p, panel| {
+                matmul_panel(self, rhs, p * panel_rows, panel);
+            },
+        );
+        Ok(out)
+    }
+
+    /// Product with the transpose of `rhs`: `self * rhsᵀ`, i.e.
+    /// `out[i][j] = ⟨self.row(i), rhs.row(j)⟩` — both operands are
+    /// walked row-major, which is what the pairwise-similarity kernels
+    /// want. Large products fan out over row panels deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when column counts
+    /// differ.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Result<Matrix> {
+        let work = self.rows * self.cols * rhs.rows;
+        self.matmul_transpose_b_with_threads(rhs, crate::kernel_threads(work))
+    }
+
+    /// [`Matrix::matmul_transpose_b`] with an explicit worker count
+    /// (`threads == 1` is the sequential path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when column counts
+    /// differ.
+    pub fn matmul_transpose_b_with_threads(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_b",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        if self.rows == 0 || rhs.rows == 0 {
+            return Ok(out);
+        }
+        let n = rhs.rows;
+        let panel_rows = self.rows.div_ceil(threads.max(1)).max(1);
+        thermal_par::parallel_chunks_mut_with(
+            threads,
+            &mut out.data,
+            panel_rows * n,
+            |p, panel| {
+                let i0 = p * panel_rows;
+                for (r, orow) in panel.chunks_mut(n).enumerate() {
+                    let arow = self.row(i0 + r);
+                    for (o, j) in orow.iter_mut().zip(0..n) {
+                        *o = dot(arow, rhs.row(j));
+                    }
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+            },
+        );
+        Ok(out)
+    }
+
+    /// Product of the transpose of `self` with `rhs`: `selfᵀ * rhs`,
+    /// computed by streaming both operands row-major (no transpose is
+    /// ever materialised). This is the `AᵀB` half of the
+    /// normal-equation solvers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when row counts differ.
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (p, q) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(p, q);
+        if p == 0 || q == 0 {
+            return Ok(out);
+        }
+        let threads = crate::kernel_threads(self.rows * p * q);
+        let block_rows = p.div_ceil(threads.max(1)).max(1);
+        thermal_par::parallel_chunks_mut_with(
+            threads,
+            &mut out.data,
+            block_rows * q,
+            |blk, out_block| {
+                let i0 = blk * block_rows;
+                let ni = out_block.len() / q;
+                // Accumulate over the sample rows in ascending order for
+                // every output entry — identical at any block partition.
+                for r in 0..self.rows {
+                    let srow = self.row(r);
+                    let rrow = rhs.row(r);
+                    for li in 0..ni {
+                        let a = srow[i0 + li];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, b) in out_block[li * q..(li + 1) * q].iter_mut().zip(rrow) {
+                            *o += a * b;
+                        }
+                    }
                 }
+            },
+        );
+        Ok(out)
+    }
+
+    /// Product of the transpose of `self` with a vector: `selfᵀ v`,
+    /// streaming `self` row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != rows`.
+    pub fn transpose_matvec(&self, v: &Vector) -> Result<Vector> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, row) in self.iter_rows().enumerate() {
+            let s = v[r];
+            if s == 0.0 {
+                continue;
+            }
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += s * a;
             }
         }
-        Ok(out)
+        Ok(Vector::from(out))
     }
 
     /// Matrix-vector product `self * v`.
@@ -273,24 +419,54 @@ impl Matrix {
     }
 
     /// `Aᵀ A` computed directly (used by normal-equation solvers).
+    ///
+    /// Only the upper triangle is accumulated (then mirrored), each
+    /// entry in ascending sample order, so the symmetric result is
+    /// bitwise identical at any worker count.
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.cols);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..self.cols {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in i..self.cols {
-                    out.data[i * self.cols + j] += a * row[j];
-                }
-            }
+        // Upper-triangular work: rows * cols² / 2 multiply-adds.
+        let work = self.rows * self.cols * self.cols / 2;
+        self.gram_with_threads(crate::kernel_threads(work))
+    }
+
+    /// [`Matrix::gram`] with an explicit worker count (`threads == 1`
+    /// is the sequential path).
+    pub fn gram_with_threads(&self, threads: usize) -> Matrix {
+        let p = self.cols;
+        let mut out = Matrix::zeros(p, p);
+        if p == 0 {
+            return out;
         }
+        let block_rows = p.div_ceil(threads.max(1)).max(1);
+        thermal_par::parallel_chunks_mut_with(
+            threads,
+            &mut out.data,
+            block_rows * p,
+            |blk, out_block| {
+                let i0 = blk * block_rows;
+                let ni = out_block.len() / p;
+                // One streaming pass over the sample rows per output block;
+                // every (i, j) accumulates in ascending row order.
+                for r in 0..self.rows {
+                    let row = self.row(r);
+                    for li in 0..ni {
+                        let i = i0 + li;
+                        let a = row[i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut out_block[li * p..(li + 1) * p];
+                        for j in i..p {
+                            orow[j] += a * row[j];
+                        }
+                    }
+                }
+            },
+        );
         // Mirror the upper triangle.
-        for i in 0..self.cols {
+        for i in 0..p {
             for j in 0..i {
-                out.data[i * self.cols + j] = out.data[j * self.cols + i];
+                out.data[i * p + j] = out.data[j * p + i];
             }
         }
         out
@@ -434,6 +610,45 @@ impl Matrix {
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
         self.data.chunks_exact(self.cols.max(1))
     }
+}
+
+/// Inner-dimension tile for the blocked product: a `MATMUL_KC × cols`
+/// panel of the right-hand side (≤ ~32 KiB of `f64` at typical widths)
+/// stays cache-resident while every row of the output panel sweeps it.
+const MATMUL_KC: usize = 64;
+
+/// Computes output rows `i0 ..` of `a * b` into `panel` (a row-major
+/// slice of `b.cols`-wide rows). The inner dimension is visited in
+/// ascending order for every output entry — tiling and row-panel
+/// splits never change the accumulation order, which is what makes
+/// the parallel product bitwise deterministic.
+fn matmul_panel(a: &Matrix, b: &Matrix, i0: usize, panel: &mut [f64]) {
+    let n = b.cols;
+    for k0 in (0..a.cols).step_by(MATMUL_KC) {
+        let k1 = (k0 + MATMUL_KC).min(a.cols);
+        for (r, orow) in panel.chunks_mut(n).enumerate() {
+            let arow = a.row(i0 + r);
+            for k in k0..k1 {
+                let av = arow[k];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * n..(k + 1) * n];
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Dot product of two equal-length slices, accumulated left to right.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -66,6 +66,9 @@ impl QrDecomposition {
 
         let mut r = a.clone();
         let mut tau = vec![0.0; n];
+        // Reflector workspace: w[j - k - 1] = τ (vᵀ R)[j] for the
+        // trailing columns of the current step.
+        let mut w = vec![0.0; n];
 
         for k in 0..n {
             // Build the Householder reflector for column k, rows k..m.
@@ -88,17 +91,34 @@ impl QrDecomposition {
             tau[k] = -v0 / alpha;
             r[(k, k)] = alpha;
 
-            // Apply the reflector to the remaining columns.
-            for j in (k + 1)..n {
-                let mut dot = r[(k, j)];
-                for i in (k + 1)..m {
-                    dot += r[(i, k)] * r[(i, j)];
+            // Apply the reflector to the trailing columns, streaming
+            // the packed matrix row by row (the trailing block is
+            // walked twice, both times in row-major order): first
+            // accumulate w = vᵀ R, then rank-1 update R -= v (τ w).
+            let width = n - k - 1;
+            if width == 0 {
+                continue;
+            }
+            let wk = &mut w[..width];
+            wk.copy_from_slice(&r.row(k)[k + 1..]);
+            for i in (k + 1)..m {
+                let vik = r.row(i)[k];
+                let rrow = &r.row(i)[k + 1..];
+                for (acc, rij) in wk.iter_mut().zip(rrow) {
+                    *acc += vik * rij;
                 }
-                let t = tau[k] * dot;
-                r[(k, j)] -= t;
-                for i in (k + 1)..m {
-                    let vik = r[(i, k)];
-                    r[(i, j)] -= t * vik;
+            }
+            for acc in wk.iter_mut() {
+                *acc *= tau[k];
+            }
+            for (rkj, t) in r.row_mut(k)[k + 1..].iter_mut().zip(wk.iter()) {
+                *rkj -= t;
+            }
+            for i in (k + 1)..m {
+                let row = r.row_mut(i);
+                let vik = row[k];
+                for (rij, t) in row[k + 1..].iter_mut().zip(wk.iter()) {
+                    *rij -= t * vik;
                 }
             }
         }
@@ -140,21 +160,30 @@ impl QrDecomposition {
         for i in 0..n {
             q[(i, i)] = 1.0;
         }
-        // Apply H_k ... H_1 in reverse to form Q = H_1 ... H_n * I_thin.
+        // Apply H_k ... H_1 in reverse to form Q = H_1 ... H_n * I_thin,
+        // streaming rows of Q (same two-pass shape as the factoriser).
+        let mut w = vec![0.0; n];
         for k in (0..n).rev() {
             if self.tau[k] == 0.0 {
                 continue;
             }
-            for j in 0..n {
-                let mut dot = q[(k, j)];
-                for i in (k + 1)..m {
-                    dot += self.packed[(i, k)] * q[(i, j)];
+            w.copy_from_slice(q.row(k));
+            for i in (k + 1)..m {
+                let vik = self.packed.row(i)[k];
+                for (acc, qij) in w.iter_mut().zip(q.row(i)) {
+                    *acc += vik * qij;
                 }
-                let t = self.tau[k] * dot;
-                q[(k, j)] -= t;
-                for i in (k + 1)..m {
-                    let vik = self.packed[(i, k)];
-                    q[(i, j)] -= t * vik;
+            }
+            for acc in w.iter_mut() {
+                *acc *= self.tau[k];
+            }
+            for (qkj, t) in q.row_mut(k).iter_mut().zip(w.iter()) {
+                *qkj -= t;
+            }
+            for i in (k + 1)..m {
+                let vik = self.packed.row(i)[k];
+                for (qij, t) in q.row_mut(i).iter_mut().zip(w.iter()) {
+                    *qij -= t * vik;
                 }
             }
         }
@@ -206,13 +235,28 @@ impl QrDecomposition {
         self.back_substitute(&y).map(Vector::from)
     }
 
-    /// Solves `min ‖A X − B‖_F` column by column.
+    /// Solves `min ‖A X − B‖_F` column by column; the independent
+    /// right-hand sides fan out across `thermal-par` workers (column
+    /// `j`'s solution never depends on scheduling, so the result is
+    /// bitwise identical at any thread count).
     ///
     /// # Errors
     ///
     /// Same conditions as [`QrDecomposition::solve`], applied per
-    /// column of `B`.
+    /// column of `B`; with several failing columns the error of the
+    /// lowest column index is reported.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let work = b.cols() * self.rows * self.cols;
+        self.solve_matrix_with_threads(b, crate::kernel_threads(work))
+    }
+
+    /// [`QrDecomposition::solve_matrix`] with an explicit worker count
+    /// (`threads == 1` is the sequential path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QrDecomposition::solve_matrix`].
+    pub fn solve_matrix_with_threads(&self, b: &Matrix, threads: usize) -> Result<Matrix> {
         if b.rows() != self.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "qr solve_matrix",
@@ -220,9 +264,11 @@ impl QrDecomposition {
                 rhs: b.shape(),
             });
         }
+        let col_idx: Vec<usize> = (0..b.cols()).collect();
+        let solutions =
+            thermal_par::try_parallel_map_with(threads, &col_idx, |&j| self.solve(&b.column(j)))?;
         let mut out = Matrix::zeros(self.cols, b.cols());
-        for j in 0..b.cols() {
-            let x = self.solve(&b.column(j))?;
+        for (j, x) in solutions.iter().enumerate() {
             for i in 0..self.cols {
                 out[(i, j)] = x[i];
             }

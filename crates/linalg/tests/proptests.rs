@@ -197,6 +197,81 @@ proptest! {
     }
 
     #[test]
+    fn matmul_bitwise_identical_across_thread_counts(
+        a in matrix_strategy(9, 7),
+        b in matrix_strategy(7, 5),
+        threads in 2_usize..8,
+    ) {
+        let seq = a.matmul_with_threads(&b, 1).unwrap();
+        let par = a.matmul_with_threads(&b, threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn gram_bitwise_identical_across_thread_counts(
+        a in matrix_strategy(12, 6),
+        threads in 2_usize..8,
+    ) {
+        let seq = a.gram_with_threads(1);
+        let par = a.gram_with_threads(threads);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matmul_transpose_b_bitwise_identical_across_thread_counts(
+        a in matrix_strategy(8, 6),
+        b in matrix_strategy(5, 6),
+        threads in 2_usize..8,
+    ) {
+        let seq = a.matmul_transpose_b_with_threads(&b, 1).unwrap();
+        let par = a.matmul_transpose_b_with_threads(&b, threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn solve_matrix_bitwise_identical_across_thread_counts(
+        a in matrix_strategy(9, 4),
+        b in matrix_strategy(9, 3),
+        threads in 2_usize..8,
+    ) {
+        let Ok(qr) = QrDecomposition::new(&a) else { return Ok(()); };
+        let Ok(seq) = qr.solve_matrix_with_threads(&b, 1) else { return Ok(()); };
+        let par = qr.solve_matrix_with_threads(&b, threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose(
+        a in matrix_strategy(6, 4),
+        b in matrix_strategy(5, 4),
+    ) {
+        let fused = a.matmul_transpose_b(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        prop_assert!(fused.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose(
+        a in matrix_strategy(7, 4),
+        b in matrix_strategy(7, 3),
+    ) {
+        let fused = a.transpose_matmul(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        prop_assert!(fused.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn transpose_matvec_matches_explicit_transpose(
+        a in matrix_strategy(8, 5),
+        v in prop::collection::vec(-10.0_f64..10.0, 8),
+    ) {
+        let v = Vector::from_slice(&v);
+        let fused = a.transpose_matvec(&v).unwrap();
+        let explicit = a.transpose().matvec(&v).unwrap();
+        prop_assert!((&fused - &explicit).norm2() < 1e-9);
+    }
+
+    #[test]
     fn ridge_solution_norm_decreases_with_lambda(
         a in matrix_strategy(8, 3),
         b in prop::collection::vec(-5.0_f64..5.0, 8),

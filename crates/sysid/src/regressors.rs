@@ -89,11 +89,16 @@ pub fn assemble(dataset: &Dataset, spec: &ModelSpec, mask: &Mask) -> Result<Regr
     }
 
     let p = outputs.len();
-    let mut x = Matrix::zeros(total, width);
-    let mut y = Matrix::zeros(total, p);
-    let mut row = 0usize;
-    for seg in &segments {
-        for k in (seg.start + warmup - 1)..(seg.end - 1) {
+    // Each segment assembles its own row block independently (the rows
+    // a segment contributes depend only on that segment), so the
+    // blocks fan out over the configured thread count and are stitched
+    // together in segment order afterwards — bitwise identical to the
+    // sequential walk for any thread count.
+    let blocks = thermal_par::try_parallel_map(&segments, |seg| {
+        let count = seg.transition_count(warmup);
+        let mut xs = vec![0.0_f64; count * width];
+        let mut ys = vec![0.0_f64; count * p];
+        for (r, k) in ((seg.start + warmup - 1)..(seg.end - 1)).enumerate() {
             let t_now = dataset.values_at(k, &outputs).ok_or(SysidError::Internal {
                 context: "segmentation admitted a missing sample",
             })?;
@@ -105,27 +110,37 @@ pub fn assemble(dataset: &Dataset, spec: &ModelSpec, mask: &Mask) -> Result<Regr
                 .ok_or(SysidError::Internal {
                     context: "segmentation admitted a missing sample",
                 })?;
-            {
-                let xr = x.row_mut(row);
-                xr[..p].copy_from_slice(&t_now);
-                let mut col = p;
-                if warmup == 2 {
-                    let t_prev =
-                        dataset
-                            .values_at(k - 1, &outputs)
-                            .ok_or(SysidError::Internal {
-                                context: "segmentation admitted a missing sample",
-                            })?;
-                    for i in 0..p {
-                        xr[col + i] = t_now[i] - t_prev[i];
-                    }
-                    col += p;
+            let xr = &mut xs[r * width..(r + 1) * width];
+            xr[..p].copy_from_slice(&t_now);
+            let mut col = p;
+            if warmup == 2 {
+                let t_prev = dataset
+                    .values_at(k - 1, &outputs)
+                    .ok_or(SysidError::Internal {
+                        context: "segmentation admitted a missing sample",
+                    })?;
+                for i in 0..p {
+                    xr[col + i] = t_now[i] - t_prev[i];
                 }
-                xr[col..col + inputs.len()].copy_from_slice(&u_now);
+                col += p;
             }
-            y.row_mut(row).copy_from_slice(&t_next);
-            row += 1;
+            xr[col..col + inputs.len()].copy_from_slice(&u_now);
+            ys[r * p..(r + 1) * p].copy_from_slice(&t_next);
         }
+        Ok::<(Vec<f64>, Vec<f64>), SysidError>((xs, ys))
+    })?;
+
+    let mut x = Matrix::zeros(total, width);
+    let mut y = Matrix::zeros(total, p);
+    let mut row = 0usize;
+    for (xs, ys) in &blocks {
+        let count = xs.len() / width;
+        for r in 0..count {
+            x.row_mut(row + r)
+                .copy_from_slice(&xs[r * width..(r + 1) * width]);
+            y.row_mut(row + r).copy_from_slice(&ys[r * p..(r + 1) * p]);
+        }
+        row += count;
     }
     debug_assert_eq!(row, total);
 

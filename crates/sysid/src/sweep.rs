@@ -47,7 +47,8 @@ pub fn sweep_training_horizon(
     let mut sorted = usable_days.to_vec();
     sorted.sort_unstable();
     let val_mask = Mask::days(dataset.grid(), validation_days).and(mode_mask)?;
-    let mut out = Vec::with_capacity(train_day_counts.len());
+    // Validate every requested horizon up front so the parallel fan-out
+    // below only sees well-formed cells.
     for &n in train_day_counts {
         if n == 0 || n > sorted.len() {
             return Err(crate::SysidError::InvalidSpec {
@@ -57,16 +58,20 @@ pub fn sweep_training_horizon(
                 ),
             });
         }
+    }
+    // Each sweep cell fits and evaluates an independent model; errors
+    // surface for the lowest-index failing cell regardless of
+    // scheduling, matching the sequential loop.
+    thermal_par::try_parallel_map(train_day_counts, |&n| {
         let recent = &sorted[sorted.len() - n..];
         let train_mask = Mask::days(dataset.grid(), recent).and(mode_mask)?;
         let model = identify(dataset, spec, &train_mask, fit)?;
         let report = evaluate(&model, dataset, &val_mask, eval_cfg)?;
-        out.push(SweepPoint {
+        Ok(SweepPoint {
             parameter: n as f64,
             report,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Sweeps the open-loop prediction length: one model (fit on
@@ -86,17 +91,17 @@ pub fn sweep_prediction_length(
     horizons_samples: &[usize],
     fit: &FitConfig,
 ) -> Result<Vec<SweepPoint>> {
+    // One shared fit, then each horizon is an independent open-loop
+    // evaluation — the cells fan out over the configured thread count.
     let model = identify(dataset, spec, train_mask, fit)?;
-    let mut out = Vec::with_capacity(horizons_samples.len());
-    for &h in horizons_samples {
+    thermal_par::try_parallel_map(horizons_samples, |&h| {
         let cfg = EvalConfig::with_horizon(h.max(1));
         let report = evaluate(&model, dataset, validation_mask, &cfg)?;
-        out.push(SweepPoint {
+        Ok(SweepPoint {
             parameter: h as f64,
             report,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 #[cfg(test)]

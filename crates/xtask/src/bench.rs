@@ -1,0 +1,165 @@
+//! Parsing and reporting for `cargo xtask bench`.
+//!
+//! The vendored criterion shim prints one line per benchmark:
+//!
+//! ```text
+//! bench qr_decompose_5760x61                                 20.750ms/iter over 10 iters
+//! ```
+//!
+//! This module parses those lines and renders the machine-readable
+//! `BENCH_<label>.json` document the performance workflow commits
+//! alongside kernel changes (wall-times, thread count, git revision).
+
+/// One parsed benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name, e.g. `identify/dense_second-order`.
+    pub name: String,
+    /// Mean wall-time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations the mean was taken over.
+    pub iters: u64,
+}
+
+/// Parses a `Duration`-debug-formatted time like `71.250ms`, `1.004s`,
+/// `603.399µs` or `12ns` into nanoseconds.
+pub fn parse_duration_ns(text: &str) -> Option<f64> {
+    let split = text.find(|c: char| !(c.is_ascii_digit() || c == '.'))?;
+    let (number, unit) = text.split_at(split);
+    let value: f64 = number.parse().ok()?;
+    let scale = match unit {
+        "ns" => 1.0,
+        "µs" | "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(value * scale)
+}
+
+/// Extracts every `bench ...` line from a bench binary's stdout.
+///
+/// Unparseable lines are skipped: the shim's format is the contract,
+/// and anything else (compiler noise, cargo status) is not a
+/// measurement.
+pub fn parse_bench_output(stdout: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for line in stdout.lines() {
+        let Some(rest) = line.strip_prefix("bench ") else {
+            continue;
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        // name  <dur>/iter  over  <n>  iters
+        if fields.len() != 5 || fields[2] != "over" || fields[4] != "iters" {
+            continue;
+        }
+        let Some(duration) = fields[1].strip_suffix("/iter") else {
+            continue;
+        };
+        let (Some(mean_ns), Ok(iters)) = (parse_duration_ns(duration), fields[3].parse::<u64>())
+        else {
+            continue;
+        };
+        out.push(BenchRecord {
+            name: fields[0].to_owned(),
+            mean_ns,
+            iters,
+        });
+    }
+    out
+}
+
+/// Renders the `BENCH_<label>.json` document.
+///
+/// Hand-assembled JSON: the vendored serde shim has no serializer, and
+/// the schema is flat enough that string assembly stays readable.
+pub fn render_json(
+    label: &str,
+    git_rev: &str,
+    threads: usize,
+    samples: &str,
+    records: &[BenchRecord],
+) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"label\": \"{}\",\n", escape(label)));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", escape(git_rev)));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"samples\": \"{}\",\n", escape(samples)));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            escape(&r.name),
+            r.mean_ns,
+            r.iters,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_duration_units() {
+        assert_eq!(parse_duration_ns("12ns"), Some(12.0));
+        assert_eq!(parse_duration_ns("603.399µs"), Some(603_399.0));
+        assert_eq!(parse_duration_ns("71.250ms"), Some(71_250_000.0));
+        assert_eq!(parse_duration_ns("1.004s"), Some(1_004_000_000.0));
+        assert_eq!(parse_duration_ns("7.5parsecs"), None);
+        assert_eq!(parse_duration_ns("fast"), None);
+    }
+
+    #[test]
+    fn parses_shim_output_and_skips_noise() {
+        let stdout = "\
+   Compiling thermal-bench v0.1.0
+bench qr_decompose_5760x61                                 20.750ms/iter over 10 iters
+bench identify/dense_second-order                           4.396ms/iter over 10 iters
+warning: something unrelated
+bench malformed line without the shape
+";
+        let records = parse_bench_output(stdout);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "qr_decompose_5760x61");
+        assert_eq!(records[0].mean_ns, 20_750_000.0);
+        assert_eq!(records[0].iters, 10);
+        assert_eq!(records[1].name, "identify/dense_second-order");
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                name: "a/b".to_owned(),
+                mean_ns: 1234.5,
+                iters: 3,
+            },
+            BenchRecord {
+                name: "c".to_owned(),
+                mean_ns: 5.0,
+                iters: 10,
+            },
+        ];
+        let json = render_json("post", "abc1234", 4, "3", &records);
+        assert!(json.contains("\"label\": \"post\""));
+        assert!(json.contains("\"git_rev\": \"abc1234\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("{\"name\": \"a/b\", \"mean_ns\": 1234.5, \"iters\": 3},"));
+        assert!(json.contains("{\"name\": \"c\", \"mean_ns\": 5.0, \"iters\": 10}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let json = render_json("a\"b", "rev", 1, "default", &[]);
+        assert!(json.contains("a\\\"b"));
+    }
+}

@@ -6,4 +6,5 @@
 //! gate requires `cargo xtask lint` to fail on a seeded violation.
 
 pub mod allowlist;
+pub mod bench;
 pub mod checks;

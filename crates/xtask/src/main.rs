@@ -7,12 +7,29 @@
 //! - `cargo xtask lint` — custom source-level conventions gate.
 //! - `cargo xtask fmt` — `cargo fmt --all`.
 //! - `cargo xtask ci` — fmt-check → clippy → lint → build → test →
-//!   fault-matrix smoke.
+//!   fault-matrix smoke → determinism smoke → quick bench
+//!   (informational).
+//! - `cargo xtask bench [--label L] [--full]` — curated criterion
+//!   benches, written as machine-readable `BENCH_<label>.json`.
 //! - `cargo xtask miri` — Miri over the `linalg`/`timeseries` unit
 //!   tests (skips with a notice when Miri is not installed).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+
+/// The curated hot-path benches `cargo xtask bench` runs, in report
+/// order: the linalg kernels, the clustering stage, the
+/// identification stage, and the end-to-end pipeline.
+const CURATED_BENCHES: &[&str] = &[
+    "bench_linalg",
+    "bench_clustering",
+    "bench_identification",
+    "bench_pipeline",
+];
+
+/// Iteration count for quick (default) bench mode, exported to the
+/// criterion shim via `THERMAL_BENCH_SAMPLES`.
+const QUICK_BENCH_SAMPLES: &str = "3";
 
 fn workspace_root() -> PathBuf {
     // crates/xtask/ -> crates/ -> workspace root.
@@ -30,6 +47,7 @@ fn main() -> ExitCode {
         "lint" => lint(&args[1..]),
         "fmt" => run_steps(&[step("fmt", &["fmt", "--all"])]),
         "ci" => ci(),
+        "bench" => bench(&args[1..]),
         "miri" => miri(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -49,7 +67,10 @@ fn print_help() {
          commands:\n\
          \x20 lint [--root <dir>]  run the custom static-analysis gate\n\
          \x20 fmt                  format the workspace (cargo fmt --all)\n\
-         \x20 ci                   fmt-check, clippy, lint, build, test, fault-matrix smoke\n\
+         \x20 ci                   fmt-check, clippy, lint, build, test, fault-matrix,\n\
+         \x20                      determinism smoke, quick bench (informational)\n\
+         \x20 bench [--label L]    curated hot-path benches -> BENCH_<L>.json\n\
+         \x20       [--full]      (default: quick mode, {QUICK_BENCH_SAMPLES} samples per bench)\n\
          \x20 miri                 Miri over linalg/timeseries unit tests\n\
          \x20 help                 show this message"
     );
@@ -89,12 +110,26 @@ fn lint(args: &[String]) -> ExitCode {
 struct Step {
     name: &'static str,
     args: Vec<String>,
+    envs: Vec<(String, String)>,
 }
 
 fn step(name: &'static str, args: &[&str]) -> Step {
     Step {
         name,
         args: args.iter().map(|&s| s.to_owned()).collect(),
+        envs: Vec::new(),
+    }
+}
+
+/// A [`step`] with extra environment variables, e.g. the
+/// `THERMAL_THREADS` pins of the determinism smoke.
+fn step_env(name: &'static str, args: &[&str], envs: &[(&str, &str)]) -> Step {
+    Step {
+        envs: envs
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect(),
+        ..step(name, args)
     }
 }
 
@@ -103,9 +138,11 @@ fn step(name: &'static str, args: &[&str]) -> Step {
 fn run_steps(steps: &[Step]) -> ExitCode {
     let root = workspace_root();
     for s in steps {
-        eprintln!("xtask: cargo {}", s.args.join(" "));
+        let env_prefix: String = s.envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+        eprintln!("xtask: {env_prefix}cargo {}", s.args.join(" "));
         let status = Command::new(env!("CARGO"))
             .args(&s.args)
+            .envs(s.envs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .current_dir(&root)
             .status();
         match status {
@@ -150,7 +187,7 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
-    run_steps(&[
+    let code = run_steps(&[
         step("build", &["build", "--release", "--offline"]),
         step("test", &["test", "-q", "--offline"]),
         // Robustness smoke: the fault-class × intensity sweep must
@@ -171,7 +208,163 @@ fn ci() -> ExitCode {
                 "fault_matrix",
             ],
         ),
-    ])
+    ]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    let code = determinism_smoke();
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    // Informational quick bench: surfaces the hot-path wall-times in
+    // the CI log without gating on them — timings on shared runners
+    // are too noisy to be a pass/fail criterion.
+    if bench(&["--label".to_owned(), "ci-quick".to_owned()]) != ExitCode::SUCCESS {
+        eprintln!("xtask: quick bench failed (informational only, not gating CI)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the repro pipeline twice — `THERMAL_THREADS=1` and `=4` — and
+/// byte-compares the result CSVs, enforcing the `thermal-par`
+/// determinism contract end-to-end (see DESIGN.md § performance).
+fn determinism_smoke() -> ExitCode {
+    let root = workspace_root();
+    let out_base = root.join("target").join("determinism");
+    let runs = [("1", out_base.join("t1")), ("4", out_base.join("t4"))];
+    for (threads, dir) in &runs {
+        let code = run_steps(&[step_env(
+            "determinism-repro",
+            &[
+                "run",
+                "--release",
+                "--offline",
+                "-p",
+                "thermal-bench",
+                "--bin",
+                "repro",
+                "--",
+                "--quick",
+                "--out",
+                &dir.to_string_lossy(),
+                "fig3",
+                "fault_matrix",
+            ],
+            &[("THERMAL_THREADS", threads)],
+        )]);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+    }
+    for csv in ["fig3.csv", "fault_matrix.csv"] {
+        let (a, b) = (runs[0].1.join(csv), runs[1].1.join(csv));
+        match (std::fs::read(&a), std::fs::read(&b)) {
+            (Ok(lhs), Ok(rhs)) if lhs == rhs => {
+                eprintln!("xtask: determinism smoke: {csv} identical across thread counts");
+            }
+            (Ok(_), Ok(_)) => {
+                eprintln!(
+                    "xtask: determinism smoke FAILED: {csv} differs between \
+                     THERMAL_THREADS=1 and THERMAL_THREADS=4"
+                );
+                return ExitCode::FAILURE;
+            }
+            (a_res, b_res) => {
+                eprintln!(
+                    "xtask: determinism smoke could not read {csv}: {:?} / {:?}",
+                    a_res.err(),
+                    b_res.err()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the curated hot-path benches and writes `BENCH_<label>.json`
+/// at the workspace root.
+fn bench(args: &[String]) -> ExitCode {
+    let mut label = "local".to_owned();
+    let mut full = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => match it.next() {
+                Some(l) => label = l.clone(),
+                None => {
+                    eprintln!("xtask bench: --label needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--full" => full = true,
+            other => {
+                eprintln!("xtask bench: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let samples = if full { "default" } else { QUICK_BENCH_SAMPLES };
+    let root = workspace_root();
+    let mut records = Vec::new();
+    for name in CURATED_BENCHES {
+        eprintln!("xtask bench: {name} ({samples} samples)");
+        let mut cmd = Command::new(env!("CARGO"));
+        cmd.args(["bench", "--offline", "-p", "thermal-bench", "--bench", name])
+            .current_dir(&root);
+        if !full {
+            cmd.env("THERMAL_BENCH_SAMPLES", QUICK_BENCH_SAMPLES);
+        }
+        let output = match cmd.output() {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("xtask bench: could not start `{name}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !output.status.success() {
+            eprintln!(
+                "xtask bench: `{name}` failed with {}:\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        let parsed = xtask::bench::parse_bench_output(&String::from_utf8_lossy(&output.stdout));
+        if parsed.is_empty() {
+            eprintln!("xtask bench: `{name}` produced no parseable measurements");
+            return ExitCode::FAILURE;
+        }
+        for r in &parsed {
+            eprintln!(
+                "xtask bench:   {:<48} {:>12.3} ms/iter",
+                r.name,
+                r.mean_ns / 1e6
+            );
+        }
+        records.extend(parsed);
+    }
+    let git_rev = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(&root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let threads = thermal_par::thread_count();
+    let json = xtask::bench::render_json(&label, &git_rev, threads, samples, &records);
+    let path = root.join(format!("BENCH_{label}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            eprintln!("xtask bench: wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask bench: could not write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn miri() -> ExitCode {

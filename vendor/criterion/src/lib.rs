@@ -87,10 +87,27 @@ pub struct Criterion {
 
 const DEFAULT_SAMPLES: usize = 10;
 
+/// Environment variable overriding every iteration count, e.g.
+/// `THERMAL_BENCH_SAMPLES=3` for the quick informational CI pass.
+pub const SAMPLES_ENV: &str = "THERMAL_BENCH_SAMPLES";
+
+/// Iteration count after applying the [`SAMPLES_ENV`] override; the
+/// override wins over both the shim default and explicit
+/// `sample_size` calls so "quick mode" is a one-knob decision.
+fn effective_samples(configured: usize) -> usize {
+    std::env::var(SAMPLES_ENV)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
+
 impl Criterion {
     /// Registers and immediately runs a named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher::new(self.sample_size.unwrap_or(DEFAULT_SAMPLES));
+        let mut b = Bencher::new(effective_samples(
+            self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+        ));
         f(&mut b);
         b.report(name);
         self
@@ -122,7 +139,7 @@ impl BenchmarkGroup<'_> {
 
     /// Registers and immediately runs a named benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(effective_samples(self.sample_size));
         f(&mut b);
         b.report(&format!("{}/{}", self.prefix, name));
         self
