@@ -5,14 +5,20 @@
 //! repro table1 fig6 table2    # a subset
 //! repro --quick               # 40-day campaign (fast smoke run)
 //! repro --seed 7 --out results
+//! repro --ckpt ckpt fig5 fault_matrix   # resumable: re-run after a
+//!                                       # crash and finished cells
+//!                                       # are restored, not redone
 //! ```
+//!
+//! All artifacts (CSV outputs and checkpoints alike) are committed
+//! atomically — a crash mid-write never leaves a torn file behind.
 
-use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use thermal_bench::experiments::{ablation, clustering, fault_matrix, model, selection};
 use thermal_bench::protocol::Protocol;
+use thermal_ckpt::{CellPolicy, CheckpointStore};
 use thermal_cluster::Similarity;
 
 const ALL: &[&str] = &[
@@ -37,6 +43,7 @@ struct Args {
     quick: bool,
     seed: u64,
     out: PathBuf,
+    ckpt: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +51,7 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut seed = 20130131_u64;
     let mut out = PathBuf::from("results");
+    let mut ckpt = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -57,9 +65,14 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")));
             }
+            "--ckpt" => {
+                ckpt = Some(PathBuf::from(
+                    argv.next().unwrap_or_else(|| die("--ckpt needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--seed N] [--out DIR] [{}]",
+                    "usage: repro [--quick] [--seed N] [--out DIR] [--ckpt DIR] [{}]",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -76,6 +89,7 @@ fn parse_args() -> Args {
         quick,
         seed,
         out,
+        ckpt,
     }
 }
 
@@ -85,9 +99,10 @@ fn die(msg: &str) -> ! {
 }
 
 fn save(out_dir: &PathBuf, name: &str, contents: &str) {
-    if fs::create_dir_all(out_dir).is_ok() {
+    if std::fs::create_dir_all(out_dir).is_ok() {
         let path = out_dir.join(name);
-        if let Err(e) = fs::write(&path, contents) {
+        // Atomic commit: a crash mid-save never leaves a torn CSV.
+        if let Err(e) = thermal_ckpt::write_atomic(&path, contents.as_bytes()) {
             eprintln!("repro: could not write {}: {e}", path.display());
         } else {
             println!("  (csv saved to {})", path.display());
@@ -121,10 +136,25 @@ fn main() {
         t0.elapsed()
     );
 
+    let mut store = args.ckpt.as_ref().map(|dir| {
+        let store = CheckpointStore::open(dir, args.seed, env!("CARGO_PKG_VERSION"))
+            .unwrap_or_else(|e| die(&format!("could not open checkpoint store: {e}")));
+        let report = store.open_report();
+        if !report.fresh {
+            println!(
+                "checkpoint store: {} verified cells on disk, {} quarantined, {} missing\n",
+                report.restored,
+                report.quarantined.len(),
+                report.missing.len()
+            );
+        }
+        store
+    });
+
     for name in &args.experiments {
         let t = Instant::now();
         println!("==== {name} ====");
-        if let Err(e) = run_experiment(name, &protocol, &args) {
+        if let Err(e) = run_experiment(name, &protocol, &args, store.as_mut()) {
             die(&format!("{name} failed: {e}"));
         }
         println!("[{name} took {:.1?}]\n", t.elapsed());
@@ -132,7 +162,12 @@ fn main() {
     println!("total: {:.1?}", t0.elapsed());
 }
 
-fn run_experiment(name: &str, protocol: &Protocol, args: &Args) -> thermal_bench::Result<()> {
+fn run_experiment(
+    name: &str,
+    protocol: &Protocol,
+    args: &Args,
+    store: Option<&mut CheckpointStore>,
+) -> thermal_bench::Result<()> {
     match name {
         "table1" => {
             let rows = model::table1(protocol)?;
@@ -156,7 +191,17 @@ fn run_experiment(name: &str, protocol: &Protocol, args: &Args) -> thermal_bench
             save(&args.out, "fig4.csv", &csv);
         }
         "fig5" => {
-            let r = model::fig5(protocol)?;
+            let r = if let Some(store) = store {
+                let (r, resume) = model::fig5_checkpointed(protocol, store)?;
+                println!(
+                    "(checkpointed: {} cells restored, {} computed)",
+                    resume.restored.len(),
+                    resume.computed.len()
+                );
+                r
+            } else {
+                model::fig5(protocol)?
+            };
             print!("{}", model::render_fig5(&r));
         }
         "fig6" => {
@@ -217,7 +262,40 @@ fn run_experiment(name: &str, protocol: &Protocol, args: &Args) -> thermal_bench
             } else {
                 fault_matrix::DEFAULT_INTENSITIES
             };
-            let cells = fault_matrix::fault_matrix(protocol, intensities)?;
+            let cells = if let Some(store) = store {
+                let outcomes = fault_matrix::fault_matrix_checkpointed(
+                    protocol,
+                    intensities,
+                    store,
+                    &CellPolicy::default(),
+                )?;
+                let mut cells = Vec::with_capacity(outcomes.len());
+                let mut restored = 0usize;
+                for outcome in outcomes {
+                    match outcome {
+                        fault_matrix::FaultCellOutcome::Done { cell, restored: r } => {
+                            restored += usize::from(r);
+                            cells.push(cell);
+                        }
+                        fault_matrix::FaultCellOutcome::Quarantined {
+                            class,
+                            intensity,
+                            reason,
+                        } => {
+                            eprintln!(
+                                "repro: fault_matrix cell ({class}, {intensity}) quarantined: {reason}"
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "(checkpointed: {restored} cells restored, {} computed)",
+                    cells.len() - restored
+                );
+                cells
+            } else {
+                fault_matrix::fault_matrix(protocol, intensities)?
+            };
             let (table, csv) = fault_matrix::render_fault_matrix(&cells);
             println!("RMSE degradation by fault class and intensity:");
             print!("{table}");

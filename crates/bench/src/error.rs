@@ -38,6 +38,12 @@ pub enum BenchError {
     Core(CoreError),
     /// Fault injection failed.
     Fault(FaultError),
+    /// Checkpoint persistence failed (rendered to a string so this
+    /// enum keeps its `Clone + PartialEq` derives).
+    Ckpt {
+        /// Description of the underlying store failure.
+        detail: String,
+    },
     /// The campaign produced data the experiment cannot use (missing
     /// channel, no usable segment, …).
     Protocol {
@@ -57,6 +63,9 @@ impl fmt::Display for BenchError {
             BenchError::Select(e) => write!(f, "selection failed: {e}"),
             BenchError::Core(e) => write!(f, "pipeline failed: {e}"),
             BenchError::Fault(e) => write!(f, "fault injection failed: {e}"),
+            BenchError::Ckpt { detail } => {
+                write!(f, "checkpoint persistence failed: {detail}")
+            }
             BenchError::Protocol { context } => {
                 write!(f, "campaign unusable for this experiment: {context}")
             }
@@ -75,7 +84,7 @@ impl std::error::Error for BenchError {
             BenchError::Select(e) => Some(e),
             BenchError::Core(e) => Some(e),
             BenchError::Fault(e) => Some(e),
-            BenchError::Protocol { .. } => None,
+            BenchError::Ckpt { .. } | BenchError::Protocol { .. } => None,
         }
     }
 }
@@ -103,6 +112,15 @@ impl_from!(
     CoreError => Core,
     FaultError => Fault,
 );
+
+#[doc(hidden)]
+impl From<thermal_ckpt::CkptError> for BenchError {
+    fn from(e: thermal_ckpt::CkptError) -> Self {
+        BenchError::Ckpt {
+            detail: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -22,11 +22,18 @@
 //! first cell reproduces the clean-baseline RMSE bit-for-bit — the
 //! anchor that makes the curves comparable.
 
+use std::sync::Arc;
+
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{run_cell, CellOutcome, CellPolicy, CheckpointStore, Fnv64};
 use thermal_cluster::ClusterCount;
-use thermal_core::{DegradationPolicy, ModelOrder, ReducedModel, SelectorKind, ThermalPipeline};
+use thermal_core::{
+    dataset_fingerprint, DegradationPolicy, FitResume, ModelOrder, ReducedModel, SelectorKind,
+    ThermalPipeline,
+};
 use thermal_faults::{FaultDirective, FaultKind, FaultPlan};
 use thermal_timeseries::validate::{validate_channel, ValidationConfig};
-use thermal_timeseries::{Channel, Dataset};
+use thermal_timeseries::{Channel, Dataset, Mask};
 
 use crate::error::{BenchError, Result};
 use crate::protocol::{occupied_horizon, Protocol};
@@ -67,22 +74,46 @@ pub struct FaultMatrixCell {
     pub rmse_validated: Option<f64>,
 }
 
+/// The pipeline configuration the sweep evaluates.
+fn sweep_pipeline() -> Result<ThermalPipeline> {
+    Ok(ThermalPipeline::builder()
+        .cluster_count(ClusterCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .model_order(ModelOrder::Second)
+        .build()?)
+}
+
 /// Fits the reduced model the sweep evaluates, on clean data.
 fn fit_clean(p: &Protocol) -> Result<ReducedModel> {
     let temps = p.temperature_channels();
     let temp_refs: Vec<&str> = temps.iter().map(String::as_str).collect();
     let inputs = p.input_channels();
     let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
-    let pipeline = ThermalPipeline::builder()
-        .cluster_count(ClusterCount::Fixed(2))
-        .selector(SelectorKind::NearMean)
-        .model_order(ModelOrder::Second)
-        .build()?;
-    Ok(pipeline.fit(
+    Ok(sweep_pipeline()?.fit(
         &p.output.dataset,
         &temp_refs,
         &input_refs,
         &p.train_occupied,
+    )?)
+}
+
+/// Fits the sweep's reduced model with the three pipeline stages
+/// checkpointed under `fm-fit-*` names in `store`.
+fn fit_clean_checkpointed(
+    p: &Protocol,
+    store: &mut CheckpointStore,
+) -> Result<(ReducedModel, FitResume)> {
+    let temps = p.temperature_channels();
+    let temp_refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let inputs = p.input_channels();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    Ok(sweep_pipeline()?.fit_checkpointed(
+        &p.output.dataset,
+        &temp_refs,
+        &input_refs,
+        &p.train_occupied,
+        store,
+        "fm-fit",
     )?)
 }
 
@@ -109,9 +140,12 @@ fn validate_temps(
     Ok((Dataset::new(*dataset.grid(), channels)?, quarantined))
 }
 
-/// Everything a cell evaluation shares across the sweep.
-struct SweepContext<'a> {
-    p: &'a Protocol,
+/// Everything a cell evaluation shares across the sweep. Owns its
+/// data (cloned once from the [`Protocol`]) so checkpointed cells
+/// can run under `'static` supervision closures via [`Arc`].
+struct SweepContext {
+    dataset: Dataset,
+    val_mask: Mask,
     reduced: ReducedModel,
     temps: Vec<String>,
     config: ValidationConfig,
@@ -119,9 +153,23 @@ struct SweepContext<'a> {
     horizon: usize,
 }
 
+impl SweepContext {
+    fn build(p: &Protocol, reduced: ReducedModel) -> Self {
+        SweepContext {
+            dataset: p.output.dataset.clone(),
+            val_mask: p.val_occupied.clone(),
+            reduced,
+            temps: p.temperature_channels(),
+            config: ValidationConfig::default(),
+            policy: DegradationPolicy::default(),
+            horizon: occupied_horizon(&p.output),
+        }
+    }
+}
+
 /// Runs one `(class, intensity)` cell.
-fn run_cell(
-    ctx: &SweepContext<'_>,
+fn run_sweep_cell(
+    ctx: &SweepContext,
     class: &'static str,
     intensity: f64,
 ) -> Result<FaultMatrixCell> {
@@ -133,14 +181,14 @@ fn run_cell(
         ctx.temps.clone(),
         intensity,
     ));
-    let (faulted, log) = plan.apply(&ctx.p.output.dataset)?;
-    let raw =
-        ctx.reduced
-            .evaluate_degraded(&faulted, &ctx.p.val_occupied, ctx.horizon, &ctx.policy)?;
+    let (faulted, log) = plan.apply(&ctx.dataset)?;
+    let raw = ctx
+        .reduced
+        .evaluate_degraded(&faulted, &ctx.val_mask, ctx.horizon, &ctx.policy)?;
     let (cleaned, quarantined) = validate_temps(&faulted, &ctx.temps, &ctx.config)?;
     let validated =
         ctx.reduced
-            .evaluate_degraded(&cleaned, &ctx.p.val_occupied, ctx.horizon, &ctx.policy)?;
+            .evaluate_degraded(&cleaned, &ctx.val_mask, ctx.horizon, &ctx.policy)?;
     let rms_of = |out: &thermal_core::DegradedEvaluation| -> Result<Option<f64>> {
         match &out.report {
             Some(r) => Ok(Some(r.rms()?)),
@@ -173,14 +221,7 @@ fn run_cell(
 /// Degraded or blacked-out evaluation is *not* an error — it lands in
 /// the cell as `degraded_reps` / `rmse: None`.
 pub fn fault_matrix(p: &Protocol, intensities: &[f64]) -> Result<Vec<FaultMatrixCell>> {
-    let ctx = SweepContext {
-        p,
-        reduced: fit_clean(p)?,
-        temps: p.temperature_channels(),
-        config: ValidationConfig::default(),
-        policy: DegradationPolicy::default(),
-        horizon: occupied_horizon(&p.output),
-    };
+    let ctx = SweepContext::build(p, fit_clean(p)?);
     let mut grid = Vec::with_capacity(FAULT_CLASSES.len() * intensities.len());
     for &class in FAULT_CLASSES {
         for &intensity in intensities {
@@ -188,8 +229,156 @@ pub fn fault_matrix(p: &Protocol, intensities: &[f64]) -> Result<Vec<FaultMatrix
         }
     }
     thermal_par::try_parallel_map(&grid, |&(class, intensity)| {
-        run_cell(&ctx, class, intensity)
+        run_sweep_cell(&ctx, class, intensity)
     })
+}
+
+/// How one cell of a checkpointed sweep concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultCellOutcome {
+    /// The cell has a result — computed now or restored from a
+    /// verified checkpoint.
+    Done {
+        /// The cell's measurements.
+        cell: FaultMatrixCell,
+        /// True when the payload came from a checkpoint.
+        restored: bool,
+    },
+    /// The cell was skipped by the supervision layer (open circuit
+    /// breaker or exhausted retries); the rest of the grid completed.
+    Quarantined {
+        /// Fault class of the skipped cell.
+        class: &'static str,
+        /// Intensity of the skipped cell.
+        intensity: f64,
+        /// Why the cell was skipped.
+        reason: String,
+    },
+}
+
+const CELL_TAG: &str = "bench-fault-cell-v1";
+
+/// Encodes one cell result as a canonical checkpoint payload.
+fn encode_cell(cell: &FaultMatrixCell, fingerprint: u64) -> Vec<u8> {
+    let mut r = Record::new(CELL_TAG);
+    r.put_u64("fp", fingerprint)
+        .put("class", cell.class)
+        .put_f64("intensity", cell.intensity)
+        .put_usize("injected", cell.injected)
+        .put_usize("quarantined", cell.quarantined)
+        .put_usize("degraded_reps", cell.degraded_reps)
+        // `Option<f64>` as a 0- or 1-element slice.
+        .put_f64_slice("rmse_raw", cell.rmse_raw.as_slice())
+        .put_f64_slice("rmse_validated", cell.rmse_validated.as_slice());
+    r.encode()
+}
+
+/// Decodes a cell payload (the class name is interned back onto
+/// [`FAULT_CLASSES`] so the struct keeps its `&'static str` field).
+fn decode_cell(bytes: &[u8], fingerprint: u64) -> Result<FaultMatrixCell> {
+    let invariant = |context| BenchError::Protocol { context };
+    let r = Record::decode(bytes, CELL_TAG).map_err(BenchError::from)?;
+    if r.get_u64("fp")? != fingerprint {
+        return Err(invariant("cell checkpoint fingerprint mismatch"));
+    }
+    let class_name = r.get("class")?;
+    let class = FAULT_CLASSES
+        .iter()
+        .copied()
+        .find(|c| *c == class_name)
+        .ok_or_else(|| invariant("cell checkpoint names an unknown fault class"))?;
+    let opt = |v: Vec<f64>| v.first().copied();
+    Ok(FaultMatrixCell {
+        class,
+        intensity: r.get_f64("intensity")?,
+        injected: r.get_usize("injected")?,
+        quarantined: r.get_usize("quarantined")?,
+        degraded_reps: r.get_usize("degraded_reps")?,
+        rmse_raw: opt(r.get_f64_slice("rmse_raw")?),
+        rmse_validated: opt(r.get_f64_slice("rmse_validated")?),
+    })
+}
+
+/// Fingerprint of everything a sweep cell's result depends on: the
+/// dataset bits over the swept channels, the validation mask, the
+/// fitted model, the validation/degradation configuration, and the
+/// fault seed.
+fn cell_fingerprint(ctx: &SweepContext, input_refs: &[&str]) -> u64 {
+    let temp_refs: Vec<&str> = ctx.temps.iter().map(String::as_str).collect();
+    let mut h = Fnv64::new();
+    h.update(
+        &dataset_fingerprint(&ctx.dataset, &temp_refs, input_refs, &ctx.val_mask).to_le_bytes(),
+    );
+    h.update(format!("{:?}", ctx.reduced).as_bytes());
+    h.update(format!("{:?}|{:?}|{}", ctx.config, ctx.policy, ctx.horizon).as_bytes());
+    h.update(&FAULT_SEED.to_le_bytes());
+    h.finish()
+}
+
+/// The checkpointed, supervised variant of [`fault_matrix`].
+///
+/// Each `(class, intensity)` cell runs under
+/// [`thermal_ckpt::run_cell`]: restored from `store` when a verified
+/// checkpoint exists, otherwise executed with the policy's
+/// deadline/retry/breaker supervision and committed atomically. The
+/// model fit itself resumes via
+/// [`ThermalPipeline::fit_checkpointed`]. Cells run sequentially —
+/// supervision trades the plain sweep's fan-out for per-cell
+/// isolation and restartability; use [`fault_matrix`] when raw
+/// throughput matters more than crash-safety.
+///
+/// A restored-or-computed grid is bitwise identical to an
+/// uninterrupted run (the chaos harness enforces this); cells the
+/// supervisor had to skip surface as
+/// [`FaultCellOutcome::Quarantined`] instead of failing the sweep.
+///
+/// # Errors
+///
+/// Store I/O failures and fit/injection failures on the *first*
+/// computation of a cell's dependencies. Per-cell execution failures
+/// do not abort the sweep.
+pub fn fault_matrix_checkpointed(
+    p: &Protocol,
+    intensities: &[f64],
+    store: &mut CheckpointStore,
+    policy: &CellPolicy,
+) -> Result<Vec<FaultCellOutcome>> {
+    let (reduced, _resume) = fit_clean_checkpointed(p, store)?;
+    let ctx = Arc::new(SweepContext::build(p, reduced));
+    let inputs = p.input_channels();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let fp = cell_fingerprint(&ctx, &input_refs);
+
+    let mut outcomes = Vec::with_capacity(FAULT_CLASSES.len() * intensities.len());
+    for &class in FAULT_CLASSES {
+        for &intensity in intensities {
+            // The fingerprint is part of the name, so stale
+            // checkpoints (other data/config) simply never match.
+            let name = format!("fm-{class}-{:016x}-{fp:016x}.ck", intensity.to_bits());
+            let cell_ctx = Arc::clone(&ctx);
+            let outcome = run_cell(store, &name, policy, move || {
+                run_sweep_cell(&cell_ctx, class, intensity)
+                    .map(|cell| encode_cell(&cell, fp))
+                    .map_err(|e| e.to_string())
+            })?;
+            outcomes.push(match outcome {
+                CellOutcome::Restored(bytes) => FaultCellOutcome::Done {
+                    cell: decode_cell(&bytes, fp)?,
+                    restored: true,
+                },
+                CellOutcome::Computed(bytes) => FaultCellOutcome::Done {
+                    cell: decode_cell(&bytes, fp)?,
+                    restored: false,
+                },
+                CellOutcome::Quarantined { reason, .. } => FaultCellOutcome::Quarantined {
+                    class,
+                    intensity,
+                    reason,
+                },
+            });
+        }
+    }
+    Ok(outcomes)
 }
 
 /// Renders the sweep as an aligned table plus a CSV document.
@@ -324,6 +513,130 @@ mod tests {
                 c.intensity
             );
         }
+    }
+
+    /// Cell payload codec round-trips bit-exactly, including the
+    /// `None` (blackout) RMSE encoding.
+    #[test]
+    fn cell_codec_roundtrip() {
+        let cell = FaultMatrixCell {
+            class: "spike",
+            intensity: 0.5,
+            injected: 42,
+            quarantined: 17,
+            degraded_reps: 1,
+            rmse_raw: Some(0.123_456_789_012_345_6),
+            rmse_validated: None,
+        };
+        let bytes = encode_cell(&cell, 7);
+        assert_eq!(decode_cell(&bytes, 7).unwrap(), cell);
+        assert!(decode_cell(&bytes, 8).is_err(), "fingerprint must gate");
+        assert!(decode_cell(b"garbage", 7).is_err());
+    }
+
+    /// Resume-equivalence for the supervised sweep: a cold
+    /// checkpointed run matches the plain sweep, and a warm rerun
+    /// restores every cell bit-for-bit without recomputing.
+    #[test]
+    fn checkpointed_sweep_matches_plain_and_resumes() {
+        let p = Protocol::quick(11).unwrap();
+        let intensities = [0.0, 1.0];
+        let plain = fault_matrix(&p, &intensities).unwrap();
+
+        let root = std::env::temp_dir().join(format!("bench-fm-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut store = CheckpointStore::open(&root, 11, "test").unwrap();
+        let policy = CellPolicy {
+            backoff_base_ms: 0,
+            ..CellPolicy::default()
+        };
+
+        let cold = fault_matrix_checkpointed(&p, &intensities, &mut store, &policy).unwrap();
+        let cells_of =
+            |outcomes: &[FaultCellOutcome], want_restored: bool| -> Vec<FaultMatrixCell> {
+                outcomes
+                    .iter()
+                    .map(|o| match o {
+                        FaultCellOutcome::Done { cell, restored } => {
+                            assert_eq!(*restored, want_restored);
+                            cell.clone()
+                        }
+                        FaultCellOutcome::Quarantined { class, reason, .. } => {
+                            panic!("{class} quarantined: {reason}")
+                        }
+                    })
+                    .collect()
+            };
+        assert_eq!(cells_of(&cold, false), plain);
+
+        // Warm rerun over a fresh handle: everything restores.
+        drop(store);
+        let mut store = CheckpointStore::open(&root, 11, "test").unwrap();
+        let warm = fault_matrix_checkpointed(&p, &intensities, &mut store, &policy).unwrap();
+        assert_eq!(cells_of(&warm, true), plain);
+
+        // Corrupt one cell checkpoint: it alone recomputes, to the
+        // identical value.
+        drop(store);
+        let victim = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .find(|n| n.starts_with("fm-spike-"))
+            .unwrap();
+        std::fs::write(root.join(&victim), b"bitrot").unwrap();
+        let mut store = CheckpointStore::open(&root, 11, "test").unwrap();
+        assert_eq!(store.open_report().quarantined, vec![victim]);
+        let healed = fault_matrix_checkpointed(&p, &intensities, &mut store, &policy).unwrap();
+        let healed_cells: Vec<FaultMatrixCell> = healed
+            .iter()
+            .map(|o| match o {
+                FaultCellOutcome::Done { cell, .. } => cell.clone(),
+                FaultCellOutcome::Quarantined { class, reason, .. } => {
+                    panic!("{class} quarantined: {reason}")
+                }
+            })
+            .collect();
+        assert_eq!(healed_cells, plain);
+        let recomputed = healed
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    FaultCellOutcome::Done {
+                        restored: false,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(recomputed, 1, "only the corrupted cell recomputes");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A persistently failing cell is skipped with a structured
+    /// outcome instead of aborting the sweep — here driven through
+    /// the public supervision API with the sweep's own store.
+    #[test]
+    fn breaker_quarantines_cell_without_failing_grid() {
+        let root = std::env::temp_dir().join(format!("bench-fm-breaker-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut store = CheckpointStore::open(&root, 1, "test").unwrap();
+        let policy = CellPolicy {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            deadline_ms: None,
+            breaker_threshold: 2,
+        };
+        let out = run_cell(&mut store, "doomed.ck", &policy, || {
+            Err("synthetic cell failure".to_string())
+        })
+        .unwrap();
+        assert!(matches!(out, CellOutcome::Quarantined { .. }));
+        // The grid continues: the next cell still commits.
+        let out = run_cell(&mut store, "fine.ck", &policy, || Ok(b"ok".to_vec())).unwrap();
+        assert_eq!(out.bytes(), Some(&b"ok"[..]));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     /// The grid fan-out keeps the determinism contract: the sweep is

@@ -366,6 +366,206 @@ pub fn fig5(p: &Protocol) -> Result<Fig5Result> {
     })
 }
 
+/// Tags guarding the checkpoint payloads of the two Fig. 5 sweeps.
+const FIG5_TRAIN_TAG: &str = "bench-fig5-train-v1";
+const FIG5_PRED_TAG: &str = "bench-fig5-pred-v1";
+
+/// Which Fig. 5 cells were restored from checkpoints versus
+/// recomputed.
+#[derive(Debug, Clone, Default)]
+pub struct Fig5Resume {
+    /// Checkpoint names restored without recomputation.
+    pub restored: Vec<String>,
+    /// Checkpoint names computed (fresh, missing, or stale).
+    pub computed: Vec<String>,
+}
+
+/// Fingerprint binding Fig. 5 checkpoints to the exact dataset,
+/// masks, day split, and fit configuration that produced them. The
+/// fingerprint is embedded in every cell *name*, so any change makes
+/// old cells unreachable (and quarantined as unmanifested leftovers
+/// on a later open) instead of silently reused.
+fn fig5_fingerprint(p: &Protocol) -> u64 {
+    let temps = p.temperature_channels();
+    let inputs = p.input_channels();
+    let temp_refs: Vec<&str> = temps.iter().map(String::as_str).collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let mut h = thermal_ckpt::Fnv64::new();
+    h.update(
+        &thermal_core::dataset_fingerprint(&p.output.dataset, &temp_refs, &input_refs, &p.occupied)
+            .to_le_bytes(),
+    );
+    for mask in [&p.train_occupied, &p.val_occupied] {
+        for &b in mask.bits() {
+            h.update(&[u8::from(b)]);
+        }
+    }
+    for days in [&p.split.train, &p.split.validation] {
+        for &d in days.iter() {
+            h.update(&d.to_le_bytes());
+        }
+        h.update(b";");
+    }
+    h.update(format!("{:?}", FitConfig::default()).as_bytes());
+    h.finish()
+}
+
+/// Restores the named cell's f64 values from the store, or computes,
+/// persists, and returns them. Returns `(values, restored)`.
+fn fig5_cell<F>(
+    store: &mut thermal_ckpt::CheckpointStore,
+    name: &str,
+    tag: &'static str,
+    compute: F,
+) -> Result<(Vec<f64>, bool)>
+where
+    F: FnOnce() -> Result<Vec<f64>>,
+{
+    if let Some(bytes) = store.get(name)? {
+        // A verified payload that fails to decode is an invariant
+        // violation, not a cache miss.
+        let record = thermal_ckpt::codec::Record::decode(&bytes, tag).map_err(BenchError::from)?;
+        let values = record.get_f64_slice("values").map_err(BenchError::from)?;
+        return Ok((values, true));
+    }
+    let values = compute()?;
+    let mut record = thermal_ckpt::codec::Record::new(tag);
+    record.put_f64_slice("values", &values);
+    store.put(name, &record.encode())?;
+    Ok((values, false))
+}
+
+/// Checkpointed Fig. 5: every `(training-day count, order)` point of
+/// the top panel and each per-order horizon sweep of the bottom panel is
+/// a resumable cell. Produces bitwise the same [`Fig5Result`] as
+/// [`fig5`] whether cold, resumed, or fully restored.
+///
+/// # Errors
+///
+/// Propagates sweep and checkpoint-store failures.
+pub fn fig5_checkpointed(
+    p: &Protocol,
+    store: &mut thermal_ckpt::CheckpointStore,
+) -> Result<(Fig5Result, Fig5Resume)> {
+    let dataset = &p.output.dataset;
+    let sph = steps_per_hour(&p.output);
+    let one_day = cast::floor_to_index(13.5 * sph as f64, usize::MAX - 1);
+    let fp = fig5_fingerprint(p);
+    let mut resume = Fig5Resume::default();
+    let track = |name: String, restored: bool, resume: &mut Fig5Resume| {
+        if restored {
+            resume.restored.push(name);
+        } else {
+            resume.computed.push(name);
+        }
+    };
+    let order_key = |order: ModelOrder| match order {
+        ModelOrder::First => "o1",
+        ModelOrder::Second => "o2",
+    };
+
+    let candidate_counts = [13usize, 27, 34, 44, 58];
+    let max_train = p.split.train.len();
+    let counts: Vec<usize> = candidate_counts
+        .into_iter()
+        .filter(|&c| c <= max_train)
+        .collect();
+    let counts = if counts.is_empty() {
+        vec![max_train.saturating_sub(1).max(1)]
+    } else {
+        counts
+    };
+    let mut training = Vec::with_capacity(counts.len());
+    for &count in &counts {
+        let mut row = (count as f64, 0.0, 0.0);
+        for (slot, order) in [ModelOrder::First, ModelOrder::Second]
+            .into_iter()
+            .enumerate()
+        {
+            let name = format!("fig5-train-{count}-{}-{fp:016x}.ck", order_key(order));
+            let (values, restored) = fig5_cell(store, &name, FIG5_TRAIN_TAG, || {
+                let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)?;
+                let points = thermal_sysid::sweep::sweep_training_horizon(
+                    dataset,
+                    &spec,
+                    &p.occupied,
+                    &p.split.train,
+                    &[count],
+                    &p.split.validation,
+                    &FitConfig::default(),
+                    &EvalConfig::with_horizon(one_day),
+                )?;
+                let point = points.first().ok_or(BenchError::Protocol {
+                    context: "training sweep returned no points",
+                })?;
+                Ok(vec![point.report.rms_percentile(90.0)?])
+            })?;
+            track(name, restored, &mut resume);
+            let v = *values.first().ok_or(BenchError::Protocol {
+                context: "Fig. 5 training cell payload is empty",
+            })?;
+            if slot == 0 {
+                row.1 = v;
+            } else {
+                row.2 = v;
+            }
+        }
+        training.push(row);
+    }
+
+    let horizons: Vec<usize> = [2.5_f64, 5.0, 7.5, 10.0, 13.5]
+        .into_iter()
+        .map(|h| cast::floor_to_index(h * sph as f64, usize::MAX - 1))
+        .collect();
+    let mut prediction: Vec<(f64, f64, f64)> = horizons
+        .iter()
+        .map(|&h| (h as f64 / sph as f64, 0.0, 0.0))
+        .collect();
+    for (slot, order) in [ModelOrder::First, ModelOrder::Second]
+        .into_iter()
+        .enumerate()
+    {
+        let name = format!("fig5-pred-{}-{fp:016x}.ck", order_key(order));
+        let horizons_ref = &horizons;
+        let (values, restored) = fig5_cell(store, &name, FIG5_PRED_TAG, || {
+            let spec = ModelSpec::new(p.temperature_channels(), p.input_channels(), order)?;
+            let points = thermal_sysid::sweep::sweep_prediction_length(
+                dataset,
+                &spec,
+                &p.train_occupied,
+                &p.val_occupied,
+                horizons_ref,
+                &FitConfig::default(),
+            )?;
+            points
+                .iter()
+                .map(|point| Ok(point.report.rms_percentile(90.0)?))
+                .collect()
+        })?;
+        track(name, restored, &mut resume);
+        if values.len() != prediction.len() {
+            return Err(BenchError::Protocol {
+                context: "Fig. 5 prediction cell has the wrong number of horizons",
+            });
+        }
+        for (row, &v) in prediction.iter_mut().zip(&values) {
+            if slot == 0 {
+                row.1 = v;
+            } else {
+                row.2 = v;
+            }
+        }
+    }
+
+    Ok((
+        Fig5Result {
+            training,
+            prediction,
+        },
+        resume,
+    ))
+}
+
 /// Renders Fig. 5 as two tables.
 pub fn render_fig5(r: &Fig5Result) -> String {
     let mut out = String::from("training-data sweep (one-day prediction):\n");

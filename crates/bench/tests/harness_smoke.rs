@@ -76,6 +76,57 @@ fn fig5_sweeps_have_expected_axes() {
 }
 
 #[test]
+fn fig5_checkpointed_matches_plain_cold_and_warm() {
+    let p = tiny_protocol();
+    let plain = model::fig5(p).unwrap();
+    let root = std::env::temp_dir().join(format!("bench-fig5-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Cold run: every cell computed, result bitwise equal to plain.
+    let mut store = thermal_ckpt::CheckpointStore::open(&root, 9, "test").unwrap();
+    let (cold, resume) = model::fig5_checkpointed(p, &mut store).unwrap();
+    assert!(resume.restored.is_empty());
+    assert!(!resume.computed.is_empty());
+    assert_eq!(cold.training, plain.training);
+    assert_eq!(cold.prediction, plain.prediction);
+    drop(store);
+
+    // Warm run: every cell restored, still bitwise equal.
+    let mut store = thermal_ckpt::CheckpointStore::open(&root, 9, "test").unwrap();
+    let (warm, resume) = model::fig5_checkpointed(p, &mut store).unwrap();
+    assert!(
+        resume.computed.is_empty(),
+        "warm run recomputed {:?}",
+        resume.computed
+    );
+    assert_eq!(resume.restored.len(), plain.training.len() * 2 + 2);
+    assert_eq!(warm.training, plain.training);
+    assert_eq!(warm.prediction, plain.prediction);
+    drop(store);
+
+    // Corrupt one training cell on disk: the store quarantines it on
+    // open and exactly that cell is recomputed to the same value.
+    let victim = std::fs::read_dir(&root)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("fig5-train-"))
+        })
+        .unwrap();
+    std::fs::write(&victim, b"definitely not a checkpoint").unwrap();
+    let mut store = thermal_ckpt::CheckpointStore::open(&root, 9, "test").unwrap();
+    assert_eq!(store.open_report().quarantined.len(), 1);
+    let (healed, resume) = model::fig5_checkpointed(p, &mut store).unwrap();
+    assert_eq!(resume.computed.len(), 1);
+    assert_eq!(healed.training, plain.training);
+    assert_eq!(healed.prediction, plain.prediction);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn fig6_covers_both_similarities() {
     let sides = clustering::fig6(tiny_protocol()).unwrap();
     assert_eq!(sides.len(), 2);

@@ -1,0 +1,138 @@
+//! Typed errors for the checkpointing layer.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while persisting or restoring
+/// checkpoints.
+///
+/// Corruption (hash mismatch, truncation, unparseable manifest) is
+/// deliberately *not* an error at [`crate::CheckpointStore::open`]
+/// time — corrupt state is quarantined and reported via
+/// [`crate::OpenReport`] so a resumed run recomputes instead of
+/// aborting. `CkptError` covers the cases the caller must handle:
+/// I/O failures, invalid names, and payloads that fail verification
+/// on explicit read.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing when the failure happened.
+        context: &'static str,
+        /// Path involved in the failed operation.
+        path: PathBuf,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// A checkpoint name contains characters the manifest format
+    /// cannot represent safely.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// A payload read back from disk does not match its manifest hash
+    /// (detected on explicit [`crate::CheckpointStore::get`]).
+    Corrupt {
+        /// Checkpoint name whose payload failed verification.
+        name: String,
+    },
+    /// A checkpoint payload could not be decoded into the expected
+    /// record shape.
+    Decode {
+        /// What the decoder was reading.
+        context: &'static str,
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io {
+                context,
+                path,
+                source,
+            } => {
+                write!(
+                    f,
+                    "checkpoint I/O failed ({context}) at {}: {source}",
+                    path.display()
+                )
+            }
+            Self::InvalidName { name } => {
+                write!(
+                    f,
+                    "invalid checkpoint name {name:?}: use [A-Za-z0-9._-]+ with no leading dot"
+                )
+            }
+            Self::Corrupt { name } => {
+                write!(f, "checkpoint {name:?} failed content-hash verification")
+            }
+            Self::Decode { context, detail } => {
+                write!(f, "checkpoint decode failed ({context}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CkptError {
+    /// Wraps an I/O error with the operation and path it interrupted.
+    pub fn io(context: &'static str, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        Self::Io {
+            context,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a decode error from any displayable detail.
+    pub fn decode(context: &'static str, detail: impl fmt::Display) -> Self {
+        Self::Decode {
+            context,
+            detail: detail.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CkptError::io("rename", "/tmp/x", std::io::Error::other("boom"));
+        let msg = e.to_string();
+        assert!(msg.contains("rename") && msg.contains("/tmp/x") && msg.contains("boom"));
+        assert!(CkptError::InvalidName {
+            name: ".hidden".into()
+        }
+        .to_string()
+        .contains(".hidden"));
+        assert!(CkptError::Corrupt {
+            name: "stage".into()
+        }
+        .to_string()
+        .contains("content-hash"));
+        assert!(CkptError::decode("manifest", "bad header")
+            .to_string()
+            .contains("bad header"));
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error as _;
+        let e = CkptError::io("write", "/tmp/y", std::io::Error::other("disk full"));
+        assert!(e.source().is_some());
+        assert!(CkptError::Corrupt { name: "n".into() }.source().is_none());
+    }
+}

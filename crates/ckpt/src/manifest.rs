@@ -1,0 +1,252 @@
+//! The checkpoint manifest: the store's single source of truth for
+//! which payloads exist, their sizes and content hashes, and the run
+//! identity (schema version, seed, source revision) they belong to.
+//!
+//! # Format (plain text, one entry per line)
+//!
+//! ```text
+//! thermal-ckpt-manifest v1
+//! schema=1
+//! seed=42
+//! rev=5dec5a1
+//! entry cluster.ck 412 1f2e3d4c5b6a7988
+//! entry select.ck 97 00ffeeddccbbaa99
+//! fail flaky-cell 2
+//! ```
+//!
+//! * `entry NAME LEN FNV64HEX` — a committed payload: byte length and
+//!   FNV-1a 64 content hash. Entries are rendered sorted by name so
+//!   the manifest bytes are a pure function of its contents (the
+//!   chaos harness compares manifests byte-for-byte).
+//! * `fail NAME COUNT` — circuit-breaker state: consecutive failures
+//!   recorded against a cell, persisted so a crash-looping cell is
+//!   recognized across restarts.
+//!
+//! # Schema versioning policy
+//!
+//! [`SCHEMA_VERSION`] must be bumped whenever any persisted byte
+//! format changes: the manifest grammar itself, a payload codec in
+//! `thermal-core`/`thermal-bench`, or hash/width choices. A store
+//! whose manifest carries a different schema (or seed) than the
+//! opening run discards all checkpoints — recomputation is always
+//! safe, deserializing across formats never is.
+
+use std::collections::BTreeMap;
+
+use crate::error::CkptError;
+
+/// Version of every on-disk format this crate reads or writes. Bump
+/// on any change to the manifest grammar or payload codecs.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Magic first line of a manifest file.
+const MAGIC: &str = "thermal-ckpt-manifest v1";
+
+/// One committed payload's identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Payload byte length.
+    pub len: u64,
+    /// FNV-1a 64 hash of the payload bytes.
+    pub hash: u64,
+}
+
+/// Parsed manifest state: run identity, committed entries, and
+/// circuit-breaker failure counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Schema version the store was written with.
+    pub schema: u32,
+    /// Run seed the checkpoints belong to.
+    pub seed: u64,
+    /// Source revision recorded at store creation (informational).
+    pub rev: String,
+    /// Committed payloads by name.
+    pub entries: BTreeMap<String, ManifestEntry>,
+    /// Consecutive-failure counts by cell name.
+    pub failures: BTreeMap<String, u32>,
+}
+
+impl Manifest {
+    /// A fresh manifest for the given run identity.
+    pub fn new(seed: u64, rev: &str) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            seed,
+            rev: rev.to_string(),
+            entries: BTreeMap::new(),
+            failures: BTreeMap::new(),
+        }
+    }
+
+    /// Renders the canonical byte form (sorted entries, then sorted
+    /// failure lines).
+    pub fn render(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("schema={}\n", self.schema));
+        out.push_str(&format!("seed={}\n", self.seed));
+        out.push_str(&format!("rev={}\n", self.rev));
+        for (name, e) in &self.entries {
+            out.push_str(&format!("entry {name} {} {:016x}\n", e.len, e.hash));
+        }
+        for (name, count) in &self.failures {
+            out.push_str(&format!("fail {name} {count}\n"));
+        }
+        out.into_bytes()
+    }
+
+    /// Parses a manifest; any malformation is a typed error (the
+    /// store treats it as corruption and quarantines).
+    pub fn parse(bytes: &[u8]) -> Result<Self, CkptError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| CkptError::decode("manifest", format!("not UTF-8: {e}")))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l == MAGIC => {}
+            other => {
+                return Err(CkptError::decode(
+                    "manifest",
+                    format!("bad magic line {other:?}"),
+                ))
+            }
+        }
+        let schema = header_field(lines.next(), "schema")?
+            .parse::<u32>()
+            .map_err(|e| CkptError::decode("manifest", format!("bad schema: {e}")))?;
+        let seed = header_field(lines.next(), "seed")?
+            .parse::<u64>()
+            .map_err(|e| CkptError::decode("manifest", format!("bad seed: {e}")))?;
+        let rev = header_field(lines.next(), "rev")?.to_string();
+
+        let mut entries = BTreeMap::new();
+        let mut failures = BTreeMap::new();
+        for line in lines {
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("entry") => {
+                    let (name, len, hash) = (parts.next(), parts.next(), parts.next());
+                    let (Some(name), Some(len), Some(hash), None) = (name, len, hash, parts.next())
+                    else {
+                        return Err(CkptError::decode(
+                            "manifest",
+                            format!("bad entry line {line:?}"),
+                        ));
+                    };
+                    let len = len.parse::<u64>().map_err(|e| {
+                        CkptError::decode("manifest", format!("bad entry len in {line:?}: {e}"))
+                    })?;
+                    let hash = u64::from_str_radix(hash, 16).map_err(|e| {
+                        CkptError::decode("manifest", format!("bad entry hash in {line:?}: {e}"))
+                    })?;
+                    entries.insert(name.to_string(), ManifestEntry { len, hash });
+                }
+                Some("fail") => {
+                    let (Some(name), Some(count), None) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(CkptError::decode(
+                            "manifest",
+                            format!("bad fail line {line:?}"),
+                        ));
+                    };
+                    let count = count.parse::<u32>().map_err(|e| {
+                        CkptError::decode("manifest", format!("bad fail count in {line:?}: {e}"))
+                    })?;
+                    failures.insert(name.to_string(), count);
+                }
+                _ => {
+                    return Err(CkptError::decode(
+                        "manifest",
+                        format!("unknown line {line:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(Self {
+            schema,
+            seed,
+            rev,
+            entries,
+            failures,
+        })
+    }
+}
+
+/// Extracts `key=` from a header line, erroring on absence.
+fn header_field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, CkptError> {
+    let line =
+        line.ok_or_else(|| CkptError::decode("manifest", format!("missing {key} header")))?;
+    line.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| {
+            CkptError::decode(
+                "manifest",
+                format!("expected {key}= header, found {line:?}"),
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut m = Manifest::new(42, "abc123");
+        m.entries.insert(
+            "cluster.ck".into(),
+            ManifestEntry {
+                len: 412,
+                hash: 0x1f2e_3d4c_5b6a_7988,
+            },
+        );
+        m.entries
+            .insert("a-first.ck".into(), ManifestEntry { len: 7, hash: 1 });
+        m.failures.insert("flaky".into(), 2);
+        let bytes = m.render();
+        let back = Manifest::parse(&bytes).unwrap();
+        assert_eq!(back, m);
+        // Sorted rendering: a-first before cluster.
+        let text = String::from_utf8(bytes).unwrap();
+        let a = text.find("a-first.ck").unwrap();
+        let c = text.find("cluster.ck").unwrap();
+        assert!(a < c);
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let mut m1 = Manifest::new(7, "r");
+        m1.entries
+            .insert("b".into(), ManifestEntry { len: 1, hash: 2 });
+        m1.entries
+            .insert("a".into(), ManifestEntry { len: 3, hash: 4 });
+        let mut m2 = Manifest::new(7, "r");
+        m2.entries
+            .insert("a".into(), ManifestEntry { len: 3, hash: 4 });
+        m2.entries
+            .insert("b".into(), ManifestEntry { len: 1, hash: 2 });
+        assert_eq!(m1.render(), m2.render());
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected() {
+        assert!(Manifest::parse(b"").is_err());
+        assert!(Manifest::parse(b"wrong magic\n").is_err());
+        assert!(Manifest::parse(b"thermal-ckpt-manifest v1\nschema=x\n").is_err());
+        let ok = Manifest::new(1, "r").render();
+        assert!(Manifest::parse(&ok).is_ok());
+        // Truncate mid-file: drop the rev header.
+        let truncated = b"thermal-ckpt-manifest v1\nschema=1\nseed=1\n";
+        assert!(Manifest::parse(truncated).is_err());
+        // Garbage trailing line.
+        let mut with_garbage = ok.clone();
+        with_garbage.extend_from_slice(b"garbage line\n");
+        assert!(Manifest::parse(&with_garbage).is_err());
+        // Bad entry arity.
+        let mut bad_entry = ok;
+        bad_entry.extend_from_slice(b"entry name 12\n");
+        assert!(Manifest::parse(&bad_entry).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! The supervised cell runner: resume, retry, deadline, breaker.
+//!
+//! A *cell* is one unit of recomputable work in a grid or pipeline —
+//! identified by a stable name, producing a byte payload (encoded via
+//! [`crate::codec`]). [`run_cell`] wraps the execution of one cell
+//! with the full robustness ladder:
+//!
+//! 1. **Resume** — a verified checkpoint under the cell's name short-
+//!    circuits execution entirely ([`CellOutcome::Restored`]).
+//! 2. **Circuit breaker** — a cell whose persisted consecutive-failure
+//!    count has reached [`CellPolicy::breaker_threshold`] is *not*
+//!    attempted again; it yields [`CellOutcome::Quarantined`] so the
+//!    rest of the grid still completes. Failure counts live in the
+//!    manifest, so a cell that crash-loops the whole process is still
+//!    recognized across restarts.
+//! 3. **Deadline** — with [`CellPolicy::deadline_ms`] set, the cell
+//!    body runs on a helper thread and the runner waits at most that
+//!    long. Rust cannot kill a thread, so a hung body is abandoned
+//!    (it leaks until it returns) and the attempt counts as a
+//!    failure; this bounds the *runner's* latency, which is what grid
+//!    progress needs.
+//! 4. **Bounded deterministic retry** — up to
+//!    [`CellPolicy::max_attempts`] tries with exponential backoff
+//!    (`backoff_base_ms << (attempt-1)`). The schedule is a pure
+//!    function of the policy; no jitter, no wall-clock dependence in
+//!    any persisted output.
+//!
+//! On success the payload is committed to the store (atomic write +
+//! manifest update) *before* the outcome is returned, so a crash
+//! immediately after a cell completes never loses its work.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::CkptError;
+use crate::store::CheckpointStore;
+
+/// Supervision parameters for [`run_cell`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPolicy {
+    /// Maximum execution attempts per `run_cell` call (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff before retry `n` is `backoff_base_ms << (n-1)`.
+    pub backoff_base_ms: u64,
+    /// Per-attempt wall-clock deadline; `None` runs the body inline
+    /// with no timeout (no helper thread).
+    pub deadline_ms: Option<u64>,
+    /// Persisted consecutive-failure count at which the breaker opens
+    /// and the cell is skipped without execution.
+    pub breaker_threshold: u32,
+}
+
+impl Default for CellPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            backoff_base_ms: 10,
+            deadline_ms: None,
+            breaker_threshold: 6,
+        }
+    }
+}
+
+/// How a supervised cell concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// A verified checkpoint existed; the cell body never ran.
+    Restored(Vec<u8>),
+    /// The cell body ran (possibly after retries) and its payload was
+    /// committed to the store.
+    Computed(Vec<u8>),
+    /// The cell did not produce a payload: the breaker was open or
+    /// every attempt failed. The grid should continue without it.
+    Quarantined {
+        /// Cell name, for reporting.
+        name: String,
+        /// Attempts made in *this* call (0 when the breaker was open).
+        attempts: u32,
+        /// Persisted consecutive-failure count after this call.
+        failures: u32,
+        /// Last failure message (or why the breaker is open).
+        reason: String,
+    },
+}
+
+impl CellOutcome {
+    /// The payload, when one exists (restored or computed).
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            Self::Restored(b) | Self::Computed(b) => Some(b),
+            Self::Quarantined { .. } => None,
+        }
+    }
+
+    /// True when the payload came from a checkpoint, not execution.
+    pub fn was_restored(&self) -> bool {
+        matches!(self, Self::Restored(_))
+    }
+}
+
+/// Executes one supervised cell: resume from checkpoint if possible,
+/// otherwise run `work` under the policy's deadline/retry/breaker
+/// rules and commit the result.
+///
+/// `work` returns the cell's encoded payload or a failure message.
+/// It must be `'static` because deadline supervision runs it on a
+/// helper thread; share context via `Arc`. `Err` is only returned
+/// for store I/O failures — cell failures surface as
+/// [`CellOutcome::Quarantined`].
+pub fn run_cell<W>(
+    store: &mut CheckpointStore,
+    name: &str,
+    policy: &CellPolicy,
+    work: W,
+) -> Result<CellOutcome, CkptError>
+where
+    W: Fn() -> Result<Vec<u8>, String> + Send + Sync + 'static,
+{
+    if let Some(bytes) = store.get(name)? {
+        store.clear_failures(name)?;
+        return Ok(CellOutcome::Restored(bytes));
+    }
+
+    let prior = store.failure_count(name);
+    if prior >= policy.breaker_threshold {
+        return Ok(CellOutcome::Quarantined {
+            name: name.to_string(),
+            attempts: 0,
+            failures: prior,
+            reason: format!(
+                "circuit breaker open: {prior} recorded failures (threshold {})",
+                policy.breaker_threshold
+            ),
+        });
+    }
+
+    let work = Arc::new(work);
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_reason = String::new();
+    let mut attempts = 0u32;
+    for attempt in 1..=max_attempts {
+        attempts = attempt;
+        match execute(&work, policy.deadline_ms) {
+            Ok(bytes) => {
+                store.put(name, &bytes)?;
+                store.clear_failures(name)?;
+                return Ok(CellOutcome::Computed(bytes));
+            }
+            Err(reason) => {
+                last_reason = reason;
+                let failures = store.record_failure(name)?;
+                if failures >= policy.breaker_threshold {
+                    return Ok(CellOutcome::Quarantined {
+                        name: name.to_string(),
+                        attempts,
+                        failures,
+                        reason: last_reason,
+                    });
+                }
+                if attempt < max_attempts {
+                    let shift = u32::min(attempt - 1, 16);
+                    let pause = policy.backoff_base_ms.saturating_mul(1u64 << shift);
+                    std::thread::sleep(Duration::from_millis(pause));
+                }
+            }
+        }
+    }
+
+    Ok(CellOutcome::Quarantined {
+        name: name.to_string(),
+        attempts,
+        failures: store.failure_count(name),
+        reason: last_reason,
+    })
+}
+
+/// Runs the cell body, inline or under a deadline on a helper thread.
+fn execute<W>(work: &Arc<W>, deadline_ms: Option<u64>) -> Result<Vec<u8>, String>
+where
+    W: Fn() -> Result<Vec<u8>, String> + Send + Sync + 'static,
+{
+    let Some(deadline) = deadline_ms else {
+        return (work)();
+    };
+    let (tx, rx) = mpsc::channel();
+    let body = Arc::clone(work);
+    std::thread::spawn(move || {
+        let _ = tx.send((body)());
+    });
+    match rx.recv_timeout(Duration::from_millis(deadline)) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            Err(format!("deadline exceeded after {deadline} ms"))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err("cell body terminated without a result".to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("thermal-ckpt-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_policy() -> CellPolicy {
+        CellPolicy {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            deadline_ms: None,
+            breaker_threshold: 6,
+        }
+    }
+
+    #[test]
+    fn computed_then_restored() {
+        let root = scratch("restore");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let work = move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(b"payload".to_vec())
+        };
+        let out = run_cell(&mut store, "cell", &quick_policy(), work.clone()).unwrap();
+        assert_eq!(out, CellOutcome::Computed(b"payload".to_vec()));
+        // Second run resumes without executing.
+        let out = run_cell(&mut store, "cell", &quick_policy(), work).unwrap();
+        assert!(out.was_restored());
+        assert_eq!(out.bytes(), Some(&b"payload"[..]));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failure() {
+        let root = scratch("retry");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let out = run_cell(&mut store, "cell", &quick_policy(), move || {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("transient".to_string())
+            } else {
+                Ok(b"ok".to_vec())
+            }
+        })
+        .unwrap();
+        assert_eq!(out, CellOutcome::Computed(b"ok".to_vec()));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        // Success clears the interim failure record.
+        assert_eq!(store.failure_count("cell"), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn exhausted_attempts_quarantine_with_persisted_failures() {
+        let root = scratch("exhaust");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        let out = run_cell(&mut store, "bad", &quick_policy(), || {
+            Err("always broken".to_string())
+        })
+        .unwrap();
+        match out {
+            CellOutcome::Quarantined {
+                attempts,
+                failures,
+                reason,
+                ..
+            } => {
+                assert_eq!(attempts, 2);
+                assert_eq!(failures, 2);
+                assert!(reason.contains("always broken"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // Counts survive a reopen (crash-loop recognition).
+        drop(store);
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert_eq!(store.failure_count("bad"), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn breaker_opens_and_skips_execution() {
+        let root = scratch("breaker");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        let policy = CellPolicy {
+            breaker_threshold: 3,
+            ..quick_policy()
+        };
+        // Two runs of two failed attempts each: breaker trips mid-second.
+        let _ = run_cell(&mut store, "bad", &policy, || Err("x".to_string())).unwrap();
+        let _ = run_cell(&mut store, "bad", &policy, || Err("x".to_string())).unwrap();
+        assert!(store.failure_count("bad") >= 3);
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let out = run_cell(&mut store, "bad", &policy, move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![])
+        })
+        .unwrap();
+        match out {
+            CellOutcome::Quarantined {
+                attempts, reason, ..
+            } => {
+                assert_eq!(attempts, 0);
+                assert!(reason.contains("circuit breaker open"));
+            }
+            other => panic!("expected open breaker, got {other:?}"),
+        }
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "breaker must skip execution"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn deadline_bounds_a_hung_cell() {
+        let root = scratch("deadline");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        let policy = CellPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            deadline_ms: Some(20),
+            breaker_threshold: 6,
+        };
+        let out = run_cell(&mut store, "hung", &policy, || {
+            std::thread::sleep(Duration::from_millis(5_000));
+            Ok(vec![])
+        })
+        .unwrap();
+        match out {
+            CellOutcome::Quarantined { reason, .. } => {
+                assert!(reason.contains("deadline exceeded"), "reason: {reason}");
+            }
+            other => panic!("expected deadline quarantine, got {other:?}"),
+        }
+        // A fast cell under the same policy still completes.
+        let out = run_cell(&mut store, "fast", &policy, || Ok(b"quick".to_vec())).unwrap();
+        assert_eq!(out, CellOutcome::Computed(b"quick".to_vec()));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

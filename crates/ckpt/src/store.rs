@@ -1,0 +1,503 @@
+//! The on-disk checkpoint store: verified payloads + manifest +
+//! quarantine.
+//!
+//! A store is one directory:
+//!
+//! ```text
+//! <root>/
+//!   manifest.txt      — identity + content hashes (see `manifest`)
+//!   <name>            — one file per committed checkpoint payload
+//!   quarantine/       — corrupt/orphaned files moved aside, never read
+//!   .<name>.tmp       — in-flight atomic writes (swept at open)
+//! ```
+//!
+//! [`CheckpointStore::open`] is where crash recovery happens; it
+//! never fails on *corruption*, only on I/O errors:
+//!
+//! 1. sweep stray temp files from interrupted writes,
+//! 2. parse the manifest — unparseable (torn, truncated, garbage)
+//!    means the store cannot be trusted: the manifest and every
+//!    payload are quarantined and the run starts fresh,
+//! 3. a schema-version or seed mismatch likewise discards (to
+//!    quarantine) all checkpoints — recomputing is always safe,
+//!    reusing state across formats or seeds never is,
+//! 4. every manifested payload is length- and hash-verified;
+//!    mismatches are quarantined, missing payloads dropped,
+//! 5. unmanifested payload files (committed payload whose manifest
+//!    update never landed) are quarantined.
+//!
+//! What survives is exactly the set of checkpoints proven intact, and
+//! the [`OpenReport`] says what happened to the rest.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::atomic::{fnv1a64, valid_name, write_atomic};
+use crate::error::CkptError;
+use crate::manifest::{Manifest, ManifestEntry, SCHEMA_VERSION};
+
+/// File name of the manifest inside a store root.
+pub const MANIFEST_NAME: &str = "manifest.txt";
+
+/// Directory name files are moved into when they cannot be trusted.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What [`CheckpointStore::open`] found and did during recovery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// True when no prior manifest existed (first run).
+    pub fresh: bool,
+    /// Checkpoints that survived verification and are resumable.
+    pub restored: usize,
+    /// True when the manifest carried a different schema version or
+    /// seed and all prior checkpoints were discarded.
+    pub identity_mismatch: bool,
+    /// Files moved to `quarantine/` (manifest, hash-mismatched or
+    /// unmanifested payloads), by original name.
+    pub quarantined: Vec<String>,
+    /// Manifested names whose payload file was missing on disk.
+    pub missing: Vec<String>,
+    /// Stray `.*.tmp` files from interrupted writes that were swept.
+    pub swept_temps: usize,
+}
+
+/// A verified, crash-safe key→bytes store backing every resumable
+/// stage and grid cell in the workspace.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    root: PathBuf,
+    manifest: Manifest,
+    report: OpenReport,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the store at `root` for a run with
+    /// the given `seed` and source `rev`, performing full recovery as
+    /// described in the module docs.
+    pub fn open(root: impl Into<PathBuf>, seed: u64, rev: &str) -> Result<Self, CkptError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| CkptError::io("create store root", &root, e))?;
+
+        let mut report = OpenReport::default();
+        sweep_temps(&root, &mut report)?;
+
+        let manifest_path = root.join(MANIFEST_NAME);
+        let mut manifest = Manifest::new(seed, rev);
+        match fs::read(&manifest_path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                report.fresh = true;
+            }
+            Err(e) => return Err(CkptError::io("read manifest", &manifest_path, e)),
+            Ok(bytes) => match Manifest::parse(&bytes) {
+                Err(_) => {
+                    // Torn or garbage manifest: nothing on disk can be
+                    // trusted. Quarantine everything and start over.
+                    quarantine_file(&root, MANIFEST_NAME, &mut report)?;
+                    quarantine_all_payloads(&root, &mut report)?;
+                }
+                Ok(parsed) if parsed.schema != SCHEMA_VERSION || parsed.seed != seed => {
+                    report.identity_mismatch = true;
+                    quarantine_file(&root, MANIFEST_NAME, &mut report)?;
+                    quarantine_all_payloads(&root, &mut report)?;
+                }
+                Ok(parsed) => {
+                    manifest.failures = parsed.failures;
+                    verify_entries(&root, parsed.entries, &mut manifest, &mut report)?;
+                    quarantine_unmanifested(&root, &manifest, &mut report)?;
+                }
+            },
+        }
+
+        Ok(Self {
+            root,
+            manifest,
+            report,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The run seed this store is bound to.
+    pub fn seed(&self) -> u64 {
+        self.manifest.seed
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.report
+    }
+
+    /// True when a verified checkpoint with this name is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.manifest.entries.contains_key(name)
+    }
+
+    /// Names of all verified checkpoints, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.manifest.entries.keys().cloned().collect()
+    }
+
+    /// Reads a checkpoint payload, re-verifying its content hash.
+    ///
+    /// Returns `Ok(None)` when the checkpoint is absent — including
+    /// when the payload was altered *after* open (it is quarantined
+    /// and forgotten, so the caller recomputes, matching open-time
+    /// corruption handling).
+    pub fn get(&mut self, name: &str) -> Result<Option<Vec<u8>>, CkptError> {
+        let Some(entry) = self.manifest.entries.get(name) else {
+            return Ok(None);
+        };
+        let path = self.root.join(name);
+        let bytes = match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.manifest.entries.remove(name);
+                return Ok(None);
+            }
+            Err(e) => return Err(CkptError::io("read payload", &path, e)),
+            Ok(b) => b,
+        };
+        if bytes.len() as u64 != entry.len || fnv1a64(&bytes) != entry.hash {
+            quarantine_file(&self.root, name, &mut self.report)?;
+            self.manifest.entries.remove(name);
+            return Ok(None);
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Commits a checkpoint: atomic payload write, then atomic
+    /// manifest update. A crash between the two leaves an
+    /// unmanifested payload that the next open quarantines.
+    pub fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        if !valid_name(name) || name == MANIFEST_NAME || name == QUARANTINE_DIR {
+            return Err(CkptError::InvalidName {
+                name: name.to_string(),
+            });
+        }
+        write_atomic(&self.root.join(name), bytes)?;
+        self.manifest.entries.insert(
+            name.to_string(),
+            ManifestEntry {
+                len: bytes.len() as u64,
+                hash: fnv1a64(bytes),
+            },
+        );
+        self.persist_manifest()
+    }
+
+    /// Records one more consecutive failure against `name`
+    /// (circuit-breaker state), persisted immediately; returns the
+    /// new count.
+    pub fn record_failure(&mut self, name: &str) -> Result<u32, CkptError> {
+        let count = self
+            .manifest
+            .failures
+            .entry(name.to_string())
+            .and_modify(|c| *c = c.saturating_add(1))
+            .or_insert(1);
+        let count = *count;
+        self.persist_manifest()?;
+        Ok(count)
+    }
+
+    /// The recorded consecutive-failure count for `name`.
+    pub fn failure_count(&self, name: &str) -> u32 {
+        self.manifest.failures.get(name).copied().unwrap_or(0)
+    }
+
+    /// Clears failure state for `name` after a success; a no-op (no
+    /// manifest write) when nothing was recorded.
+    pub fn clear_failures(&mut self, name: &str) -> Result<(), CkptError> {
+        if self.manifest.failures.remove(name).is_some() {
+            self.persist_manifest()?;
+        }
+        Ok(())
+    }
+
+    fn persist_manifest(&self) -> Result<(), CkptError> {
+        write_atomic(&self.root.join(MANIFEST_NAME), &self.manifest.render())
+    }
+}
+
+/// Removes leftover `.*.tmp` files from interrupted atomic writes.
+fn sweep_temps(root: &Path, report: &mut OpenReport) -> Result<(), CkptError> {
+    for entry in list_dir(root)? {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') && name.ends_with(".tmp") {
+            fs::remove_file(entry.path())
+                .map_err(|e| CkptError::io("sweep temp", entry.path(), e))?;
+            report.swept_temps += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Length+hash-verifies every manifested payload, keeping survivors
+/// in `manifest` and quarantining/dropping the rest.
+fn verify_entries(
+    root: &Path,
+    parsed: BTreeMap<String, ManifestEntry>,
+    manifest: &mut Manifest,
+    report: &mut OpenReport,
+) -> Result<(), CkptError> {
+    for (name, entry) in parsed {
+        if !valid_name(&name) {
+            // A manifest that names files we would never write is
+            // hostile or corrupt; skip without touching the path.
+            report.missing.push(name);
+            continue;
+        }
+        let path = root.join(&name);
+        match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                report.missing.push(name);
+            }
+            Err(e) => return Err(CkptError::io("verify payload", &path, e)),
+            Ok(bytes) => {
+                if bytes.len() as u64 == entry.len && fnv1a64(&bytes) == entry.hash {
+                    manifest.entries.insert(name, entry);
+                    report.restored += 1;
+                } else {
+                    quarantine_file(root, &name, report)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Quarantines payload files present on disk but absent from the
+/// verified manifest (e.g. a payload whose manifest update was lost).
+fn quarantine_unmanifested(
+    root: &Path,
+    manifest: &Manifest,
+    report: &mut OpenReport,
+) -> Result<(), CkptError> {
+    for entry in list_dir(root)? {
+        if !entry.path().is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == MANIFEST_NAME || name.starts_with('.') {
+            continue;
+        }
+        if !manifest.entries.contains_key(&name) {
+            quarantine_file(root, &name, report)?;
+        }
+    }
+    Ok(())
+}
+
+/// Moves every payload file (not the manifest, not temp files) into
+/// quarantine — used when the manifest itself cannot be trusted.
+fn quarantine_all_payloads(root: &Path, report: &mut OpenReport) -> Result<(), CkptError> {
+    for entry in list_dir(root)? {
+        if !entry.path().is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == MANIFEST_NAME || name.starts_with('.') {
+            continue;
+        }
+        quarantine_file(root, &name, report)?;
+    }
+    Ok(())
+}
+
+/// Moves `root/<name>` to `quarantine/<name>.<n>` (first free `n`)
+/// and records it in the report. Quarantine moves are recovery
+/// actions, not durable artifact writes — they do not tick the
+/// kill-point counter, and the chaos harness excludes `quarantine/`
+/// from its byte-equality comparison.
+fn quarantine_file(root: &Path, name: &str, report: &mut OpenReport) -> Result<(), CkptError> {
+    let qdir = root.join(QUARANTINE_DIR);
+    fs::create_dir_all(&qdir).map_err(|e| CkptError::io("create quarantine", &qdir, e))?;
+    let src = root.join(name);
+    for n in 0u32..10_000 {
+        let dst = qdir.join(format!("{name}.{n}"));
+        if dst.exists() {
+            continue;
+        }
+        return fs::rename(&src, &dst)
+            .map(|()| report.quarantined.push(name.to_string()))
+            .map_err(|e| CkptError::io("quarantine file", &src, e));
+    }
+    Err(CkptError::io(
+        "quarantine file",
+        &src,
+        std::io::Error::other("quarantine slots exhausted"),
+    ))
+}
+
+fn list_dir(root: &Path) -> Result<Vec<fs::DirEntry>, CkptError> {
+    let iter = fs::read_dir(root).map_err(|e| CkptError::io("list store", root, e))?;
+    let mut out = Vec::new();
+    for entry in iter {
+        out.push(entry.map_err(|e| CkptError::io("list store", root, e))?);
+    }
+    // Deterministic order regardless of filesystem enumeration.
+    out.sort_by_key(fs::DirEntry::file_name);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("thermal-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_open_put_get_reopen() {
+        let root = scratch("fresh");
+        let mut store = CheckpointStore::open(&root, 42, "rev1").unwrap();
+        assert!(store.open_report().fresh);
+        assert!(!store.contains("stage-a"));
+        store.put("stage-a", b"alpha").unwrap();
+        store.put("stage-b", b"beta").unwrap();
+        assert_eq!(
+            store.get("stage-a").unwrap().as_deref(),
+            Some(&b"alpha"[..])
+        );
+
+        let mut reopened = CheckpointStore::open(&root, 42, "rev1").unwrap();
+        let report = reopened.open_report().clone();
+        assert!(!report.fresh);
+        assert_eq!(report.restored, 2);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(
+            reopened.get("stage-b").unwrap().as_deref(),
+            Some(&b"beta"[..])
+        );
+        assert_eq!(
+            reopened.names(),
+            vec!["stage-a".to_string(), "stage-b".into()]
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupted_payload_is_quarantined_on_open() {
+        let root = scratch("corrupt");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        store.put("cell", b"good bytes").unwrap();
+        drop(store);
+        fs::write(root.join("cell"), b"bad bytes!").unwrap();
+
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert!(!store.contains("cell"));
+        assert_eq!(store.open_report().quarantined, vec!["cell".to_string()]);
+        assert!(root.join(QUARANTINE_DIR).join("cell.0").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_payload_is_quarantined_on_open() {
+        let root = scratch("trunc");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        store.put("cell", b"0123456789").unwrap();
+        drop(store);
+        fs::write(root.join("cell"), b"01234").unwrap();
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert!(!store.contains("cell"));
+        assert_eq!(store.open_report().quarantined, vec!["cell".to_string()]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_manifest_quarantines_everything() {
+        let root = scratch("torn-manifest");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        store.put("a", b"1").unwrap();
+        store.put("b", b"2").unwrap();
+        drop(store);
+        fs::write(root.join(MANIFEST_NAME), b"thermal-ckpt-manifest v1\nsch").unwrap();
+
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert_eq!(store.names().len(), 0);
+        let mut q = store.open_report().quarantined.clone();
+        q.sort();
+        assert_eq!(q, vec!["a".to_string(), "b".into(), MANIFEST_NAME.into()]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seed_mismatch_discards_all() {
+        let root = scratch("seed-mismatch");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        store.put("a", b"1").unwrap();
+        drop(store);
+        let store = CheckpointStore::open(&root, 2, "r").unwrap();
+        assert!(store.open_report().identity_mismatch);
+        assert!(!store.contains("a"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unmanifested_payload_is_quarantined() {
+        let root = scratch("orphan");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        store.put("real", b"1").unwrap();
+        drop(store);
+        fs::write(root.join("orphan"), b"committed but never manifested").unwrap();
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert!(store.contains("real"));
+        assert_eq!(store.open_report().quarantined, vec!["orphan".to_string()]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stray_temps_are_swept() {
+        let root = scratch("temps");
+        drop(CheckpointStore::open(&root, 1, "r").unwrap());
+        fs::write(root.join(".cell.tmp"), b"half-written").unwrap();
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert_eq!(store.open_report().swept_temps, 1);
+        assert!(!root.join(".cell.tmp").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn get_requarantines_late_corruption() {
+        let root = scratch("late");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        store.put("cell", b"good").unwrap();
+        fs::write(root.join("cell"), b"evil").unwrap();
+        assert_eq!(store.get("cell").unwrap(), None);
+        assert!(!store.contains("cell"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failure_counts_persist_across_reopen() {
+        let root = scratch("failures");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert_eq!(store.record_failure("flaky").unwrap(), 1);
+        assert_eq!(store.record_failure("flaky").unwrap(), 2);
+        drop(store);
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert_eq!(store.failure_count("flaky"), 2);
+        store.clear_failures("flaky").unwrap();
+        drop(store);
+        let store = CheckpointStore::open(&root, 1, "r").unwrap();
+        assert_eq!(store.failure_count("flaky"), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        let root = scratch("names");
+        let mut store = CheckpointStore::open(&root, 1, "r").unwrap();
+        for bad in ["", ".dot", "a/b", MANIFEST_NAME, QUARANTINE_DIR] {
+            assert!(store.put(bad, b"x").is_err(), "{bad:?} must be rejected");
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+}

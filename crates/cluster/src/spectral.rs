@@ -95,6 +95,15 @@ impl Clustering {
         })
     }
 
+    /// Attaches the affinity eigenvalues that produced this
+    /// clustering (used when restoring a clustering from a
+    /// checkpoint so the round-trip is exact).
+    #[must_use]
+    pub fn with_eigenvalues(mut self, eigenvalues: Vec<f64>) -> Self {
+        self.eigenvalues = eigenvalues;
+        self
+    }
+
     /// Cluster index of each sensor (dataset order).
     pub fn assignments(&self) -> &[usize] {
         &self.assignments

@@ -24,6 +24,13 @@ pub enum CoreError {
     Sysid(SysidError),
     /// A dataset operation failed.
     TimeSeries(TimeSeriesError),
+    /// Checkpoint persistence failed (store I/O, not corruption —
+    /// corrupt checkpoints are quarantined and recomputed, never
+    /// surfaced as errors).
+    Checkpoint {
+        /// Rendered description of the underlying failure.
+        detail: String,
+    },
     /// An internal invariant was violated — a bug in this crate, not
     /// bad input. Reported as an error instead of panicking so library
     /// callers stay in control.
@@ -41,6 +48,9 @@ impl fmt::Display for CoreError {
             CoreError::Select(e) => write!(f, "selection stage failed: {e}"),
             CoreError::Sysid(e) => write!(f, "identification stage failed: {e}"),
             CoreError::TimeSeries(e) => write!(f, "dataset operation failed: {e}"),
+            CoreError::Checkpoint { detail } => {
+                write!(f, "checkpoint persistence failed: {detail}")
+            }
             CoreError::Internal { context } => {
                 write!(f, "internal pipeline invariant violated: {context}")
             }
@@ -85,6 +95,17 @@ impl From<SysidError> for CoreError {
 impl From<TimeSeriesError> for CoreError {
     fn from(e: TimeSeriesError) -> Self {
         CoreError::TimeSeries(e)
+    }
+}
+
+// Rendered to a string so `CoreError` keeps its `Clone + PartialEq`
+// derives (`CkptError` carries a non-clonable `std::io::Error`).
+#[doc(hidden)]
+impl From<thermal_ckpt::CkptError> for CoreError {
+    fn from(e: thermal_ckpt::CkptError) -> Self {
+        CoreError::Checkpoint {
+            detail: e.to_string(),
+        }
     }
 }
 

@@ -69,8 +69,10 @@ mod error;
 mod pipeline;
 mod reduced;
 
+pub mod checkpoint;
 pub mod control;
 
+pub use checkpoint::{dataset_fingerprint, FitResume};
 pub use degradation::{
     DegradationEvent, DegradationPolicy, DegradationReport, DegradedEvaluation, FallbackAction,
 };

@@ -4,16 +4,19 @@
 
 use serde::{Deserialize, Serialize};
 
+use thermal_ckpt::CheckpointStore;
 use thermal_cluster::{
-    cluster_trajectories, trajectory_matrix, ClusterCount, Similarity, SpectralConfig,
+    cluster_trajectories, trajectory_matrix, ClusterCount, Clustering, Similarity, SpectralConfig,
 };
+use thermal_linalg::Matrix;
 use thermal_select::{
-    rank_backups, FixedSelector, GpSelector, NearMeanSelector, RandomSelector, SelectionInput,
-    Selector, StratifiedRandomSelector,
+    rank_backups, FixedSelector, GpSelector, NearMeanSelector, RandomSelector, Selection,
+    SelectionInput, Selector, StratifiedRandomSelector,
 };
-use thermal_sysid::{identify, FitConfig, ModelOrder, ModelSpec};
+use thermal_sysid::{identify, FitConfig, ModelOrder, ModelSpec, ThermalModel};
 use thermal_timeseries::{Dataset, Mask};
 
+use crate::checkpoint::{self, FitResume};
 use crate::reduced::ReducedModel;
 use crate::{CoreError, Result};
 
@@ -120,34 +123,175 @@ impl ThermalPipeline {
                 reason: "pipeline needs at least one sensor channel".to_owned(),
             });
         }
+        let owned_names: Vec<String> = sensor_channels.iter().map(|s| (*s).to_owned()).collect();
 
         // Step 1: cluster the dense deployment.
         let trajectories = trajectory_matrix(dataset, sensor_channels, train_mask)?;
+        let clustering = self.cluster_stage(&trajectories)?;
+
+        // Step 2: select representative sensors (with ranked backups).
+        let selection = self.select_stage(&trajectories, &clustering, &owned_names)?;
+
+        // Step 3: identify the simplified model on the selected
+        // sensors.
+        let (selected, model) = self.identify_stage(
+            dataset,
+            &selection,
+            &owned_names,
+            input_channels,
+            train_mask,
+        )?;
+
+        Ok(ReducedModel::new(
+            owned_names,
+            clustering,
+            selection,
+            selected,
+            model,
+        ))
+    }
+
+    /// Runs [`ThermalPipeline::fit`] with each of the three stages
+    /// checkpointed in `store` under `{prefix}-{stage}.ck` names.
+    ///
+    /// A stage whose verified checkpoint matches the *fingerprint* of
+    /// the current inputs (dataset bits, channel lists, mask, and the
+    /// full pipeline configuration) is restored instead of
+    /// recomputed; everything downstream of the first miss runs
+    /// fresh and is committed atomically. Because every stage is
+    /// bitwise deterministic, a resumed fit returns a model equal to
+    /// an uninterrupted one — the returned [`FitResume`] says which
+    /// path each stage took.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalPipeline::fit`], plus [`CoreError::Checkpoint`]
+    /// for store I/O failures. Corrupt or stale checkpoints are *not*
+    /// errors — they are recomputed.
+    pub fn fit_checkpointed(
+        &self,
+        dataset: &Dataset,
+        sensor_channels: &[&str],
+        input_channels: &[&str],
+        train_mask: &Mask,
+        store: &mut CheckpointStore,
+        prefix: &str,
+    ) -> Result<(ReducedModel, FitResume)> {
+        if sensor_channels.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "pipeline needs at least one sensor channel".to_owned(),
+            });
+        }
+        let owned_names: Vec<String> = sensor_channels.iter().map(|s| (*s).to_owned()).collect();
+        let fp =
+            checkpoint::fit_fingerprint(self, dataset, sensor_channels, input_channels, train_mask);
+        let mut resume = FitResume::default();
+        let trajectories = trajectory_matrix(dataset, sensor_channels, train_mask)?;
+
+        let cluster_name = format!("{prefix}-cluster.ck");
+        let clustering = match store
+            .get(&cluster_name)?
+            .and_then(|b| checkpoint::decode_clustering(&b, fp))
+        {
+            Some(c) => {
+                resume.restored.push("cluster");
+                c
+            }
+            None => {
+                let c = self.cluster_stage(&trajectories)?;
+                store.put(&cluster_name, &checkpoint::encode_clustering(&c, fp))?;
+                resume.computed.push("cluster");
+                c
+            }
+        };
+
+        let select_name = format!("{prefix}-select.ck");
+        let selection = match store
+            .get(&select_name)?
+            .and_then(|b| checkpoint::decode_selection(&b, fp))
+        {
+            Some(s) => {
+                resume.restored.push("select");
+                s
+            }
+            None => {
+                let s = self.select_stage(&trajectories, &clustering, &owned_names)?;
+                store.put(&select_name, &checkpoint::encode_selection(&s, fp))?;
+                resume.computed.push("select");
+                s
+            }
+        };
+
+        let model_name = format!("{prefix}-model.ck");
+        let (selected, model) = match store
+            .get(&model_name)?
+            .and_then(|b| checkpoint::decode_model(&b, fp))
+        {
+            Some(pair) => {
+                resume.restored.push("model");
+                pair
+            }
+            None => {
+                let pair = self.identify_stage(
+                    dataset,
+                    &selection,
+                    &owned_names,
+                    input_channels,
+                    train_mask,
+                )?;
+                store.put(&model_name, &checkpoint::encode_model(&pair.0, &pair.1, fp))?;
+                resume.computed.push("model");
+                pair
+            }
+        };
+
+        Ok((
+            ReducedModel::new(owned_names, clustering, selection, selected, model),
+            resume,
+        ))
+    }
+
+    /// Stage 1: spectral clustering of the trajectory matrix.
+    fn cluster_stage(&self, trajectories: &Matrix) -> Result<Clustering> {
         let spectral = SpectralConfig {
             similarity: self.similarity,
             count: self.count,
             seed: self.seed,
             restarts: self.restarts,
         };
-        let clustering = cluster_trajectories(&trajectories, &spectral)?;
+        Ok(cluster_trajectories(trajectories, &spectral)?)
+    }
 
-        // Step 2: select representative sensors, then rank each
-        // cluster's remaining members as backups so operation can
-        // degrade gracefully when a representative dies (see
-        // [`ReducedModel::evaluate_degraded`]).
-        let owned_names: Vec<String> = sensor_channels.iter().map(|s| (*s).to_owned()).collect();
-        let selector = self.selector.build(&owned_names)?;
+    /// Stage 2: representative selection, with each cluster's
+    /// remaining members ranked as backups so operation can degrade
+    /// gracefully when a representative dies (see
+    /// [`ReducedModel::evaluate_degraded`]).
+    fn select_stage(
+        &self,
+        trajectories: &Matrix,
+        clustering: &Clustering,
+        owned_names: &[String],
+    ) -> Result<Selection> {
+        let selector = self.selector.build(owned_names)?;
         let selection_input = SelectionInput {
-            trajectories: &trajectories,
-            clustering: &clustering,
+            trajectories,
+            clustering,
             per_cluster: self.per_cluster,
             seed: self.seed,
         };
         let selection = selector.select(&selection_input)?;
-        let selection = rank_backups(&selection_input, &selection)?;
+        Ok(rank_backups(&selection_input, &selection)?)
+    }
 
-        // Step 3: identify the simplified model on the selected
-        // sensors.
+    /// Stage 3: least-squares identification on the selected sensors.
+    fn identify_stage(
+        &self,
+        dataset: &Dataset,
+        selection: &Selection,
+        owned_names: &[String],
+        input_channels: &[&str],
+        train_mask: &Mask,
+    ) -> Result<(Vec<String>, ThermalModel)> {
         let selected: Vec<String> = selection
             .sensors()
             .into_iter()
@@ -159,14 +303,7 @@ impl ThermalPipeline {
             self.order,
         )?;
         let model = identify(dataset, &spec, train_mask, &self.fit)?;
-
-        Ok(ReducedModel::new(
-            owned_names,
-            clustering,
-            selection,
-            selected,
-            model,
-        ))
+        Ok((selected, model))
     }
 }
 
@@ -373,6 +510,93 @@ mod tests {
             bad.fit(&ds, &sensors, &["u"], &Mask::all(ds.grid())),
             Err(CoreError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn checkpointed_fit_matches_plain_fit_cold_and_warm() {
+        let ds = synth_dataset();
+        let sensors = ["s0", "s1", "s2", "s3", "s4"];
+        let mask = Mask::all(ds.grid());
+        let pipeline = ThermalPipeline::builder()
+            .cluster_count(ClusterCount::Fixed(2))
+            .model_order(ModelOrder::First)
+            .seed(3)
+            .build()
+            .unwrap();
+        let plain = pipeline.fit(&ds, &sensors, &["u"], &mask).unwrap();
+
+        let root = std::env::temp_dir().join(format!("core-fit-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut store = CheckpointStore::open(&root, 3, "test").unwrap();
+
+        // Cold: every stage computed, result identical to plain fit.
+        let (cold, resume) = pipeline
+            .fit_checkpointed(&ds, &sensors, &["u"], &mask, &mut store, "fit")
+            .unwrap();
+        assert_eq!(cold, plain);
+        assert_eq!(resume.computed, vec!["cluster", "select", "model"]);
+        assert!(resume.restored.is_empty());
+
+        // Warm (fresh store handle, same dir): every stage restored,
+        // result still identical.
+        drop(store);
+        let mut store = CheckpointStore::open(&root, 3, "test").unwrap();
+        assert_eq!(store.open_report().restored, 3);
+        let (warm, resume) = pipeline
+            .fit_checkpointed(&ds, &sensors, &["u"], &mask, &mut store, "fit")
+            .unwrap();
+        assert_eq!(warm, plain);
+        assert_eq!(resume.restored, vec!["cluster", "select", "model"]);
+        assert!(resume.computed.is_empty());
+
+        // Changing the config invalidates the fingerprint: all
+        // stages recompute rather than restoring stale state.
+        let other = ThermalPipeline::builder()
+            .cluster_count(ClusterCount::Fixed(2))
+            .model_order(ModelOrder::Second)
+            .seed(3)
+            .build()
+            .unwrap();
+        let (_, resume) = other
+            .fit_checkpointed(&ds, &sensors, &["u"], &mask, &mut store, "fit")
+            .unwrap();
+        assert_eq!(resume.computed, vec!["cluster", "select", "model"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpointed_fit_recovers_from_corrupted_stage() {
+        let ds = synth_dataset();
+        let sensors = ["s0", "s1", "s2", "s3", "s4"];
+        let mask = Mask::all(ds.grid());
+        let pipeline = ThermalPipeline::builder()
+            .cluster_count(ClusterCount::Fixed(2))
+            .model_order(ModelOrder::First)
+            .seed(3)
+            .build()
+            .unwrap();
+        let root = std::env::temp_dir().join(format!("core-fit-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut store = CheckpointStore::open(&root, 3, "test").unwrap();
+        let (full, _) = pipeline
+            .fit_checkpointed(&ds, &sensors, &["u"], &mask, &mut store, "fit")
+            .unwrap();
+        drop(store);
+
+        // Corrupt the select-stage checkpoint on disk.
+        std::fs::write(root.join("fit-select.ck"), b"scrambled").unwrap();
+        let mut store = CheckpointStore::open(&root, 3, "test").unwrap();
+        assert_eq!(
+            store.open_report().quarantined,
+            vec!["fit-select.ck".to_string()]
+        );
+        let (recovered, resume) = pipeline
+            .fit_checkpointed(&ds, &sensors, &["u"], &mask, &mut store, "fit")
+            .unwrap();
+        assert_eq!(recovered, full);
+        assert_eq!(resume.restored, vec!["cluster", "model"]);
+        assert_eq!(resume.computed, vec!["select"]);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::{CoreError, Result};
 /// A simplified thermal model built on selected sensors, with the
 /// clustering context needed to interpret its predictions as cluster
 /// thermal means.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReducedModel {
     /// All modelled sensor channels (the dense deployment).
     all_channels: Vec<String>,

@@ -54,9 +54,11 @@ mod error;
 mod log;
 
 pub mod ingest;
+pub mod killpoint;
 pub mod plan;
 
 pub use error::FaultError;
+pub use killpoint::{durable_write_tick, durable_writes, KILL_AT_ENV, KILL_EXIT_CODE};
 pub use log::{FaultEvent, FaultLog};
 pub use plan::{FaultDirective, FaultKind, FaultPlan, FaultTargets};
 

@@ -23,8 +23,13 @@
 //! [`thread_count`] resolves the worker count from the
 //! `THERMAL_THREADS` environment variable when it is set to a positive
 //! integer, falling back to [`std::thread::available_parallelism`].
-//! The `*_with` variants accept an explicit count and never consult
-//! the environment — they are the differential-testing surface.
+//! Malformed values never abort a run: [`resolve_thread_count`]
+//! classifies the rejection as a typed [`ThreadsParseError`], the
+//! documented fallback is used, and a warning naming the variable and
+//! the reason is printed once per process. Values above
+//! [`MAX_THREADS`] are clamped rather than trusted. The `*_with`
+//! variants accept an explicit count and never consult the
+//! environment — they are the differential-testing surface.
 //!
 //! # Implementation notes
 //!
@@ -49,18 +54,91 @@ use std::thread;
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "THERMAL_THREADS";
 
-/// Resolves the worker-thread count: a positive integer in
-/// [`THREADS_ENV`] wins; otherwise the machine's available
-/// parallelism; 1 when neither is known.
-pub fn thread_count() -> usize {
-    if let Ok(raw) = env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+/// Largest worker count accepted from the environment. A larger value
+/// is almost certainly a typo (e.g. a pasted seed); it is clamped here
+/// because each combinator call spawns `threads` OS threads.
+pub const MAX_THREADS: usize = 512;
+
+/// Why a [`THREADS_ENV`] value was rejected (or clamped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ThreadsParseError {
+    /// The value did not parse as an unsigned integer.
+    NotANumber {
+        /// The raw (trimmed) value found in the environment.
+        raw: String,
+    },
+    /// The value parsed as `0`, which cannot run anything.
+    Zero,
+    /// The value exceeded [`MAX_THREADS`] and was clamped.
+    TooLarge {
+        /// The value found in the environment.
+        parsed: usize,
+    },
+}
+
+impl std::fmt::Display for ThreadsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsParseError::NotANumber { raw } => {
+                write!(f, "{raw:?} is not an unsigned integer")
+            }
+            ThreadsParseError::Zero => write!(f, "0 threads cannot run anything"),
+            ThreadsParseError::TooLarge { parsed } => {
+                write!(f, "{parsed} exceeds the cap of {MAX_THREADS}")
             }
         }
     }
-    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl std::error::Error for ThreadsParseError {}
+
+/// Resolves a raw [`THREADS_ENV`] value to a worker count plus an
+/// optional typed rejection explaining why the documented fallback
+/// (or clamp) was applied instead of the raw value.
+///
+/// - `None` / unset → available parallelism, no warning.
+/// - positive integer ≤ [`MAX_THREADS`] → that value.
+/// - `0` → available parallelism + [`ThreadsParseError::Zero`].
+/// - `> MAX_THREADS` → [`MAX_THREADS`] + [`ThreadsParseError::TooLarge`].
+/// - anything else → available parallelism +
+///   [`ThreadsParseError::NotANumber`].
+#[must_use]
+pub fn resolve_thread_count(raw: Option<&str>) -> (usize, Option<ThreadsParseError>) {
+    let fallback = || thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let Some(raw) = raw else {
+        return (fallback(), None);
+    };
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => (fallback(), Some(ThreadsParseError::Zero)),
+        Ok(n) if n > MAX_THREADS => (MAX_THREADS, Some(ThreadsParseError::TooLarge { parsed: n })),
+        Ok(n) => (n, None),
+        Err(_) => (
+            fallback(),
+            Some(ThreadsParseError::NotANumber {
+                raw: trimmed.to_owned(),
+            }),
+        ),
+    }
+}
+
+/// Resolves the worker-thread count: a positive integer in
+/// [`THREADS_ENV`] wins; otherwise the machine's available
+/// parallelism; 1 when neither is known. A malformed value is
+/// reported once per process on stderr and the fallback is used — a
+/// typo in the environment degrades parallelism, never correctness or
+/// the run itself.
+pub fn thread_count() -> usize {
+    let raw = env::var(THREADS_ENV).ok();
+    let (threads, rejection) = resolve_thread_count(raw.as_deref());
+    if let Some(rejection) = rejection {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!("thermal-par: bad {THREADS_ENV}: {rejection}; using {threads} threads");
+        });
+    }
+    threads
 }
 
 /// Derives an independent per-task seed from a base seed and a task
@@ -365,6 +443,45 @@ mod tests {
         assert!(thread_count() >= 1);
         std::env::remove_var(THREADS_ENV);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn resolve_thread_count_classifies_bad_values() {
+        // Unset: fallback, no complaint.
+        let (n, err) = resolve_thread_count(None);
+        assert!(n >= 1);
+        assert_eq!(err, None);
+        // Plain and padded integers pass through.
+        assert_eq!(resolve_thread_count(Some("3")), (3, None));
+        assert_eq!(resolve_thread_count(Some(" 8 \n")), (8, None));
+        assert_eq!(resolve_thread_count(Some("512")), (512, None));
+        // Zero falls back with a typed reason.
+        let (n, err) = resolve_thread_count(Some("0"));
+        assert!(n >= 1);
+        assert_eq!(err, Some(ThreadsParseError::Zero));
+        // Garbage falls back with the offending value preserved.
+        let (n, err) = resolve_thread_count(Some("not-a-number"));
+        assert!(n >= 1);
+        assert_eq!(
+            err,
+            Some(ThreadsParseError::NotANumber {
+                raw: "not-a-number".to_owned()
+            })
+        );
+        let (_, err) = resolve_thread_count(Some("-4"));
+        assert!(matches!(err, Some(ThreadsParseError::NotANumber { .. })));
+        // Absurd values clamp to the cap instead of spawning them.
+        let (n, err) = resolve_thread_count(Some("100000"));
+        assert_eq!(n, MAX_THREADS);
+        assert_eq!(err, Some(ThreadsParseError::TooLarge { parsed: 100_000 }));
+        // Every rejection renders a human-readable reason.
+        for e in [
+            ThreadsParseError::Zero,
+            ThreadsParseError::TooLarge { parsed: 100_000 },
+            ThreadsParseError::NotANumber { raw: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

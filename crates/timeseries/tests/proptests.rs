@@ -3,12 +3,21 @@
 // Test fixtures: panicking on a broken fixture is the right failure mode.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
+use thermal_timeseries::validate::{validate_channel, GapPolicy, ValidationConfig};
 use thermal_timeseries::{
     csv, segments_from_mask, split, Channel, Dataset, Mask, TimeGrid, Timestamp,
 };
 
 fn values_strategy(len: usize) -> impl Strategy<Value = Vec<Option<f64>>> {
     prop::collection::vec(prop::option::weighted(0.8, -40.0_f64..60.0), len)
+}
+
+fn gap_policy_strategy() -> impl Strategy<Value = GapPolicy> {
+    (0usize..3, 0usize..=4).prop_map(|(which, max_len)| match which {
+        0 => GapPolicy::Quarantine,
+        1 => GapPolicy::Hold { max_len },
+        _ => GapPolicy::Interpolate { max_len },
+    })
 }
 
 proptest! {
@@ -122,6 +131,29 @@ proptest! {
             let t = grid.timestamp(i).unwrap();
             prop_assert_eq!(grid.index_of(t), Some(i));
         }
+    }
+
+    #[test]
+    fn gap_healing_is_idempotent(
+        v in prop::collection::vec(prop::option::weighted(0.7, 15.0_f64..40.0), 1..120),
+        policy in gap_policy_strategy(),
+    ) {
+        // Quarantine stages off: the property under test is the gap
+        // policy alone. Healing must converge in one pass — a healed
+        // channel fed back through validation is a fixed point, and
+        // in particular a too-long gap is never *partially* healed
+        // (which would shrink it below max_len for the next pass).
+        let cfg = ValidationConfig {
+            max_step: 0.0,
+            max_stuck_run: 0,
+            gap_policy: policy,
+            ..ValidationConfig::default()
+        };
+        let ch = Channel::new("x", v).unwrap();
+        let (once, _) = validate_channel(&ch, &cfg).unwrap();
+        let (twice, q2) = validate_channel(&once, &cfg).unwrap();
+        prop_assert_eq!(once.values(), twice.values());
+        prop_assert_eq!(q2.healed, 0, "a second pass must find nothing to heal");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Truncated and torn CSV inputs: every way a file can be cut short —
+//! empty, header-only, mid-record EOF, a trailing partial line, or an
+//! I/O error mid-stream — must surface as a line-numbered typed
+//! [`TimeSeriesError::Csv`], never a panic and never a silently
+//! shorter dataset. (Before atomic artifact writes, a crash could
+//! leave exactly these torn files behind; the reader is the last line
+//! of defense for artifacts written by older tooling.)
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::io::Read;
+
+use thermal_timeseries::{csv, TimeSeriesError};
+
+const WELL_FORMED: &str = "minutes,alpha,beta\n0,20.0,21.0\n5,20.5,21.5\n10,20.25,21.25\n";
+
+fn expect_csv_error(input: &str) -> (usize, String) {
+    match csv::read_csv(input.as_bytes()) {
+        Err(TimeSeriesError::Csv { line, reason }) => (line, reason),
+        Err(other) => panic!("expected a Csv error, got {other:?}"),
+        Ok(_) => panic!("expected a Csv error, got a dataset for {input:?}"),
+    }
+}
+
+#[test]
+fn well_formed_baseline_parses() {
+    let ds = csv::read_csv(WELL_FORMED.as_bytes()).unwrap();
+    assert_eq!(ds.grid().len(), 3);
+    assert_eq!(ds.channel_count(), 2);
+}
+
+#[test]
+fn empty_file_reports_missing_header_at_line_one() {
+    let (line, reason) = expect_csv_error("");
+    assert_eq!(line, 1);
+    assert!(reason.contains("header"), "reason was: {reason}");
+}
+
+#[test]
+fn header_only_file_reports_no_data_rows() {
+    let (line, reason) = expect_csv_error("minutes,alpha,beta\n");
+    assert_eq!(line, 2);
+    assert!(reason.contains("no data rows"), "reason was: {reason}");
+}
+
+#[test]
+fn mid_record_eof_reports_the_cut_line() {
+    // The file was cut in the middle of record 3: the comma after the
+    // first channel value never made it to disk.
+    let truncated = "minutes,alpha,beta\n0,20.0,21.0\n5,20.5,21.5\n10,20.25";
+    let (line, reason) = expect_csv_error(truncated);
+    assert_eq!(line, 4, "the torn record is line 4 of the file");
+    assert!(
+        reason.contains("expected 3 fields, found 2"),
+        "reason was: {reason}"
+    );
+}
+
+#[test]
+fn trailing_partial_number_reports_the_cut_line() {
+    // Cut mid-number: all fields are present but the last one is torn
+    // into something unparsable.
+    let truncated = "minutes,alpha,beta\n0,20.0,21.0\n5,20.5,21.5\n10,20.25,21.2e";
+    let (line, reason) = expect_csv_error(truncated);
+    assert_eq!(line, 4);
+    assert!(reason.contains("bad number"), "reason was: {reason}");
+    assert!(reason.contains("21.2e"), "reason was: {reason}");
+}
+
+#[test]
+fn truncated_header_is_rejected_not_misparsed() {
+    // The header itself was torn: "minutes,alp" names a channel, but
+    // every data row then disagrees on the field count.
+    let truncated = "minutes,alp\n0,20.0,21.0\n";
+    let (line, reason) = expect_csv_error(truncated);
+    assert_eq!(line, 2);
+    assert!(
+        reason.contains("expected 2 fields, found 3"),
+        "reason was: {reason}"
+    );
+}
+
+/// A reader that yields `inner` and then fails with an I/O error, the
+/// stream analogue of a file torn mid-transfer.
+struct FailAfter<'a> {
+    inner: &'a [u8],
+    pos: usize,
+}
+
+impl Read for FailAfter<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.inner.len() {
+            return Err(std::io::Error::other("simulated mid-stream failure"));
+        }
+        let n = buf.len().min(self.inner.len() - self.pos);
+        buf[..n].copy_from_slice(&self.inner[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn mid_stream_io_error_is_a_typed_line_numbered_error() {
+    // The first two lines arrive, then the transport dies.
+    let reader = FailAfter {
+        inner: b"minutes,alpha,beta\n0,20.0,21.0\n5,20.",
+        pos: 0,
+    };
+    match csv::read_csv(reader) {
+        Err(TimeSeriesError::Csv { line, reason }) => {
+            assert_eq!(line, 3, "the failing read lands on line 3");
+            assert!(reason.contains("read failed"), "reason was: {reason}");
+        }
+        other => panic!("expected a Csv read error, got {other:?}"),
+    }
+}

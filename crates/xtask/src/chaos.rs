@@ -1,0 +1,318 @@
+//! Chaos (kill-point) harness driver — `cargo xtask chaos`.
+//!
+//! Proves the crash-safety contract of the checkpoint layer
+//! end-to-end, with real processes dying at real `fsync` boundaries:
+//!
+//! 1. **Census.** Run the `chaos_grid` workload (a checkpointed
+//!    pipeline fit + supervised fault grid from `thermal-bench`) once,
+//!    cleanly, and parse its durable-write count `N`.
+//! 2. **Kill sweep.** For every kill point `k` (all of `1..=N`, or a
+//!    boundary sample in `--smoke` mode), run the workload with
+//!    `THERMAL_KILL_AT=k` so it aborts (exit code 86) at its `k`-th
+//!    durable write, then rerun it without the kill switch. The
+//!    resumed store must be **byte-identical** to the uninterrupted
+//!    one (quarantined debris aside) — crash-and-resume is
+//!    indistinguishable from never crashing.
+//! 3. **Corruption recovery.** Truncate a checkpoint payload, flip a
+//!    byte in another, and truncate the manifest itself; each time the
+//!    workload must detect the damage, quarantine it, recompute, and
+//!    converge to the same bytes — never trust a corrupt artifact,
+//!    never crash on one.
+//!
+//! Every assertion is deterministic (workload seeds are fixed, results
+//! are compared bit-for-bit); nothing here measures wall-clock time,
+//! so the harness is meaningful on a single-core CI runner.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Exit code the workload dies with at a kill point (pinned in
+/// `thermal-faults`; redeclared here so the driver does not link the
+/// whole workspace).
+const KILL_EXIT_CODE: i32 = 86;
+
+/// Environment variable carrying the kill point to the workload.
+const KILL_AT_ENV: &str = "THERMAL_KILL_AT";
+
+/// Seeded-kill-point variable; cleared on every run the driver wants
+/// to survive.
+const KILL_SEED_ENV: &str = "THERMAL_KILL_SEED";
+
+/// Store subdirectory holding quarantined artifacts; excluded from
+/// equivalence comparison (debris differs by crash point by design).
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Fixed workload seed: the harness compares bytes, so every run must
+/// agree on it.
+const WORKLOAD_SEED: &str = "7";
+
+/// Runs the full harness. `smoke` trims the kill sweep to the
+/// boundary kill points (first, second, middle, last-but-one, last)
+/// for the in-`ci` pass; the dedicated CI job runs every `k`.
+///
+/// # Errors
+///
+/// Returns a description of the first failed invariant: a workload
+/// run with the wrong exit code, a resumed store that differs from
+/// the clean one, or unrecovered corruption.
+pub fn run(root: &Path, smoke: bool) -> Result<(), String> {
+    build_workload(root)?;
+    let bin = root
+        .join("target")
+        .join("release")
+        .join(format!("chaos_grid{}", std::env::consts::EXE_SUFFIX));
+    let base = root.join("target").join("chaos");
+
+    // 1. Census: one clean run fixes the reference tree and the
+    // durable-write count.
+    let clean = base.join("clean");
+    reset_dir(&clean)?;
+    let stdout = run_workload(&bin, &clean, None, 0)?;
+    let writes = parse_durable_writes(&stdout)?;
+    if writes < 4 {
+        return Err(format!(
+            "workload committed only {writes} durable writes; the sweep would prove nothing"
+        ));
+    }
+    eprintln!("xtask chaos: clean run committed {writes} durable writes");
+
+    // 2. Kill sweep.
+    let kill_points = select_kill_points(writes, smoke);
+    eprintln!(
+        "xtask chaos: sweeping {} kill point(s): {kill_points:?}",
+        kill_points.len()
+    );
+    for &k in &kill_points {
+        let dir = base.join(format!("k{k}"));
+        reset_dir(&dir)?;
+        run_workload(&bin, &dir, Some(k), KILL_EXIT_CODE)?;
+        run_workload(&bin, &dir, None, 0)?;
+        assert_same_store(&clean, &dir, &format!("kill point {k}"))?;
+    }
+    eprintln!("xtask chaos: crash→resume is byte-identical at every swept kill point");
+
+    // 3. Corruption recovery, each case on its own fresh store.
+    corruption_case(&bin, &base, &clean, "truncate-payload", |store| {
+        let victim = pick_payload(store)?;
+        let bytes = fs::read(&victim).map_err(|e| format!("read {}: {e}", victim.display()))?;
+        fs::write(&victim, &bytes[..bytes.len() / 2])
+            .map_err(|e| format!("truncate {}: {e}", victim.display()))?;
+        Ok(victim)
+    })?;
+    corruption_case(&bin, &base, &clean, "flip-byte", |store| {
+        let victim = pick_payload(store)?;
+        let mut bytes = fs::read(&victim).map_err(|e| format!("read {}: {e}", victim.display()))?;
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x01;
+        }
+        fs::write(&victim, &bytes).map_err(|e| format!("corrupt {}: {e}", victim.display()))?;
+        Ok(victim)
+    })?;
+    corruption_case(&bin, &base, &clean, "truncate-manifest", |store| {
+        let manifest = store.join("manifest.txt");
+        let bytes = fs::read(&manifest).map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        fs::write(&manifest, &bytes[..bytes.len() / 2])
+            .map_err(|e| format!("truncate {}: {e}", manifest.display()))?;
+        Ok(manifest)
+    })?;
+    eprintln!("xtask chaos: all corruption cases detected, quarantined, and recomputed");
+    Ok(())
+}
+
+/// Builds the workload binary once, in release mode (the sweep runs
+/// it dozens of times).
+fn build_workload(root: &Path) -> Result<(), String> {
+    eprintln!("xtask chaos: building chaos_grid (release)");
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "build",
+            "--release",
+            "--offline",
+            "-p",
+            "thermal-bench",
+            "--bin",
+            "chaos_grid",
+        ])
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("could not start cargo build: {e}"))?;
+    if !status.success() {
+        return Err(format!("chaos_grid build failed with {status}"));
+    }
+    Ok(())
+}
+
+/// Runs the workload against `store`, optionally with a kill point,
+/// and checks the exit code. Returns captured stdout.
+fn run_workload(
+    bin: &Path,
+    store: &Path,
+    kill_at: Option<u64>,
+    expect_code: i32,
+) -> Result<String, String> {
+    let mut cmd = Command::new(bin);
+    cmd.arg(store)
+        .args(["--seed", WORKLOAD_SEED])
+        .env_remove(KILL_AT_ENV)
+        .env_remove(KILL_SEED_ENV);
+    if let Some(k) = kill_at {
+        cmd.env(KILL_AT_ENV, k.to_string());
+    }
+    let output = cmd
+        .output()
+        .map_err(|e| format!("could not start {}: {e}", bin.display()))?;
+    let code = output.status.code();
+    if code != Some(expect_code) {
+        return Err(format!(
+            "workload on {} (kill_at={kill_at:?}) exited with {code:?}, expected {expect_code}\n\
+             stderr:\n{}",
+            store.display(),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
+/// Extracts `N` from the workload's `durable writes = N` report line.
+fn parse_durable_writes(stdout: &str) -> Result<u64, String> {
+    stdout
+        .lines()
+        .find_map(|l| l.split("durable writes = ").nth(1))
+        .and_then(|n| n.trim().parse().ok())
+        .ok_or_else(|| format!("workload stdout had no parseable durable-write count:\n{stdout}"))
+}
+
+/// Every kill point, or the boundary sample in smoke mode: the first
+/// two writes (store creation), the middle, and the last two (final
+/// artifact + manifest) — the places where off-by-one bugs live.
+fn select_kill_points(writes: u64, smoke: bool) -> Vec<u64> {
+    if !smoke {
+        return (1..=writes).collect();
+    }
+    let mut points = vec![1, 2, writes / 2, writes - 1, writes];
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Seeds a fresh store via a clean run, damages it with `corrupt`,
+/// reruns the workload, and requires byte-equivalence with `clean`.
+fn corruption_case<F>(
+    bin: &Path,
+    base: &Path,
+    clean: &Path,
+    label: &str,
+    corrupt: F,
+) -> Result<(), String>
+where
+    F: FnOnce(&Path) -> Result<PathBuf, String>,
+{
+    let dir = base.join(format!("corrupt-{label}"));
+    reset_dir(&dir)?;
+    run_workload(bin, &dir, None, 0)?;
+    let victim = corrupt(&dir)?;
+    eprintln!(
+        "xtask chaos: corruption case `{label}` damaged {}",
+        victim.display()
+    );
+    run_workload(bin, &dir, None, 0)?;
+    assert_same_store(clean, &dir, &format!("corruption case `{label}`"))
+}
+
+/// Picks a deterministic checkpoint payload (first `.ck` file in
+/// sorted order) to damage.
+fn pick_payload(store: &Path) -> Result<PathBuf, String> {
+    let mut payloads: Vec<PathBuf> = fs::read_dir(store)
+        .map_err(|e| format!("read_dir {}: {e}", store.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ck"))
+        .collect();
+    payloads.sort();
+    payloads
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("no checkpoint payloads in {}", store.display()))
+}
+
+/// Byte-compares two stores, ignoring quarantined debris, and
+/// reports every differing path.
+fn assert_same_store(clean: &Path, resumed: &Path, what: &str) -> Result<(), String> {
+    let lhs = snapshot(clean)?;
+    let rhs = snapshot(resumed)?;
+    let mut diffs = Vec::new();
+    for (name, bytes) in &lhs {
+        match rhs.get(name) {
+            Some(other) if other == bytes => {}
+            Some(_) => diffs.push(format!("{name}: contents differ")),
+            None => diffs.push(format!("{name}: missing after resume")),
+        }
+    }
+    for name in rhs.keys() {
+        if !lhs.contains_key(name) {
+            diffs.push(format!("{name}: extra file after resume"));
+        }
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: resumed store differs from the clean run:\n  {}",
+            diffs.join("\n  ")
+        ))
+    }
+}
+
+/// Reads every regular file in a store (skipping `quarantine/`) into
+/// a sorted name → contents map.
+fn snapshot(store: &Path) -> Result<BTreeMap<String, Vec<u8>>, String> {
+    let mut map = BTreeMap::new();
+    let entries = fs::read_dir(store).map_err(|e| format!("read_dir {}: {e}", store.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", store.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name != QUARANTINE_DIR {
+                return Err(format!("unexpected directory in store: {}", path.display()));
+            }
+            continue;
+        }
+        let mut bytes = Vec::new();
+        fs::File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        map.insert(name, bytes);
+    }
+    Ok(map)
+}
+
+/// Deletes and recreates a directory.
+fn reset_dir(dir: &Path) -> Result<(), String> {
+    if dir.exists() {
+        fs::remove_dir_all(dir).map_err(|e| format!("remove {}: {e}", dir.display()))?;
+    }
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_point_selection_covers_boundaries() {
+        assert_eq!(select_kill_points(20, false).len(), 20);
+        assert_eq!(select_kill_points(20, true), vec![1, 2, 10, 19, 20]);
+        // Tiny write counts dedup instead of repeating points.
+        assert_eq!(select_kill_points(4, true), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn durable_write_count_is_parsed_from_report_line() {
+        let out = "chaos-grid: fit restored=[]\nchaos-grid: durable writes = 20\nchaos-grid: ok\n";
+        assert_eq!(parse_durable_writes(out), Ok(20));
+        assert!(parse_durable_writes("no report").is_err());
+    }
+}

@@ -7,4 +7,5 @@
 
 pub mod allowlist;
 pub mod bench;
+pub mod chaos;
 pub mod checks;

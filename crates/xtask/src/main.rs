@@ -7,10 +7,13 @@
 //! - `cargo xtask lint` — custom source-level conventions gate.
 //! - `cargo xtask fmt` — `cargo fmt --all`.
 //! - `cargo xtask ci` — fmt-check → clippy → lint → build → test →
-//!   fault-matrix smoke → determinism smoke → quick bench
-//!   (informational).
+//!   fault-matrix smoke → determinism smoke → chaos smoke → quick
+//!   bench (informational).
 //! - `cargo xtask bench [--label L] [--full]` — curated criterion
 //!   benches, written as machine-readable `BENCH_<label>.json`.
+//! - `cargo xtask chaos [--smoke]` — kill-point crash/resume harness:
+//!   crash the checkpointed workload at every durable write and
+//!   require byte-identical recovery (see DESIGN.md § crash recovery).
 //! - `cargo xtask miri` — Miri over the `linalg`/`timeseries` unit
 //!   tests (skips with a notice when Miri is not installed).
 
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
         "fmt" => run_steps(&[step("fmt", &["fmt", "--all"])]),
         "ci" => ci(),
         "bench" => bench(&args[1..]),
+        "chaos" => chaos(&args[1..]),
         "miri" => miri(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -71,6 +75,8 @@ fn print_help() {
          \x20                      determinism smoke, quick bench (informational)\n\
          \x20 bench [--label L]    curated hot-path benches -> BENCH_<L>.json\n\
          \x20       [--full]      (default: quick mode, {QUICK_BENCH_SAMPLES} samples per bench)\n\
+         \x20 chaos [--smoke]      kill-point crash/resume harness (--smoke: boundary\n\
+         \x20                      kill points only; default: every durable write)\n\
          \x20 miri                 Miri over linalg/timeseries unit tests\n\
          \x20 help                 show this message"
     );
@@ -216,6 +222,14 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
+    // Crash-safety smoke: kill the checkpointed workload at the
+    // boundary durable writes and require byte-identical resume (the
+    // dedicated CI job sweeps every kill point).
+    eprintln!("xtask: chaos smoke");
+    let code = chaos(&["--smoke".to_owned()]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
     // Informational quick bench: surfaces the hot-path wall-times in
     // the CI log without gating on them — timings on shared runners
     // are too noisy to be a pass/fail criterion.
@@ -355,13 +369,36 @@ fn bench(args: &[String]) -> ExitCode {
     let threads = thermal_par::thread_count();
     let json = xtask::bench::render_json(&label, &git_rev, threads, samples, &records);
     let path = root.join(format!("BENCH_{label}.json"));
-    match std::fs::write(&path, json) {
+    // Atomic commit: a crash mid-write never leaves a torn report.
+    match thermal_ckpt::write_atomic(&path, json.as_bytes()) {
         Ok(()) => {
             eprintln!("xtask bench: wrote {}", path.display());
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("xtask bench: could not write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the kill-point chaos harness (see `xtask::chaos`).
+fn chaos(args: &[String]) -> ExitCode {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => {
+            eprintln!("xtask chaos: expected no arguments or `--smoke`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::chaos::run(&workspace_root(), smoke) {
+        Ok(()) => {
+            eprintln!("xtask chaos: clean");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask chaos: FAILED: {e}");
             ExitCode::FAILURE
         }
     }

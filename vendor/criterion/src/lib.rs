@@ -91,15 +91,82 @@ const DEFAULT_SAMPLES: usize = 10;
 /// `THERMAL_BENCH_SAMPLES=3` for the quick informational CI pass.
 pub const SAMPLES_ENV: &str = "THERMAL_BENCH_SAMPLES";
 
+/// Largest iteration count accepted from the environment; bigger
+/// values are almost certainly typos and are clamped.
+pub const MAX_SAMPLES: usize = 10_000;
+
+/// Why a [`SAMPLES_ENV`] value was rejected (or clamped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplesParseError {
+    /// The value did not parse as an unsigned integer.
+    NotANumber {
+        /// The raw (trimmed) value found in the environment.
+        raw: String,
+    },
+    /// The value parsed as `0`, which would time nothing.
+    Zero,
+    /// The value exceeded [`MAX_SAMPLES`] and was clamped.
+    TooLarge {
+        /// The value found in the environment.
+        parsed: usize,
+    },
+}
+
+impl std::fmt::Display for SamplesParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplesParseError::NotANumber { raw } => {
+                write!(f, "{raw:?} is not an unsigned integer")
+            }
+            SamplesParseError::Zero => write!(f, "0 samples would time nothing"),
+            SamplesParseError::TooLarge { parsed } => {
+                write!(f, "{parsed} exceeds the cap of {MAX_SAMPLES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplesParseError {}
+
+/// Resolves a raw [`SAMPLES_ENV`] value against the configured
+/// iteration count. A well-formed positive value (clamped to
+/// [`MAX_SAMPLES`]) wins over `configured`; anything else falls back
+/// to `configured` with a typed reason so the caller can warn instead
+/// of silently running the wrong number of iterations.
+#[must_use]
+pub fn resolve_samples(raw: Option<&str>, configured: usize) -> (usize, Option<SamplesParseError>) {
+    let Some(raw) = raw else {
+        return (configured, None);
+    };
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => (configured, Some(SamplesParseError::Zero)),
+        Ok(n) if n > MAX_SAMPLES => (MAX_SAMPLES, Some(SamplesParseError::TooLarge { parsed: n })),
+        Ok(n) => (n, None),
+        Err(_) => (
+            configured,
+            Some(SamplesParseError::NotANumber {
+                raw: trimmed.to_string(),
+            }),
+        ),
+    }
+}
+
 /// Iteration count after applying the [`SAMPLES_ENV`] override; the
 /// override wins over both the shim default and explicit
-/// `sample_size` calls so "quick mode" is a one-knob decision.
+/// `sample_size` calls so "quick mode" is a one-knob decision. A
+/// malformed override is reported once per process on stderr and the
+/// configured count is used.
 fn effective_samples(configured: usize) -> usize {
-    std::env::var(SAMPLES_ENV)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(configured)
+    let raw = std::env::var(SAMPLES_ENV).ok();
+    let (samples, rejection) = resolve_samples(raw.as_deref(), configured);
+    if let Some(rejection) = rejection {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!("criterion-shim: bad {SAMPLES_ENV}: {rejection}; using {samples} samples");
+        });
+    }
+    samples
 }
 
 impl Criterion {
