@@ -1,0 +1,351 @@
+//! `soak` — the chaos-soak harness workload.
+//!
+//! One complete deployment rehearsal per corruption intensity: fit a
+//! reduced model on a synthetic multi-day campaign, serialize the
+//! telemetry to CSV, corrupt the CSV text with
+//! [`thermal_faults::ingest::corrupt_csv`], parse it back through the
+//! row-tolerant ingest boundary, jumble it into an out-of-order /
+//! duplicated / flaky live stream, and replay the whole trace through
+//! [`thermal_stream::StreamService`] — asserting on every slot that
+//! the service stays panic-free, keeps its buffered depth under the
+//! configured bound, and serves a prediction for every cluster.
+//!
+//! The final state (health machines, runtime counters, per-cluster
+//! predictions) is written as canonical byte-stable JSON
+//! ([`thermal_stream::SoakReport`]) via the atomic-write path, so the
+//! `cargo xtask soak` driver can require bitwise-identical reports
+//! across repeated runs and `THERMAL_THREADS` settings.
+//!
+//! ```sh
+//! soak <report-file> [--days N] [--seed N] [--intensities a,b,c]
+//! ```
+//!
+//! Intensities are in milli-units (`50` = corrupt each CSV data line
+//! with probability 0.05). Exit codes: `0` success, `2` any violated
+//! invariant. Fully deterministic: same arguments ⇒ same report
+//! bytes.
+
+use std::path::{Path, PathBuf};
+
+use thermal_core::{
+    ClusterCount, FallbackAction, ModelOrder, ReducedModel, SelectorKind, ThermalPipeline,
+};
+use thermal_stream::{
+    parse_csv_events, BackoffPolicy, FlakySource, ReplayConfig, SoakIntensityReport,
+    SoakPrediction, SoakReport, StreamConfig, StreamService, TraceReplayer,
+};
+use thermal_timeseries::{csv, Channel, Dataset, Mask, TimeGrid, Timestamp};
+
+/// Event-loop slots per simulated day (5-minute telemetry).
+const SLOTS_PER_DAY: usize = 288;
+
+/// Default corruption intensities, milli-units.
+const DEFAULT_INTENSITIES: &[u32] = &[0, 50, 150, 400];
+
+/// Base per-poll failure probability of the flaky source; corruption
+/// intensity adds to it so higher intensities also stress the
+/// backoff/breaker supervision.
+const FAIL_PROB: f64 = 0.1;
+
+/// First slot of the scripted representative outage (drives the Live
+/// → Suspect → Dead → Recovered arc and the backup rung of the
+/// ladder).
+const OUTAGE_START: usize = SLOTS_PER_DAY / 4;
+
+/// Outage length in slots: five hours of silence, far past the
+/// dead-after threshold.
+const OUTAGE_LEN: usize = 60;
+
+fn die(msg: &str) -> ! {
+    eprintln!("soak: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut days = 3_usize;
+    let mut seed = 42_u64;
+    let mut intensities: Vec<u32> = DEFAULT_INTENSITIES.to_vec();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--days" => {
+                days = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&d| d > 0)
+                    .unwrap_or_else(|| die("--days needs a positive integer"));
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--intensities" => {
+                let raw = argv
+                    .next()
+                    .unwrap_or_else(|| die("--intensities needs a comma-separated list"));
+                intensities = raw
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die("--intensities entries must be integers"))
+                    })
+                    .collect();
+                if intensities.is_empty() {
+                    die("--intensities needs at least one entry");
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: soak <report-file> [--days N] [--seed N] [--intensities a,b,c]");
+                std::process::exit(0);
+            }
+            other if out.is_none() && !other.starts_with('-') => {
+                out = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let Some(out) = out else {
+        die("missing <report-file> argument");
+    };
+    match run(&out, days, seed, &intensities) {
+        Ok(()) => println!("soak: ok"),
+        Err(e) => die(&e),
+    }
+}
+
+/// The synthetic campaign: six sensors in two thermal families of
+/// three, driven by one shared input, `days` × 288 five-minute slots.
+/// Pure arithmetic — bit-identical on every run.
+fn synth_dataset(days: usize) -> Result<Dataset, String> {
+    let n = days * SLOTS_PER_DAY;
+    let u: Vec<f64> = (0..n)
+        .map(|k| 0.5 + 0.5 * (k as f64 * 0.11).sin())
+        .collect();
+    let mut channels = vec![Channel::from_values("u", u.clone()).map_err(|e| e.to_string())?];
+    let params = [
+        (1.0_f64, 20.0_f64),
+        (1.05, 20.1),
+        (1.1, 20.2),
+        (-1.0, 22.0),
+        (-0.95, 22.1),
+        (-0.9, 22.2),
+    ];
+    for (i, (gain, base)) in params.into_iter().enumerate() {
+        let mut t = vec![base];
+        for k in 0..n - 1 {
+            let wiggle = 0.01 * (((k * 31 + i * 7) % 17) as f64 / 17.0);
+            t.push(0.9 * t[k] + 0.1 * base + gain * 0.2 * u[k] + wiggle);
+        }
+        channels.push(Channel::from_values(format!("s{i}"), t).map_err(|e| e.to_string())?);
+    }
+    let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, n).map_err(|e| e.to_string())?;
+    Dataset::new(grid, channels).map_err(|e| e.to_string())
+}
+
+fn fit_model(dataset: &Dataset, seed: u64) -> Result<ReducedModel, String> {
+    ThermalPipeline::builder()
+        .cluster_count(ClusterCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .model_order(ModelOrder::First)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?
+        .fit(
+            dataset,
+            &["s0", "s1", "s2", "s3", "s4", "s5"],
+            &["u"],
+            &Mask::all(dataset.grid()),
+        )
+        .map_err(|e| e.to_string())
+}
+
+/// Stable report label of a ladder action.
+fn action_label(action: &FallbackAction) -> &'static str {
+    match action {
+        FallbackAction::Healthy => "healthy",
+        FallbackAction::Backup { .. } => "backup",
+        FallbackAction::ClusterMean { .. } => "cluster_mean",
+        FallbackAction::Unavailable => "unavailable",
+        _ => "unknown",
+    }
+}
+
+/// Returns `ds` with `name` blanked over the scripted outage window.
+fn with_outage(ds: &Dataset, name: &str) -> Result<Dataset, String> {
+    let channels: Vec<Channel> = ds
+        .channels()
+        .iter()
+        .map(|ch| {
+            if ch.name() == name {
+                let values = ch
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, v)| {
+                        if (OUTAGE_START..OUTAGE_START + OUTAGE_LEN).contains(&k) {
+                            None
+                        } else {
+                            *v
+                        }
+                    })
+                    .collect();
+                Channel::new(ch.name(), values).map_err(|e| e.to_string())
+            } else {
+                Ok(ch.clone())
+            }
+        })
+        .collect::<Result<_, String>>()?;
+    Dataset::new(*ds.grid(), channels).map_err(|e| e.to_string())
+}
+
+fn run(out: &Path, days: usize, seed: u64, intensities: &[u32]) -> Result<(), String> {
+    // Fit on the clean history, then let the *deployed*
+    // representative of the first cluster suffer the outage — exactly
+    // the failure the backup ranking exists for.
+    let dataset = synth_dataset(days)?;
+    let model = fit_model(&dataset, seed)?;
+    let rep = model
+        .selected_channels()
+        .first()
+        .cloned()
+        .ok_or_else(|| "model selected no representatives".to_owned())?;
+    let deployed = with_outage(&dataset, &rep)?;
+    let slots = deployed.grid().len();
+    println!("soak: slots = {slots}");
+    println!("soak: outage channel = {rep}");
+    let csv_text = csv::to_csv_string(&deployed).map_err(|e| e.to_string())?;
+
+    let mut reports = Vec::new();
+    for (index, &millis) in intensities.iter().enumerate() {
+        let report = soak_intensity(&deployed, &model, &csv_text, seed, index as u64, millis)?;
+        println!(
+            "soak: intensity {millis} corrupted={} parsed={} applied={} trips={} depth={}/{}",
+            report.corrupted_lines,
+            report.ingest.parsed,
+            report.service.applied,
+            report.source.breaker_trips,
+            report.max_buffered_depth,
+            report.depth_bound,
+        );
+        reports.push(report);
+    }
+
+    let report = SoakReport {
+        seed,
+        days,
+        slots,
+        intensities: reports,
+    };
+    if let Some(parent) = out.parent().filter(|p| p.components().next().is_some()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    thermal_ckpt::write_atomic(out, report.to_json().as_bytes()).map_err(|e| e.to_string())?;
+    println!("soak: report = {}", out.display());
+    Ok(())
+}
+
+/// Replays the whole trace once at one corruption intensity,
+/// asserting the runtime invariants on every slot.
+fn soak_intensity(
+    dataset: &Dataset,
+    model: &ReducedModel,
+    csv_text: &str,
+    seed: u64,
+    index: u64,
+    millis: u32,
+) -> Result<SoakIntensityReport, String> {
+    let intensity = f64::from(millis) / 1000.0;
+    let stream_seed = thermal_par::derive_seed(seed, index);
+    let (corrupted, corruption_log) =
+        thermal_faults::ingest::corrupt_csv(csv_text, stream_seed, intensity);
+
+    // A lateness budget generous enough for the replay jumble's
+    // 4-slot delays (20 minutes at the 5-minute step): delays should
+    // exercise the reorder path, not silently fall off the watermark.
+    // Readings reach the health machines only once the watermark
+    // passes, so the silence thresholds must sit above the lateness
+    // budget or every sensor would flap Suspect by construction.
+    let mut config = StreamConfig::default();
+    config.reorder.allowed_lateness = 30;
+    config.reorder.capacity = 64;
+    config.health.suspect_after = 60;
+    config.health.dead_after = 180;
+    let depth_bound = config.queue_capacity;
+    let mut service = StreamService::new(model.clone(), config, dataset.grid().start())
+        .map_err(|e| e.to_string())?;
+
+    // Map CSV columns (dataset channel order) onto the service
+    // registry; a column the registry does not know is ignored.
+    let mapping: Vec<Option<usize>> = dataset
+        .channels()
+        .iter()
+        .map(|ch| service.channel_index(ch.name()).ok())
+        .collect();
+    let (batches, ingest) = parse_csv_events(&corrupted, &mapping).map_err(|e| e.to_string())?;
+
+    let replay = ReplayConfig {
+        seed: thermal_par::derive_seed(stream_seed, 1),
+        ..ReplayConfig::default()
+    };
+    let replayer =
+        TraceReplayer::new(*dataset.grid(), &batches, &replay).map_err(|e| e.to_string())?;
+    let mut source = FlakySource::new(
+        replayer,
+        (FAIL_PROB + intensity / 2.0).min(0.9),
+        thermal_par::derive_seed(stream_seed, 2),
+        BackoffPolicy::default(),
+        thermal_ckpt::BreakerPolicy::default(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let clusters = model.clustering().k();
+    let mut max_depth = 0_usize;
+    for slot in 0..source.slots() {
+        let now = source.replayer().slot_time(slot);
+        let arrivals = source.poll(slot);
+        service
+            .step(now, &arrivals)
+            .map_err(|e| format!("intensity {millis}, slot {slot}: step failed: {e}"))?;
+        let depth = service.buffered_depth();
+        max_depth = max_depth.max(depth);
+        if depth > depth_bound {
+            return Err(format!(
+                "intensity {millis}, slot {slot}: buffered depth {depth} exceeds bound {depth_bound}"
+            ));
+        }
+        // The liveness contract: a prediction for every cluster, every
+        // slot, no matter what the stream looks like.
+        let prediction = service.predict();
+        if prediction.clusters.len() != clusters {
+            return Err(format!(
+                "intensity {millis}, slot {slot}: prediction covers {} of {clusters} clusters",
+                prediction.clusters.len()
+            ));
+        }
+    }
+
+    let final_prediction = service.predict();
+    Ok(SoakIntensityReport {
+        intensity_millis: millis,
+        corrupted_lines: corruption_log.len() as u64,
+        ingest,
+        source: source.stats(),
+        service: service.stats(),
+        max_buffered_depth: max_depth,
+        depth_bound,
+        health: service.sensor_health(),
+        predictions: final_prediction
+            .clusters
+            .iter()
+            .map(|c| SoakPrediction {
+                cluster: c.cluster,
+                action: action_label(&c.action).to_owned(),
+                predicted: c.predicted,
+            })
+            .collect(),
+    })
+}

@@ -1,0 +1,252 @@
+//! In-memory circuit breaker — the live-runtime counterpart of the
+//! persisted breaker inside [`crate::run_cell`].
+//!
+//! `run_cell` trips per *cell*, durably, so a poisoned computation is
+//! quarantined across process restarts. A streaming ingest loop needs
+//! the same protection per *source*, but in memory and per tick: stop
+//! hammering a failing source after `threshold` consecutive failures,
+//! wait out a cooldown, then probe with a single half-open trial
+//! before trusting it again. The breaker is pure state-machine — no
+//! clocks, no randomness — so a replayed event sequence reproduces
+//! the same trip/recover trace bit for bit.
+
+use crate::CkptError;
+
+/// Breaker states (classic three-state pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are refused until the cooldown has elapsed.
+    Open,
+    /// One probe call is allowed; its outcome decides Closed vs Open.
+    HalfOpen,
+}
+
+/// Configuration of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip Closed → Open.
+    pub threshold: u32,
+    /// Ticks the breaker stays Open before allowing a half-open
+    /// probe.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for BreakerPolicy {
+    /// Three strikes, then an 8-tick cooldown.
+    fn default() -> Self {
+        BreakerPolicy {
+            threshold: 3,
+            cooldown_ticks: 8,
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::InvalidPolicy`] for a zero failure
+    /// threshold.
+    pub fn validate(&self) -> Result<(), CkptError> {
+        if self.threshold == 0 {
+            return Err(CkptError::InvalidPolicy {
+                reason: "breaker threshold must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory three-state circuit breaker driven by explicit ticks.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Ticks remaining before an Open breaker half-opens.
+    cooldown_left: u64,
+    /// Lifetime Closed/HalfOpen → Open transitions.
+    trips: u64,
+    /// Lifetime calls refused while Open.
+    refusals: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::InvalidPolicy`] when `policy` is invalid.
+    pub fn new(policy: BreakerPolicy) -> Result<Self, CkptError> {
+        policy.validate()?;
+        Ok(CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+            refusals: 0,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Lifetime refused-call count.
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+
+    /// Advances cooldown by one event-loop tick.
+    pub fn tick(&mut self) {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Asks permission to call the protected source. Refusals while
+    /// Open are counted; a HalfOpen breaker grants exactly one probe.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.refusals += 1;
+                false
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed call, tripping the breaker when the threshold
+    /// is reached (a HalfOpen probe failure re-opens immediately).
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Closed => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.consecutive_failures >= self.policy.threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.consecutive_failures = 0;
+        self.cooldown_left = self.policy.cooldown_ticks.max(1);
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerPolicy {
+            threshold,
+            cooldown_ticks: cooldown,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        assert!(CircuitBreaker::new(BreakerPolicy {
+            threshold: 0,
+            cooldown_ticks: 1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = breaker(3, 4);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success in between resets the count.
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_refuses_until_cooldown_then_half_opens() {
+        let mut b = breaker(1, 3);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        for _ in 0..2 {
+            assert!(!b.allow());
+            b.tick();
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "half-open grants a probe");
+        assert_eq!(b.refusals(), 2);
+    }
+
+    #[test]
+    fn half_open_probe_decides() {
+        let mut b = breaker(1, 1);
+        b.record_failure();
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(b.trips(), 2);
+        b.tick();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed, "good probe closes");
+        // Fully recovered: takes a full threshold to trip again.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let run = || {
+            let mut b = breaker(2, 2);
+            let mut states = Vec::new();
+            let outcomes = [false, false, true, false, false, true, true, false];
+            for ok in outcomes {
+                b.tick();
+                if b.allow() {
+                    if ok {
+                        b.record_success();
+                    } else {
+                        b.record_failure();
+                    }
+                }
+                states.push(b.state());
+            }
+            (states, b.trips(), b.refusals())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -44,6 +44,12 @@ pub enum CkptError {
         /// Human-readable description of the malformation.
         detail: String,
     },
+    /// A supervision policy (cell runner or circuit breaker) was
+    /// configured inconsistently.
+    InvalidPolicy {
+        /// Explanation of the problem.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -71,6 +77,9 @@ impl fmt::Display for CkptError {
             }
             Self::Decode { context, detail } => {
                 write!(f, "checkpoint decode failed ({context}): {detail}")
+            }
+            Self::InvalidPolicy { reason } => {
+                write!(f, "invalid supervision policy: {reason}")
             }
         }
     }

@@ -20,6 +20,10 @@
 //!   deterministic retry/backoff, and a persisted circuit breaker
 //!   that yields [`CellOutcome::Quarantined`] instead of aborting the
 //!   grid,
+//! * [`CircuitBreaker`] — the in-memory, tick-driven counterpart of
+//!   that breaker, protecting live ingest sources in the streaming
+//!   runtime (`thermal-stream`) with the same trip/cooldown/half-open
+//!   discipline,
 //! * [`codec`] — the hand-rolled, bit-exact text record format every
 //!   checkpoint payload uses (hex-of-bits `f64`s, canonical bytes).
 //!
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod atomic;
+mod breaker;
 mod error;
 mod runner;
 mod store;
@@ -66,6 +71,7 @@ pub mod codec;
 pub mod manifest;
 
 pub use atomic::{fnv1a64, valid_name, write_atomic, Fnv64};
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use error::CkptError;
 pub use manifest::SCHEMA_VERSION;
 pub use runner::{run_cell, CellOutcome, CellPolicy};

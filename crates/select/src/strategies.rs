@@ -444,6 +444,38 @@ mod tests {
     }
 
     #[test]
+    fn rank_backups_breaks_exact_ties_by_ascending_sensor_id() {
+        // One cluster whose four non-selected members sit at *exactly*
+        // the same RMS distance from the cluster mean: every deviation
+        // has magnitude 1.0, so the squared sums are bit-identical and
+        // only the deterministic id tie-break orders them. This pins
+        // the ordering contract the streaming substitution ladder
+        // relies on (same trace ⇒ same backup every run).
+        let rows: Vec<Vec<f64>> = vec![
+            vec![20.0; 20], // the mean itself → representative
+            vec![21.0; 20],
+            vec![19.0; 20],
+            (0..20)
+                .map(|k| if k % 2 == 0 { 21.0 } else { 19.0 })
+                .collect(),
+            (0..20)
+                .map(|k| if k % 2 == 0 { 19.0 } else { 21.0 })
+                .collect(),
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&refs).unwrap();
+        let c = Clustering::from_assignments(vec![0; 5], 1).unwrap();
+        let sel = NearMeanSelector.select(&input(&m, &c, 1, 0)).unwrap();
+        assert_eq!(sel.representatives(0), &[0]);
+        let ranked = rank_backups(&input(&m, &c, 1, 0), &sel).unwrap();
+        assert_eq!(
+            ranked.backups(0),
+            &[1, 2, 3, 4],
+            "equal-distance backups must rank by ascending sensor id"
+        );
+    }
+
+    #[test]
     fn srs_picks_within_clusters() {
         let (m, c) = fixture();
         for seed in 0..5 {

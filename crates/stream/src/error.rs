@@ -1,0 +1,97 @@
+//! Typed errors for the streaming runtime.
+
+use std::fmt;
+
+/// Errors produced by stream construction and configuration.
+///
+/// Note what is *not* here: a dead sensor, a late reading, a full
+/// queue or a flaky source never error — those are structured,
+/// counted runtime outcomes (see [`crate::ServiceStats`]). Errors are
+/// reserved for misconfiguration and impossible requests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// A runtime knob was configured inconsistently.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A reading referenced a channel the service does not serve.
+    UnknownChannel {
+        /// The offending channel name.
+        name: String,
+    },
+    /// The event clock was asked to move backwards.
+    ClockRegression {
+        /// The current simulated time, minutes since epoch.
+        now: i64,
+        /// The requested (earlier) time, minutes since epoch.
+        requested: i64,
+    },
+    /// An underlying time-series operation failed.
+    TimeSeries(thermal_timeseries::TimeSeriesError),
+    /// An underlying model/core operation failed.
+    Core(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::InvalidConfig { reason } => {
+                write!(f, "invalid stream configuration: {reason}")
+            }
+            StreamError::UnknownChannel { name } => {
+                write!(f, "unknown stream channel {name:?}")
+            }
+            StreamError::ClockRegression { now, requested } => write!(
+                f,
+                "simulated clock cannot move backwards (now {now} min, requested {requested} min)"
+            ),
+            StreamError::TimeSeries(e) => write!(f, "time-series error: {e}"),
+            StreamError::Core(reason) => write!(f, "core model error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::TimeSeries(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<thermal_timeseries::TimeSeriesError> for StreamError {
+    fn from(e: thermal_timeseries::TimeSeriesError) -> Self {
+        StreamError::TimeSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let err = StreamError::ClockRegression {
+            now: 50,
+            requested: 40,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("50") && msg.contains("40"));
+        assert!(StreamError::UnknownChannel {
+            name: "t9".to_owned()
+        }
+        .to_string()
+        .contains("t9"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_sources_chain() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<StreamError>();
+        let wrapped = StreamError::from(thermal_timeseries::TimeSeriesError::GridMismatch);
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

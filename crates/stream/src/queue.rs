@@ -1,0 +1,197 @@
+//! Bounded ingest queue — the backpressure boundary of the runtime.
+//!
+//! Every reading enters the service through one fixed-capacity queue.
+//! When producers outrun the event loop the queue does not grow: the
+//! configured [`OverflowPolicy`] either rejects the incoming reading
+//! or evicts the oldest queued one, and either way the loss is
+//! *counted*, so a soak run can assert both bounded memory and an
+//! exact account of what was shed.
+
+use std::collections::VecDeque;
+
+use crate::event::Reading;
+use crate::{Result, StreamError};
+
+/// What to do with a reading that arrives while the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OverflowPolicy {
+    /// Refuse the incoming reading (producers lose the newest data).
+    RejectNewest,
+    /// Evict the oldest queued reading to admit the newest (consumers
+    /// lose the oldest data).
+    DropOldest,
+}
+
+/// Outcome of one [`BoundedQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The reading was queued without loss.
+    Accepted,
+    /// The reading was queued and the oldest queued reading was
+    /// evicted ([`OverflowPolicy::DropOldest`]).
+    AcceptedEvictingOldest,
+    /// The reading was refused ([`OverflowPolicy::RejectNewest`]).
+    Rejected,
+}
+
+/// Loss and pressure accounting for a [`BoundedQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Readings accepted into the queue.
+    pub accepted: u64,
+    /// Incoming readings refused while full.
+    pub rejected: u64,
+    /// Queued readings evicted to admit newer ones.
+    pub evicted: u64,
+    /// Largest queue depth ever observed.
+    pub high_water: usize,
+}
+
+impl QueueStats {
+    /// Total readings lost at this boundary (rejected + evicted).
+    pub fn dropped(&self) -> u64 {
+        self.rejected + self.evicted
+    }
+}
+
+/// A fixed-capacity FIFO of readings with counted overflow.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue {
+    items: VecDeque<Reading>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    stats: QueueStats,
+}
+
+impl BoundedQueue {
+    /// Creates a queue holding at most `capacity` readings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a zero capacity.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Result<Self> {
+        if capacity == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "ingest queue capacity must be at least 1".to_owned(),
+            });
+        }
+        Ok(BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            stats: QueueStats::default(),
+        })
+    }
+
+    /// Offers a reading, applying the overflow policy when full.
+    pub fn push(&mut self, reading: Reading) -> PushOutcome {
+        if self.items.len() < self.capacity {
+            self.items.push_back(reading);
+            self.stats.accepted += 1;
+            self.stats.high_water = self.stats.high_water.max(self.items.len());
+            return PushOutcome::Accepted;
+        }
+        match self.policy {
+            OverflowPolicy::RejectNewest => {
+                self.stats.rejected += 1;
+                PushOutcome::Rejected
+            }
+            OverflowPolicy::DropOldest => {
+                self.items.pop_front();
+                self.items.push_back(reading);
+                self.stats.accepted += 1;
+                self.stats.evicted += 1;
+                self.stats.high_water = self.stats.high_water.max(self.items.len());
+                PushOutcome::AcceptedEvictingOldest
+            }
+        }
+    }
+
+    /// Removes and returns the oldest queued reading.
+    pub fn pop(&mut self) -> Option<Reading> {
+        self.items.pop_front()
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity (the hard memory bound).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Loss and pressure counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermal_timeseries::Timestamp;
+
+    fn r(ch: usize, minute: i64) -> Reading {
+        Reading {
+            channel: ch,
+            at: Timestamp::from_minutes(minute),
+            value: 20.0,
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(BoundedQueue::new(0, OverflowPolicy::RejectNewest).is_err());
+    }
+
+    #[test]
+    fn reject_newest_refuses_overflow_and_counts_it() {
+        let mut q = BoundedQueue::new(2, OverflowPolicy::RejectNewest).unwrap();
+        assert_eq!(q.push(r(0, 0)), PushOutcome::Accepted);
+        assert_eq!(q.push(r(0, 5)), PushOutcome::Accepted);
+        assert_eq!(q.push(r(0, 10)), PushOutcome::Rejected);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().rejected, 1);
+        assert_eq!(q.stats().dropped(), 1);
+        assert_eq!(q.stats().high_water, 2);
+        // The queue kept the *oldest* readings.
+        assert_eq!(q.pop().unwrap().at.as_minutes(), 0);
+        assert_eq!(q.pop().unwrap().at.as_minutes(), 5);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drop_oldest_evicts_and_counts() {
+        let mut q = BoundedQueue::new(2, OverflowPolicy::DropOldest).unwrap();
+        q.push(r(0, 0));
+        q.push(r(0, 5));
+        assert_eq!(q.push(r(0, 10)), PushOutcome::AcceptedEvictingOldest);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().evicted, 1);
+        assert_eq!(q.stats().accepted, 3);
+        // The queue kept the *newest* readings.
+        assert_eq!(q.pop().unwrap().at.as_minutes(), 5);
+        assert_eq!(q.pop().unwrap().at.as_minutes(), 10);
+    }
+
+    #[test]
+    fn depth_never_exceeds_capacity() {
+        for policy in [OverflowPolicy::RejectNewest, OverflowPolicy::DropOldest] {
+            let mut q = BoundedQueue::new(3, policy).unwrap();
+            for i in 0..100 {
+                q.push(r(0, i));
+                assert!(q.len() <= q.capacity());
+            }
+            assert_eq!(q.stats().high_water, 3);
+            assert_eq!(q.stats().accepted + q.stats().rejected, 100);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-channel watermarks and bounded reorder buffers.
+//!
+//! Wireless telemetry arrives shuffled: retries deliver old samples
+//! after new ones, duplicated packets replay the same sample twice,
+//! and some samples arrive so late the pipeline has already moved on.
+//! Each channel therefore owns a small buffer that re-sorts readings
+//! by measurement time and releases them only once the channel's
+//! *watermark* — simulated now minus an allowed-lateness budget — has
+//! passed them, guaranteeing the consumer sees each channel's samples
+//! in strictly increasing timestamp order.
+//!
+//! The buffer is bounded: a reading that would overflow it is dropped
+//! and counted, never silently absorbed into unbounded memory.
+
+use std::collections::BTreeMap;
+
+use thermal_timeseries::Timestamp;
+
+use crate::event::Reading;
+use crate::{Result, StreamError};
+
+/// Reorder/watermark configuration shared by every channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderConfig {
+    /// How long (minutes) a reading may lag simulated now before the
+    /// watermark abandons it. Larger values reorder more but delay
+    /// delivery.
+    pub allowed_lateness: i64,
+    /// Maximum buffered readings per channel.
+    pub capacity: usize,
+}
+
+impl Default for ReorderConfig {
+    /// A 15-minute lateness budget (three 5-minute slots) and a
+    /// 32-reading buffer: deep enough for Bluetooth retry bursts,
+    /// small enough that a runaway source cannot balloon memory.
+    fn default() -> Self {
+        ReorderConfig {
+            allowed_lateness: 15,
+            capacity: 32,
+        }
+    }
+}
+
+impl ReorderConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a negative lateness
+    /// budget or zero capacity.
+    pub fn validate(&self) -> Result<()> {
+        if self.allowed_lateness < 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "allowed_lateness must be non-negative minutes".to_owned(),
+            });
+        }
+        if self.capacity == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "reorder buffer capacity must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Loss accounting for one channel's reorder buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Readings released to the consumer, in timestamp order.
+    pub released: u64,
+    /// Readings that repeated a timestamp already buffered or already
+    /// released (the newer value wins while still buffered).
+    pub duplicates: u64,
+    /// Readings older than the released frontier when they arrived —
+    /// the watermark had moved on.
+    pub too_late: u64,
+    /// Readings dropped because the buffer was full.
+    pub overflowed: u64,
+    /// Largest buffered depth ever observed.
+    pub high_water: usize,
+}
+
+/// One channel's reorder buffer.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    config: ReorderConfig,
+    /// Pending readings keyed by measurement time (BTreeMap gives the
+    /// in-order drain).
+    pending: BTreeMap<i64, f64>,
+    /// Highest timestamp ever released; later arrivals at or below it
+    /// are too late.
+    released_up_to: Option<i64>,
+    stats: ReorderStats,
+}
+
+impl ReorderBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when `config` is
+    /// invalid.
+    pub fn new(config: ReorderConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ReorderBuffer {
+            config,
+            pending: BTreeMap::new(),
+            released_up_to: None,
+            stats: ReorderStats::default(),
+        })
+    }
+
+    /// Offers a reading to the buffer. Returns `true` when it was
+    /// retained (false: counted as duplicate-of-released, too-late, or
+    /// overflow).
+    pub fn offer(&mut self, reading: &Reading) -> bool {
+        let ts = reading.at.as_minutes();
+        if let Some(frontier) = self.released_up_to {
+            if ts == frontier {
+                self.stats.duplicates += 1;
+                return false;
+            }
+            if ts < frontier {
+                self.stats.too_late += 1;
+                return false;
+            }
+        }
+        if let Some(slot) = self.pending.get_mut(&ts) {
+            // Same timestamp still buffered: last write wins, counted.
+            *slot = reading.value;
+            self.stats.duplicates += 1;
+            return true;
+        }
+        if self.pending.len() >= self.config.capacity {
+            self.stats.overflowed += 1;
+            return false;
+        }
+        self.pending.insert(ts, reading.value);
+        self.stats.high_water = self.stats.high_water.max(self.pending.len());
+        true
+    }
+
+    /// Releases every buffered reading at or below the watermark
+    /// (`now - allowed_lateness`), in increasing timestamp order.
+    pub fn drain_ready(&mut self, now: Timestamp) -> Vec<(Timestamp, f64)> {
+        let watermark = now.as_minutes() - self.config.allowed_lateness;
+        let mut out = Vec::new();
+        while let Some((&ts, &value)) = self.pending.iter().next() {
+            if ts > watermark {
+                break;
+            }
+            self.pending.remove(&ts);
+            self.released_up_to = Some(ts);
+            self.stats.released += 1;
+            out.push((Timestamp::from_minutes(ts), value));
+        }
+        out
+    }
+
+    /// Current buffered depth.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Loss counters so far.
+    pub fn stats(&self) -> ReorderStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(minute: i64, value: f64) -> Reading {
+        Reading {
+            channel: 0,
+            at: Timestamp::from_minutes(minute),
+            value,
+        }
+    }
+
+    fn buffer(lateness: i64, capacity: usize) -> ReorderBuffer {
+        ReorderBuffer::new(ReorderConfig {
+            allowed_lateness: lateness,
+            capacity,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ReorderBuffer::new(ReorderConfig {
+            allowed_lateness: -1,
+            capacity: 4
+        })
+        .is_err());
+        assert!(ReorderBuffer::new(ReorderConfig {
+            allowed_lateness: 0,
+            capacity: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn out_of_order_arrivals_release_in_timestamp_order() {
+        let mut b = buffer(10, 8);
+        for minute in [15, 5, 10, 0] {
+            assert!(b.offer(&r(minute, minute as f64)));
+        }
+        let got = b.drain_ready(Timestamp::from_minutes(20));
+        let minutes: Vec<i64> = got.iter().map(|(t, _)| t.as_minutes()).collect();
+        assert_eq!(minutes, vec![0, 5, 10]);
+        // Minute 15 is still inside the lateness window.
+        assert_eq!(b.len(), 1);
+        let rest = b.drain_ready(Timestamp::from_minutes(30));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(b.stats().released, 4);
+    }
+
+    #[test]
+    fn late_readings_behind_the_frontier_are_counted_and_dropped() {
+        let mut b = buffer(0, 8);
+        b.offer(&r(10, 1.0));
+        assert_eq!(b.drain_ready(Timestamp::from_minutes(10)).len(), 1);
+        assert!(!b.offer(&r(5, 2.0)), "older than released frontier");
+        assert!(!b.offer(&r(10, 3.0)), "duplicate of released");
+        assert_eq!(b.stats().too_late, 1);
+        assert_eq!(b.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn buffered_duplicates_are_last_write_wins() {
+        let mut b = buffer(0, 8);
+        assert!(b.offer(&r(10, 1.0)));
+        assert!(b.offer(&r(10, 2.0)));
+        assert_eq!(b.stats().duplicates, 1);
+        let got = b.drain_ready(Timestamp::from_minutes(10));
+        assert_eq!(got, vec![(Timestamp::from_minutes(10), 2.0)]);
+    }
+
+    #[test]
+    fn overflow_is_bounded_and_counted() {
+        let mut b = buffer(1000, 3);
+        for minute in 0..10 {
+            b.offer(&r(minute * 5, 0.0));
+            assert!(b.len() <= 3);
+        }
+        assert_eq!(b.stats().overflowed, 7);
+        assert_eq!(b.stats().high_water, 3);
+    }
+}

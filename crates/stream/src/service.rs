@@ -1,0 +1,822 @@
+//! The live prediction service: one event loop over queued, reordered,
+//! health-supervised readings, serving degradation-aware temperature
+//! predictions from the fitted reduced model.
+//!
+//! [`StreamService::step`] advances simulated time one grid slot:
+//! arrivals flow through the bounded ingest queue, fan out to
+//! per-channel reorder buffers, and everything at or below the
+//! watermark feeds the per-sensor [`crate::HealthMachine`]s.
+//! [`StreamService::predict`] then answers from whatever survives,
+//! walking the same substitution ladder the batch evaluator uses
+//! ([`FallbackAction`]): representative → ranked backup → cluster mean
+//! → structured blackout. A prediction is **always** returned — sensor
+//! death degrades the answer, it never becomes an `Err` or a panic.
+
+use std::collections::VecDeque;
+
+use thermal_core::{FallbackAction, ReducedModel};
+use thermal_linalg::Matrix;
+use thermal_timeseries::Timestamp;
+
+use crate::event::{Reading, SimClock};
+use crate::health::{HealthConfig, HealthMachine, HealthState};
+use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
+use crate::reorder::{ReorderBuffer, ReorderConfig, ReorderStats};
+use crate::{Result, StreamError};
+
+/// Runtime knobs of the service.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Capacity of the single ingest queue (the memory bound).
+    pub queue_capacity: usize,
+    /// What to do with arrivals while the queue is full.
+    pub overflow: OverflowPolicy,
+    /// Watermark/reorder settings shared by every channel.
+    pub reorder: ReorderConfig,
+    /// Health supervision settings shared by every sensor.
+    pub health: HealthConfig,
+    /// Event-loop slot width in minutes (the telemetry grid step).
+    pub step_minutes: u32,
+}
+
+impl Default for StreamConfig {
+    /// A 4096-reading queue with drop-oldest backpressure over
+    /// 5-minute telemetry.
+    fn default() -> Self {
+        StreamConfig {
+            queue_capacity: 4096,
+            overflow: OverflowPolicy::DropOldest,
+            reorder: ReorderConfig::default(),
+            health: HealthConfig::default(),
+            step_minutes: 5,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validates every sub-configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a zero queue
+    /// capacity or step, or invalid reorder/health settings.
+    pub fn validate(&self) -> Result<()> {
+        if self.queue_capacity == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "ingest queue capacity must be at least 1".to_owned(),
+            });
+        }
+        if self.step_minutes == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "step_minutes must be at least 1".to_owned(),
+            });
+        }
+        self.reorder.validate()?;
+        self.health.validate()?;
+        Ok(())
+    }
+}
+
+/// One cluster's slice of a [`LivePrediction`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPrediction {
+    /// Cluster index.
+    pub cluster: usize,
+    /// How the cluster's representative data was sourced this slot.
+    pub action: FallbackAction,
+    /// Predicted cluster temperature for the next slot; `None` only
+    /// under structured blackout ([`FallbackAction::Unavailable`]).
+    pub predicted: Option<f64>,
+}
+
+/// A prediction served by [`StreamService::predict`] — total by
+/// construction: every cluster is present, dead sensors degrade their
+/// cluster's entry instead of failing the call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivePrediction {
+    /// Simulated time the prediction was issued at.
+    pub at: Timestamp,
+    /// Instant the prediction is *for* (one slot ahead).
+    pub target: Timestamp,
+    /// `true` once the model rolls open-loop from streamed history;
+    /// `false` while still warming up (the prediction is then a
+    /// nowcast of the substituted current values).
+    pub warmed_up: bool,
+    /// Per-cluster predictions, cluster order.
+    pub clusters: Vec<ClusterPrediction>,
+}
+
+impl LivePrediction {
+    /// `true` when any cluster needed a fallback this slot.
+    pub fn is_degraded(&self) -> bool {
+        self.clusters
+            .iter()
+            .any(|c| c.action != FallbackAction::Healthy)
+    }
+
+    /// Clusters under structured blackout.
+    pub fn blacked_out(&self) -> Vec<usize> {
+        self.clusters
+            .iter()
+            .filter(|c| c.action == FallbackAction::Unavailable)
+            .map(|c| c.cluster)
+            .collect()
+    }
+}
+
+/// One sensor's health snapshot (for reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorHealth {
+    /// Channel name.
+    pub name: String,
+    /// Current supervision state.
+    pub state: HealthState,
+    /// Lifetime state changes (flap indicator).
+    pub transitions: u64,
+    /// Lifetime implausible readings.
+    pub implausible: u64,
+}
+
+/// Aggregated runtime counters of a [`StreamService`] — the structured
+/// outcomes that replace errors at every lossy boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Ingest-queue accounting.
+    pub queue: QueueStats,
+    /// Reorder/watermark accounting summed over all channels.
+    pub reorder: ReorderStats,
+    /// Readings naming a channel index outside the registry.
+    pub unknown_channel: u64,
+    /// In-order readings accepted as plausible by health supervision.
+    pub applied: u64,
+    /// In-order readings rejected as implausible.
+    pub implausible: u64,
+    /// Event-loop steps taken.
+    pub steps: u64,
+    /// Output slots served from the representative itself.
+    pub healthy_outputs: u64,
+    /// Output slots served from a ranked backup.
+    pub backup_outputs: u64,
+    /// Output slots served from a cluster mean.
+    pub cluster_mean_outputs: u64,
+    /// Output slots under structured blackout.
+    pub unavailable_outputs: u64,
+}
+
+/// Static wiring of one model output column.
+#[derive(Debug, Clone)]
+struct OutputWiring {
+    /// Registry index of the representative sensor.
+    sensor: usize,
+    /// Cluster the representative serves.
+    cluster: usize,
+}
+
+/// The streaming runtime: simulated clock, ingest queue, per-channel
+/// reorder buffers and health machines, and the substitution ladder
+/// feeding the reduced model.
+#[derive(Debug, Clone)]
+pub struct StreamService {
+    model: ReducedModel,
+    config: StreamConfig,
+    clock: SimClock,
+    /// Registry: sensor channels (dense deployment order) followed by
+    /// input channels (model spec order).
+    names: Vec<String>,
+    sensor_count: usize,
+    queue: BoundedQueue,
+    reorders: Vec<ReorderBuffer>,
+    /// Health machines, sensors only (`0..sensor_count`).
+    machines: Vec<HealthMachine>,
+    /// Last finite value per input channel.
+    input_latest: Vec<Option<f64>>,
+    /// Per model output: representative sensor and cluster.
+    wiring: Vec<OutputWiring>,
+    /// Registry indices of each cluster's members.
+    cluster_members: Vec<Vec<usize>>,
+    /// Substituted output rows of the last `warmup` slots (oldest
+    /// first) — the model's initial condition.
+    history: VecDeque<Vec<f64>>,
+    /// Last substituted value per output (the blackout freeze).
+    frozen: Vec<Option<f64>>,
+    /// Ladder action per output, as of the last step.
+    actions: Vec<FallbackAction>,
+    stats: ServiceStats,
+}
+
+impl StreamService {
+    /// Builds a service around a fitted reduced model, anchored at
+    /// simulated time `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] on bad configuration or
+    /// a model whose outputs are not all dense-deployment channels.
+    pub fn new(model: ReducedModel, config: StreamConfig, start: Timestamp) -> Result<Self> {
+        config.validate()?;
+        let sensors = model.all_channels().to_vec();
+        let sensor_count = sensors.len();
+        let inputs = model.model().spec().inputs.clone();
+        let mut names = sensors;
+        names.extend(inputs.iter().cloned());
+
+        let assignments = model.clustering().assignments().to_vec();
+        let mut wiring = Vec::with_capacity(model.model().spec().outputs.len());
+        for out in &model.model().spec().outputs {
+            let sensor = names[..sensor_count]
+                .iter()
+                .position(|n| n == out)
+                .ok_or_else(|| StreamError::InvalidConfig {
+                    reason: format!("model output {out:?} is not a deployment channel"),
+                })?;
+            let cluster =
+                assignments
+                    .get(sensor)
+                    .copied()
+                    .ok_or_else(|| StreamError::InvalidConfig {
+                        reason: format!("channel {out:?} has no cluster assignment"),
+                    })?;
+            wiring.push(OutputWiring { sensor, cluster });
+        }
+        let cluster_members = model.clustering().clusters();
+        let output_count = wiring.len();
+
+        let queue = BoundedQueue::new(config.queue_capacity, config.overflow)?;
+        let reorders = (0..names.len())
+            .map(|_| ReorderBuffer::new(config.reorder))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StreamService {
+            clock: SimClock::new(start),
+            queue,
+            reorders,
+            machines: vec![HealthMachine::new(); sensor_count],
+            input_latest: vec![None; inputs.len()],
+            wiring,
+            cluster_members,
+            history: VecDeque::new(),
+            frozen: vec![None; output_count],
+            actions: vec![FallbackAction::Unavailable; output_count],
+            stats: ServiceStats::default(),
+            names,
+            sensor_count,
+            model,
+            config,
+        })
+    }
+
+    /// The fitted model the service predicts with.
+    pub fn model(&self) -> &ReducedModel {
+        &self.model
+    }
+
+    /// Registry index of a channel name (sensors first, then inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownChannel`] when no channel has
+    /// that name.
+    pub fn channel_index(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| StreamError::UnknownChannel {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Registry channel names, index order (sensors, then inputs).
+    pub fn channel_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Aggregated runtime counters (queue, reorder, health, ladder).
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.stats;
+        stats.queue = self.queue.stats();
+        stats.reorder = ReorderStats::default();
+        for r in &self.reorders {
+            let s = r.stats();
+            stats.reorder.released += s.released;
+            stats.reorder.duplicates += s.duplicates;
+            stats.reorder.too_late += s.too_late;
+            stats.reorder.overflowed += s.overflowed;
+            stats.reorder.high_water = stats.reorder.high_water.max(s.high_water);
+        }
+        stats
+    }
+
+    /// Current queue depth plus every reorder buffer's depth — the
+    /// number the soak harness asserts stays bounded.
+    pub fn buffered_depth(&self) -> usize {
+        self.queue.len() + self.reorders.iter().map(ReorderBuffer::len).sum::<usize>()
+    }
+
+    /// Health snapshot of every sensor, registry order.
+    pub fn sensor_health(&self) -> Vec<SensorHealth> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| SensorHealth {
+                name: self.names[i].clone(),
+                state: m.state(),
+                transitions: m.transitions(),
+                implausible: m.implausible_total(),
+            })
+            .collect()
+    }
+
+    /// Health state of one sensor by registry index (`None` for
+    /// inputs and out-of-range indices).
+    pub fn health_of(&self, sensor: usize) -> Option<HealthState> {
+        self.machines.get(sensor).map(HealthMachine::state)
+    }
+
+    /// Advances the event loop to `now`: enqueues `arrivals`, drains
+    /// the queue through the per-channel reorder buffers, applies
+    /// every reading at or below the watermark to health supervision,
+    /// ticks the heartbeat watchdogs, and refreshes the substitution
+    /// ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::ClockRegression`] when `now` is earlier
+    /// than the last step — the only error a driver can provoke;
+    /// lossy events are counted in [`ServiceStats`] instead.
+    pub fn step(&mut self, now: Timestamp, arrivals: &[Reading]) -> Result<()> {
+        self.clock.advance_to(now)?;
+        for reading in arrivals {
+            if reading.channel >= self.names.len() {
+                self.stats.unknown_channel += 1;
+                continue;
+            }
+            self.queue.push(*reading);
+        }
+        while let Some(reading) = self.queue.pop() {
+            self.reorders[reading.channel].offer(&reading);
+        }
+        let now_minutes = now.as_minutes();
+        for channel in 0..self.names.len() {
+            for (at, value) in self.reorders[channel].drain_ready(now) {
+                if channel < self.sensor_count {
+                    if self.machines[channel].on_reading(
+                        &self.config.health,
+                        at.as_minutes(),
+                        value,
+                    ) {
+                        self.stats.applied += 1;
+                    } else {
+                        self.stats.implausible += 1;
+                    }
+                } else if value.is_finite() {
+                    self.input_latest[channel - self.sensor_count] = Some(value);
+                    self.stats.applied += 1;
+                } else {
+                    self.stats.implausible += 1;
+                }
+            }
+        }
+        for machine in &mut self.machines {
+            machine.on_tick(&self.config.health, now_minutes);
+        }
+        self.refresh_ladder();
+        self.stats.steps += 1;
+        Ok(())
+    }
+
+    /// `true` when a sensor's last known value may feed predictions.
+    fn usable(&self, sensor: usize) -> bool {
+        self.machines[sensor].state().is_usable()
+            && self.machines[sensor].last_good_value().is_some()
+    }
+
+    /// Walks the substitution ladder for every model output and
+    /// appends the substituted row to the model's rolling history.
+    fn refresh_ladder(&mut self) {
+        let p = &self.config.health.plausibility;
+        // Neutral constant for outputs with no data at all yet: the
+        // middle of the plausible band keeps the model state finite
+        // without pretending precision (those clusters report
+        // Unavailable anyway).
+        let neutral = (p.min_value + p.max_value) / 2.0;
+        let mut row = Vec::with_capacity(self.wiring.len());
+        for (o, wire) in self.wiring.iter().enumerate() {
+            let (value, action) = self.substitute(wire);
+            match action {
+                FallbackAction::Healthy => self.stats.healthy_outputs += 1,
+                FallbackAction::Backup { .. } => self.stats.backup_outputs += 1,
+                FallbackAction::ClusterMean { .. } => self.stats.cluster_mean_outputs += 1,
+                _ => self.stats.unavailable_outputs += 1,
+            }
+            if let Some(v) = value {
+                self.frozen[o] = Some(v);
+            }
+            row.push(self.frozen[o].unwrap_or(neutral));
+            self.actions[o] = action;
+        }
+        let warmup = self.model.model().spec().order.warmup();
+        self.history.push_back(row);
+        while self.history.len() > warmup {
+            self.history.pop_front();
+        }
+    }
+
+    /// The ladder for one output: representative → first usable ranked
+    /// backup → mean of usable cluster members → blackout.
+    fn substitute(&self, wire: &OutputWiring) -> (Option<f64>, FallbackAction) {
+        if self.usable(wire.sensor) {
+            return (
+                self.machines[wire.sensor].last_good_value(),
+                FallbackAction::Healthy,
+            );
+        }
+        for &backup in self.model.selection().backups(wire.cluster) {
+            if backup < self.sensor_count && self.usable(backup) {
+                return (
+                    self.machines[backup].last_good_value(),
+                    FallbackAction::Backup {
+                        substitute: self.names[backup].clone(),
+                    },
+                );
+            }
+        }
+        let members = self
+            .cluster_members
+            .get(wire.cluster)
+            .map_or(&[][..], Vec::as_slice);
+        let mut sum = 0.0;
+        let mut count = 0_usize;
+        for &m in members {
+            if m < self.sensor_count && self.usable(m) {
+                if let Some(v) = self.machines[m].last_good_value() {
+                    sum += v;
+                    count += 1;
+                }
+            }
+        }
+        if count > 0 {
+            return (
+                Some(sum / count as f64),
+                FallbackAction::ClusterMean { members: count },
+            );
+        }
+        (None, FallbackAction::Unavailable)
+    }
+
+    /// Serves a prediction for the next slot. Total: every cluster
+    /// gets an entry; clusters whose every data source is dead are
+    /// reported as [`FallbackAction::Unavailable`] with `predicted:
+    /// None` while the rest keep predicting.
+    ///
+    /// Before the model is warmed up (full substituted history and at
+    /// least one value on every input channel) the prediction is a
+    /// nowcast: the substituted current values, flagged `warmed_up:
+    /// false`.
+    pub fn predict(&self) -> LivePrediction {
+        let warmup = self.model.model().spec().order.warmup();
+        let input_count = self.model.model().spec().input_count();
+        let inputs_ready = self.input_latest.iter().all(Option::is_some);
+        let now = self.clock.now();
+        let target = now + i64::from(self.config.step_minutes);
+
+        let row: Option<Vec<f64>> = if self.history.len() >= warmup && inputs_ready {
+            let p = self.wiring.len();
+            let mut initial = Matrix::zeros(warmup, p);
+            for (k, past) in self.history.iter().enumerate() {
+                initial.row_mut(k).copy_from_slice(past);
+            }
+            let mut u = Matrix::zeros(1, input_count);
+            for (j, v) in self.input_latest.iter().enumerate() {
+                u.row_mut(0)[j] = v.unwrap_or(0.0);
+            }
+            // A dimension error here would be a wiring bug; degrade to
+            // the nowcast rather than surfacing an Err from a serving
+            // path that promises totality.
+            self.model
+                .model()
+                .simulate(&initial, &u)
+                .ok()
+                .map(|out| out.row(0).to_vec())
+        } else {
+            None
+        };
+        let warmed_up = row.is_some();
+
+        let mut clusters: Vec<ClusterPrediction> = Vec::new();
+        for c in 0..self.cluster_members.len() {
+            let mut sum = 0.0;
+            let mut count = 0_usize;
+            let mut action = FallbackAction::Unavailable;
+            for (o, wire) in self.wiring.iter().enumerate() {
+                if wire.cluster != c {
+                    continue;
+                }
+                if self.actions[o] == FallbackAction::Unavailable {
+                    continue;
+                }
+                let value = row
+                    .as_ref()
+                    .map_or_else(|| self.frozen[o], |r| r.get(o).copied());
+                if let Some(v) = value {
+                    sum += v;
+                    count += 1;
+                    action = Self::worse(&action, &self.actions[o]);
+                }
+            }
+            clusters.push(if count > 0 {
+                ClusterPrediction {
+                    cluster: c,
+                    action,
+                    predicted: Some(sum / count as f64),
+                }
+            } else {
+                ClusterPrediction {
+                    cluster: c,
+                    action: FallbackAction::Unavailable,
+                    predicted: None,
+                }
+            });
+        }
+        LivePrediction {
+            at: now,
+            target,
+            warmed_up,
+            clusters,
+        }
+    }
+
+    /// Picks the more severe of two ladder actions (for clusters with
+    /// several representatives). `current` starts as Unavailable, so
+    /// the first available output always replaces it.
+    fn worse(current: &FallbackAction, candidate: &FallbackAction) -> FallbackAction {
+        fn rank(a: &FallbackAction) -> u8 {
+            match a {
+                FallbackAction::Healthy => 0,
+                FallbackAction::Backup { .. } => 1,
+                FallbackAction::ClusterMean { .. } => 2,
+                _ => 3,
+            }
+        }
+        // `current` is only ever compared once a real value exists, at
+        // which point Unavailable means "not yet set".
+        if matches!(current, FallbackAction::Unavailable) || rank(candidate) > rank(current) {
+            candidate.clone()
+        } else {
+            current.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermal_cluster::Clustering;
+    use thermal_select::Selection;
+    use thermal_sysid::{ModelOrder, ModelSpec, ThermalModel};
+
+    /// Four sensors in two clusters ({s0, s1, s2}, {s3}); reps s0 and
+    /// s3; ranked backup s1 for cluster 0. The model is the identity
+    /// hold (`T(k+1) = T(k)`), so prediction values are transparent.
+    fn fixture() -> ReducedModel {
+        let names: Vec<String> = (0..4).map(|i| format!("s{i}")).collect();
+        let clustering = Clustering::from_assignments(vec![0, 0, 0, 1], 2).unwrap();
+        let selection = Selection::new(vec![vec![0], vec![3]])
+            .unwrap()
+            .with_backups(vec![vec![1], vec![]])
+            .unwrap();
+        let spec = ModelSpec::new(
+            vec!["s0".to_owned(), "s3".to_owned()],
+            vec!["u".to_owned()],
+            ModelOrder::First,
+        )
+        .unwrap();
+        let mut coef = Matrix::zeros(2, 3);
+        coef.row_mut(0)[0] = 1.0;
+        coef.row_mut(1)[1] = 1.0;
+        let model = ThermalModel::new(spec, coef).unwrap();
+        ReducedModel::new(
+            names.clone(),
+            clustering,
+            selection,
+            vec!["s0".to_owned(), "s3".to_owned()],
+            model,
+        )
+    }
+
+    fn service() -> StreamService {
+        StreamService::new(
+            fixture(),
+            StreamConfig::default(),
+            Timestamp::from_minutes(0),
+        )
+        .unwrap()
+    }
+
+    /// Readings for the given sensors at `minute`, values 20 + index.
+    fn batch(minute: i64, sensors: &[usize]) -> Vec<Reading> {
+        let mut out: Vec<Reading> = sensors
+            .iter()
+            .map(|&s| Reading {
+                channel: s,
+                at: Timestamp::from_minutes(minute),
+                value: 20.0 + s as f64,
+            })
+            .collect();
+        out.push(Reading {
+            channel: 4, // input "u"
+            at: Timestamp::from_minutes(minute),
+            value: 0.5,
+        });
+        out
+    }
+
+    /// Drives `svc` for `slots` 5-minute slots, feeding `sensors`.
+    fn drive(svc: &mut StreamService, from_slot: i64, slots: i64, sensors: &[usize]) {
+        for k in from_slot..from_slot + slots {
+            let now = Timestamp::from_minutes(k * 5);
+            svc.step(now, &batch(now.as_minutes(), sensors)).unwrap();
+        }
+    }
+
+    #[test]
+    fn registry_resolves_sensors_and_inputs() {
+        let svc = service();
+        assert_eq!(svc.channel_index("s2").unwrap(), 2);
+        assert_eq!(svc.channel_index("u").unwrap(), 4);
+        assert!(matches!(
+            svc.channel_index("nope"),
+            Err(StreamError::UnknownChannel { .. })
+        ));
+        assert_eq!(svc.channel_names().len(), 5);
+    }
+
+    #[test]
+    fn clock_regression_is_the_only_step_error() {
+        let mut svc = service();
+        svc.step(Timestamp::from_minutes(10), &[]).unwrap();
+        assert!(matches!(
+            svc.step(Timestamp::from_minutes(5), &[]),
+            Err(StreamError::ClockRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn healthy_flow_predicts_from_representatives() {
+        let mut svc = service();
+        // Lateness budget is 15 min: readings release ~3 slots back.
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        let p = svc.predict();
+        assert!(p.warmed_up, "history and inputs should be primed");
+        assert!(!p.is_degraded());
+        assert_eq!(p.clusters.len(), 2);
+        assert_eq!(p.clusters[0].action, FallbackAction::Healthy);
+        // Identity-hold model: prediction equals the rep's last value.
+        assert_eq!(p.clusters[0].predicted, Some(20.0));
+        assert_eq!(p.clusters[1].predicted, Some(23.0));
+        assert_eq!(p.target - p.at, 5);
+    }
+
+    #[test]
+    fn dead_rep_falls_back_to_ranked_backup() {
+        let mut svc = service();
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        // s0 goes silent for over an hour; s1, s2, s3 keep reporting.
+        drive(&mut svc, 10, 20, &[1, 2, 3]);
+        assert_eq!(svc.health_of(0), Some(HealthState::Dead));
+        let p = svc.predict();
+        assert!(p.warmed_up);
+        assert_eq!(
+            p.clusters[0].action,
+            FallbackAction::Backup {
+                substitute: "s1".to_owned()
+            }
+        );
+        assert_eq!(p.clusters[0].predicted, Some(21.0), "backup value served");
+        assert_eq!(p.clusters[1].action, FallbackAction::Healthy);
+    }
+
+    #[test]
+    fn dead_rep_and_backup_fall_back_to_cluster_mean() {
+        let mut svc = service();
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        // Only s2 (neither rep nor ranked backup) and s3 survive.
+        drive(&mut svc, 10, 20, &[2, 3]);
+        let p = svc.predict();
+        assert_eq!(
+            p.clusters[0].action,
+            FallbackAction::ClusterMean { members: 1 }
+        );
+        assert_eq!(p.clusters[0].predicted, Some(22.0));
+    }
+
+    #[test]
+    fn whole_cluster_dead_is_a_structured_blackout_not_an_error() {
+        let mut svc = service();
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        // Cluster 0 dies entirely; cluster 1 keeps reporting.
+        drive(&mut svc, 10, 20, &[3]);
+        let p = svc.predict();
+        assert_eq!(p.clusters[0].action, FallbackAction::Unavailable);
+        assert_eq!(p.clusters[0].predicted, None);
+        assert_eq!(p.blacked_out(), vec![0]);
+        // The healthy cluster still predicts.
+        assert_eq!(p.clusters[1].action, FallbackAction::Healthy);
+        assert_eq!(p.clusters[1].predicted, Some(23.0));
+    }
+
+    #[test]
+    fn predictions_always_available_for_any_proper_subset_dead() {
+        // Acceptance criterion: kill every proper subset of sensors;
+        // predict() must return values for every cluster that retains
+        // at least one live member, and never panic or error.
+        for dead_mask in 0_u32..15 {
+            let alive: Vec<usize> = (0..4).filter(|s| dead_mask & (1 << s) == 0).collect();
+            let mut svc = service();
+            drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+            drive(&mut svc, 10, 20, &alive);
+            let p = svc.predict();
+            assert_eq!(p.clusters.len(), 2);
+            let cluster0_alive = alive.iter().any(|&s| s < 3);
+            let cluster1_alive = alive.contains(&3);
+            assert_eq!(
+                p.clusters[0].predicted.is_some(),
+                cluster0_alive,
+                "mask {dead_mask:#06b}"
+            );
+            assert_eq!(
+                p.clusters[1].predicted.is_some(),
+                cluster1_alive,
+                "mask {dead_mask:#06b}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_restores_healthy_service() {
+        let mut svc = service();
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        drive(&mut svc, 10, 20, &[1, 2, 3]);
+        assert_eq!(svc.health_of(0), Some(HealthState::Dead));
+        // s0 resumes; after probation it serves again.
+        drive(&mut svc, 30, 10, &[0, 1, 2, 3]);
+        assert_eq!(svc.health_of(0), Some(HealthState::Live));
+        let p = svc.predict();
+        assert_eq!(p.clusters[0].action, FallbackAction::Healthy);
+    }
+
+    #[test]
+    fn unknown_channel_indices_are_counted_not_fatal() {
+        let mut svc = service();
+        let mut arrivals = batch(0, &[0]);
+        arrivals.push(Reading {
+            channel: 99,
+            at: Timestamp::from_minutes(0),
+            value: 20.0,
+        });
+        svc.step(Timestamp::from_minutes(0), &arrivals).unwrap();
+        assert_eq!(svc.stats().unknown_channel, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_ladder_and_boundary_counters() {
+        let mut svc = service();
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        drive(&mut svc, 10, 20, &[3]);
+        let stats = svc.stats();
+        assert!(stats.applied > 0);
+        assert!(stats.healthy_outputs > 0);
+        assert!(stats.unavailable_outputs > 0, "cluster 0 blacked out");
+        assert_eq!(stats.steps, 30);
+        assert!(stats.queue.high_water > 0);
+        assert!(svc.buffered_depth() <= svc.queue.capacity() + 5 * 32);
+    }
+
+    #[test]
+    fn service_trace_is_bitwise_deterministic() {
+        let run = || {
+            let mut svc = service();
+            let mut log: Vec<(u64, Vec<Option<u64>>)> = Vec::new();
+            drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+            drive(&mut svc, 10, 15, &[1, 3]);
+            for k in 25..30 {
+                let now = Timestamp::from_minutes(k * 5);
+                svc.step(now, &batch(now.as_minutes(), &[0, 1, 2, 3]))
+                    .unwrap();
+                let p = svc.predict();
+                log.push((
+                    svc.stats().applied,
+                    p.clusters
+                        .iter()
+                        .map(|c| c.predicted.map(f64::to_bits))
+                        .collect(),
+                ));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,268 @@
+//! Machine-readable soak reports with canonical, byte-stable JSON.
+//!
+//! The chaos-soak harness (`cargo xtask soak`) replays a full trace
+//! through corrupted ingest at several intensities and asserts the
+//! final state is **bitwise identical** across repeated runs and
+//! thread counts. That comparison is done on the serialized report,
+//! so the serialization itself must be canonical: fields in a fixed
+//! order, floats rendered as the hex of their IEEE-754 bits (with a
+//! rounded human-readable echo), no platform- or locale-dependent
+//! formatting anywhere.
+
+use std::fmt::Write as _;
+
+use crate::replay::{IngestStats, SourceStats};
+use crate::service::{SensorHealth, ServiceStats};
+
+/// Canonical rendering of one float: exact bits plus a readable echo.
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    let _ = write!(
+        out,
+        "\"{key}\": {{\"bits\": \"{:016x}\", \"approx\": \"{:.4}\"}}",
+        value.to_bits(),
+        value
+    );
+}
+
+/// One cluster's final prediction in a soak report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakPrediction {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Ladder action label (`healthy`, `backup`, `cluster_mean`,
+    /// `unavailable`).
+    pub action: String,
+    /// Predicted value; `None` under structured blackout.
+    pub predicted: Option<f64>,
+}
+
+/// Everything measured while soaking one corruption intensity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakIntensityReport {
+    /// Corruption intensity in milli-units (e.g. `50` = 0.05), kept
+    /// integral so the report never round-trips a float through text.
+    pub intensity_millis: u32,
+    /// Lines the fault layer actually corrupted.
+    pub corrupted_lines: u64,
+    /// Row-tolerant CSV ingest accounting.
+    pub ingest: IngestStats,
+    /// Flaky-source supervision accounting.
+    pub source: SourceStats,
+    /// Service runtime counters at end of replay.
+    pub service: ServiceStats,
+    /// Largest combined queue + reorder depth ever observed.
+    pub max_buffered_depth: usize,
+    /// Configured bound the depth must stay under.
+    pub depth_bound: usize,
+    /// Final health state of every sensor, registry order.
+    pub health: Vec<SensorHealth>,
+    /// Final per-cluster predictions.
+    pub predictions: Vec<SoakPrediction>,
+}
+
+/// A full soak run: one report per intensity, plus the replay
+/// parameters that make the run reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Simulated days replayed.
+    pub days: usize,
+    /// Event-loop slots replayed per intensity.
+    pub slots: usize,
+    /// Per-intensity results, ascending intensity.
+    pub intensities: Vec<SoakIntensityReport>,
+}
+
+impl SoakReport {
+    /// Renders the canonical JSON document (stable field order,
+    /// bit-exact floats, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"seed\": {},\n  \"days\": {},\n  \"slots\": {},",
+            self.seed, self.days, self.slots
+        );
+        out.push_str("  \"intensities\": [\n");
+        for (i, report) in self.intensities.iter().enumerate() {
+            Self::push_intensity(&mut out, report);
+            out.push_str(if i + 1 < self.intensities.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    fn push_intensity(out: &mut String, r: &SoakIntensityReport) {
+        let _ = writeln!(
+            out,
+            "    {{\n      \"intensity_millis\": {},\n      \"corrupted_lines\": {},",
+            r.intensity_millis, r.corrupted_lines
+        );
+        let ing = &r.ingest;
+        let _ = writeln!(
+            out,
+            "      \"ingest\": {{\"parsed\": {}, \"non_finite\": {}, \"malformed\": {}, \
+             \"missing_fields\": {}, \"skipped_rows\": {}}},",
+            ing.parsed, ing.non_finite, ing.malformed, ing.missing_fields, ing.skipped_rows
+        );
+        let src = &r.source;
+        let _ = writeln!(
+            out,
+            "      \"source\": {{\"successes\": {}, \"failures\": {}, \"breaker_refusals\": {}, \
+             \"backoff_skips\": {}, \"breaker_trips\": {}}},",
+            src.successes, src.failures, src.breaker_refusals, src.backoff_skips, src.breaker_trips
+        );
+        let s = &r.service;
+        let _ = writeln!(
+            out,
+            "      \"service\": {{\"steps\": {}, \"applied\": {}, \"implausible\": {}, \
+             \"unknown_channel\": {}, \"queue_accepted\": {}, \"queue_dropped\": {}, \
+             \"queue_high_water\": {}, \"reorder_released\": {}, \"reorder_duplicates\": {}, \
+             \"reorder_too_late\": {}, \"reorder_overflowed\": {}, \"healthy_outputs\": {}, \
+             \"backup_outputs\": {}, \"cluster_mean_outputs\": {}, \"unavailable_outputs\": {}}},",
+            s.steps,
+            s.applied,
+            s.implausible,
+            s.unknown_channel,
+            s.queue.accepted,
+            s.queue.dropped(),
+            s.queue.high_water,
+            s.reorder.released,
+            s.reorder.duplicates,
+            s.reorder.too_late,
+            s.reorder.overflowed,
+            s.healthy_outputs,
+            s.backup_outputs,
+            s.cluster_mean_outputs,
+            s.unavailable_outputs
+        );
+        let _ = writeln!(
+            out,
+            "      \"max_buffered_depth\": {},\n      \"depth_bound\": {},",
+            r.max_buffered_depth, r.depth_bound
+        );
+        out.push_str("      \"health\": [");
+        for (i, h) in r.health.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"state\": \"{}\", \"transitions\": {}, \"implausible\": {}}}",
+                h.name,
+                h.state.label(),
+                h.transitions,
+                h.implausible
+            );
+        }
+        out.push_str("],\n      \"predictions\": [");
+        for (i, p) in r.predictions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"cluster\": {}, \"action\": \"{}\", ",
+                p.cluster, p.action
+            );
+            match p.predicted {
+                Some(v) => push_f64(out, "predicted", v),
+                None => out.push_str("\"predicted\": null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]\n    }");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthState;
+
+    fn report() -> SoakReport {
+        SoakReport {
+            seed: 42,
+            days: 3,
+            slots: 864,
+            intensities: vec![SoakIntensityReport {
+                intensity_millis: 50,
+                corrupted_lines: 17,
+                ingest: IngestStats {
+                    parsed: 1000,
+                    non_finite: 3,
+                    malformed: 2,
+                    missing_fields: 1,
+                    skipped_rows: 0,
+                },
+                source: SourceStats {
+                    successes: 800,
+                    failures: 64,
+                    breaker_refusals: 10,
+                    backoff_skips: 20,
+                    breaker_trips: 2,
+                },
+                service: ServiceStats::default(),
+                max_buffered_depth: 96,
+                depth_bound: 4096,
+                health: vec![SensorHealth {
+                    name: "t0".to_owned(),
+                    state: HealthState::Live,
+                    transitions: 2,
+                    implausible: 5,
+                }],
+                predictions: vec![
+                    SoakPrediction {
+                        cluster: 0,
+                        action: "healthy".to_owned(),
+                        predicted: Some(21.125),
+                    },
+                    SoakPrediction {
+                        cluster: 1,
+                        action: "unavailable".to_owned(),
+                        predicted: None,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_byte_stable_across_renders() {
+        assert_eq!(report().to_json(), report().to_json());
+    }
+
+    #[test]
+    fn json_carries_exact_float_bits() {
+        let json = report().to_json();
+        let expected_bits = format!("{:016x}", 21.125_f64.to_bits());
+        assert!(json.contains(&expected_bits), "missing exact bits");
+        assert!(json.contains("\"approx\": \"21.1250\""));
+        assert!(json.contains("\"predicted\": null"));
+        assert!(json.ends_with("\n"), "trailing newline for clean diffs");
+    }
+
+    #[test]
+    fn json_lists_every_section() {
+        let json = report().to_json();
+        for key in [
+            "\"seed\": 42",
+            "\"intensity_millis\": 50",
+            "\"ingest\"",
+            "\"source\"",
+            "\"service\"",
+            "\"max_buffered_depth\": 96",
+            "\"health\"",
+            "\"predictions\"",
+            "\"breaker_trips\": 2",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

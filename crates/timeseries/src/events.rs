@@ -1,0 +1,190 @@
+//! Building grid-aligned channels from timestamped event streams.
+//!
+//! The batch CSV path assumes one row per grid slot, so duplicate
+//! timestamps cannot happen by construction. Event streams (portal
+//! re-polls, wireless retransmissions, the `thermal-stream` runtime)
+//! offer no such guarantee: the same instant can legitimately arrive
+//! twice. This module makes the collision policy *explicit and typed*
+//! instead of letting the last array write win silently:
+//!
+//! * [`DuplicatePolicy::Reject`] — a duplicate is a
+//!   [`TimeSeriesError::DuplicateTimestamp`]; use it where a duplicate
+//!   indicates a pipeline bug,
+//! * [`DuplicatePolicy::LastWriteWins`] — the newer event replaces the
+//!   older and the collision is counted in [`EventIngestReport`]; use
+//!   it for raw telemetry where retransmissions are routine.
+
+use crate::channel::Channel;
+use crate::time::{TimeGrid, Timestamp};
+use crate::{Result, TimeSeriesError};
+
+/// What to do when two events land on the same grid slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DuplicatePolicy {
+    /// Fail with [`TimeSeriesError::DuplicateTimestamp`].
+    Reject,
+    /// Keep the later event (stream order) and count the collision.
+    LastWriteWins,
+}
+
+/// Accounting of one [`channel_from_events`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventIngestReport {
+    /// Events placed into a grid slot (including overwrites).
+    pub placed: u64,
+    /// Events that collided with an already-filled slot (only under
+    /// [`DuplicatePolicy::LastWriteWins`]; `Reject` errors instead).
+    pub duplicates: u64,
+    /// Events whose timestamp does not lie on the grid (before it,
+    /// after it, or between slots).
+    pub off_grid: u64,
+    /// Events with a NaN/infinite value (missing data must be `None`,
+    /// so these can never enter a channel).
+    pub non_finite: u64,
+}
+
+impl EventIngestReport {
+    /// Total events that did not land in a slot of their own.
+    pub fn rejected(&self) -> u64 {
+        self.duplicates + self.off_grid + self.non_finite
+    }
+}
+
+/// Builds a grid-aligned channel from `(timestamp, value)` events,
+/// resolving duplicate timestamps per `policy`. Slots no event maps to
+/// stay missing (`None`), exactly like a telemetry gap.
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::DuplicateTimestamp`] under
+///   [`DuplicatePolicy::Reject`] when two events map to the same slot,
+/// * [`TimeSeriesError::Empty`] for an empty channel name (via
+///   [`Channel::new`] validation).
+pub fn channel_from_events(
+    name: &str,
+    grid: &TimeGrid,
+    events: &[(Timestamp, f64)],
+    policy: DuplicatePolicy,
+) -> Result<(Channel, EventIngestReport)> {
+    let mut samples: Vec<Option<f64>> = vec![None; grid.len()];
+    let mut report = EventIngestReport::default();
+    for &(at, value) in events {
+        let Some(slot) = grid.index_of(at) else {
+            report.off_grid += 1;
+            continue;
+        };
+        if !value.is_finite() {
+            report.non_finite += 1;
+            continue;
+        }
+        if samples[slot].is_some() {
+            match policy {
+                DuplicatePolicy::Reject => {
+                    return Err(TimeSeriesError::DuplicateTimestamp {
+                        channel: name.to_owned(),
+                        minutes: at.as_minutes(),
+                    });
+                }
+                DuplicatePolicy::LastWriteWins => {
+                    report.duplicates += 1;
+                }
+            }
+        }
+        samples[slot] = Some(value);
+        report.placed += 1;
+    }
+    let channel = Channel::new(name, samples)?;
+    Ok((channel, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(Timestamp::from_minutes(0), 5, 4).unwrap()
+    }
+
+    fn at(minutes: i64) -> Timestamp {
+        Timestamp::from_minutes(minutes)
+    }
+
+    #[test]
+    fn events_fill_their_slots_and_gaps_stay_none() {
+        let (ch, report) = channel_from_events(
+            "t1",
+            &grid(),
+            &[(at(0), 20.0), (at(10), 20.2)],
+            DuplicatePolicy::Reject,
+        )
+        .unwrap();
+        assert_eq!(ch.values(), &[Some(20.0), None, Some(20.2), None]);
+        assert_eq!(report.placed, 2);
+        assert_eq!(report.rejected(), 0);
+    }
+
+    #[test]
+    fn reject_policy_turns_duplicates_into_typed_errors() {
+        let err = channel_from_events(
+            "t1",
+            &grid(),
+            &[(at(5), 20.0), (at(5), 20.1)],
+            DuplicatePolicy::Reject,
+        )
+        .unwrap_err();
+        match err {
+            TimeSeriesError::DuplicateTimestamp { channel, minutes } => {
+                assert_eq!(channel, "t1");
+                assert_eq!(minutes, 5);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn last_write_wins_keeps_the_newer_event_and_counts() {
+        let (ch, report) = channel_from_events(
+            "t1",
+            &grid(),
+            &[(at(5), 20.0), (at(5), 20.1), (at(5), 20.2)],
+            DuplicatePolicy::LastWriteWins,
+        )
+        .unwrap();
+        assert_eq!(ch.values()[1], Some(20.2), "stream order, last wins");
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(report.placed, 3);
+    }
+
+    #[test]
+    fn off_grid_and_non_finite_events_are_counted_not_fatal() {
+        let (ch, report) = channel_from_events(
+            "t1",
+            &grid(),
+            &[
+                (at(-5), 20.0),    // before the grid
+                (at(3), 20.0),     // between slots
+                (at(100), 20.0),   // past the grid
+                (at(5), f64::NAN), // poisoned value
+                (at(10), f64::INFINITY),
+                (at(0), 21.0), // the one good event
+            ],
+            DuplicatePolicy::Reject,
+        )
+        .unwrap();
+        assert_eq!(report.off_grid, 3);
+        assert_eq!(report.non_finite, 2);
+        assert_eq!(report.placed, 1);
+        assert_eq!(ch.values()[0], Some(21.0));
+    }
+
+    #[test]
+    fn error_message_names_channel_and_instant() {
+        let err = TimeSeriesError::DuplicateTimestamp {
+            channel: "t7".to_owned(),
+            minutes: 125,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("t7") && msg.contains("125"));
+    }
+}

@@ -1,6 +1,8 @@
 //! Parsing and reporting for `cargo xtask bench`.
 //!
-//! The vendored criterion shim prints one line per benchmark:
+//! The vendored criterion shim prints one line per benchmark — the
+//! figure is the **median** per-iteration wall time over the sampled
+//! iterations:
 //!
 //! ```text
 //! bench qr_decompose_5760x61                                 20.750ms/iter over 10 iters
@@ -9,15 +11,20 @@
 //! This module parses those lines and renders the machine-readable
 //! `BENCH_<label>.json` document the performance workflow commits
 //! alongside kernel changes (wall-times, thread count, git revision).
+//! Timings are informational, never a pass/fail gate: shared
+//! single-CPU runners are too noisy for thresholds, which is also why
+//! the shim reports medians rather than means.
 
 /// One parsed benchmark measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Benchmark name, e.g. `identify/dense_second-order`.
     pub name: String,
-    /// Mean wall-time per iteration in nanoseconds.
-    pub mean_ns: f64,
-    /// Iterations the mean was taken over.
+    /// Median wall-time per iteration in nanoseconds (the shim
+    /// reports the median of its samples; a single preempted
+    /// iteration on a noisy shared runner cannot skew it).
+    pub median_ns: f64,
+    /// Iterations the median was taken over.
     pub iters: u64,
 }
 
@@ -56,13 +63,13 @@ pub fn parse_bench_output(stdout: &str) -> Vec<BenchRecord> {
         let Some(duration) = fields[1].strip_suffix("/iter") else {
             continue;
         };
-        let (Some(mean_ns), Ok(iters)) = (parse_duration_ns(duration), fields[3].parse::<u64>())
+        let (Some(median_ns), Ok(iters)) = (parse_duration_ns(duration), fields[3].parse::<u64>())
         else {
             continue;
         };
         out.push(BenchRecord {
             name: fields[0].to_owned(),
-            mean_ns,
+            median_ns,
             iters,
         });
     }
@@ -89,9 +96,9 @@ pub fn render_json(
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"iters\": {}}}{comma}\n",
             escape(&r.name),
-            r.mean_ns,
+            r.median_ns,
             r.iters,
         ));
     }
@@ -129,7 +136,7 @@ bench malformed line without the shape
         let records = parse_bench_output(stdout);
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].name, "qr_decompose_5760x61");
-        assert_eq!(records[0].mean_ns, 20_750_000.0);
+        assert_eq!(records[0].median_ns, 20_750_000.0);
         assert_eq!(records[0].iters, 10);
         assert_eq!(records[1].name, "identify/dense_second-order");
     }
@@ -139,12 +146,12 @@ bench malformed line without the shape
         let records = vec![
             BenchRecord {
                 name: "a/b".to_owned(),
-                mean_ns: 1234.5,
+                median_ns: 1234.5,
                 iters: 3,
             },
             BenchRecord {
                 name: "c".to_owned(),
-                mean_ns: 5.0,
+                median_ns: 5.0,
                 iters: 10,
             },
         ];
@@ -152,8 +159,8 @@ bench malformed line without the shape
         assert!(json.contains("\"label\": \"post\""));
         assert!(json.contains("\"git_rev\": \"abc1234\""));
         assert!(json.contains("\"threads\": 4"));
-        assert!(json.contains("{\"name\": \"a/b\", \"mean_ns\": 1234.5, \"iters\": 3},"));
-        assert!(json.contains("{\"name\": \"c\", \"mean_ns\": 5.0, \"iters\": 10}\n"));
+        assert!(json.contains("{\"name\": \"a/b\", \"median_ns\": 1234.5, \"iters\": 3},"));
+        assert!(json.contains("{\"name\": \"c\", \"median_ns\": 5.0, \"iters\": 10}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

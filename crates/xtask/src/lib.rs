@@ -9,3 +9,4 @@ pub mod allowlist;
 pub mod bench;
 pub mod chaos;
 pub mod checks;
+pub mod soak;

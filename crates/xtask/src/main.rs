@@ -7,13 +7,17 @@
 //! - `cargo xtask lint` — custom source-level conventions gate.
 //! - `cargo xtask fmt` — `cargo fmt --all`.
 //! - `cargo xtask ci` — fmt-check → clippy → lint → build → test →
-//!   fault-matrix smoke → determinism smoke → chaos smoke → quick
-//!   bench (informational).
+//!   fault-matrix smoke → determinism smoke → chaos smoke → soak
+//!   smoke → quick bench (informational).
 //! - `cargo xtask bench [--label L] [--full]` — curated criterion
 //!   benches, written as machine-readable `BENCH_<label>.json`.
 //! - `cargo xtask chaos [--smoke]` — kill-point crash/resume harness:
 //!   crash the checkpointed workload at every durable write and
 //!   require byte-identical recovery (see DESIGN.md § crash recovery).
+//! - `cargo xtask soak [--smoke]` — chaos-soak harness: replay a full
+//!   trace through corrupted, flaky, out-of-order ingest and require
+//!   a bitwise-deterministic soak report across repeated runs and
+//!   thread counts (see DESIGN.md § streaming runtime).
 //! - `cargo xtask miri` — Miri over the `linalg`/`timeseries` unit
 //!   tests (skips with a notice when Miri is not installed).
 
@@ -28,6 +32,7 @@ const CURATED_BENCHES: &[&str] = &[
     "bench_clustering",
     "bench_identification",
     "bench_pipeline",
+    "bench_stream",
 ];
 
 /// Iteration count for quick (default) bench mode, exported to the
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         "ci" => ci(),
         "bench" => bench(&args[1..]),
         "chaos" => chaos(&args[1..]),
+        "soak" => soak(&args[1..]),
         "miri" => miri(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -72,11 +78,13 @@ fn print_help() {
          \x20 lint [--root <dir>]  run the custom static-analysis gate\n\
          \x20 fmt                  format the workspace (cargo fmt --all)\n\
          \x20 ci                   fmt-check, clippy, lint, build, test, fault-matrix,\n\
-         \x20                      determinism smoke, quick bench (informational)\n\
+         \x20                      determinism/chaos/soak smokes, quick bench (informational)\n\
          \x20 bench [--label L]    curated hot-path benches -> BENCH_<L>.json\n\
          \x20       [--full]      (default: quick mode, {QUICK_BENCH_SAMPLES} samples per bench)\n\
          \x20 chaos [--smoke]      kill-point crash/resume harness (--smoke: boundary\n\
          \x20                      kill points only; default: every durable write)\n\
+         \x20 soak [--smoke]       chaos-soak harness: corrupted/flaky stream replay with\n\
+         \x20                      a bitwise-deterministic report (--smoke: short sweep)\n\
          \x20 miri                 Miri over linalg/timeseries unit tests\n\
          \x20 help                 show this message"
     );
@@ -230,6 +238,14 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
+    // Streaming-robustness smoke: a short corrupted/flaky replay must
+    // finish panic-free with a bitwise-deterministic soak report (the
+    // dedicated CI job runs the full sweep).
+    eprintln!("xtask: soak smoke");
+    let code = soak(&["--smoke".to_owned()]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
     // Informational quick bench: surfaces the hot-path wall-times in
     // the CI log without gating on them — timings on shared runners
     // are too noisy to be a pass/fail criterion.
@@ -353,7 +369,7 @@ fn bench(args: &[String]) -> ExitCode {
             eprintln!(
                 "xtask bench:   {:<48} {:>12.3} ms/iter",
                 r.name,
-                r.mean_ns / 1e6
+                r.median_ns / 1e6
             );
         }
         records.extend(parsed);
@@ -399,6 +415,28 @@ fn chaos(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask chaos: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the chaos-soak harness (see `xtask::soak`).
+fn soak(args: &[String]) -> ExitCode {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => {
+            eprintln!("xtask soak: expected no arguments or `--smoke`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::soak::run(&workspace_root(), smoke) {
+        Ok(()) => {
+            eprintln!("xtask soak: clean");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask soak: FAILED: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,196 @@
+//! Chaos-soak harness driver — `cargo xtask soak`.
+//!
+//! Proves the streaming runtime's robustness contract end-to-end with
+//! real processes replaying a full trace through corrupted ingest:
+//!
+//! 1. **Replay.** Run the `soak` workload (`thermal-bench`): a fitted
+//!    reduced model served live from a CSV trace that is corrupted at
+//!    several intensities, jumbled out of order, duplicated, and
+//!    delivered by a flaky source — while the scripted outage kills
+//!    the deployed representative mid-trace. The workload itself
+//!    asserts zero panics (exit code), a bounded buffered depth, and
+//!    a prediction for every cluster on every slot.
+//! 2. **Determinism.** Run the workload three times — twice with
+//!    `THERMAL_THREADS=1` and once with `THERMAL_THREADS=4` — and
+//!    require the three soak reports to be **byte-identical**: the
+//!    final health/prediction state may not depend on repetition or
+//!    thread count.
+//!
+//! Nothing here measures wall-clock time, so the harness is
+//! meaningful on a single-core CI runner. `--smoke` trims the sweep
+//! (one simulated day, two intensities) for the in-`ci` pass; the
+//! dedicated CI job runs the full sweep.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+/// Fixed workload seed: the harness compares bytes, so every run must
+/// agree on it.
+const WORKLOAD_SEED: &str = "7";
+
+/// Full-sweep parameters: three simulated days across four corruption
+/// intensities (milli-units).
+const FULL_DAYS: &str = "3";
+const FULL_INTENSITIES: &str = "0,50,150,400";
+
+/// Smoke parameters: one day, the clean and a heavy intensity.
+const SMOKE_DAYS: &str = "1";
+const SMOKE_INTENSITIES: &str = "0,150";
+
+/// Runs the full harness.
+///
+/// # Errors
+///
+/// Returns a description of the first failed invariant: a workload
+/// run that exited non-zero (a panic or an in-process assertion), a
+/// missing `soak: ok` marker, or a report that differs between runs
+/// or thread counts.
+pub fn run(root: &Path, smoke: bool) -> Result<(), String> {
+    build_workload(root)?;
+    let bin = root
+        .join("target")
+        .join("release")
+        .join(format!("soak{}", std::env::consts::EXE_SUFFIX));
+    let base = root.join("target").join("soak");
+    let (days, intensities) = if smoke {
+        (SMOKE_DAYS, SMOKE_INTENSITIES)
+    } else {
+        (FULL_DAYS, FULL_INTENSITIES)
+    };
+
+    // One workload run per determinism axis: repetition (t1 vs
+    // t1-repeat) and thread count (t1 vs t4).
+    let runs: &[(&str, &str)] = &[("t1", "1"), ("t1-repeat", "1"), ("t4", "4")];
+    let mut reports: Vec<(String, Vec<u8>)> = Vec::new();
+    for &(label, threads) in runs {
+        let report = base.join(format!("report-{label}.json"));
+        remove_stale(&report)?;
+        eprintln!(
+            "xtask soak: run `{label}` (THERMAL_THREADS={threads}, days={days}, \
+             intensities={intensities})"
+        );
+        let stdout = run_workload(&bin, &report, threads, days, intensities)?;
+        if !stdout.lines().any(|l| l.trim() == "soak: ok") {
+            return Err(format!(
+                "run `{label}` exited cleanly but never printed `soak: ok`:\n{stdout}"
+            ));
+        }
+        if let Some(slots) = parse_marker(&stdout, "soak: slots = ") {
+            eprintln!("xtask soak: run `{label}` replayed {slots} slot(s) per intensity");
+        }
+        let bytes = fs::read(&report)
+            .map_err(|e| format!("run `{label}` left no report at {}: {e}", report.display()))?;
+        if bytes.is_empty() {
+            return Err(format!("run `{label}` wrote an empty report"));
+        }
+        reports.push((label.to_owned(), bytes));
+    }
+
+    let (ref_label, ref_bytes) = &reports[0];
+    for (label, bytes) in &reports[1..] {
+        if bytes != ref_bytes {
+            return Err(format!(
+                "soak report differs between run `{ref_label}` and run `{label}`: \
+                 final health/prediction state is not deterministic"
+            ));
+        }
+    }
+    eprintln!(
+        "xtask soak: {} byte-identical report(s) across repeated runs and thread counts",
+        reports.len()
+    );
+    Ok(())
+}
+
+/// Builds the workload binary once, in release mode.
+fn build_workload(root: &Path) -> Result<(), String> {
+    eprintln!("xtask soak: building soak workload (release)");
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "build",
+            "--release",
+            "--offline",
+            "-p",
+            "thermal-bench",
+            "--bin",
+            "soak",
+        ])
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("could not start cargo build: {e}"))?;
+    if !status.success() {
+        return Err(format!("soak workload build failed with {status}"));
+    }
+    Ok(())
+}
+
+/// Runs the workload once; requires exit code 0 (anything else is a
+/// panic, abort, or violated in-process invariant). Returns stdout.
+fn run_workload(
+    bin: &Path,
+    report: &Path,
+    threads: &str,
+    days: &str,
+    intensities: &str,
+) -> Result<String, String> {
+    let output = Command::new(bin)
+        .arg(report)
+        .args(["--seed", WORKLOAD_SEED])
+        .args(["--days", days])
+        .args(["--intensities", intensities])
+        .env("THERMAL_THREADS", threads)
+        .output()
+        .map_err(|e| format!("could not start {}: {e}", bin.display()))?;
+    if !output.status.success() {
+        return Err(format!(
+            "workload (THERMAL_THREADS={threads}) exited with {:?}, expected success\n\
+             stderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
+/// Extracts the value after `prefix` on the first matching stdout line.
+fn parse_marker(stdout: &str, prefix: &str) -> Option<String> {
+    stdout
+        .lines()
+        .find_map(|l| l.split(prefix).nth(1))
+        .map(|v| v.trim().to_owned())
+}
+
+/// Deletes a stale report so a failed run cannot pass on old bytes.
+fn remove_stale(report: &Path) -> Result<(), String> {
+    if let Some(parent) = report.parent() {
+        fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    match fs::remove_file(report) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(format!("remove stale {}: {e}", report.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_parsing_finds_values_and_tolerates_noise() {
+        let out = "soak: slots = 288\nsoak: ok\n";
+        assert_eq!(parse_marker(out, "soak: slots = ").as_deref(), Some("288"));
+        assert_eq!(parse_marker(out, "soak: missing = "), None);
+    }
+
+    #[test]
+    fn sweep_parameters_differ_between_smoke_and_full() {
+        // The smoke sweep must be a strict subset of the work (fewer
+        // days, fewer intensities), or ci would not be faster.
+        let smoke_days = SMOKE_DAYS.parse::<u32>().unwrap_or(u32::MAX);
+        let full_days = FULL_DAYS.parse::<u32>().unwrap_or(0);
+        assert!(smoke_days < full_days);
+        assert!(SMOKE_INTENSITIES.split(',').count() < FULL_INTENSITIES.split(',').count());
+    }
+}

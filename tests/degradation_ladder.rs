@@ -1,0 +1,237 @@
+//! The degradation ladder, exhaustively: every rung of
+//! `evaluate_degraded` (healthy → ranked backup → cluster mean →
+//! structured blackout), plus the property that *no* pattern of dead
+//! sensors can make the evaluation panic or error.
+//!
+//! Together with the streaming health-machine transition tests in
+//! `thermal-stream`, this pins the full failure-handling contract:
+//! batch evaluation here, live supervision there, both built on the
+//! same [`FallbackAction`] ladder.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use thermal_core::timeseries::{Channel, Dataset, Mask, TimeGrid, Timestamp};
+use thermal_core::{
+    ClusterCount, DegradationPolicy, FallbackAction, ReducedModel, SelectorKind, ThermalPipeline,
+};
+use thermal_sysid::ModelOrder;
+
+const N: usize = 300;
+const SENSORS: usize = 6;
+
+/// Six sensors in two thermal families of three (gains near +1 and
+/// −1), driven by one shared input — clusters of three so the ladder
+/// has a middle rung to land on.
+fn synth_dataset() -> Dataset {
+    let u: Vec<f64> = (0..N)
+        .map(|k| 0.5 + 0.5 * (k as f64 * 0.11).sin())
+        .collect();
+    let mut channels = vec![Channel::from_values("u", u.clone()).unwrap()];
+    let params = [
+        (1.0, 20.0),
+        (1.05, 20.1),
+        (1.1, 20.2),
+        (-1.0, 22.0),
+        (-0.95, 22.1),
+        (-0.9, 22.2),
+    ];
+    for (i, (gain, base)) in params.into_iter().enumerate() {
+        let mut t = vec![base];
+        for k in 0..N - 1 {
+            t.push(0.9 * t[k] + 0.1 * base + gain * 0.2 * u[k]);
+        }
+        channels.push(Channel::from_values(format!("s{i}"), t).unwrap());
+    }
+    let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, N).unwrap();
+    Dataset::new(grid, channels).unwrap()
+}
+
+fn fit_reduced(ds: &Dataset) -> ReducedModel {
+    ThermalPipeline::builder()
+        .cluster_count(ClusterCount::Fixed(2))
+        .selector(SelectorKind::NearMean)
+        .model_order(ModelOrder::First)
+        .build()
+        .unwrap()
+        .fit(
+            ds,
+            &["s0", "s1", "s2", "s3", "s4", "s5"],
+            &["u"],
+            &Mask::all(ds.grid()),
+        )
+        .unwrap()
+}
+
+/// Returns `ds` with the named channel blanked on `[start, end)`.
+fn kill_channel(ds: &Dataset, name: &str, start: usize, end: usize) -> Dataset {
+    let channels: Vec<Channel> = ds
+        .channels()
+        .iter()
+        .map(|ch| {
+            if ch.name() == name {
+                let values = ch
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| if (start..end).contains(&i) { None } else { *v })
+                    .collect();
+                Channel::new(ch.name(), values).unwrap()
+            } else {
+                ch.clone()
+            }
+        })
+        .collect();
+    Dataset::new(*ds.grid(), channels).unwrap()
+}
+
+/// The cluster (0 or 1) a sensor name belongs to in this fixture,
+/// resolved through the fitted clustering rather than assumed.
+fn cluster_of(reduced: &ReducedModel, name: &str) -> usize {
+    let idx = reduced
+        .all_channels()
+        .iter()
+        .position(|n| n == name)
+        .unwrap();
+    reduced.clustering().assignments()[idx]
+}
+
+#[test]
+fn backup_rung_engages_when_the_representative_dies() {
+    let ds = synth_dataset();
+    let reduced = fit_reduced(&ds);
+    let rep = reduced.selected_channels()[0].clone();
+    let c = cluster_of(&reduced, &rep);
+    let dead = kill_channel(&ds, &rep, 0, N);
+    let out = dead_eval(&reduced, &dead);
+    let event = out
+        .degradation
+        .events()
+        .iter()
+        .find(|e| e.representative == rep)
+        .unwrap();
+    assert_eq!(event.cluster, c);
+    assert!(
+        matches!(event.action, FallbackAction::Backup { .. }),
+        "expected the ranked-backup rung, got {:?}",
+        event.action
+    );
+    assert!(
+        out.report.is_some(),
+        "one dead rep must not kill evaluation"
+    );
+}
+
+#[test]
+fn cluster_mean_rung_engages_when_rep_and_backups_are_each_too_sparse() {
+    let ds = synth_dataset();
+    let reduced = fit_reduced(&ds);
+    let rep = reduced.selected_channels()[0].clone();
+    let c = cluster_of(&reduced, &rep);
+    // Kill the representative and every ranked backup so that each is
+    // individually below the 25 % coverage floor, but on staggered
+    // windows whose union still covers > 25 % of the trace: the
+    // per-slot cluster mean is then the only viable substitute.
+    let backups: Vec<String> = reduced
+        .selection()
+        .backups(c)
+        .iter()
+        .map(|&b| reduced.all_channels()[b].clone())
+        .collect();
+    assert!(!backups.is_empty(), "fixture needs ranked backups");
+    let mut dead = kill_channel(&ds, &rep, 0, 240); // 20 % left, at the end
+    let mut start = 30;
+    for b in &backups {
+        // Each backup keeps only a 30-slot (10 %) window, staggered.
+        dead = kill_channel(&dead, b, 0, start);
+        dead = kill_channel(&dead, b, start + 30, N);
+        start += 30;
+    }
+    let out = dead_eval(&reduced, &dead);
+    let event = out
+        .degradation
+        .events()
+        .iter()
+        .find(|e| e.representative == rep)
+        .unwrap();
+    assert!(
+        matches!(event.action, FallbackAction::ClusterMean { .. }),
+        "expected the cluster-mean rung, got {:?}",
+        event.action
+    );
+}
+
+#[test]
+fn whole_cluster_dead_is_a_structured_blackout_with_the_other_cluster_evaluable() {
+    let ds = synth_dataset();
+    let reduced = fit_reduced(&ds);
+    let rep = reduced.selected_channels()[0].clone();
+    let c = cluster_of(&reduced, &rep);
+    let mut dead = ds.clone();
+    for (i, name) in reduced.all_channels().iter().enumerate() {
+        if reduced.clustering().assignments()[i] == c {
+            dead = kill_channel(&dead, name, 0, N);
+        }
+    }
+    let out = dead_eval(&reduced, &dead);
+    assert_eq!(out.degradation.unavailable_clusters(), vec![c]);
+    let report = out.report.expect("the surviving cluster must evaluate");
+    assert_eq!(report.cluster_count(), 1);
+}
+
+fn dead_eval(reduced: &ReducedModel, ds: &Dataset) -> thermal_core::DegradedEvaluation {
+    reduced
+        .evaluate_degraded(ds, &Mask::all(ds.grid()), 50, &DegradationPolicy::default())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The robustness property behind the whole ladder: *any* subset
+    /// of sensors dying over *any* window — including every sensor at
+    /// once — yields `Ok` with one event per representative, never a
+    /// panic or an `Err`. Blackout shows up as `report: None` plus
+    /// `Unavailable` events, not as a failure.
+    #[test]
+    fn evaluate_degraded_is_total_over_dead_sensor_subsets(
+        dead_mask in 0_u32..(1 << SENSORS),
+        start in 0_usize..N / 2,
+        len in 1_usize..N,
+    ) {
+        let ds = synth_dataset();
+        let reduced = fit_reduced(&ds);
+        let mut faulty = ds.clone();
+        for s in 0..SENSORS {
+            if dead_mask & (1 << s) != 0 {
+                faulty = kill_channel(&faulty, &format!("s{s}"), start, (start + len).min(N));
+            }
+        }
+        let out = reduced
+            .evaluate_degraded(
+                &faulty,
+                &Mask::all(faulty.grid()),
+                50,
+                &DegradationPolicy::default(),
+            )
+            .unwrap();
+        // One event per representative, each with a definite action.
+        prop_assert_eq!(out.degradation.events().len(), reduced.selected_channels().len());
+        // A fully-dead deployment must still conclude, as a blackout.
+        if dead_mask == (1 << SENSORS) - 1 && start == 0 && len >= N {
+            prop_assert!(out.report.is_none());
+        }
+        // Healthy sensors (mask bit clear for every cluster member)
+        // mean that cluster cannot be Unavailable.
+        for (c, members) in reduced.clustering().clusters().iter().enumerate() {
+            let all_dead = members.iter().all(|&m| dead_mask & (1 << m) != 0);
+            if !all_dead {
+                prop_assert!(
+                    !out.degradation.unavailable_clusters().contains(&c),
+                    "cluster {} has live members but was blacked out", c
+                );
+            }
+        }
+    }
+}

@@ -2,10 +2,13 @@
 //! workspace's benchmarks.
 //!
 //! Runs each registered routine a small, fixed number of iterations
-//! with `std::time::Instant` timing and prints a one-line summary.
-//! It trades criterion's statistical rigor for zero dependencies; the
-//! bench entry points and registration macros are API-compatible so
-//! the real crate can be dropped back in.
+//! with `std::time::Instant` timing and prints a one-line summary of
+//! the **median** per-iteration wall time. The median (rather than
+//! the mean) keeps the summary meaningful on noisy shared single-CPU
+//! runners, where one preempted iteration would otherwise dominate
+//! the figure. It trades criterion's statistical rigor for zero
+//! dependencies; the bench entry points and registration macros are
+//! API-compatible so the real crate can be dropped back in.
 
 use std::time::{Duration, Instant};
 
@@ -28,16 +31,14 @@ pub enum BatchSize {
 /// Timing harness handed to each bench closure.
 pub struct Bencher {
     samples: usize,
-    total: Duration,
-    iters: u64,
+    durations: Vec<Duration>,
 }
 
 impl Bencher {
     fn new(samples: usize) -> Self {
         Bencher {
             samples,
-            total: Duration::ZERO,
-            iters: 0,
+            durations: Vec::with_capacity(samples),
         }
     }
 
@@ -46,8 +47,7 @@ impl Bencher {
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
-            self.total += start.elapsed();
-            self.iters += 1;
+            self.durations.push(start.elapsed());
         }
     }
 
@@ -61,21 +61,34 @@ impl Bencher {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            self.total += start.elapsed();
-            self.iters += 1;
+            self.durations.push(start.elapsed());
         }
     }
 
     fn report(&self, name: &str) {
-        let mean = if self.iters == 0 {
-            Duration::ZERO
-        } else {
-            self.total / u32::try_from(self.iters).unwrap_or(u32::MAX)
-        };
+        let median = median(&self.durations);
         println!(
-            "bench {name:<48} {mean:>12.3?}/iter over {} iters",
-            self.iters
+            "bench {name:<48} {median:>12.3?}/iter over {} iters",
+            self.durations.len()
         );
+    }
+}
+
+/// Median of the recorded per-iteration times (mean of the two middle
+/// elements for even counts); [`Duration::ZERO`] when nothing ran.
+/// One preempted iteration on a busy runner shifts a mean arbitrarily
+/// far, but leaves the median untouched.
+fn median(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
     }
 }
 
