@@ -13,6 +13,10 @@
 //! All artifacts (CSV outputs and checkpoints alike) are committed
 //! atomically — a crash mid-write never leaves a torn file behind.
 
+// Designated clock module (CLOCK_MODULES in xtask): the repro binary
+// times wall-clock phases for progress reporting only.
+#![allow(clippy::disallowed_methods)]
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -223,8 +223,9 @@ impl StreamService {
         let assignments = model.clustering().assignments().to_vec();
         let mut wiring = Vec::with_capacity(model.model().spec().outputs.len());
         for out in &model.model().spec().outputs {
-            let sensor = names[..sensor_count]
+            let sensor = names
                 .iter()
+                .take(sensor_count)
                 .position(|n| n == out)
                 .ok_or_else(|| StreamError::InvalidConfig {
                     reason: format!("model output {out:?} is not a deployment channel"),
@@ -320,9 +321,9 @@ impl StreamService {
     pub fn sensor_health(&self) -> Vec<SensorHealth> {
         self.machines
             .iter()
-            .enumerate()
-            .map(|(i, m)| SensorHealth {
-                name: self.names[i].clone(),
+            .zip(&self.names)
+            .map(|(m, name)| SensorHealth {
+                name: name.clone(),
                 state: m.state(),
                 transitions: m.transitions(),
                 implausible: m.implausible_total(),
@@ -357,24 +358,31 @@ impl StreamService {
             self.queue.push(*reading);
         }
         while let Some(reading) = self.queue.pop() {
-            self.reorders[reading.channel].offer(&reading);
+            // The admission check above guarantees the channel has a
+            // reorder buffer; `get_mut` keeps that proof local.
+            if let Some(reorder) = self.reorders.get_mut(reading.channel) {
+                reorder.offer(&reading);
+            }
         }
         let now_minutes = now.as_minutes();
-        for channel in 0..self.names.len() {
-            for (at, value) in self.reorders[channel].drain_ready(now) {
-                if channel < self.sensor_count {
-                    if self.machines[channel].on_reading(
-                        &self.config.health,
-                        at.as_minutes(),
-                        value,
-                    ) {
+        for (channel, reorder) in self.reorders.iter_mut().enumerate() {
+            for (at, value) in reorder.drain_ready(now) {
+                if let Some(machine) = self.machines.get_mut(channel) {
+                    if machine.on_reading(&self.config.health, at.as_minutes(), value) {
                         self.stats.applied += 1;
                     } else {
                         self.stats.implausible += 1;
                     }
                 } else if value.is_finite() {
-                    self.input_latest[channel - self.sensor_count] = Some(value);
-                    self.stats.applied += 1;
+                    // Channels past the sensors are inputs; the registry
+                    // gives every one an `input_latest` slot.
+                    if let Some(slot) = channel
+                        .checked_sub(self.sensor_count)
+                        .and_then(|i| self.input_latest.get_mut(i))
+                    {
+                        *slot = Some(value);
+                        self.stats.applied += 1;
+                    }
                 } else {
                     self.stats.implausible += 1;
                 }
@@ -389,9 +397,11 @@ impl StreamService {
     }
 
     /// `true` when a sensor's last known value may feed predictions.
+    /// Out-of-range indices are simply not usable.
     fn usable(&self, sensor: usize) -> bool {
-        self.machines[sensor].state().is_usable()
-            && self.machines[sensor].last_good_value().is_some()
+        self.machines
+            .get(sensor)
+            .is_some_and(|m| m.state().is_usable() && m.last_good_value().is_some())
     }
 
     /// Walks the substitution ladder for every model output and
@@ -403,9 +413,20 @@ impl StreamService {
         // without pretending precision (those clusters report
         // Unavailable anyway).
         let neutral = (p.min_value + p.max_value) / 2.0;
+        // Decide first (the ladder walk borrows `self` shared), then
+        // apply over the zipped per-output state — no indexing needed.
+        let decisions: Vec<(Option<f64>, FallbackAction)> = self
+            .wiring
+            .iter()
+            .map(|wire| self.substitute(wire))
+            .collect();
         let mut row = Vec::with_capacity(self.wiring.len());
-        for (o, wire) in self.wiring.iter().enumerate() {
-            let (value, action) = self.substitute(wire);
+        for ((slot, act), (value, action)) in self
+            .frozen
+            .iter_mut()
+            .zip(self.actions.iter_mut())
+            .zip(decisions)
+        {
             match action {
                 FallbackAction::Healthy => self.stats.healthy_outputs += 1,
                 FallbackAction::Backup { .. } => self.stats.backup_outputs += 1,
@@ -413,10 +434,10 @@ impl StreamService {
                 _ => self.stats.unavailable_outputs += 1,
             }
             if let Some(v) = value {
-                self.frozen[o] = Some(v);
+                *slot = Some(v);
             }
-            row.push(self.frozen[o].unwrap_or(neutral));
-            self.actions[o] = action;
+            row.push(slot.unwrap_or(neutral));
+            *act = action;
         }
         let warmup = self.model.model().spec().order.warmup();
         self.history.push_back(row);
@@ -430,16 +451,22 @@ impl StreamService {
     fn substitute(&self, wire: &OutputWiring) -> (Option<f64>, FallbackAction) {
         if self.usable(wire.sensor) {
             return (
-                self.machines[wire.sensor].last_good_value(),
+                self.machines
+                    .get(wire.sensor)
+                    .and_then(|m| m.last_good_value()),
                 FallbackAction::Healthy,
             );
         }
         for &backup in self.model.selection().backups(wire.cluster) {
-            if backup < self.sensor_count && self.usable(backup) {
+            if backup >= self.sensor_count || !self.usable(backup) {
+                continue;
+            }
+            if let (Some(machine), Some(name)) = (self.machines.get(backup), self.names.get(backup))
+            {
                 return (
-                    self.machines[backup].last_good_value(),
+                    machine.last_good_value(),
                     FallbackAction::Backup {
-                        substitute: self.names[backup].clone(),
+                        substitute: name.clone(),
                     },
                 );
             }
@@ -452,7 +479,7 @@ impl StreamService {
         let mut count = 0_usize;
         for &m in members {
             if m < self.sensor_count && self.usable(m) {
-                if let Some(v) = self.machines[m].last_good_value() {
+                if let Some(v) = self.machines.get(m).and_then(|mach| mach.last_good_value()) {
                     sum += v;
                     count += 1;
                 }
@@ -490,8 +517,8 @@ impl StreamService {
                 initial.row_mut(k).copy_from_slice(past);
             }
             let mut u = Matrix::zeros(1, input_count);
-            for (j, v) in self.input_latest.iter().enumerate() {
-                u.row_mut(0)[j] = v.unwrap_or(0.0);
+            for (slot, v) in u.row_mut(0).iter_mut().zip(&self.input_latest) {
+                *slot = v.unwrap_or(0.0);
             }
             // A dimension error here would be a wiring bug; degrade to
             // the nowcast rather than surfacing an Err from a serving
@@ -511,20 +538,24 @@ impl StreamService {
             let mut sum = 0.0;
             let mut count = 0_usize;
             let mut action = FallbackAction::Unavailable;
-            for (o, wire) in self.wiring.iter().enumerate() {
+            let outputs = self
+                .wiring
+                .iter()
+                .zip(&self.actions)
+                .zip(&self.frozen)
+                .enumerate();
+            for (o, ((wire, act), frozen)) in outputs {
                 if wire.cluster != c {
                     continue;
                 }
-                if self.actions[o] == FallbackAction::Unavailable {
+                if *act == FallbackAction::Unavailable {
                     continue;
                 }
-                let value = row
-                    .as_ref()
-                    .map_or_else(|| self.frozen[o], |r| r.get(o).copied());
+                let value = row.as_ref().map_or(*frozen, |r| r.get(o).copied());
                 if let Some(v) = value {
                     sum += v;
                     count += 1;
-                    action = Self::worse(&action, &self.actions[o]);
+                    action = Self::worse(&action, act);
                 }
             }
             clusters.push(if count > 0 {

@@ -3,7 +3,7 @@
 //! The in-memory form of the auditorium trace: channels share a grid
 //! and carry optional samples so sensor gaps stay explicit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -42,7 +42,7 @@ pub struct Dataset {
     grid: TimeGrid,
     channels: Vec<Channel>,
     #[serde(skip)]
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl Dataset {
@@ -54,7 +54,7 @@ impl Dataset {
     ///   differs from the grid length,
     /// * [`TimeSeriesError::DuplicateChannel`] for repeated names.
     pub fn new(grid: TimeGrid, channels: Vec<Channel>) -> Result<Self> {
-        let mut index = HashMap::with_capacity(channels.len());
+        let mut index = BTreeMap::new();
         for (i, ch) in channels.iter().enumerate() {
             if ch.len() != grid.len() {
                 return Err(TimeSeriesError::LengthMismatch {
@@ -287,7 +287,7 @@ impl Dataset {
             }
         }
         // slot counts and present counts per day
-        let mut per_day: HashMap<i64, (usize, usize)> = HashMap::new();
+        let mut per_day: BTreeMap<i64, (usize, usize)> = BTreeMap::new();
         for (i, t) in self.grid.iter() {
             let e = per_day.entry(t.day()).or_insert((0, 0));
             e.0 += 1;
@@ -441,5 +441,22 @@ mod tests {
         assert_eq!(ds.usable_days(&[0], 0.9).unwrap(), vec![1]);
         assert_eq!(ds.usable_days(&[0], 0.4).unwrap(), vec![0, 1]);
         assert!(ds.usable_days(&[3], 0.5).is_err());
+    }
+
+    #[test]
+    fn usable_days_order_is_pinned() {
+        // Pinning test for the determinism contract: the per-day
+        // aggregation is backed by a BTreeMap, so the output is the
+        // ascending day order on every run of every process — a
+        // HashMap here would only be saved by the trailing sort, and
+        // the lint gate (`unordered-container`) forbids it outright.
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 60, 24 * 5).unwrap();
+        let values: Vec<Option<f64>> = (0..24 * 5).map(|_| Some(21.0)).collect();
+        let ds = Dataset::new(grid, vec![Channel::new("t", values).unwrap()]).unwrap();
+        let once = ds.usable_days(&[0], 0.5).unwrap();
+        let twice = ds.usable_days(&[0], 0.5).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(once, vec![0, 1, 2, 3, 4]);
+        assert!(once.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -25,6 +25,9 @@ pub struct AllowEntry {
     pub reason: String,
     /// Maximum number of occurrences covered.
     pub count: usize,
+    /// 1-based line of the entry's `[[allow]]` header, for
+    /// duplicate-entry diagnostics.
+    pub start_line: usize,
     /// Occurrences consumed so far in this run.
     used: Cell<usize>,
 }
@@ -116,12 +119,27 @@ impl Allowlist {
                 rule: p.rule.clone(),
                 reason: p.reason.clone().ok_or_else(|| missing("reason"))?,
                 count: p.count,
+                start_line: p.start_line,
                 used: Cell::new(0),
             };
             if entry.reason.trim().is_empty() {
                 return Err(AllowlistError {
                     line: p.start_line,
                     message: "`reason` must be a non-empty justification".to_owned(),
+                });
+            }
+            // Dedupe: two entries covering the same (path, pattern,
+            // rule) widen the budget silently — that is itself a
+            // violation, reported at the second entry.
+            if let Some(dup) = entries.iter().find(|e: &&AllowEntry| {
+                e.path == entry.path && e.pattern == entry.pattern && e.rule == entry.rule
+            }) {
+                return Err(AllowlistError {
+                    line: p.start_line,
+                    message: format!(
+                        "duplicate of the entry at line {} (path = \"{}\", pattern = \"{}\"); merge them and adjust `count`",
+                        dup.start_line, dup.path, dup.pattern
+                    ),
                 });
             }
             entries.push(entry);
@@ -249,6 +267,23 @@ reason = "guarded by is_some() on the previous line"
         }
         let err = Allowlist::parse(&text).unwrap_err();
         assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn rejects_duplicate_entries_with_line_numbers() {
+        let err = Allowlist::parse(
+            "[[allow]]\npath = \"a.rs\"\npattern = \"x\"\nreason = \"r\"\n\n\
+             [[allow]]\npath = \"a.rs\"\npattern = \"x\"\nreason = \"other words\"\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 6, "error points at the second entry");
+        assert!(err.message.contains("duplicate of the entry at line 1"));
+        // Same pattern under a different rule is a distinct entry.
+        let ok = Allowlist::parse(
+            "[[allow]]\npath = \"a.rs\"\npattern = \"x\"\nrule = \"forbidden-call\"\nreason = \"r\"\n\n\
+             [[allow]]\npath = \"a.rs\"\npattern = \"x\"\nrule = \"hot-path-index\"\nreason = \"r\"\n",
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! Hand-rolled token-level lexer for the static-analysis engine.
+//!
+//! The container is offline, so `syn` is unavailable; this lexer is a
+//! deliberately small subset of the Rust lexical grammar — exactly
+//! enough for convention checking, not compilation:
+//!
+//! - identifiers (including raw `r#ident`), lifetimes, and the
+//!   keyword set as plain [`TokenKind::Ident`] tokens;
+//! - string, raw-string (any `#` depth), byte-string, char and byte
+//!   literals as *atomic* tokens, so nothing inside a literal is ever
+//!   mistaken for code;
+//! - numeric literals including `1_000`, `0xFF`, `1.5e-3`;
+//! - line comments, **nested** block comments and doc comments are
+//!   stripped (the line-based predecessor could not nest);
+//! - multi-character operators (`::`, `->`, `..=`, `>>=`, …) lexed as
+//!   single [`TokenKind::Punct`] tokens by longest match, so `>>` in
+//!   a turbofish is never confused with two closing angles by
+//!   accident.
+//!
+//! Every token carries a 1-based `(line, column)` span (columns count
+//! bytes, matching what editors display for ASCII source). The lexer
+//! never fails: malformed input degrades to single-byte punct tokens,
+//! which is the right behavior for a linter that must not crash on
+//! the code it criticises.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`, `as`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// `"…"` or `b"…"` string literal (escapes resolved lexically,
+    /// content opaque).
+    Str,
+    /// `r"…"`, `r#"…"#`, `br"…"` raw string literal at any `#` depth.
+    RawStr,
+    /// `'x'` or `b'\n'` char/byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Operator or delimiter, possibly multi-byte (`::`, `..=`, `{`).
+    Punct,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based byte column on that line.
+    pub col: usize,
+}
+
+impl Token {
+    /// `true` when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// All tokens in source order (comments and whitespace stripped).
+    pub tokens: Vec<Token>,
+    /// Whether the first non-whitespace bytes open a module doc
+    /// (`//!` or `/*!`).
+    pub has_module_doc: bool,
+}
+
+/// Multi-byte operators, longest first so the scanner can take the
+/// first match.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scanner state: byte cursor plus human line/column tracking.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.i..].starts_with(s.as_bytes())
+    }
+
+    /// Consumes one byte, updating line/column bookkeeping.
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.i) {
+            self.i += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.bytes.len()
+    }
+}
+
+/// Lexes a whole source file. Never fails — see the module doc.
+pub fn lex(src: &str) -> LexedFile {
+    let trimmed = src.trim_start();
+    let has_module_doc = trimmed.starts_with("//!") || trimmed.starts_with("/*!");
+    let mut c = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while !c.eof() {
+        let Some(b) = c.peek(0) else { break };
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        // Line comments (incl. doc comments).
+        if c.starts_with("//") {
+            while !c.eof() && c.peek(0) != Some(b'\n') {
+                c.bump();
+            }
+            continue;
+        }
+        // Nested block comments.
+        if c.starts_with("/*") {
+            let mut depth = 0_usize;
+            while !c.eof() {
+                if c.starts_with("/*") {
+                    depth += 1;
+                    c.bump_n(2);
+                } else if c.starts_with("*/") {
+                    depth -= 1;
+                    c.bump_n(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    c.bump();
+                }
+            }
+            continue;
+        }
+        let (line, col) = (c.line, c.col);
+        let start = c.i;
+        // Raw strings / raw identifiers / byte literals / identifiers.
+        if is_ident_start(b) {
+            if let Some(tok) = lex_prefixed_literal(&mut c) {
+                tokens.push(Token { line, col, ..tok });
+                continue;
+            }
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            tokens.push(token_at(TokenKind::Ident, &c, start, line, col));
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            lex_number(&mut c);
+            tokens.push(token_at(TokenKind::Num, &c, start, line, col));
+            continue;
+        }
+        // Strings.
+        if b == b'"' {
+            lex_quoted(&mut c);
+            tokens.push(token_at(TokenKind::Str, &c, start, line, col));
+            continue;
+        }
+        // Char literal or lifetime.
+        if b == b'\'' {
+            let kind = lex_char_or_lifetime(&mut c);
+            tokens.push(token_at(kind, &c, start, line, col));
+            continue;
+        }
+        // Multi-byte punctuation, longest match first.
+        if let Some(p) = PUNCTS.iter().find(|p| c.starts_with(p)) {
+            c.bump_n(p.len());
+            tokens.push(token_at(TokenKind::Punct, &c, start, line, col));
+            continue;
+        }
+        // Single-byte punctuation (also the malformed-input fallback).
+        c.bump();
+        tokens.push(token_at(TokenKind::Punct, &c, start, line, col));
+    }
+    LexedFile {
+        tokens,
+        has_module_doc,
+    }
+}
+
+fn token_at(kind: TokenKind, c: &Cursor<'_>, start: usize, line: usize, col: usize) -> Token {
+    Token {
+        kind,
+        text: String::from_utf8_lossy(&c.bytes[start..c.i]).into_owned(),
+        line,
+        col,
+    }
+}
+
+/// Handles `r"…"`, `r#…#`-depth raw strings, `r#ident`, `b'…'`,
+/// `b"…"`, and `br"…"` — all the literal forms that *start* with an
+/// identifier byte. Returns `None` when the cursor actually sits on a
+/// plain identifier.
+fn lex_prefixed_literal(c: &mut Cursor<'_>) -> Option<Token> {
+    let start = c.i;
+    let b0 = c.peek(0)?;
+    // b'…' byte char.
+    if b0 == b'b' && c.peek(1) == Some(b'\'') {
+        c.bump();
+        lex_char_body(c);
+        return Some(raw_token(TokenKind::Char, c, start));
+    }
+    // b"…" byte string.
+    if b0 == b'b' && c.peek(1) == Some(b'"') {
+        c.bump();
+        lex_quoted(c);
+        return Some(raw_token(TokenKind::Str, c, start));
+    }
+    // r / br raw strings at any # depth; r#ident raw identifiers.
+    let hash_offset = match (b0, c.peek(1)) {
+        (b'r', _) => 1,
+        (b'b', Some(b'r')) => 2,
+        _ => return None,
+    };
+    let mut hashes = 0;
+    while c.peek(hash_offset + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    match c.peek(hash_offset + hashes) {
+        Some(b'"') => {
+            c.bump_n(hash_offset + hashes + 1);
+            let mut closer = vec![b'"'];
+            closer.extend(std::iter::repeat_n(b'#', hashes));
+            while !c.eof() && !c.bytes[c.i..].starts_with(&closer) {
+                c.bump();
+            }
+            c.bump_n(closer.len().min(c.bytes.len() - c.i));
+            Some(raw_token(TokenKind::RawStr, c, start))
+        }
+        // `r#ident` raw identifier: lex as a plain identifier.
+        Some(bb) if hash_offset == 1 && hashes == 1 && is_ident_start(bb) => {
+            c.bump_n(2);
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            Some(raw_token(TokenKind::Ident, c, start))
+        }
+        _ => None,
+    }
+}
+
+fn raw_token(kind: TokenKind, c: &Cursor<'_>, start: usize) -> Token {
+    Token {
+        kind,
+        text: String::from_utf8_lossy(&c.bytes[start..c.i]).into_owned(),
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Consumes a `"…"` body (opening quote under the cursor), honoring
+/// backslash escapes. Unterminated strings run to end of file.
+fn lex_quoted(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'\\' => c.bump_n(2),
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Byte length of the UTF-8 sequence whose lead byte is `b` (1 for
+/// ASCII and for invalid lead bytes, so malformed input still makes
+/// progress).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf7 => 4,
+        _ => 1,
+    }
+}
+
+/// Consumes a `'…'` char-literal body (opening quote under cursor).
+fn lex_char_body(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    match c.peek(0) {
+        Some(b'\\') => {
+            c.bump();
+            if c.peek(0) == Some(b'u') {
+                // \u{…}
+                while !c.eof() && c.peek(0) != Some(b'}') && c.peek(0) != Some(b'\'') {
+                    c.bump();
+                }
+                if c.peek(0) == Some(b'}') {
+                    c.bump();
+                }
+            } else {
+                c.bump();
+            }
+        }
+        // A whole character, not a byte: `'°'` is two bytes of body.
+        Some(b) => c.bump_n(utf8_len(b)),
+        None => return,
+    }
+    if c.peek(0) == Some(b'\'') {
+        c.bump();
+    }
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` / `'static`
+/// (lifetime) with bounded lookahead, then consumes the token.
+fn lex_char_or_lifetime(c: &mut Cursor<'_>) -> TokenKind {
+    // '\… is always a char literal.
+    if c.peek(1) == Some(b'\\') {
+        lex_char_body(c);
+        return TokenKind::Char;
+    }
+    // 'x' (ident char then closing quote) is a char literal; 'x
+    // followed by anything else is a lifetime. Non-ident chars ('(',
+    // ' ') are char literals too.
+    match c.peek(1) {
+        Some(bb) if is_ident_start(bb) || bb.is_ascii_digit() => {
+            if c.peek(1 + utf8_len(bb)) == Some(b'\'') {
+                lex_char_body(c);
+                TokenKind::Char
+            } else {
+                c.bump(); // quote
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                TokenKind::Lifetime
+            }
+        }
+        _ => {
+            lex_char_body(c);
+            TokenKind::Char
+        }
+    }
+}
+
+/// Consumes a numeric literal: decimal/underscore digits, base
+/// prefixes, a fractional part (only when followed by a digit, so
+/// ranges like `0..n` survive), and signed exponents.
+fn lex_number(c: &mut Cursor<'_>) {
+    let mut prev = 0_u8;
+    while let Some(b) = c.peek(0) {
+        let take = match b {
+            b'0'..=b'9' | b'_' => true,
+            b'a'..=b'd' | b'f'..=b'z' | b'A'..=b'D' | b'F'..=b'Z' => true,
+            b'e' | b'E' => true,
+            b'+' | b'-' => matches!(prev, b'e' | b'E'),
+            b'.' => c.peek(1).is_some_and(|n| n.is_ascii_digit()) && !matches!(prev, b'.'),
+            _ => false,
+        };
+        if !take {
+            break;
+        }
+        prev = b;
+        c.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("fn f(x: u32) -> u32 { x }");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "f", "(", "x", ":", "u32", ")", "->", "u32", "{", "x", "}"]
+        );
+        assert_eq!(toks[7].0, TokenKind::Punct);
+        assert_eq!(toks[0].0, TokenKind::Ident);
+    }
+
+    #[test]
+    fn multibyte_puncts_longest_match() {
+        let texts: Vec<(TokenKind, String)> = kinds("a..=b >>= c :: d .. e");
+        let ops: Vec<&str> = texts.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(ops, vec!["a", "..=", "b", ">>=", "c", "::", "d", "..", "e"]);
+    }
+
+    #[test]
+    fn strings_are_atomic() {
+        let toks = kinds(r#"let s = "x.unwrap() } { \" done";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        // Nothing inside the string leaked out as tokens.
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert!(!toks.iter().any(|(_, t)| t == "{"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = "let a = r\"x}\"; let b = r##\"y\"# }\"##; let c = br#\"z\"#;";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::RawStr).count(),
+            3
+        );
+        // The brace inside the raw strings never surfaced.
+        assert!(!toks.iter().any(|(_, t)| t == "}"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; let u = '\u{7f}'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn multibyte_char_literals_stay_whole() {
+        // Regression (found by the property tests): the char body must
+        // consume whole characters, not single bytes — `'°'` is a
+        // two-byte body and `b'°` must not split the sequence.
+        let toks = kinds("let a = '°'; let b = 'é';");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'°'", "'é'"]);
+        let toks = kinds("b'°((");
+        assert!(toks
+            .iter()
+            .all(|(_, t)| std::str::from_utf8(t.as_bytes()).is_ok()));
+        assert!(!toks.iter().any(|(_, t)| t.contains('\u{fffd}')));
+    }
+
+    #[test]
+    fn nested_block_comments_strip() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3 + 0xFF; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "0xFF"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn method_on_float_literal_is_not_swallowed() {
+        let toks = kinds("let x = 1.0.floor();");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"1.0"));
+        assert!(texts.contains(&"floor"));
+    }
+
+    #[test]
+    fn spans_are_one_based_byte_columns() {
+        let f = lex("ab cd\n  efg");
+        assert_eq!((f.tokens[0].line, f.tokens[0].col), (1, 1));
+        assert_eq!((f.tokens[1].line, f.tokens[1].col), (1, 4));
+        assert_eq!((f.tokens[2].line, f.tokens[2].col), (2, 3));
+    }
+
+    #[test]
+    fn module_doc_detection() {
+        assert!(lex("//! doc\nfn f() {}\n").has_module_doc);
+        assert!(lex("\n  //! doc\n").has_module_doc);
+        assert!(lex("/*! doc */\n").has_module_doc);
+        assert!(!lex("// plain\nfn f() {}\n").has_module_doc);
+        assert!(!lex("fn f() {}\n").has_module_doc);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang_or_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'a", "b'", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

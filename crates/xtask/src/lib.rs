@@ -6,7 +6,11 @@
 //! gate requires `cargo xtask lint` to fail on a seeded violation.
 
 pub mod allowlist;
+pub mod baseline;
 pub mod bench;
 pub mod chaos;
 pub mod checks;
+pub mod json;
+pub mod lexer;
+pub mod model;
 pub mod soak;

@@ -4,7 +4,9 @@
 //!
 //! Commands:
 //!
-//! - `cargo xtask lint` — custom source-level conventions gate.
+//! - `cargo xtask lint [--json] [--report <p>] [--update-baseline]` —
+//!   token-level static-analysis gate with a ratcheted baseline (see
+//!   DESIGN.md § static analysis v2).
 //! - `cargo xtask fmt` — `cargo fmt --all`.
 //! - `cargo xtask ci` — fmt-check → clippy → lint → build → test →
 //!   fault-matrix smoke → determinism smoke → chaos smoke → soak
@@ -75,7 +77,11 @@ fn print_help() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n\
-         \x20 lint [--root <dir>]  run the custom static-analysis gate\n\
+         \x20 lint [--root <dir>]  run the token-level static-analysis gate\n\
+         \x20      [--json]        print the canonical JSON report to stdout\n\
+         \x20      [--report <p>]  write the JSON report to <p> (atomic)\n\
+         \x20      [--update-baseline]  rewrite xtask/lint-baseline.json\n\
+         \x20                      (ratcheted: per-rule counts may only shrink)\n\
          \x20 fmt                  format the workspace (cargo fmt --all)\n\
          \x20 ci                   fmt-check, clippy, lint, build, test, fault-matrix,\n\
          \x20                      determinism/chaos/soak smokes, quick bench (informational)\n\
@@ -91,28 +97,94 @@ fn print_help() {
 }
 
 fn lint(args: &[String]) -> ExitCode {
-    let root = match args {
-        [] => workspace_root(),
-        [flag, dir] if flag == "--root" => PathBuf::from(dir),
-        _ => {
-            eprintln!("xtask lint: expected no arguments or `--root <dir>`");
-            return ExitCode::FAILURE;
-        }
-    };
-    match xtask::checks::run_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
+    let mut root = workspace_root();
+    let mut json = false;
+    let mut report: Option<PathBuf> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("xtask lint: --root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => json = true,
+            "--report" => match it.next() {
+                Some(path) => report = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("xtask lint: --report needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--update-baseline" => update = true,
+            other => {
+                eprintln!(
+                    "xtask lint: unknown argument `{other}` (expected --root <dir>, --json, \
+                     --report <path>, --update-baseline)"
+                );
+                return ExitCode::FAILURE;
             }
-            eprintln!(
-                "xtask lint: {} violation(s); see xtask/lint-allow.toml for the exception policy",
-                violations.len()
-            );
-            ExitCode::FAILURE
+        }
+    }
+
+    if update {
+        return match xtask::checks::update_baseline(&root) {
+            Ok(xtask::checks::BaselineUpdate::Written { entries }) => {
+                eprintln!("xtask lint: baseline rewritten with {entries} entrie(s)");
+                ExitCode::SUCCESS
+            }
+            Ok(xtask::checks::BaselineUpdate::Refused { reason }) => {
+                eprintln!("xtask lint: baseline update refused: {reason}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: i/o error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match xtask::checks::run_workspace(&root) {
+        Ok(lint_report) => {
+            if json {
+                print!("{}", lint_report.render_json());
+            }
+            if let Some(path) = &report {
+                let path = if path.is_absolute() {
+                    path.clone()
+                } else {
+                    root.join(path)
+                };
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if let Err(e) =
+                    thermal_ckpt::write_atomic(&path, lint_report.render_json().as_bytes())
+                {
+                    eprintln!("xtask lint: could not write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("xtask lint: report written to {}", path.display());
+            }
+            let active: Vec<_> = lint_report.active().collect();
+            if active.is_empty() {
+                let (_, allowlisted, baselined) = lint_report.counts();
+                eprintln!("xtask lint: clean ({allowlisted} allowlisted, {baselined} baselined)");
+                ExitCode::SUCCESS
+            } else {
+                for v in &active {
+                    eprintln!("{v}");
+                }
+                eprintln!(
+                    "xtask lint: {} violation(s); see xtask/lint-allow.toml and \
+                     xtask/lint-baseline.json for the exception policy",
+                    active.len()
+                );
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("xtask lint: i/o error: {e}");
@@ -196,8 +268,10 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
+    // Lint gate, with the machine-readable report dropped where the
+    // CI workflow picks it up as an artifact.
     eprintln!("xtask: lint");
-    let code = lint(&[]);
+    let code = lint(&["--report".to_owned(), "target/lint-report.json".to_owned()]);
     if code != ExitCode::SUCCESS {
         return code;
     }

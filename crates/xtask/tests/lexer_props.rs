@@ -1,0 +1,140 @@
+//! Property-based tests of the lint engine's hand-rolled lexer: the
+//! lexer must never panic or hang on arbitrary input, spans must point
+//! at the bytes they claim, and well-formed token streams must survive
+//! a lex round-trip unchanged (with comments stripped).
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use xtask::lexer::{lex, TokenKind};
+
+/// Arbitrary printable-ish source soup, including quote and comment
+/// openers that never close.
+fn soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..96u8, 0..200).prop_map(|v| {
+        v.into_iter()
+            .map(|b| {
+                // Bias into the interesting alphabet: idents, quotes,
+                // braces, comment openers, newlines, unicode.
+                let alphabet: &[char] = &[
+                    'a', 'b', '_', '0', '7', ' ', '\n', '\t', '"', '\'', '#', 'r', '/', '*', '{',
+                    '}', '[', ']', '(', ')', '.', ':', '<', '>', '=', '+', '-', '!', '&', '|', ';',
+                    ',', '°', 'é',
+                ];
+                alphabet[(b as usize) % alphabet.len()]
+            })
+            .collect()
+    })
+}
+
+/// A lowercase identifier, 1–7 letters.
+fn word() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26u8, 1..8)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b'a' + b)).collect())
+}
+
+/// A single token's worth of well-formed source text, paired with the
+/// kind the lexer must assign it.
+fn well_formed_token() -> impl Strategy<Value = (String, TokenKind)> {
+    (0u8..5u8, word(), 0u64..100_000).prop_map(|(pick, word, num)| match pick {
+        0 => (word, TokenKind::Ident),
+        1 => (format!("{num}"), TokenKind::Num),
+        2 => (format!("\"{word}\""), TokenKind::Str),
+        3 => (format!("r#\"{word}\"#"), TokenKind::RawStr),
+        _ => ("::".to_owned(), TokenKind::Punct),
+    })
+}
+
+/// String-literal body made only of bytes that need no escaping but
+/// look like code (braces, comment openers, dots).
+fn literal_body() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..11u8, 0..40).prop_map(|v| {
+        v.into_iter()
+            .map(|b| {
+                let alphabet: &[char] = &['a', '{', '}', '(', ')', '[', ']', '/', '*', '.', ' '];
+                alphabet[(b as usize) % alphabet.len()]
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Total on arbitrary input: never panics, and every token's span
+    /// points at source bytes whose line actually starts with the
+    /// token's text at the claimed column.
+    #[test]
+    fn lexing_never_fails_and_spans_point_at_their_bytes(src in soup()) {
+        let lexed = lex(&src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut last = (0usize, 0usize);
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.col >= 1);
+            prop_assert!(!t.text.is_empty());
+            // Strictly increasing source order.
+            prop_assert!((t.line, t.col) > last, "token order regressed at {:?}", t);
+            last = (t.line, t.col);
+            // The first line of the token's text occurs at its span.
+            let line = lines.get(t.line - 1).copied().unwrap_or("");
+            let first = t.text.lines().next().unwrap_or("");
+            prop_assert!(
+                line.len() >= t.col - 1,
+                "column past end of line for {:?}",
+                t
+            );
+            prop_assert!(
+                line.as_bytes()[t.col - 1..].starts_with(first.as_bytes()),
+                "span mismatch: token {:?} vs line {:?}",
+                t,
+                line
+            );
+        }
+    }
+
+    /// Deterministic: the same input lexes to the same tokens.
+    #[test]
+    fn lexing_is_deterministic(src in soup()) {
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.tokens, b.tokens);
+        prop_assert_eq!(a.has_module_doc, b.has_module_doc);
+    }
+
+    /// Round-trip: a stream of well-formed tokens joined by whitespace
+    /// (and stripped comments) lexes back to exactly those tokens.
+    #[test]
+    fn well_formed_streams_round_trip(
+        parts in prop::collection::vec(well_formed_token(), 0..24),
+        with_comments in any::<bool>(),
+    ) {
+        let sep = if with_comments { " /* zap */ " } else { "\n" };
+        let src: String = parts
+            .iter()
+            .map(|(text, _)| text.as_str())
+            .collect::<Vec<_>>()
+            .join(sep);
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.tokens.len(), parts.len());
+        for (tok, (text, kind)) in lexed.tokens.iter().zip(&parts) {
+            prop_assert_eq!(&tok.text, text);
+            prop_assert_eq!(tok.kind, *kind);
+        }
+    }
+
+    /// Literal atomicity: anything between plain quotes is one opaque
+    /// token — brace soup inside a string never reaches the parser.
+    #[test]
+    fn string_bodies_are_atomic(body in literal_body()) {
+        let src = format!("a = \"{body}\";");
+        let lexed = lex(&src);
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        prop_assert_eq!(strings.len(), 1);
+        prop_assert_eq!(&strings[0].text, &format!("\"{body}\""));
+        // a, =, the string, ; — nothing inside the literal leaks out.
+        prop_assert_eq!(lexed.tokens.len(), 4);
+    }
+}

@@ -30,14 +30,46 @@ impl Fixture {
         std::fs::write(self.root.join("crates/demo/src/lib.rs"), content).unwrap();
     }
 
+    /// Writes any workspace-relative file, creating parent dirs — used
+    /// to place fixtures at designated hot-path/clock module paths.
+    /// Files under `crates/<name>/` get a minimal manifest too, since
+    /// the walker only visits crate dirs that carry a `Cargo.toml`.
+    fn write_file(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, content).unwrap();
+        if let Some(name) = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+        {
+            let manifest = self.root.join("crates").join(name).join("Cargo.toml");
+            if !manifest.exists() {
+                std::fs::write(
+                    manifest,
+                    format!(
+                        "[package]\nname = \"{name}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[lints]\nworkspace = true\n"
+                    ),
+                )
+                .unwrap();
+            }
+        }
+    }
+
     fn lint(&self) -> (bool, String) {
+        let (ok, _, stderr) = self.lint_args(&[]);
+        (ok, stderr)
+    }
+
+    fn lint_args(&self, extra: &[&str]) -> (bool, String, String) {
         let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
             .args(["lint", "--root"])
             .arg(&self.root)
+            .args(extra)
             .output()
             .expect("xtask binary runs");
         (
             out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
             String::from_utf8_lossy(&out.stderr).into_owned(),
         )
     }
@@ -89,6 +121,167 @@ fn allowlist_suppresses_seeded_violation_but_stale_entries_fail() {
     assert!(
         stderr.contains("stale-allow"),
         "stderr names the rule: {stderr}"
+    );
+}
+
+/// Every new rule family fires on a seeded fixture with a
+/// span-accurate `file:line:column` diagnostic naming the rule.
+#[test]
+fn each_new_rule_fires_with_an_accurate_span() {
+    let cases: &[(&str, &str, &str, &str)] = &[
+        (
+            "crates/demo/src/lib.rs",
+            "//! Demo.\nuse std::collections::HashMap;\n/// D.\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+            "unordered-container",
+            "lib.rs:2:23",
+        ),
+        (
+            "crates/demo/src/lib.rs",
+            "//! Demo.\n/// D.\npub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+            "ambient-authority",
+            "lib.rs:4:16",
+        ),
+        (
+            "crates/demo/src/lib.rs",
+            "//! Demo.\n/// D.\npub fn f(m: &std::collections::BTreeMap<u32, f64>) -> f64 {\n    m.values().sum()\n}\n",
+            "float-reduction-order",
+            "lib.rs:4:16",
+        ),
+        (
+            "crates/stream/src/service.rs",
+            "//! Demo hot path.\n/// D.\npub fn f(xs: &[f64], i: usize) -> f64 {\n    xs[i]\n}\n",
+            "hot-path-index",
+            "service.rs:4:7",
+        ),
+    ];
+    for (rel, source, rule, span) in cases {
+        let fx = Fixture::new(&format!("rule-{rule}"));
+        fx.write_file(rel, source);
+        let (ok, stderr) = fx.lint();
+        assert!(!ok, "{rule} fixture must fail the gate: {stderr}");
+        assert!(stderr.contains(rule), "stderr names {rule}: {stderr}");
+        assert!(
+            stderr.contains(span),
+            "diagnostic carries span {span}: {stderr}"
+        );
+    }
+
+    let fx = Fixture::new("rule-hot-path-arith");
+    fx.write_file(
+        "crates/stream/src/service.rs",
+        "//! Demo hot path.\n/// D.\npub fn f(xs: &[f64], i: usize) -> f64 {\n    xs[i + 1]\n}\n",
+    );
+    let (ok, stderr) = fx.lint();
+    assert!(!ok, "hot-path-arith fixture must fail: {stderr}");
+    assert!(
+        stderr.contains("hot-path-arith"),
+        "names the rule: {stderr}"
+    );
+    assert!(
+        stderr.contains("service.rs:4:10"),
+        "span points at the `+`: {stderr}"
+    );
+}
+
+/// The same hot-path code outside a designated module passes, and a
+/// designated clock module may read `Instant::now`.
+#[test]
+fn designations_scope_the_new_rules() {
+    let fx = Fixture::new("designations");
+    fx.write_lib("//! Demo.\n/// D.\npub fn f(xs: &[f64], i: usize) -> f64 {\n    xs[i + 1]\n}\n");
+    let (ok, stderr) = fx.lint();
+    assert!(ok, "indexing outside hot-path modules is fine: {stderr}");
+
+    let fx = Fixture::new("clock");
+    fx.write_file(
+        "crates/bench/src/bin/timer.rs",
+        "//! Demo clock module.\nfn main() {\n    let _ = std::time::Instant::now();\n}\n",
+    );
+    let (ok, stderr) = fx.lint();
+    assert!(ok, "CLOCK_MODULES may read wall clocks: {stderr}");
+}
+
+/// Baseline lifecycle: seed → bootstrap → clean → remediate → the now
+/// stale entry fails → regenerating shrinks; growing is refused.
+#[test]
+fn baseline_ratchet_only_shrinks() {
+    let fx = Fixture::new("ratchet");
+    let one = "//! Demo hot path.\n/// D.\npub fn f(xs: &[f64], i: usize) -> f64 {\n    xs[i]\n}\n";
+    let two = "//! Demo hot path.\n/// D.\npub fn f(xs: &[f64], i: usize) -> f64 {\n    xs[i]\n}\n/// D.\npub fn g(xs: &[f64], i: usize) -> f64 {\n    xs[i]\n}\n";
+    let zero = "//! Demo hot path.\n/// D.\npub fn f(xs: &[f64], i: usize) -> f64 {\n    xs.get(i).copied().unwrap_or(0.0)\n}\n";
+
+    fx.write_file("crates/stream/src/service.rs", one);
+    let (ok, _) = fx.lint();
+    assert!(!ok, "unbaselined violation fails");
+
+    // Bootstrap: with no baseline on disk, --update-baseline records
+    // the current findings and the gate goes green.
+    let (ok, _, stderr) = fx.lint_args(&["--update-baseline"]);
+    assert!(ok, "bootstrap update succeeds: {stderr}");
+    let (ok, stderr) = fx.lint();
+    assert!(ok, "baselined violation passes: {stderr}");
+
+    // Growth is refused: a second violation cannot be absorbed.
+    fx.write_file("crates/stream/src/service.rs", two);
+    let (ok, _, stderr) = fx.lint_args(&["--update-baseline"]);
+    assert!(!ok, "ratchet must refuse growth: {stderr}");
+    assert!(
+        stderr.contains("grow") || stderr.contains("ratchet"),
+        "refusal names the ratchet: {stderr}"
+    );
+
+    // Remediation leaves the baseline entry stale, which fails...
+    fx.write_file("crates/stream/src/service.rs", zero);
+    let (ok, stderr) = fx.lint();
+    assert!(!ok, "stale baseline entry fails the gate");
+    assert!(
+        stderr.contains("stale-allow"),
+        "reported as stale: {stderr}"
+    );
+
+    // ...until the baseline is regenerated (shrinking is always OK).
+    let (ok, _, stderr) = fx.lint_args(&["--update-baseline"]);
+    assert!(ok, "shrinking update succeeds: {stderr}");
+    let (ok, stderr) = fx.lint();
+    assert!(ok, "empty baseline on a clean tree passes: {stderr}");
+}
+
+/// `--json` output is byte-identical across runs (the machine-readable
+/// report is canonical).
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let fx = Fixture::new("json");
+    fx.write_lib(
+        "//! Demo.\nuse std::collections::HashSet;\n/// D.\npub fn f() -> HashSet<u32> { HashSet::new() }\n",
+    );
+    let (ok1, out1, _) = fx.lint_args(&["--json"]);
+    let (ok2, out2, _) = fx.lint_args(&["--json"]);
+    assert_eq!(ok1, ok2);
+    assert_eq!(out1, out2, "lint --json must be deterministic");
+    assert!(out1.contains("\"schema\": \"xtask-lint/1\""));
+    assert!(out1.contains("unordered-container"));
+}
+
+/// Duplicate allowlist entries are themselves violations, reported
+/// with both line numbers.
+#[test]
+fn duplicate_allowlist_entries_fail_with_line_numbers() {
+    let fx = Fixture::new("dupe");
+    fx.write_lib("//! Demo.\n/// D.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    fx.write_file(
+        "xtask/lint-allow.toml",
+        "[[allow]]\npath = \"crates/demo/src/lib.rs\"\npattern = \".unwrap()\"\nreason = \"r\"\n\n\
+         [[allow]]\npath = \"crates/demo/src/lib.rs\"\npattern = \".unwrap()\"\nreason = \"again\"\n",
+    );
+    let (ok, stderr) = fx.lint();
+    assert!(!ok, "duplicate allow entries must fail: {stderr}");
+    assert!(
+        stderr.contains("duplicate of the entry at line 1"),
+        "diagnostic cites the first entry's line: {stderr}"
+    );
+    assert!(
+        stderr.contains("lint-allow.toml:6"),
+        "diagnostic cites the second entry's line: {stderr}"
     );
 }
 
