@@ -1,0 +1,87 @@
+//! Benchmarks of the online identification estimator: one recursive
+//! rank-1 ingest and the factor-backed solve, against the full batch
+//! refit they replace. The whole point of the RLS path is that the
+//! streaming loop can afford it every slot — these numbers are that
+//! claim.
+
+// Benchmarks are fixture-driven: a panic on a broken fixture is the
+// right failure mode, so the panic-free-library lints are relaxed here.
+#![allow(missing_docs, clippy::expect_used, clippy::unwrap_used)]
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use thermal_bench::protocol::Protocol;
+use thermal_sysid::{
+    identify_from_data, regressors, regressors::RegressionData, FitConfig, ModelOrder, ModelSpec,
+    RlsConfig, RlsEstimator,
+};
+
+fn protocol() -> &'static Protocol {
+    static P: OnceLock<Protocol> = OnceLock::new();
+    P.get_or_init(|| Protocol::quick(1).expect("quick protocol"))
+}
+
+fn fixture() -> &'static (ModelSpec, RegressionData) {
+    static F: OnceLock<(ModelSpec, RegressionData)> = OnceLock::new();
+    F.get_or_init(|| {
+        let p = protocol();
+        let spec = ModelSpec::new(
+            p.temperature_channels(),
+            p.input_channels(),
+            ModelOrder::First,
+        )
+        .expect("valid spec");
+        let data =
+            regressors::assemble(&p.output.dataset, &spec, &p.train_occupied).expect("enough data");
+        (spec, data)
+    })
+}
+
+/// One per-slot recursive update: the marginal cost the streaming
+/// event loop pays to keep the estimate current.
+fn bench_rls_ingest(c: &mut Criterion) {
+    let (spec, data) = fixture();
+    let mut est =
+        RlsEstimator::new(spec.clone(), RlsConfig::default()).expect("valid estimator config");
+    let rows = data.x.rows();
+    let mut k = 0_usize;
+    c.bench_function("rls_ingest_transition", |b| {
+        b.iter(|| {
+            est.ingest(data.x.row(k), data.y.row(k)).expect("ingest");
+            k = (k + 1) % rows;
+        })
+    });
+}
+
+/// Reading the current coefficients back out of the maintained
+/// Cholesky factor — what a supervised refit actually executes.
+fn bench_rls_solve(c: &mut Criterion) {
+    let (spec, data) = fixture();
+    let mut est =
+        RlsEstimator::new(spec.clone(), RlsConfig::default()).expect("valid estimator config");
+    for k in 0..data.x.rows() {
+        est.ingest(data.x.row(k), data.y.row(k)).expect("ingest");
+    }
+    c.bench_function("rls_solve_from_factor", |b| {
+        b.iter(|| est.solve().expect("warmed-up estimator solves"))
+    });
+}
+
+/// The alternative the recursive path avoids: re-solving the whole
+/// regression from scratch on every regime change.
+fn bench_batch_refit(c: &mut Criterion) {
+    let (spec, data) = fixture();
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    group.bench_function("batch_refit_full_history", |b| {
+        b.iter(|| identify_from_data(spec, data, &FitConfig::default()).expect("identifiable"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rls_ingest,
+    bench_rls_solve,
+    bench_batch_refit
+);
+criterion_main!(benches);

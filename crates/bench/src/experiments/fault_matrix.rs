@@ -41,7 +41,14 @@ use crate::render;
 
 /// Every fault class the injector knows, in reporting order.
 pub const FAULT_CLASSES: &[&str] = &[
-    "stuck", "drift", "spike", "garbage", "skew", "death", "outage",
+    "stuck",
+    "drift",
+    "spike",
+    "garbage",
+    "skew",
+    "death",
+    "outage",
+    "regime_shift",
 ];
 
 /// Default intensity sweep (0 anchors the clean baseline).

@@ -1,0 +1,151 @@
+//! Direct public-API tests of the in-memory circuit breaker,
+//! focused on the half-open probe transitions the streaming layer and
+//! the refit supervisor both lean on.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use thermal_ckpt::{BreakerPolicy, BreakerState, CircuitBreaker};
+
+fn breaker(threshold: u32, cooldown_ticks: u64) -> CircuitBreaker {
+    CircuitBreaker::new(BreakerPolicy {
+        threshold,
+        cooldown_ticks,
+    })
+    .unwrap()
+}
+
+/// Drives a tripped breaker through its cooldown into HalfOpen.
+fn cool_to_half_open(b: &mut CircuitBreaker, cooldown_ticks: u64) {
+    assert_eq!(b.state(), BreakerState::Open);
+    for _ in 0..cooldown_ticks {
+        assert_ne!(b.state(), BreakerState::HalfOpen, "half-opened early");
+        b.tick();
+    }
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+}
+
+#[test]
+fn trips_only_at_threshold_and_refuses_while_open() {
+    let mut b = breaker(3, 4);
+    for _ in 0..2 {
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+    assert!(b.allow());
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.trips(), 1);
+    // Every call while Open is refused and counted.
+    for k in 1..=3 {
+        assert!(!b.allow());
+        assert_eq!(b.refusals(), k);
+    }
+}
+
+#[test]
+fn half_open_probe_success_closes() {
+    let mut b = breaker(2, 3);
+    b.record_failure();
+    b.record_failure();
+    cool_to_half_open(&mut b, 3);
+    // The half-open breaker grants the probe.
+    assert!(b.allow());
+    b.record_success();
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert_eq!(b.trips(), 1);
+    // Fully reset: it takes a full threshold run to trip again.
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Closed);
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.trips(), 2);
+}
+
+#[test]
+fn half_open_probe_failure_reopens_immediately() {
+    let mut b = breaker(3, 2);
+    for _ in 0..3 {
+        b.record_failure();
+    }
+    cool_to_half_open(&mut b, 2);
+    assert!(b.allow());
+    // One probe failure re-opens — no threshold accumulation in
+    // HalfOpen.
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.trips(), 2);
+    // And the cooldown restarts in full.
+    cool_to_half_open(&mut b, 2);
+}
+
+#[test]
+fn success_in_closed_clears_failure_streak() {
+    let mut b = breaker(3, 4);
+    b.record_failure();
+    b.record_failure();
+    b.record_success();
+    // The streak restarted: two more failures stay Closed.
+    b.record_failure();
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Closed);
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+}
+
+#[test]
+fn zero_cooldown_still_spends_one_tick_open() {
+    let mut b = breaker(1, 0);
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert!(!b.allow(), "the open slot still refuses");
+    b.tick();
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+}
+
+#[test]
+fn failures_while_open_do_not_extend_or_retrip() {
+    let mut b = breaker(2, 5);
+    b.record_failure();
+    b.record_failure();
+    assert_eq!(b.trips(), 1);
+    // Late failure reports (in-flight calls landing after the trip)
+    // must not restart the cooldown or count as new trips.
+    b.record_failure();
+    b.record_failure();
+    assert_eq!(b.trips(), 1);
+    cool_to_half_open(&mut b, 5);
+}
+
+#[test]
+fn policy_validation_rejects_zero_threshold() {
+    assert!(CircuitBreaker::new(BreakerPolicy {
+        threshold: 0,
+        cooldown_ticks: 8,
+    })
+    .is_err());
+    assert!(BreakerPolicy::default().validate().is_ok());
+}
+
+#[test]
+fn identical_event_sequences_produce_identical_traces() {
+    let run = || {
+        let mut b = breaker(2, 3);
+        let mut trace = Vec::new();
+        // A fixed pseudo-schedule of failures, successes, and ticks.
+        for k in 0_u64..200 {
+            b.tick();
+            if b.allow() {
+                if (k * 7 + 3) % 5 < 3 {
+                    b.record_failure();
+                } else {
+                    b.record_success();
+                }
+            }
+            trace.push((b.state(), b.trips(), b.refusals()));
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}

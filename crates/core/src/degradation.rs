@@ -57,6 +57,57 @@ impl DegradationPolicy {
     }
 }
 
+/// Lifecycle of the *served model* under regime change — the
+/// model-level counterpart of the per-sensor fallback ladder.
+///
+/// The streaming layer's drift detector (Page–Hinkley on one-step
+/// residuals, per cluster) escalates through these states:
+/// `Stable → Drifting → Refitting → Recovered → Stable`. `Drifting`
+/// and `Refitting` flag served outputs as degraded and widen the
+/// published uncertainty band; `Recovered` is the hysteresis hold
+/// after a refit lands, before the detector is trusted again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelHealth {
+    /// Residuals look like the identification regime; serve normally.
+    Stable,
+    /// The drift detector fired: the physics no longer match the
+    /// coefficients. Outputs are served but flagged degraded with a
+    /// widened uncertainty band.
+    Drifting,
+    /// A supervised re-identification is in flight; the old model
+    /// keeps serving (still degraded) until the refit lands.
+    Refitting,
+    /// A refit was installed; residuals must stay quiet for a
+    /// hysteresis hold before the cluster is called stable again.
+    Recovered,
+}
+
+impl Default for ModelHealth {
+    /// A fresh supervisor starts out trusting its coefficients.
+    fn default() -> Self {
+        ModelHealth::Stable
+    }
+}
+
+impl ModelHealth {
+    /// Canonical lower-case label (report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelHealth::Stable => "stable",
+            ModelHealth::Drifting => "drifting",
+            ModelHealth::Refitting => "refitting",
+            ModelHealth::Recovered => "recovered",
+        }
+    }
+
+    /// `true` while served outputs should be flagged degraded (the
+    /// coefficients are suspect: drift confirmed, refit not yet
+    /// installed).
+    pub fn is_degraded(self) -> bool {
+        matches!(self, ModelHealth::Drifting | ModelHealth::Refitting)
+    }
+}
+
 /// How one representative's channel was handled.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -188,6 +239,20 @@ mod tests {
                 min_rep_coverage: bad,
             };
             assert!(p.validate().is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn model_health_vocabulary() {
+        use ModelHealth::*;
+        for (state, name, degraded) in [
+            (Stable, "stable", false),
+            (Drifting, "drifting", true),
+            (Refitting, "refitting", true),
+            (Recovered, "recovered", false),
+        ] {
+            assert_eq!(state.name(), name);
+            assert_eq!(state.is_degraded(), degraded);
         }
     }
 

@@ -75,6 +75,7 @@ pub mod control;
 pub use checkpoint::{dataset_fingerprint, FitResume};
 pub use degradation::{
     DegradationEvent, DegradationPolicy, DegradationReport, DegradedEvaluation, FallbackAction,
+    ModelHealth,
 };
 pub use error::CoreError;
 pub use pipeline::{SelectorKind, ThermalPipeline, ThermalPipelineBuilder};

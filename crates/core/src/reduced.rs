@@ -76,6 +76,27 @@ impl ReducedModel {
         &self.model
     }
 
+    /// Swaps in a re-identified model over the *same* sensor
+    /// selection — the install step of an online refit: the
+    /// clustering/selection context is untouched, only the
+    /// coefficients change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the replacement's
+    /// spec (outputs, inputs, order) differs from the served model's,
+    /// which would silently re-wire the deployment.
+    pub fn install_model(&mut self, model: ThermalModel) -> Result<()> {
+        if model.spec() != self.model.spec() {
+            return Err(CoreError::InvalidConfig {
+                reason: "replacement model must keep the served spec (outputs, inputs, order)"
+                    .to_owned(),
+            });
+        }
+        self.model = model;
+        Ok(())
+    }
+
     /// Evaluates how well the reduced model predicts each cluster's
     /// thermal mean, open-loop over the usable segments of `mask`:
     /// the model rolls forward from measured initial conditions, its
@@ -514,6 +535,30 @@ mod tests {
         );
         assert!(report.rms().unwrap() < 0.2);
         assert!(report.cdf().is_ok());
+    }
+
+    #[test]
+    fn install_model_swaps_coefficients_but_guards_the_spec() {
+        let ds = synth_dataset();
+        let mut reduced = fit_reduced(&ds);
+        let spec = reduced.model().spec().clone();
+        let mut coef = reduced.model().coefficients().clone();
+        coef[(0, 0)] += 0.01;
+        let replacement = ThermalModel::new(spec.clone(), coef.clone()).unwrap();
+        reduced.install_model(replacement).unwrap();
+        assert_eq!(reduced.model().coefficients(), &coef);
+        // A different spec (dropped input) must be refused.
+        let narrow =
+            thermal_sysid::ModelSpec::new(spec.outputs.clone(), vec![], spec.order).unwrap();
+        let bad = ThermalModel::new(
+            narrow.clone(),
+            thermal_linalg::Matrix::zeros(spec.outputs.len(), narrow.regressor_width()),
+        )
+        .unwrap();
+        assert!(matches!(
+            reduced.install_model(bad),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -73,6 +73,20 @@ pub enum FaultEvent {
         /// The lost (epoch-relative) day index.
         day: i64,
     },
+    /// The channel's physics changed mid-trace and stayed changed
+    /// (VAV damper failure, occupancy schedule shift, envelope
+    /// change): from `start`, readings are rescaled around the
+    /// pre-onset level by `gain` and shifted by `offset`.
+    RegimeShift {
+        /// Affected channel name.
+        channel: String,
+        /// First slot of the new regime.
+        start: usize,
+        /// Multiplicative gain applied around the pre-onset mean.
+        gain: f64,
+        /// Additive level shift, °C.
+        offset: f64,
+    },
 }
 
 impl FaultEvent {
@@ -85,7 +99,8 @@ impl FaultEvent {
             | FaultEvent::Spike { channel, .. }
             | FaultEvent::Garbage { channel, .. }
             | FaultEvent::ClockSkew { channel, .. }
-            | FaultEvent::ChannelDeath { channel, .. } => Some(channel),
+            | FaultEvent::ChannelDeath { channel, .. }
+            | FaultEvent::RegimeShift { channel, .. } => Some(channel),
             FaultEvent::DayOutage { .. } => None,
         }
     }
@@ -100,6 +115,7 @@ impl FaultEvent {
             FaultEvent::ClockSkew { .. } => "skew",
             FaultEvent::ChannelDeath { .. } => "death",
             FaultEvent::DayOutage { .. } => "outage",
+            FaultEvent::RegimeShift { .. } => "regime_shift",
         }
     }
 }
@@ -198,6 +214,9 @@ impl FaultLog {
                 }
                 FaultEvent::Drift {
                     channel: c, start, ..
+                }
+                | FaultEvent::RegimeShift {
+                    channel: c, start, ..
                 } if c == channel => {
                     for b in bits.iter_mut().skip(*start) {
                         *b = true;
@@ -283,5 +302,14 @@ mod tests {
         });
         assert_eq!(log.corrupted_slots("a", 6), vec![1, 2, 5]);
         assert_eq!(log.corrupted_slots("b", 6), vec![4, 5]);
+        log.push(FaultEvent::RegimeShift {
+            channel: "c".into(),
+            start: 2,
+            gain: 1.3,
+            offset: 0.9,
+        });
+        assert_eq!(log.count_kind("regime_shift"), 1);
+        assert_eq!(log.events()[3].channel(), Some("c"));
+        assert_eq!(log.corrupted_slots("c", 5), vec![2, 3, 4]);
     }
 }

@@ -112,6 +112,25 @@ pub enum FaultKind {
         /// Per-day loss probability at intensity 1.
         day_prob: f64,
     },
+    /// The channel's *physics* change mid-trace and stay changed — a
+    /// VAV damper fails wide open, the occupancy schedule shifts, the
+    /// envelope loses insulation. Unlike sensor faults, the readings
+    /// remain real measurements; they just obey a different process.
+    /// From the deterministic onset slot `round(onset · len)` every
+    /// present reading `v` becomes
+    /// `m + (v − m)·(1 + gain_delta·intensity) + offset·intensity`,
+    /// where `m` is the channel's pre-onset mean — an amplified
+    /// swing around a shifted operating point. Needs no RNG draws:
+    /// the same directive always shifts the same slots the same way.
+    RegimeShift {
+        /// Onset as a fraction of the trace length, in `[0, 1]`.
+        onset: f64,
+        /// Relative gain change at intensity 1 (`0.5` ⇒ swings 50 %
+        /// wider). Must stay above `-1` so the gain remains positive.
+        gain_delta: f64,
+        /// Additive operating-point shift at intensity 1, °C.
+        offset: f64,
+    },
 }
 
 impl FaultKind {
@@ -126,6 +145,7 @@ impl FaultKind {
             FaultKind::ClockSkew { .. } => "skew",
             FaultKind::ChannelDeath => "death",
             FaultKind::DayOutage { .. } => "outage",
+            FaultKind::RegimeShift { .. } => "regime_shift",
         }
     }
 
@@ -152,6 +172,11 @@ impl FaultKind {
             "skew" => Some(FaultKind::ClockSkew { max_slots: 6 }),
             "death" => Some(FaultKind::ChannelDeath),
             "outage" => Some(FaultKind::DayOutage { day_prob: 0.25 }),
+            "regime_shift" => Some(FaultKind::RegimeShift {
+                onset: 0.5,
+                gain_delta: 0.6,
+                offset: 1.5,
+            }),
             _ => None,
         }
     }
@@ -197,6 +222,23 @@ impl FaultKind {
             FaultKind::DayOutage { day_prob } => {
                 if !(0.0..=1.0).contains(&day_prob) {
                     return bad(format!("outage day_prob {day_prob} outside [0, 1]"));
+                }
+            }
+            FaultKind::RegimeShift {
+                onset,
+                gain_delta,
+                offset,
+            } => {
+                if !(0.0..=1.0).contains(&onset) {
+                    return bad(format!("regime_shift onset {onset} outside [0, 1]"));
+                }
+                if !gain_delta.is_finite() || gain_delta <= -1.0 {
+                    return bad(format!(
+                        "regime_shift gain_delta {gain_delta} must be finite and > -1"
+                    ));
+                }
+                if !offset.is_finite() {
+                    return bad(format!("regime_shift offset {offset} must be finite"));
                 }
             }
         }
@@ -554,6 +596,37 @@ fn apply_channel(
         FaultKind::DayOutage { .. } => {
             // Handled at the plan level (affects every channel).
         }
+        FaultKind::RegimeShift {
+            onset,
+            gain_delta,
+            offset,
+        } => {
+            let start = cast::round_to_index(onset * n as f64, n);
+            if start >= n {
+                return;
+            }
+            // Pre-onset operating point; a channel with no pre-onset
+            // data re-expresses around its post-onset mean instead
+            // (pure level shift semantics still hold).
+            let pre: Vec<f64> = values.iter().take(start).filter_map(|v| *v).collect();
+            let post: Vec<f64> = values.iter().skip(start).filter_map(|v| *v).collect();
+            let basis = if pre.is_empty() { &post } else { &pre };
+            if basis.is_empty() {
+                return; // nothing present anywhere: exact no-op
+            }
+            let mean = basis.iter().sum::<f64>() / basis.len() as f64;
+            let gain = 1.0 + gain_delta * intensity;
+            let shift = offset * intensity;
+            for x in values.iter_mut().skip(start).flatten() {
+                *x = mean + (*x - mean) * gain + shift;
+            }
+            log.push(FaultEvent::RegimeShift {
+                channel: name.to_owned(),
+                start,
+                gain,
+                offset: shift,
+            });
+        }
     }
 }
 
@@ -575,7 +648,14 @@ mod tests {
         let ds = flat_dataset(500, 3);
         let mut plan = FaultPlan::new(9);
         for name in [
-            "stuck", "drift", "spike", "garbage", "skew", "death", "outage",
+            "stuck",
+            "drift",
+            "spike",
+            "garbage",
+            "skew",
+            "death",
+            "outage",
+            "regime_shift",
         ] {
             let kind = FaultKind::default_params(name).unwrap();
             plan = plan.with(FaultDirective::all(kind, 0.0));
@@ -755,9 +835,89 @@ mod tests {
     }
 
     #[test]
+    fn regime_shift_rescales_the_tail_deterministically() {
+        let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, 200).unwrap();
+        // Oscillation around 20 so gain and offset are separable.
+        let wave: Vec<f64> = (0..200).map(|k| 20.0 + (k as f64 * 0.3).sin()).collect();
+        let ds =
+            Dataset::new(grid, vec![Channel::from_values("a", wave.clone()).unwrap()]).unwrap();
+        let kind = FaultKind::RegimeShift {
+            onset: 0.5,
+            gain_delta: 0.6,
+            offset: 1.5,
+        };
+        let plan = FaultPlan::new(4).with(FaultDirective::all(kind.clone(), 1.0));
+        let (faulted, log) = plan.apply(&ds).unwrap();
+        assert_eq!(log.count_kind("regime_shift"), 1);
+        let FaultEvent::RegimeShift {
+            start,
+            gain,
+            offset,
+            ..
+        } = &log.events()[0]
+        else {
+            panic!("expected a regime_shift event");
+        };
+        assert_eq!(*start, 100);
+        let ch = faulted.channel("a").unwrap();
+        // Pre-onset untouched.
+        for i in 0..100 {
+            assert_eq!(ch.value(i), Some(wave[i]));
+        }
+        // Post-onset follows the documented transform exactly.
+        let mean = wave.iter().take(100).sum::<f64>() / 100.0;
+        for (i, &truth) in wave.iter().enumerate().skip(100) {
+            let expect = mean + (truth - mean) * gain + offset;
+            assert_eq!(ch.value(i), Some(expect));
+        }
+        // The log marks exactly the shifted tail as corrupted.
+        assert_eq!(log.corrupted_slots("a", 200).len(), 100);
+        // Determinism: no RNG involved, so the faulted trace is
+        // identical under any seed.
+        let (again, _) = FaultPlan::new(99)
+            .with(FaultDirective::all(kind, 1.0))
+            .apply(&ds)
+            .unwrap();
+        assert_eq!(faulted, again);
+    }
+
+    #[test]
+    fn regime_shift_validation() {
+        for kind in [
+            FaultKind::RegimeShift {
+                onset: 1.5,
+                gain_delta: 0.5,
+                offset: 0.0,
+            },
+            FaultKind::RegimeShift {
+                onset: 0.5,
+                gain_delta: -1.0,
+                offset: 0.0,
+            },
+            FaultKind::RegimeShift {
+                onset: 0.5,
+                gain_delta: 0.5,
+                offset: f64::NAN,
+            },
+        ] {
+            assert!(FaultPlan::new(0)
+                .with(FaultDirective::all(kind, 0.5))
+                .validate()
+                .is_err());
+        }
+    }
+
+    #[test]
     fn default_params_cover_every_class() {
         for name in [
-            "stuck", "drift", "spike", "garbage", "skew", "death", "outage",
+            "stuck",
+            "drift",
+            "spike",
+            "garbage",
+            "skew",
+            "death",
+            "outage",
+            "regime_shift",
         ] {
             let kind = FaultKind::default_params(name).unwrap();
             assert_eq!(kind.name(), name);

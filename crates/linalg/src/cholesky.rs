@@ -173,6 +173,124 @@ impl CholeskyDecomposition {
         let n = self.dim();
         self.solve_matrix(&Matrix::identity(n))
     }
+
+    /// Rescales the factorisation from `A` to `factor · A` in place
+    /// (by scaling `L` with `√factor`).
+    ///
+    /// This is the forgetting step of a recursive least-squares
+    /// estimator: the information matrix decays as `P ← λ P` each
+    /// slot before the new observation is folded in with
+    /// [`CholeskyDecomposition::rank_one_update`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidData`] unless `factor` is finite
+    /// and strictly positive.
+    pub fn scale(&mut self, factor: f64) -> Result<()> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(LinalgError::InvalidData {
+                reason: "cholesky scale factor must be finite and positive",
+            });
+        }
+        let root = factor.sqrt();
+        let n = self.dim();
+        for i in 0..n {
+            for j in 0..=i {
+                self.l[(i, j)] *= root;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-1 update: replaces the factorisation of `A` with one of
+    /// `A + x xᵀ` in `O(n²)`, without refactorising.
+    ///
+    /// Uses the LINPACK `dchud` Givens sweep: each step rotates the
+    /// diagonal pivot against the carried vector, so the factor stays
+    /// lower-triangular with a positive diagonal. An update of an SPD
+    /// matrix is always SPD, hence this cannot lose positive
+    /// definiteness.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `x.len() != dim()`,
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries in `x`.
+    pub fn rank_one_update(&mut self, x: &Vector) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky rank-1 update",
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        if !x.is_finite() {
+            return Err(LinalgError::NonFinite {
+                op: "cholesky rank-1 update",
+            });
+        }
+        let mut w = x.as_slice().to_vec();
+        for k in 0..n {
+            let pivot = self.l[(k, k)];
+            let r = pivot.hypot(w[k]);
+            let c = r / pivot;
+            let s = w[k] / pivot;
+            self.l[(k, k)] = r;
+            for i in (k + 1)..n {
+                self.l[(i, k)] = (self.l[(i, k)] + s * w[i]) / c;
+                w[i] = c * w[i] - s * self.l[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-1 downdate: replaces the factorisation of `A` with one of
+    /// `A - x xᵀ` in `O(n²)`, without refactorising.
+    ///
+    /// The downdated matrix may not be positive definite; the sweep
+    /// runs on a scratch copy and commits only on success, so a
+    /// failed downdate leaves the factorisation untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `x.len() != dim()`,
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries in `x`,
+    /// * [`LinalgError::NotPositiveDefinite`] when `A - x xᵀ` is not
+    ///   positive definite (the factorisation is left unchanged).
+    pub fn rank_one_downdate(&mut self, x: &Vector) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky rank-1 downdate",
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        if !x.is_finite() {
+            return Err(LinalgError::NonFinite {
+                op: "cholesky rank-1 downdate",
+            });
+        }
+        let mut l = self.l.clone();
+        let mut w = x.as_slice().to_vec();
+        for k in 0..n {
+            let pivot = l[(k, k)];
+            let d = pivot * pivot - w[k] * w[k];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { index: k, pivot: d });
+            }
+            let r = d.sqrt();
+            let c = r / pivot;
+            let s = w[k] / pivot;
+            l[(k, k)] = r;
+            for i in (k + 1)..n {
+                l[(i, k)] = (l[(i, k)] - s * w[i]) / c;
+                w[i] = c * w[i] - s * l[(i, k)];
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +384,83 @@ mod tests {
             CholeskyDecomposition::new(&nan),
             Err(LinalgError::NonFinite { .. })
         ));
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactorisation() {
+        let a = spd3();
+        let x = Vector::from_slice(&[0.7, -1.1, 0.4]);
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        chol.rank_one_update(&x).unwrap();
+        let mut bumped = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                bumped[(i, j)] += x[i] * x[j];
+            }
+        }
+        let fresh = CholeskyDecomposition::new(&bumped).unwrap();
+        assert!(chol.l().approx_eq(fresh.l(), 1e-12));
+    }
+
+    #[test]
+    fn rank_one_downdate_inverts_update() {
+        let a = spd3();
+        let x = Vector::from_slice(&[0.3, 0.9, -0.5]);
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        chol.rank_one_update(&x).unwrap();
+        chol.rank_one_downdate(&x).unwrap();
+        let original = CholeskyDecomposition::new(&a).unwrap();
+        assert!(chol.l().approx_eq(original.l(), 1e-10));
+    }
+
+    #[test]
+    fn failed_downdate_leaves_factor_untouched() {
+        let a = spd3();
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        let before = chol.l().clone();
+        // Removing 10·e0 e0ᵀ makes the (0,0) pivot negative.
+        let too_big = Vector::from_slice(&[10.0, 0.0, 0.0]);
+        assert!(matches!(
+            chol.rank_one_downdate(&too_big),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert_eq!(chol.l(), &before, "failed downdate must not commit");
+    }
+
+    #[test]
+    fn rank_one_rejects_bad_vectors() {
+        let mut chol = CholeskyDecomposition::new(&spd3()).unwrap();
+        assert!(matches!(
+            chol.rank_one_update(&Vector::zeros(2)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            chol.rank_one_downdate(&Vector::zeros(4)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let nan = Vector::from_slice(&[0.0, f64::NAN, 0.0]);
+        assert!(matches!(
+            chol.rank_one_update(&nan),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_matches_refactorisation() {
+        let a = spd3();
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        chol.scale(0.25).unwrap();
+        let mut shrunk = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                shrunk[(i, j)] *= 0.25;
+            }
+        }
+        let fresh = CholeskyDecomposition::new(&shrunk).unwrap();
+        assert!(chol.l().approx_eq(fresh.l(), 1e-12));
+        assert!(chol.scale(0.0).is_err());
+        assert!(chol.scale(-1.0).is_err());
+        assert!(chol.scale(f64::NAN).is_err());
     }
 
     #[test]

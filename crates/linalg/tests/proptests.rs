@@ -282,3 +282,56 @@ proptest! {
         prop_assert!(x_large.norm2() <= x_small.norm2() + 1e-9);
     }
 }
+
+// Rank-1 maintenance of the Cholesky factor: the O(n²) update path
+// must agree with an O(n³) refactorisation of the explicitly-modified
+// matrix, over random well-conditioned SPD draws.
+proptest! {
+    #[test]
+    fn rank_one_update_matches_refactorization(
+        a in spd_strategy(4),
+        x in prop::collection::vec(-5.0_f64..5.0, 4),
+    ) {
+        let x = Vector::from_slice(&x);
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        chol.rank_one_update(&x).unwrap();
+        // A + xxᵀ, refactorised from scratch.
+        let bumped = Matrix::from_fn(4, 4, |i, j| a[(i, j)] + x[i] * x[j]);
+        let recon = chol.l().matmul(&chol.l().transpose()).unwrap();
+        prop_assert!(
+            recon.approx_eq(&bumped, 1e-8 * bumped.norm_max().max(1.0)),
+            "update drifted from refactorisation"
+        );
+    }
+
+    #[test]
+    fn rank_one_downdate_inverts_update(
+        a in spd_strategy(4),
+        x in prop::collection::vec(-5.0_f64..5.0, 4),
+    ) {
+        let x = Vector::from_slice(&x);
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        chol.rank_one_update(&x).unwrap();
+        chol.rank_one_downdate(&x).unwrap();
+        let recon = chol.l().matmul(&chol.l().transpose()).unwrap();
+        prop_assert!(
+            recon.approx_eq(&a, 1e-7 * a.norm_max().max(1.0)),
+            "downdate did not invert the update"
+        );
+    }
+
+    #[test]
+    fn scale_matches_scaled_refactorization(
+        a in spd_strategy(4),
+        lambda in 0.5_f64..1.0,
+    ) {
+        let mut chol = CholeskyDecomposition::new(&a).unwrap();
+        chol.scale(lambda).unwrap();
+        let scaled = Matrix::from_fn(4, 4, |i, j| lambda * a[(i, j)]);
+        let recon = chol.l().matmul(&chol.l().transpose()).unwrap();
+        prop_assert!(
+            recon.approx_eq(&scaled, 1e-9 * scaled.norm_max().max(1.0)),
+            "scale drifted from refactorisation"
+        );
+    }
+}

@@ -25,8 +25,21 @@
 //!   [`LivePrediction`]s that degrade along the substitution ladder
 //!   (representative → ranked backup → cluster mean → structured
 //!   blackout) instead of erroring,
+//! * [`PageHinkley`] + [`DriftMachine`] — per-cluster drift detection
+//!   over one-step residuals, escalating through the typed
+//!   `Stable → Drifting → Refitting → Recovered` model-health
+//!   lifecycle,
+//! * [`OnlineIdentifier`] — the continuous-identification sidecar:
+//!   forgetting-factor RLS refinement from every accepted reading,
+//!   plus checkpoint-supervised refits that swap the served
+//!   coefficients under confirmed drift
+//!   ([`StreamService::enable_online`]),
 //! * [`SoakReport`] — canonical byte-stable JSON for the
-//!   `cargo xtask soak` determinism harness.
+//!   `cargo xtask soak` determinism harness,
+//! * [`RecoveryReport`] — the same canonical-JSON contract for the
+//!   drift-recovery scenario (`cargo xtask soak --recovery`), which
+//!   asserts the online loop heals a mid-trace regime shift within a
+//!   bounded number of slots.
 //!
 //! Everything is seeded: replay jumble, source flakiness, backoff
 //! jitter. The same seed replays the same outage bit for bit, which
@@ -37,20 +50,26 @@
 #![warn(missing_docs)]
 
 mod backoff;
+mod drift;
 mod error;
 mod event;
 mod health;
+mod online;
 mod queue;
+mod recovery;
 mod reorder;
 mod replay;
 mod service;
 mod soak;
 
 pub use backoff::{Backoff, BackoffPolicy};
+pub use drift::{DriftConfig, DriftMachine, DriftStats, PageHinkley};
 pub use error::StreamError;
 pub use event::{Reading, SimClock};
 pub use health::{HealthConfig, HealthMachine, HealthState};
+pub use online::{OnlineConfig, OnlineIdentifier, OnlineStats};
 pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
+pub use recovery::{RecoveryClusterReport, RecoveryReport};
 pub use reorder::{ReorderBuffer, ReorderConfig, ReorderStats};
 pub use replay::{
     parse_csv_events, FlakySource, IngestStats, ReplayConfig, SourceStats, TraceReplayer,

@@ -14,12 +14,14 @@
 
 use std::collections::VecDeque;
 
-use thermal_core::{FallbackAction, ReducedModel};
+use thermal_core::{FallbackAction, ModelHealth, ReducedModel};
 use thermal_linalg::Matrix;
 use thermal_timeseries::Timestamp;
 
+use crate::drift::DriftStats;
 use crate::event::{Reading, SimClock};
 use crate::health::{HealthConfig, HealthMachine, HealthState};
+use crate::online::{OnlineConfig, OnlineIdentifier, OnlineStats};
 use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
 use crate::reorder::{ReorderBuffer, ReorderConfig, ReorderStats};
 use crate::{Result, StreamError};
@@ -87,6 +89,18 @@ pub struct ClusterPrediction {
     /// Predicted cluster temperature for the next slot; `None` only
     /// under structured blackout ([`FallbackAction::Unavailable`]).
     pub predicted: Option<f64>,
+    /// Served-model health of this cluster. Always
+    /// [`ModelHealth::Stable`] while online identification is
+    /// disabled; under regime drift the cluster is flagged
+    /// [`ModelHealth::Drifting`]/[`ModelHealth::Refitting`] and the
+    /// prediction counts as degraded even when served from a healthy
+    /// sensor.
+    pub health: ModelHealth,
+    /// One-step residual scale (°C), widened while `health` is
+    /// degraded — the uncertainty band HVAC control should assume
+    /// around `predicted`. `None` until residuals have been observed
+    /// (or while online identification is disabled).
+    pub uncertainty: Option<f64>,
 }
 
 /// A prediction served by [`StreamService::predict`] — total by
@@ -107,11 +121,12 @@ pub struct LivePrediction {
 }
 
 impl LivePrediction {
-    /// `true` when any cluster needed a fallback this slot.
+    /// `true` when any cluster needed a fallback this slot, or is
+    /// served by a model whose coefficients are under confirmed drift.
     pub fn is_degraded(&self) -> bool {
         self.clusters
             .iter()
-            .any(|c| c.action != FallbackAction::Healthy)
+            .any(|c| c.action != FallbackAction::Healthy || c.health.is_degraded())
     }
 
     /// Clusters under structured blackout.
@@ -161,6 +176,8 @@ pub struct ServiceStats {
     pub cluster_mean_outputs: u64,
     /// Output slots under structured blackout.
     pub unavailable_outputs: u64,
+    /// Replacement models installed by the online identification loop.
+    pub refit_installs: u64,
 }
 
 /// Static wiring of one model output column.
@@ -201,6 +218,8 @@ pub struct StreamService {
     frozen: Vec<Option<f64>>,
     /// Ladder action per output, as of the last step.
     actions: Vec<FallbackAction>,
+    /// Continuous identification sidecar, when enabled.
+    online: Option<OnlineIdentifier>,
     stats: ServiceStats,
 }
 
@@ -257,6 +276,7 @@ impl StreamService {
             history: VecDeque::new(),
             frozen: vec![None; output_count],
             actions: vec![FallbackAction::Unavailable; output_count],
+            online: None,
             stats: ServiceStats::default(),
             names,
             sensor_count,
@@ -268,6 +288,54 @@ impl StreamService {
     /// The fitted model the service predicts with.
     pub fn model(&self) -> &ReducedModel {
         &self.model
+    }
+
+    /// Turns on continuous identification: every accepted reading
+    /// refines a forgetting-factor RLS estimate, per-cluster drift
+    /// detectors watch the one-step residuals, and confirmed drift
+    /// triggers a supervised refit that replaces the served
+    /// coefficients in place (see [`crate::OnlineIdentifier`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for invalid online
+    /// settings.
+    pub fn enable_online(&mut self, config: OnlineConfig) -> Result<()> {
+        let clusters: Vec<usize> = self.wiring.iter().map(|w| w.cluster).collect();
+        let online = OnlineIdentifier::new(
+            self.model.model().spec().clone(),
+            clusters,
+            self.cluster_members.len(),
+            config,
+        )?;
+        self.online = Some(online);
+        Ok(())
+    }
+
+    /// Counters of the online identification loop, when enabled.
+    pub fn online_stats(&self) -> Option<OnlineStats> {
+        self.online.as_ref().map(OnlineIdentifier::stats)
+    }
+
+    /// Served-model health per cluster. All
+    /// [`ModelHealth::Stable`] while online identification is
+    /// disabled.
+    pub fn model_health(&self) -> Vec<ModelHealth> {
+        match &self.online {
+            Some(online) => online.health(),
+            None => vec![ModelHealth::Stable; self.cluster_members.len()],
+        }
+    }
+
+    /// Drift-supervision counters per cluster; empty while online
+    /// identification is disabled.
+    pub fn drift_stats(&self) -> Vec<DriftStats> {
+        match &self.online {
+            Some(online) => (0..self.cluster_members.len())
+                .filter_map(|c| online.cluster_drift_stats(c))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Registry index of a channel name (sensors first, then inputs).
@@ -392,8 +460,35 @@ impl StreamService {
             machine.on_tick(&self.config.health, now_minutes);
         }
         self.refresh_ladder();
+        self.step_online();
         self.stats.steps += 1;
         Ok(())
+    }
+
+    /// One tick of the continuous-identification sidecar: residual
+    /// supervision against the previous slot's forecast, RLS
+    /// refinement, and — under confirmed drift — the supervised refit
+    /// that swaps the served coefficients while this same loop keeps
+    /// serving from the old ones.
+    fn step_online(&mut self) {
+        let Some(mut online) = self.online.take() else {
+            return;
+        };
+        if let Some(row) = self.history.back() {
+            online.observe(row, &self.actions, &self.input_latest);
+        }
+        if online.refit_due() {
+            if let Some(model) = online.supervised_refit() {
+                // The estimator shares the served spec by
+                // construction, so installation cannot be refused; if
+                // it ever were, the old model simply keeps serving.
+                if self.model.install_model(model).is_ok() {
+                    self.stats.refit_installs += 1;
+                }
+            }
+        }
+        online.note_forecast(self.forecast_row());
+        self.online = Some(online);
     }
 
     /// `true` when a sensor's last known value may feed predictions.
@@ -494,6 +589,34 @@ impl StreamService {
         (None, FallbackAction::Unavailable)
     }
 
+    /// The model's one-step forecast per output, once warmed up (full
+    /// substituted history and at least one value on every input
+    /// channel); `None` while still warming.
+    fn forecast_row(&self) -> Option<Vec<f64>> {
+        let warmup = self.model.model().spec().order.warmup();
+        let input_count = self.model.model().spec().input_count();
+        if self.history.len() < warmup || !self.input_latest.iter().all(Option::is_some) {
+            return None;
+        }
+        let p = self.wiring.len();
+        let mut initial = Matrix::zeros(warmup, p);
+        for (k, past) in self.history.iter().enumerate() {
+            initial.row_mut(k).copy_from_slice(past);
+        }
+        let mut u = Matrix::zeros(1, input_count);
+        for (slot, v) in u.row_mut(0).iter_mut().zip(&self.input_latest) {
+            *slot = v.unwrap_or(0.0);
+        }
+        // A dimension error here would be a wiring bug; degrade to
+        // the nowcast rather than surfacing an Err from a serving
+        // path that promises totality.
+        self.model
+            .model()
+            .simulate(&initial, &u)
+            .ok()
+            .map(|out| out.row(0).to_vec())
+    }
+
     /// Serves a prediction for the next slot. Total: every cluster
     /// gets an entry; clusters whose every data source is dead are
     /// reported as [`FallbackAction::Unavailable`] with `predicted:
@@ -504,37 +627,18 @@ impl StreamService {
     /// nowcast: the substituted current values, flagged `warmed_up:
     /// false`.
     pub fn predict(&self) -> LivePrediction {
-        let warmup = self.model.model().spec().order.warmup();
-        let input_count = self.model.model().spec().input_count();
-        let inputs_ready = self.input_latest.iter().all(Option::is_some);
         let now = self.clock.now();
         let target = now + i64::from(self.config.step_minutes);
-
-        let row: Option<Vec<f64>> = if self.history.len() >= warmup && inputs_ready {
-            let p = self.wiring.len();
-            let mut initial = Matrix::zeros(warmup, p);
-            for (k, past) in self.history.iter().enumerate() {
-                initial.row_mut(k).copy_from_slice(past);
-            }
-            let mut u = Matrix::zeros(1, input_count);
-            for (slot, v) in u.row_mut(0).iter_mut().zip(&self.input_latest) {
-                *slot = v.unwrap_or(0.0);
-            }
-            // A dimension error here would be a wiring bug; degrade to
-            // the nowcast rather than surfacing an Err from a serving
-            // path that promises totality.
-            self.model
-                .model()
-                .simulate(&initial, &u)
-                .ok()
-                .map(|out| out.row(0).to_vec())
-        } else {
-            None
-        };
+        let row = self.forecast_row();
         let warmed_up = row.is_some();
 
         let mut clusters: Vec<ClusterPrediction> = Vec::new();
         for c in 0..self.cluster_members.len() {
+            let health = self
+                .online
+                .as_ref()
+                .map_or(ModelHealth::Stable, |o| o.cluster_health(c));
+            let uncertainty = self.online.as_ref().and_then(|o| o.cluster_uncertainty(c));
             let mut sum = 0.0;
             let mut count = 0_usize;
             let mut action = FallbackAction::Unavailable;
@@ -563,12 +667,16 @@ impl StreamService {
                     cluster: c,
                     action,
                     predicted: Some(sum / count as f64),
+                    health,
+                    uncertainty,
                 }
             } else {
                 ClusterPrediction {
                     cluster: c,
                     action: FallbackAction::Unavailable,
                     predicted: None,
+                    health,
+                    uncertainty,
                 }
             });
         }
@@ -824,6 +932,158 @@ mod tests {
         assert_eq!(stats.steps, 30);
         assert!(stats.queue.high_water > 0);
         assert!(svc.buffered_depth() <= svc.queue.capacity() + 5 * 32);
+    }
+
+    /// A fast-reacting online configuration rooted at a scratch
+    /// checkpoint dir unique to `tag`.
+    fn online_config(tag: &str) -> OnlineConfig {
+        let root = std::env::temp_dir().join(format!(
+            "thermal-stream-service-online-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut config = OnlineConfig::new(root);
+        config.rls.forgetting = 0.9;
+        config.drift = crate::drift::DriftConfig {
+            delta: 0.05,
+            lambda: 0.5,
+            min_samples: 5,
+            confirm_dwell: 2,
+            recovered_hold: 4,
+            widening: 3.0,
+        };
+        config.cell = thermal_ckpt::CellPolicy {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            deadline_ms: None,
+            breaker_threshold: 6,
+        };
+        config.min_refit_observations = 8;
+        config.refit_cooldown = 4;
+        config
+    }
+
+    /// Readings at `minute` following a ramp of `slope` °C per slot
+    /// from the 20 + index baseline.
+    fn ramp_batch(minute: i64, slope: f64, ramp_slots: i64) -> Vec<Reading> {
+        let mut out: Vec<Reading> = (0..4)
+            .map(|s| Reading {
+                channel: s,
+                at: Timestamp::from_minutes(minute),
+                value: 20.0 + s as f64 + slope * ramp_slots as f64,
+            })
+            .collect();
+        out.push(Reading {
+            channel: 4,
+            at: Timestamp::from_minutes(minute),
+            value: 0.5,
+        });
+        out
+    }
+
+    #[test]
+    fn disabled_online_reports_stable_health() {
+        let mut svc = service();
+        drive(&mut svc, 0, 10, &[0, 1, 2, 3]);
+        assert_eq!(svc.model_health(), vec![ModelHealth::Stable; 2]);
+        assert!(svc.online_stats().is_none());
+        assert!(svc.drift_stats().is_empty());
+        let p = svc.predict();
+        assert!(p.clusters.iter().all(|c| c.health == ModelHealth::Stable));
+        assert!(p.clusters.iter().all(|c| c.uncertainty.is_none()));
+        assert!(!p.is_degraded());
+    }
+
+    #[test]
+    fn online_loop_detects_drift_refits_and_recovers() {
+        let root_cfg = online_config("recover");
+        let ckpt_root = root_cfg.checkpoint_root.clone();
+        let mut svc = service();
+        svc.enable_online(root_cfg).unwrap();
+
+        // Phase 1: the identity-hold regime the model was "fitted" on.
+        drive(&mut svc, 0, 30, &[0, 1, 2, 3]);
+        assert_eq!(svc.model_health(), vec![ModelHealth::Stable; 2]);
+        let warm = svc.online_stats().unwrap();
+        assert!(warm.rows_ingested >= 8, "ingested {}", warm.rows_ingested);
+
+        // Phase 2: regime shift — every sensor starts ramping, which
+        // the identity-hold coefficients cannot explain.
+        let mut saw_drift_degradation = false;
+        for k in 0..60_i64 {
+            let now = Timestamp::from_minutes((30 + k) * 5);
+            svc.step(now, &ramp_batch(now.as_minutes(), 0.3, k))
+                .unwrap();
+            let p = svc.predict();
+            if p.clusters
+                .iter()
+                .any(|c| c.health.is_degraded() && c.action == FallbackAction::Healthy)
+            {
+                assert!(
+                    p.is_degraded(),
+                    "drift must flag the prediction degraded even with healthy sensors"
+                );
+                saw_drift_degradation = true;
+            }
+        }
+        assert!(
+            saw_drift_degradation,
+            "the drift window never flagged a served prediction"
+        );
+        let stats = svc.online_stats().unwrap();
+        let drift = svc.drift_stats();
+        assert!(
+            drift.iter().any(|d| d.alarms > 0),
+            "no cluster ever alarmed: {drift:?}"
+        );
+        assert!(
+            svc.stats().refit_installs >= 1,
+            "no refit was installed: {stats:?}"
+        );
+        // The refitted coefficients track the ramp where the identity
+        // hold could not: the served forecast now moves with the data.
+        let p = svc.predict();
+        for c in &p.clusters {
+            let predicted = c.predicted.expect("healthy cluster must predict");
+            let current = 20.0 + 3.0 * c.cluster as f64 + 0.3 * 59.0;
+            assert!(
+                (predicted - current).abs() < 3.0,
+                "cluster {} prediction {predicted} lost the ramp (now at ~{current})",
+                c.cluster
+            );
+            assert!(c.uncertainty.is_some(), "residual scale must be published");
+        }
+        let _ = std::fs::remove_dir_all(&ckpt_root);
+    }
+
+    #[test]
+    fn online_trace_is_bitwise_deterministic() {
+        let run = |tag: &str| {
+            let config = online_config(tag);
+            let root = config.checkpoint_root.clone();
+            let mut svc = service();
+            svc.enable_online(config).unwrap();
+            drive(&mut svc, 0, 20, &[0, 1, 2, 3]);
+            let mut log: Vec<(u64, u64, Vec<Option<u64>>)> = Vec::new();
+            for k in 0..40_i64 {
+                let now = Timestamp::from_minutes((20 + k) * 5);
+                svc.step(now, &ramp_batch(now.as_minutes(), 0.3, k))
+                    .unwrap();
+                let p = svc.predict();
+                let stats = svc.online_stats().unwrap();
+                log.push((
+                    stats.rows_ingested,
+                    stats.refits_completed,
+                    p.clusters
+                        .iter()
+                        .map(|c| c.predicted.map(f64::to_bits))
+                        .collect(),
+                ));
+            }
+            let _ = std::fs::remove_dir_all(&root);
+            log
+        };
+        assert_eq!(run("det-a"), run("det-b"));
     }
 
     #[test]

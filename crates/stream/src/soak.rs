@@ -15,7 +15,9 @@ use crate::replay::{IngestStats, SourceStats};
 use crate::service::{SensorHealth, ServiceStats};
 
 /// Canonical rendering of one float: exact bits plus a readable echo.
-fn push_f64(out: &mut String, key: &str, value: f64) {
+/// Shared with the recovery report, which must obey the same
+/// byte-compare contract.
+pub(crate) fn push_f64(out: &mut String, key: &str, value: f64) {
     let _ = write!(
         out,
         "\"{key}\": {{\"bits\": \"{:016x}\", \"approx\": \"{:.4}\"}}",

@@ -1,0 +1,123 @@
+//! Public-API determinism tests of the flaky-source supervision:
+//! the same seed must reproduce the same failure/backoff/breaker
+//! retry schedule bit for bit, because the soak harness byte-compares
+//! whole runs built on top of it.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use thermal_ckpt::BreakerPolicy;
+use thermal_stream::{
+    BackoffPolicy, FlakySource, Reading, ReplayConfig, SourceStats, TraceReplayer,
+};
+use thermal_timeseries::{TimeGrid, Timestamp};
+
+const SLOTS: usize = 160;
+const CHANNELS: usize = 3;
+
+fn replayer(seed: u64) -> TraceReplayer {
+    let grid = TimeGrid::new(Timestamp::from_minutes(0), 5, SLOTS).unwrap();
+    let batches: Vec<Vec<Reading>> = (0..SLOTS)
+        .map(|i| {
+            (0..CHANNELS)
+                .map(|c| Reading {
+                    channel: c,
+                    at: grid.timestamp(i).unwrap(),
+                    value: 20.0 + c as f64 + 0.01 * i as f64,
+                })
+                .collect()
+        })
+        .collect();
+    let config = ReplayConfig {
+        delay_prob: 0.2,
+        max_delay_slots: 3,
+        duplicate_prob: 0.05,
+        seed,
+    };
+    TraceReplayer::new(grid, &batches, &config).unwrap()
+}
+
+fn source(seed: u64) -> FlakySource {
+    FlakySource::new(
+        replayer(seed),
+        0.35,
+        seed,
+        BackoffPolicy {
+            base_slots: 1,
+            cap_slots: 8,
+            seed,
+        },
+        BreakerPolicy {
+            threshold: 3,
+            cooldown_ticks: 4,
+        },
+    )
+    .unwrap()
+}
+
+/// Polls a source over its whole schedule (plus drain margin) and
+/// records the full observable trace: per-slot delivered readings and
+/// the supervision counters after each poll.
+fn trace(seed: u64) -> Vec<(Vec<Reading>, SourceStats)> {
+    let mut src = source(seed);
+    (0..SLOTS + 32)
+        .map(|slot| (src.poll(slot), src.stats()))
+        .collect()
+}
+
+#[test]
+fn same_seed_reproduces_the_exact_retry_schedule() {
+    let a = trace(7);
+    let b = trace(7);
+    assert_eq!(a.len(), b.len());
+    for (slot, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.0, y.0, "delivered batch diverged at slot {slot}");
+        assert_eq!(x.1, y.1, "supervision counters diverged at slot {slot}");
+    }
+}
+
+#[test]
+fn the_schedule_actually_exercises_supervision() {
+    let t = trace(7);
+    let last = t.last().unwrap().1;
+    assert!(last.failures > 0, "no failures at 35% fail probability");
+    assert!(last.successes > 0, "no successful polls");
+    assert!(
+        last.backoff_skips > 0,
+        "failures never produced a backoff delay"
+    );
+    assert!(last.breaker_trips > 0, "breaker never tripped");
+    assert!(
+        last.breaker_refusals > 0,
+        "open breaker never refused a poll"
+    );
+}
+
+#[test]
+fn failures_delay_but_never_destroy_readings() {
+    let t = trace(7);
+    let delivered: usize = t.iter().map(|(batch, _)| batch.len()).sum();
+    // The replayer's jumble may duplicate but never drops, and the
+    // flaky wrapper only stages: everything measured must eventually
+    // come out.
+    assert!(
+        delivered >= SLOTS * CHANNELS,
+        "delivered {delivered} of {} measured readings",
+        SLOTS * CHANNELS
+    );
+}
+
+#[test]
+fn different_seeds_draw_different_failure_patterns() {
+    let a = trace(7);
+    let b = trace(8);
+    let stats = |t: &[(Vec<Reading>, SourceStats)]| t.last().unwrap().1;
+    // Not a tautology check on randomness: both runs see failures, but
+    // the slot-by-slot schedules must differ somewhere.
+    assert_ne!(
+        a.iter().map(|(r, _)| r.len()).collect::<Vec<_>>(),
+        b.iter().map(|(r, _)| r.len()).collect::<Vec<_>>(),
+        "independent seeds produced identical delivery schedules"
+    );
+    assert!(stats(&a).failures > 0 && stats(&b).failures > 0);
+}

@@ -19,6 +19,8 @@
 //! * [`regressors`] — gap-aware transition stacking,
 //! * [`identify`] / [`FitConfig`] — the (optionally ridge-regularised)
 //!   least-squares solve,
+//! * [`rls`] — forgetting-factor recursive least squares keeping a
+//!   served model fresh one accepted reading at a time,
 //! * [`ThermalModel`] — the identified model: one-step prediction and
 //!   open-loop simulation,
 //! * [`evaluate`] / [`EvalReport`] — per-sensor RMS, percentiles and
@@ -65,12 +67,14 @@ mod model;
 
 pub mod diagnostics;
 pub mod regressors;
+pub mod rls;
 pub mod sweep;
 
 pub use error::SysidError;
 pub use fit::{identify, identify_from_data, FitConfig};
 pub use metrics::{evaluate, predict_segment, EvalConfig, EvalReport, TracePrediction};
 pub use model::{ModelOrder, ModelSpec, ThermalModel};
+pub use rls::{RlsConfig, RlsEstimator};
 
 /// Convenient crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SysidError>;

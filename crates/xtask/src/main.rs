@@ -16,10 +16,14 @@
 //! - `cargo xtask chaos [--smoke]` — kill-point crash/resume harness:
 //!   crash the checkpointed workload at every durable write and
 //!   require byte-identical recovery (see DESIGN.md § crash recovery).
-//! - `cargo xtask soak [--smoke]` — chaos-soak harness: replay a full
-//!   trace through corrupted, flaky, out-of-order ingest and require
-//!   a bitwise-deterministic soak report across repeated runs and
-//!   thread counts (see DESIGN.md § streaming runtime).
+//! - `cargo xtask soak [--smoke] [--recovery]` — chaos-soak harness:
+//!   replay a full trace through corrupted, flaky, out-of-order
+//!   ingest and require a bitwise-deterministic soak report across
+//!   repeated runs and thread counts (see DESIGN.md § streaming
+//!   runtime). `--recovery` runs the drift-recovery scenario instead:
+//!   a mid-trace regime shift must be detected, refitted, and healed
+//!   within a bounded number of slots (see DESIGN.md § online
+//!   identification).
 //! - `cargo xtask miri` — Miri over the `linalg`/`timeseries` unit
 //!   tests (skips with a notice when Miri is not installed).
 
@@ -28,11 +32,13 @@ use std::process::{Command, ExitCode};
 
 /// The curated hot-path benches `cargo xtask bench` runs, in report
 /// order: the linalg kernels, the clustering stage, the
-/// identification stage, and the end-to-end pipeline.
+/// identification stage (batch and recursive), and the end-to-end
+/// pipeline.
 const CURATED_BENCHES: &[&str] = &[
     "bench_linalg",
     "bench_clustering",
     "bench_identification",
+    "bench_rls",
     "bench_pipeline",
     "bench_stream",
 ];
@@ -90,7 +96,8 @@ fn print_help() {
          \x20 chaos [--smoke]      kill-point crash/resume harness (--smoke: boundary\n\
          \x20                      kill points only; default: every durable write)\n\
          \x20 soak [--smoke]       chaos-soak harness: corrupted/flaky stream replay with\n\
-         \x20                      a bitwise-deterministic report (--smoke: short sweep)\n\
+         \x20      [--recovery]    a bitwise-deterministic report (--smoke: short sweep;\n\
+         \x20                      --recovery: drift-recovery scenario instead)\n\
          \x20 miri                 Miri over linalg/timeseries unit tests\n\
          \x20 help                 show this message"
     );
@@ -320,6 +327,14 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
+    // Self-healing smoke: a mid-trace regime shift must be detected,
+    // refitted, and healed deterministically (the dedicated CI job
+    // runs the full two-day scenario).
+    eprintln!("xtask: drift-recovery smoke");
+    let code = soak(&["--smoke".to_owned(), "--recovery".to_owned()]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
     // Informational quick bench: surfaces the hot-path wall-times in
     // the CI log without gating on them — timings on shared runners
     // are too noisy to be a pass/fail criterion.
@@ -494,17 +509,27 @@ fn chaos(args: &[String]) -> ExitCode {
     }
 }
 
-/// Runs the chaos-soak harness (see `xtask::soak`).
+/// Runs the chaos-soak harness, or with `--recovery` the
+/// drift-recovery harness (see `xtask::soak`).
 fn soak(args: &[String]) -> ExitCode {
-    let smoke = match args {
-        [] => false,
-        [flag] if flag == "--smoke" => true,
-        _ => {
-            eprintln!("xtask soak: expected no arguments or `--smoke`");
-            return ExitCode::FAILURE;
+    let mut smoke = false;
+    let mut recovery = false;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" if !smoke => smoke = true,
+            "--recovery" if !recovery => recovery = true,
+            _ => {
+                eprintln!("xtask soak: expected `--smoke` and/or `--recovery`, once each");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let result = if recovery {
+        xtask::soak::run_recovery(&workspace_root(), smoke)
+    } else {
+        xtask::soak::run(&workspace_root(), smoke)
     };
-    match xtask::soak::run(&workspace_root(), smoke) {
+    match result {
         Ok(()) => {
             eprintln!("xtask soak: clean");
             ExitCode::SUCCESS

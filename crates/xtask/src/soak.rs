@@ -20,6 +20,13 @@
 //! meaningful on a single-core CI runner. `--smoke` trims the sweep
 //! (one simulated day, two intensities) for the in-`ci` pass; the
 //! dedicated CI job runs the full sweep.
+//!
+//! `cargo xtask soak --recovery` drives the sibling `recovery`
+//! workload instead: a deterministic mid-trace regime shift replayed
+//! through the online identification loop, asserting the served model
+//! heals itself (drift alarm → supervised refit → residual RMSE back
+//! inside the tolerance band within the recovery budget) with the
+//! same three-run byte-compare determinism contract.
 
 use std::fs;
 use std::path::Path;
@@ -38,6 +45,11 @@ const FULL_INTENSITIES: &str = "0,50,150,400";
 const SMOKE_DAYS: &str = "1";
 const SMOKE_INTENSITIES: &str = "0,150";
 
+/// Recovery-scenario sweep: the full run gives the shift a full day
+/// of pre-shift baseline and a full day to heal; smoke halves both.
+const RECOVERY_FULL_DAYS: &str = "2";
+const RECOVERY_SMOKE_DAYS: &str = "1";
+
 /// Runs the full harness.
 ///
 /// # Errors
@@ -47,7 +59,7 @@ const SMOKE_INTENSITIES: &str = "0,150";
 /// missing `soak: ok` marker, or a report that differs between runs
 /// or thread counts.
 pub fn run(root: &Path, smoke: bool) -> Result<(), String> {
-    build_workload(root)?;
+    build_workload(root, "soak")?;
     let bin = root
         .join("target")
         .join("release")
@@ -103,9 +115,95 @@ pub fn run(root: &Path, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds the workload binary once, in release mode.
-fn build_workload(root: &Path) -> Result<(), String> {
-    eprintln!("xtask soak: building soak workload (release)");
+/// Runs the drift-recovery harness: three `recovery` workload runs
+/// (repetition and thread-count axes), each of which must exit zero —
+/// the workload itself asserts the drift alarm, the supervised refit
+/// install, and the bounded-slot RMSE recovery — and all three
+/// recovery reports must be byte-identical.
+///
+/// # Errors
+///
+/// Returns a description of the first failed invariant: a workload
+/// run that exited non-zero (a panic or a violated self-healing
+/// assertion), a missing `recovery: ok` marker, or a report that
+/// differs between runs or thread counts.
+pub fn run_recovery(root: &Path, smoke: bool) -> Result<(), String> {
+    build_workload(root, "recovery")?;
+    let bin = root
+        .join("target")
+        .join("release")
+        .join(format!("recovery{}", std::env::consts::EXE_SUFFIX));
+    let base = root.join("target").join("recovery");
+    let days = if smoke {
+        RECOVERY_SMOKE_DAYS
+    } else {
+        RECOVERY_FULL_DAYS
+    };
+
+    let runs: &[(&str, &str)] = &[("t1", "1"), ("t1-repeat", "1"), ("t4", "4")];
+    let mut reports: Vec<(String, Vec<u8>)> = Vec::new();
+    for &(label, threads) in runs {
+        let report = base.join(format!("report-{label}.json"));
+        remove_stale(&report)?;
+        eprintln!("xtask soak: recovery run `{label}` (THERMAL_THREADS={threads}, days={days})");
+        let ckpt = base.join(format!("ckpt-{label}"));
+        let output = Command::new(&bin)
+            .arg(&report)
+            .args(["--seed", WORKLOAD_SEED])
+            .args(["--days", days])
+            .arg("--ckpt")
+            .arg(&ckpt)
+            .env("THERMAL_THREADS", threads)
+            .output()
+            .map_err(|e| format!("could not start {}: {e}", bin.display()))?;
+        if !output.status.success() {
+            return Err(format!(
+                "recovery run `{label}` (THERMAL_THREADS={threads}) exited with {:?}, \
+                 expected success\nstderr:\n{}",
+                output.status.code(),
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+        if !stdout.lines().any(|l| l.trim() == "recovery: ok") {
+            return Err(format!(
+                "recovery run `{label}` exited cleanly but never printed `recovery: ok`:\n{stdout}"
+            ));
+        }
+        if let Some(slot) = parse_marker(&stdout, "recovery: shift_slot = ") {
+            eprintln!("xtask soak: recovery run `{label}` shifted regimes at slot {slot}");
+        }
+        let bytes = fs::read(&report).map_err(|e| {
+            format!(
+                "recovery run `{label}` left no report at {}: {e}",
+                report.display()
+            )
+        })?;
+        if bytes.is_empty() {
+            return Err(format!("recovery run `{label}` wrote an empty report"));
+        }
+        reports.push((label.to_owned(), bytes));
+    }
+
+    let (ref_label, ref_bytes) = &reports[0];
+    for (label, bytes) in &reports[1..] {
+        if bytes != ref_bytes {
+            return Err(format!(
+                "recovery report differs between run `{ref_label}` and run `{label}`: \
+                 the self-healing trajectory is not deterministic"
+            ));
+        }
+    }
+    eprintln!(
+        "xtask soak: {} byte-identical recovery report(s) across repeated runs and thread counts",
+        reports.len()
+    );
+    Ok(())
+}
+
+/// Builds one workload binary, in release mode.
+fn build_workload(root: &Path, bin: &str) -> Result<(), String> {
+    eprintln!("xtask soak: building {bin} workload (release)");
     let status = Command::new(env!("CARGO"))
         .args([
             "build",
@@ -114,13 +212,13 @@ fn build_workload(root: &Path) -> Result<(), String> {
             "-p",
             "thermal-bench",
             "--bin",
-            "soak",
+            bin,
         ])
         .current_dir(root)
         .status()
         .map_err(|e| format!("could not start cargo build: {e}"))?;
     if !status.success() {
-        return Err(format!("soak workload build failed with {status}"));
+        return Err(format!("{bin} workload build failed with {status}"));
     }
     Ok(())
 }
