@@ -15,8 +15,8 @@ use std::sync::OnceLock;
 use criterion::{criterion_group, criterion_main, Criterion};
 use thermal_core::{ClusterCount, ModelOrder, ReducedModel, SelectorKind, ThermalPipeline};
 use thermal_stream::{
-    parse_csv_events, BackoffPolicy, FlakySource, ReplayConfig, StreamConfig, StreamService,
-    TraceReplayer,
+    parse_csv_events, BackoffPolicy, FlakySource, Reading, ReplayConfig, StreamConfig,
+    StreamService, TraceReplayer,
 };
 use thermal_timeseries::{csv, Channel, Dataset, Mask, TimeGrid, Timestamp};
 
@@ -136,6 +136,51 @@ fn bench_stream(c: &mut Criterion) {
         b.iter(|| parse_csv_events(&f.csv_text, &mapping).expect("parse"))
     });
     group.bench_function("replay_day_6ch", |b| b.iter(|| replay_day(f)));
+    group.bench_function("steady_state_events", |b| {
+        // The allocation-free serving contract (see
+        // crates/stream/tests/alloc_free.rs): one warmed service,
+        // one reused arrivals buffer, one reused prediction; each
+        // iteration is one step + predict_into event.
+        let mut service = StreamService::new(
+            f.model.clone(),
+            StreamConfig::default(),
+            f.dataset.grid().start(),
+        )
+        .expect("service");
+        let channel_count = service.channel_names().len();
+        let mut arrivals: Vec<Reading> = (0..channel_count)
+            .map(|c| Reading {
+                channel: c,
+                at: f.dataset.grid().start(),
+                value: if c < channel_count - 1 { 21.0 } else { 0.5 },
+            })
+            .collect();
+        let mut minute = f.dataset.grid().start().as_minutes();
+        let stamp = |arrivals: &mut [Reading], minute: i64| {
+            let at = Timestamp::from_minutes(minute);
+            for r in arrivals.iter_mut() {
+                r.at = at;
+            }
+        };
+        for _ in 0..40 {
+            minute += 5;
+            stamp(&mut arrivals, minute);
+            service
+                .step(Timestamp::from_minutes(minute), &arrivals)
+                .expect("warmup step");
+        }
+        let mut prediction = service.predict();
+        assert!(prediction.warmed_up, "bench fixture must be warmed up");
+        b.iter(|| {
+            minute += 5;
+            stamp(&mut arrivals, minute);
+            service
+                .step(Timestamp::from_minutes(minute), &arrivals)
+                .expect("step");
+            service.predict_into(&mut prediction);
+            prediction.warmed_up
+        })
+    });
     group.finish();
 }
 

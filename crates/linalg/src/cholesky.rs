@@ -216,6 +216,23 @@ impl CholeskyDecomposition {
     /// * [`LinalgError::ShapeMismatch`] when `x.len() != dim()`,
     /// * [`LinalgError::NonFinite`] for NaN/∞ entries in `x`.
     pub fn rank_one_update(&mut self, x: &Vector) -> Result<()> {
+        let mut workspace = Vec::new();
+        self.rank_one_update_with(x.as_slice(), &mut workspace)
+    }
+
+    /// Rank-1 update taking a slice and a caller-owned workspace, so
+    /// steady-state callers (the RLS estimator, the sweep cache) can
+    /// run the Givens sweep without heap allocation.
+    ///
+    /// The workspace is cleared and refilled with a copy of `x`; its
+    /// capacity is retained across calls. Arithmetic is identical to
+    /// [`CholeskyDecomposition::rank_one_update`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `x.len() != dim()`,
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries in `x`.
+    pub fn rank_one_update_with(&mut self, x: &[f64], workspace: &mut Vec<f64>) -> Result<()> {
         let n = self.dim();
         if x.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -224,12 +241,14 @@ impl CholeskyDecomposition {
                 rhs: (x.len(), 1),
             });
         }
-        if !x.is_finite() {
+        if !x.iter().all(|v| v.is_finite()) {
             return Err(LinalgError::NonFinite {
                 op: "cholesky rank-1 update",
             });
         }
-        let mut w = x.as_slice().to_vec();
+        workspace.clear();
+        workspace.extend_from_slice(x);
+        let w = workspace.as_mut_slice();
         for k in 0..n {
             let pivot = self.l[(k, k)];
             let r = pivot.hypot(w[k]);

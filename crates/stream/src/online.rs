@@ -169,12 +169,25 @@ pub struct OnlineIdentifier {
     /// Cluster served by each model output.
     output_clusters: Vec<usize>,
     /// The previous slot's one-step forecast per output (what this
-    /// slot's substituted row is compared against).
-    last_forecast: Option<Vec<f64>>,
-    /// The last `warmup` substituted rows, oldest first.
+    /// slot's substituted row is compared against); valid only while
+    /// `forecast_ready`. The buffer is recycled across slots.
+    last_forecast: Vec<f64>,
+    /// `true` when `last_forecast` holds an unconsumed forecast.
+    forecast_ready: bool,
+    /// The last `warmup` substituted rows, oldest first (row buffers
+    /// recycled once the window is full).
     prev_rows: VecDeque<Vec<f64>>,
-    /// The input values as of the previous slot, when all were known.
-    prev_inputs: Option<Vec<f64>>,
+    /// The input values as of the previous slot; valid only while
+    /// `prev_inputs_ready` (all were known that slot).
+    prev_inputs: Vec<f64>,
+    /// `true` when `prev_inputs` holds a complete input row.
+    prev_inputs_ready: bool,
+    /// Scratch: per-cluster residual-magnitude sums.
+    residual_sum: Vec<f64>,
+    /// Scratch: per-cluster residual counts.
+    residual_count: Vec<u64>,
+    /// Scratch: the assembled regressor row.
+    x_scratch: Vec<f64>,
     /// Consecutive fully-healthy slots up to and including the last
     /// observed one.
     clean_streak: u64,
@@ -217,14 +230,23 @@ impl OnlineIdentifier {
         }
         let estimator =
             RlsEstimator::new(spec, config.rls).map_err(|e| StreamError::Core(e.to_string()))?;
+        let outputs = estimator.spec().output_count();
+        let inputs = estimator.spec().input_count();
+        let width = estimator.spec().regressor_width();
+        let warmup = estimator.spec().order.warmup().max(1);
         Ok(OnlineIdentifier {
             estimator,
             machines: vec![DriftMachine::new(); cluster_count],
             noise: vec![ResidualScale::default(); cluster_count],
             output_clusters,
-            last_forecast: None,
-            prev_rows: VecDeque::new(),
-            prev_inputs: None,
+            last_forecast: Vec::with_capacity(outputs),
+            forecast_ready: false,
+            prev_rows: VecDeque::with_capacity(warmup + 1),
+            prev_inputs: Vec::with_capacity(inputs),
+            prev_inputs_ready: false,
+            residual_sum: Vec::with_capacity(cluster_count),
+            residual_count: Vec::with_capacity(cluster_count),
+            x_scratch: Vec::with_capacity(width),
             clean_streak: 0,
             cooldown: 0,
             refit_ordinal: 0,
@@ -275,9 +297,17 @@ impl OnlineIdentifier {
     }
 
     /// Stores the service's one-step forecast of the *next* slot (the
-    /// baseline the next observed row is compared against).
-    pub fn note_forecast(&mut self, forecast: Option<Vec<f64>>) {
-        self.last_forecast = forecast;
+    /// baseline the next observed row is compared against); `None`
+    /// clears any pending forecast. The internal buffer is reused.
+    pub fn note_forecast(&mut self, forecast: Option<&[f64]>) {
+        match forecast {
+            Some(values) => {
+                self.last_forecast.clear();
+                self.last_forecast.extend_from_slice(values);
+                self.forecast_ready = true;
+            }
+            None => self.forecast_ready = false,
+        }
     }
 
     /// Folds one event-loop slot in: residual supervision against the
@@ -291,17 +321,28 @@ impl OnlineIdentifier {
         self.observe_residuals(row, actions);
         self.ingest_transition(row, actions);
 
-        // Roll the regressor state forward.
+        // Roll the regressor state forward, recycling the oldest row
+        // buffer once the window is full.
         let warmup = self.estimator.spec().order.warmup().max(1);
-        self.prev_rows.push_back(row.to_vec());
+        let mut row_buf = if self.prev_rows.len() >= warmup {
+            self.prev_rows.pop_front().unwrap_or_default()
+        } else {
+            Vec::with_capacity(row.len())
+        };
+        row_buf.clear();
+        row_buf.extend_from_slice(row);
+        self.prev_rows.push_back(row_buf);
         while self.prev_rows.len() > warmup {
             self.prev_rows.pop_front();
         }
-        self.prev_inputs = inputs
-            .iter()
-            .copied()
-            .collect::<Option<Vec<f64>>>()
-            .filter(|v| v.len() == self.estimator.spec().input_count());
+        self.prev_inputs_ready = inputs.len() == self.estimator.spec().input_count()
+            && inputs.iter().all(Option::is_some);
+        if self.prev_inputs_ready {
+            self.prev_inputs.clear();
+            for v in inputs {
+                self.prev_inputs.push(v.unwrap_or(0.0));
+            }
+        }
         let all_healthy = actions.iter().all(|a| *a == FallbackAction::Healthy);
         if all_healthy {
             self.clean_streak += 1;
@@ -312,12 +353,21 @@ impl OnlineIdentifier {
 
     /// Feeds per-cluster residual magnitudes from the stored forecast.
     fn observe_residuals(&mut self, row: &[f64], actions: &[FallbackAction]) {
-        let Some(forecast) = self.last_forecast.take() else {
+        if !self.forecast_ready {
             return;
-        };
+        }
+        // The forecast is one-shot: consumed here, re-armed only by
+        // the next `note_forecast`. Buffers are taken, not dropped, so
+        // the steady-state slot stays off the heap.
+        self.forecast_ready = false;
+        let forecast = std::mem::take(&mut self.last_forecast);
         let clusters = self.machines.len();
-        let mut sum = vec![0.0_f64; clusters];
-        let mut count = vec![0_u64; clusters];
+        let mut sum = std::mem::take(&mut self.residual_sum);
+        let mut count = std::mem::take(&mut self.residual_count);
+        sum.clear();
+        sum.resize(clusters, 0.0);
+        count.clear();
+        count.resize(clusters, 0);
         let per_output = row
             .iter()
             .zip(&forecast)
@@ -352,6 +402,9 @@ impl OnlineIdentifier {
         if any {
             self.stats.residual_slots += 1;
         }
+        self.last_forecast = forecast;
+        self.residual_sum = sum;
+        self.residual_count = count;
     }
 
     /// Folds one transition into the estimator when the current slot
@@ -360,33 +413,36 @@ impl OnlineIdentifier {
         let warmup = self.estimator.spec().order.warmup().max(1);
         let all_healthy = actions.iter().all(|a| *a == FallbackAction::Healthy);
         let window_clean = self.clean_streak >= warmup as u64 && self.prev_rows.len() >= warmup;
-        let Some(prev_inputs) = self.prev_inputs.clone() else {
+        if !self.prev_inputs_ready {
             self.stats.rows_skipped += 1;
             return;
-        };
+        }
         if !all_healthy || !window_clean {
             self.stats.rows_skipped += 1;
             return;
         }
         let p = self.estimator.spec().output_count();
-        let mut x = Vec::with_capacity(self.estimator.spec().regressor_width());
-        let Some(t_now) = self.prev_rows.back() else {
-            self.stats.rows_skipped += 1;
-            return;
-        };
-        x.extend_from_slice(t_now);
-        if warmup == 2 {
-            let Some(t_prev) = self.prev_rows.front() else {
-                self.stats.rows_skipped += 1;
-                return;
+        let mut x = std::mem::take(&mut self.x_scratch);
+        x.clear();
+        let ok = 'assemble: {
+            let Some(t_now) = self.prev_rows.back() else {
+                break 'assemble false;
             };
-            for (a, b) in t_now.iter().zip(t_prev) {
-                x.push(a - b);
+            x.extend_from_slice(t_now);
+            if warmup == 2 {
+                let Some(t_prev) = self.prev_rows.front() else {
+                    break 'assemble false;
+                };
+                for (a, b) in t_now.iter().zip(t_prev) {
+                    x.push(a - b);
+                }
             }
-        }
-        x.extend_from_slice(&prev_inputs);
-        debug_assert_eq!(row.len(), p);
-        if self.estimator.ingest(&x, row).is_ok() {
+            x.extend_from_slice(&self.prev_inputs);
+            debug_assert_eq!(row.len(), p);
+            self.estimator.ingest(&x, row).is_ok()
+        };
+        self.x_scratch = x;
+        if ok {
             self.stats.rows_ingested += 1;
         } else {
             self.stats.rows_skipped += 1;
@@ -612,7 +668,7 @@ mod tests {
     fn residuals_only_flow_from_healthy_outputs() {
         let mut ident = identifier("residual");
         let healthy = vec![FallbackAction::Healthy, FallbackAction::Healthy];
-        ident.note_forecast(Some(vec![20.0, 22.0]));
+        ident.note_forecast(Some(&[20.0, 22.0]));
         ident.observe(&[20.5, 22.0], &healthy, &[Some(0.5)]);
         assert_eq!(ident.stats().residual_slots, 1);
         assert!(ident.cluster_uncertainty(0).is_some());
@@ -622,7 +678,7 @@ mod tests {
         assert_eq!(ident.stats().residual_slots, before);
         // Unavailable outputs are not compared.
         let dark = vec![FallbackAction::Unavailable, FallbackAction::Unavailable];
-        ident.note_forecast(Some(vec![20.0, 22.0]));
+        ident.note_forecast(Some(&[20.0, 22.0]));
         ident.observe(&[99.0, 99.0], &dark, &[Some(0.5)]);
         assert_eq!(ident.stats().residual_slots, before);
     }
@@ -643,7 +699,8 @@ mod tests {
         for _ in 0..10 {
             let u = 0.5;
             let next: Vec<f64> = t.iter().map(|v| 0.9 * v + 2.0 * u).collect();
-            ident.note_forecast(Some(next.iter().map(|v| v - 1.0).collect()));
+            let biased: Vec<f64> = next.iter().map(|v| v - 1.0).collect();
+            ident.note_forecast(Some(&biased));
             ident.observe(&next, &healthy, &[Some(u)]);
             t = next;
         }

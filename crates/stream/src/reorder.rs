@@ -12,8 +12,6 @@
 //! The buffer is bounded: a reading that would overflow it is dropped
 //! and counted, never silently absorbed into unbounded memory.
 
-use std::collections::BTreeMap;
-
 use thermal_timeseries::Timestamp;
 
 use crate::event::Reading;
@@ -82,12 +80,18 @@ pub struct ReorderStats {
 }
 
 /// One channel's reorder buffer.
+///
+/// Pending readings live in a `Vec` kept sorted by timestamp that is
+/// preallocated to the configured capacity at construction, so the
+/// steady-state offer/drain cycle never touches the heap: inserts
+/// shift within the reserved storage and drains compact in place.
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
     config: ReorderConfig,
-    /// Pending readings keyed by measurement time (BTreeMap gives the
-    /// in-order drain).
-    pending: BTreeMap<i64, f64>,
+    /// Pending readings as `(minutes, value)`, sorted ascending by
+    /// timestamp. Length never exceeds `config.capacity`, so the
+    /// initial reservation is never outgrown.
+    pending: Vec<(i64, f64)>,
     /// Highest timestamp ever released; later arrivals at or below it
     /// are too late.
     released_up_to: Option<i64>,
@@ -95,7 +99,7 @@ pub struct ReorderBuffer {
 }
 
 impl ReorderBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer with its full capacity preallocated.
     ///
     /// # Errors
     ///
@@ -105,7 +109,7 @@ impl ReorderBuffer {
         config.validate()?;
         Ok(ReorderBuffer {
             config,
-            pending: BTreeMap::new(),
+            pending: Vec::with_capacity(config.capacity),
             released_up_to: None,
             stats: ReorderStats::default(),
         })
@@ -126,35 +130,58 @@ impl ReorderBuffer {
                 return false;
             }
         }
-        if let Some(slot) = self.pending.get_mut(&ts) {
-            // Same timestamp still buffered: last write wins, counted.
-            *slot = reading.value;
-            self.stats.duplicates += 1;
-            return true;
+        match self.pending.binary_search_by_key(&ts, |&(t, _)| t) {
+            Ok(idx) => {
+                // Same timestamp still buffered: last write wins,
+                // counted.
+                if let Some(slot) = self.pending.get_mut(idx) {
+                    slot.1 = reading.value;
+                }
+                self.stats.duplicates += 1;
+                true
+            }
+            Err(idx) => {
+                if self.pending.len() >= self.config.capacity {
+                    self.stats.overflowed += 1;
+                    return false;
+                }
+                self.pending.insert(idx, (ts, reading.value));
+                self.stats.high_water = self.stats.high_water.max(self.pending.len());
+                true
+            }
         }
-        if self.pending.len() >= self.config.capacity {
-            self.stats.overflowed += 1;
-            return false;
-        }
-        self.pending.insert(ts, reading.value);
-        self.stats.high_water = self.stats.high_water.max(self.pending.len());
-        true
     }
 
     /// Releases every buffered reading at or below the watermark
-    /// (`now - allowed_lateness`), in increasing timestamp order.
-    pub fn drain_ready(&mut self, now: Timestamp) -> Vec<(Timestamp, f64)> {
+    /// (`now - allowed_lateness`), in increasing timestamp order,
+    /// appending to `out` without clearing it.
+    ///
+    /// The caller owns `out`; once its capacity reaches the buffer
+    /// capacity this path performs no heap allocation.
+    pub fn drain_ready_into(&mut self, now: Timestamp, out: &mut Vec<(Timestamp, f64)>) {
         let watermark = now.as_minutes() - self.config.allowed_lateness;
-        let mut out = Vec::new();
-        while let Some((&ts, &value)) = self.pending.iter().next() {
-            if ts > watermark {
-                break;
-            }
-            self.pending.remove(&ts);
+        // Sorted ascending: the releasable prefix ends at the first
+        // timestamp past the watermark.
+        let split = self.pending.partition_point(|&(t, _)| t <= watermark);
+        if split == 0 {
+            return;
+        }
+        for &(ts, value) in self.pending.iter().take(split) {
             self.released_up_to = Some(ts);
             self.stats.released += 1;
             out.push((Timestamp::from_minutes(ts), value));
         }
+        // Compact the survivors to the front in place.
+        self.pending.copy_within(split.., 0);
+        self.pending.truncate(self.pending.len() - split);
+    }
+
+    /// Releases every buffered reading at or below the watermark into
+    /// a fresh `Vec`. Allocating convenience wrapper over
+    /// [`ReorderBuffer::drain_ready_into`].
+    pub fn drain_ready(&mut self, now: Timestamp) -> Vec<(Timestamp, f64)> {
+        let mut out = Vec::new();
+        self.drain_ready_into(now, &mut out);
         out
     }
 
@@ -243,6 +270,32 @@ mod tests {
         assert_eq!(b.stats().duplicates, 1);
         let got = b.drain_ready(Timestamp::from_minutes(10));
         assert_eq!(got, vec![(Timestamp::from_minutes(10), 2.0)]);
+    }
+
+    #[test]
+    fn drain_into_appends_and_buffer_capacity_is_stable() {
+        let mut b = buffer(5, 4);
+        let reserved = b.pending.capacity();
+        let mut out = Vec::with_capacity(4);
+        for round in 0..50_i64 {
+            let base = round * 20;
+            // Shuffled delivery within each round.
+            for offset in [15, 0, 10, 5] {
+                b.offer(&r(base + offset, 0.0));
+            }
+            out.clear();
+            b.drain_ready_into(Timestamp::from_minutes(base + 20), &mut out);
+            assert!(out.len() <= 4);
+            assert!(
+                out.windows(2).all(|w| w[0].0 < w[1].0),
+                "drained readings must stay timestamp-ordered"
+            );
+        }
+        assert_eq!(
+            b.pending.capacity(),
+            reserved,
+            "sustained churn must not grow the preallocated store"
+        );
     }
 
     #[test]

@@ -15,7 +15,6 @@
 use std::collections::VecDeque;
 
 use thermal_core::{FallbackAction, ModelHealth, ReducedModel};
-use thermal_linalg::Matrix;
 use thermal_timeseries::Timestamp;
 
 use crate::drift::DriftStats;
@@ -189,6 +188,21 @@ struct OutputWiring {
     cluster: usize,
 }
 
+/// Heap-free ladder decision for one output this slot; materialised
+/// into a [`FallbackAction`] (whose `Backup` variant owns a `String`)
+/// only when the action actually changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    /// Served from the representative itself.
+    Healthy,
+    /// Served from the ranked backup at this registry index.
+    Backup(usize),
+    /// Served from the mean of this many usable cluster members.
+    ClusterMean(usize),
+    /// Structured blackout.
+    Unavailable,
+}
+
 /// The streaming runtime: simulated clock, ingest queue, per-channel
 /// reorder buffers and health machines, and the substitution ladder
 /// feeding the reduced model.
@@ -220,6 +234,19 @@ pub struct StreamService {
     actions: Vec<FallbackAction>,
     /// Continuous identification sidecar, when enabled.
     online: Option<OnlineIdentifier>,
+    /// One-step forecast per output, refreshed each step; valid only
+    /// while `forecast_ready` (warmed up and inputs primed).
+    forecast: Vec<f64>,
+    /// `true` when `forecast` holds the current open-loop forecast.
+    forecast_ready: bool,
+    /// Scratch: readings drained from one reorder buffer.
+    drain_scratch: Vec<(Timestamp, f64)>,
+    /// Scratch: per-output ladder decisions.
+    decision_scratch: Vec<(Option<f64>, Decision)>,
+    /// Scratch: substituted input row for the forecast.
+    input_scratch: Vec<f64>,
+    /// Scratch: regressor row for the forecast.
+    regressor_scratch: Vec<f64>,
     stats: ServiceStats,
 }
 
@@ -265,6 +292,8 @@ impl StreamService {
         let reorders = (0..names.len())
             .map(|_| ReorderBuffer::new(config.reorder))
             .collect::<Result<Vec<_>>>()?;
+        let warmup = model.model().spec().order.warmup();
+        let width = model.model().spec().regressor_width();
         Ok(StreamService {
             clock: SimClock::new(start),
             queue,
@@ -273,10 +302,16 @@ impl StreamService {
             input_latest: vec![None; inputs.len()],
             wiring,
             cluster_members,
-            history: VecDeque::new(),
+            history: VecDeque::with_capacity(warmup + 1),
             frozen: vec![None; output_count],
             actions: vec![FallbackAction::Unavailable; output_count],
             online: None,
+            forecast: Vec::with_capacity(output_count),
+            forecast_ready: false,
+            drain_scratch: Vec::with_capacity(config.reorder.capacity),
+            decision_scratch: Vec::with_capacity(output_count),
+            input_scratch: Vec::with_capacity(inputs.len()),
+            regressor_scratch: Vec::with_capacity(width),
             stats: ServiceStats::default(),
             names,
             sensor_count,
@@ -433,8 +468,11 @@ impl StreamService {
             }
         }
         let now_minutes = now.as_minutes();
+        let mut drained = std::mem::take(&mut self.drain_scratch);
         for (channel, reorder) in self.reorders.iter_mut().enumerate() {
-            for (at, value) in reorder.drain_ready(now) {
+            drained.clear();
+            reorder.drain_ready_into(now, &mut drained);
+            for &(at, value) in &drained {
                 if let Some(machine) = self.machines.get_mut(channel) {
                     if machine.on_reading(&self.config.health, at.as_minutes(), value) {
                         self.stats.applied += 1;
@@ -456,6 +494,7 @@ impl StreamService {
                 }
             }
         }
+        self.drain_scratch = drained;
         for machine in &mut self.machines {
             machine.on_tick(&self.config.health, now_minutes);
         }
@@ -472,6 +511,7 @@ impl StreamService {
     /// serving from the old ones.
     fn step_online(&mut self) {
         let Some(mut online) = self.online.take() else {
+            self.update_forecast();
             return;
         };
         if let Some(row) = self.history.back() {
@@ -487,7 +527,15 @@ impl StreamService {
                 }
             }
         }
-        online.note_forecast(self.forecast_row());
+        // Refresh after any install so both the served prediction and
+        // the residual supervisor see the new coefficients.
+        self.update_forecast();
+        let forecast = if self.forecast_ready {
+            Some(self.forecast.as_slice())
+        } else {
+            None
+        };
+        online.note_forecast(forecast);
         self.online = Some(online);
     }
 
@@ -510,60 +558,84 @@ impl StreamService {
         let neutral = (p.min_value + p.max_value) / 2.0;
         // Decide first (the ladder walk borrows `self` shared), then
         // apply over the zipped per-output state — no indexing needed.
-        let decisions: Vec<(Option<f64>, FallbackAction)> = self
-            .wiring
-            .iter()
-            .map(|wire| self.substitute(wire))
-            .collect();
-        let mut row = Vec::with_capacity(self.wiring.len());
-        for ((slot, act), (value, action)) in self
+        // The decision buffer and the recycled history row keep the
+        // steady-state path off the heap.
+        let mut decisions = std::mem::take(&mut self.decision_scratch);
+        decisions.clear();
+        decisions.extend(self.wiring.iter().map(|wire| self.substitute(wire)));
+        let warmup = self.model.model().spec().order.warmup();
+        let mut row = if self.history.len() >= warmup {
+            self.history.pop_front().unwrap_or_default()
+        } else {
+            Vec::with_capacity(self.wiring.len())
+        };
+        row.clear();
+        for ((slot, act), &(value, decision)) in self
             .frozen
             .iter_mut()
             .zip(self.actions.iter_mut())
-            .zip(decisions)
+            .zip(&decisions)
         {
-            match action {
-                FallbackAction::Healthy => self.stats.healthy_outputs += 1,
-                FallbackAction::Backup { .. } => self.stats.backup_outputs += 1,
-                FallbackAction::ClusterMean { .. } => self.stats.cluster_mean_outputs += 1,
-                _ => self.stats.unavailable_outputs += 1,
+            match decision {
+                Decision::Healthy => self.stats.healthy_outputs += 1,
+                Decision::Backup(_) => self.stats.backup_outputs += 1,
+                Decision::ClusterMean(_) => self.stats.cluster_mean_outputs += 1,
+                Decision::Unavailable => self.stats.unavailable_outputs += 1,
             }
             if let Some(v) = value {
                 *slot = Some(v);
             }
             row.push(slot.unwrap_or(neutral));
-            *act = action;
+            Self::assign_action(act, decision, &self.names);
         }
-        let warmup = self.model.model().spec().order.warmup();
+        self.decision_scratch = decisions;
         self.history.push_back(row);
         while self.history.len() > warmup {
             self.history.pop_front();
         }
     }
 
+    /// Materialises a ladder decision into the per-output
+    /// [`FallbackAction`], reusing the existing `Backup` string buffer
+    /// so an unchanged action never touches the heap.
+    fn assign_action(act: &mut FallbackAction, decision: Decision, names: &[String]) {
+        match decision {
+            Decision::Healthy => *act = FallbackAction::Healthy,
+            Decision::ClusterMean(members) => *act = FallbackAction::ClusterMean { members },
+            Decision::Unavailable => *act = FallbackAction::Unavailable,
+            Decision::Backup(idx) => {
+                let name = names.get(idx).map_or("", String::as_str);
+                if let FallbackAction::Backup { substitute } = act {
+                    if substitute != name {
+                        substitute.clear();
+                        substitute.push_str(name);
+                    }
+                } else {
+                    *act = FallbackAction::Backup {
+                        substitute: name.to_owned(),
+                    };
+                }
+            }
+        }
+    }
+
     /// The ladder for one output: representative → first usable ranked
     /// backup → mean of usable cluster members → blackout.
-    fn substitute(&self, wire: &OutputWiring) -> (Option<f64>, FallbackAction) {
+    fn substitute(&self, wire: &OutputWiring) -> (Option<f64>, Decision) {
         if self.usable(wire.sensor) {
             return (
                 self.machines
                     .get(wire.sensor)
                     .and_then(|m| m.last_good_value()),
-                FallbackAction::Healthy,
+                Decision::Healthy,
             );
         }
         for &backup in self.model.selection().backups(wire.cluster) {
             if backup >= self.sensor_count || !self.usable(backup) {
                 continue;
             }
-            if let (Some(machine), Some(name)) = (self.machines.get(backup), self.names.get(backup))
-            {
-                return (
-                    machine.last_good_value(),
-                    FallbackAction::Backup {
-                        substitute: name.clone(),
-                    },
-                );
+            if let Some(machine) = self.machines.get(backup) {
+                return (machine.last_good_value(), Decision::Backup(backup));
             }
         }
         let members = self
@@ -581,40 +653,54 @@ impl StreamService {
             }
         }
         if count > 0 {
-            return (
-                Some(sum / count as f64),
-                FallbackAction::ClusterMean { members: count },
-            );
+            return (Some(sum / count as f64), Decision::ClusterMean(count));
         }
-        (None, FallbackAction::Unavailable)
+        (None, Decision::Unavailable)
     }
 
-    /// The model's one-step forecast per output, once warmed up (full
-    /// substituted history and at least one value on every input
-    /// channel); `None` while still warming.
-    fn forecast_row(&self) -> Option<Vec<f64>> {
+    /// Refreshes the cached one-step forecast per output, once warmed
+    /// up (full substituted history and at least one value on every
+    /// input channel); clears `forecast_ready` while still warming.
+    ///
+    /// Called once per step so [`StreamService::predict`] is a pure
+    /// read of precomputed state — the serving path never allocates.
+    fn update_forecast(&mut self) {
+        self.forecast_ready = false;
         let warmup = self.model.model().spec().order.warmup();
-        let input_count = self.model.model().spec().input_count();
         if self.history.len() < warmup || !self.input_latest.iter().all(Option::is_some) {
-            return None;
+            return;
         }
-        let p = self.wiring.len();
-        let mut initial = Matrix::zeros(warmup, p);
-        for (k, past) in self.history.iter().enumerate() {
-            initial.row_mut(k).copy_from_slice(past);
+        self.input_scratch.clear();
+        for v in &self.input_latest {
+            self.input_scratch.push(v.unwrap_or(0.0));
         }
-        let mut u = Matrix::zeros(1, input_count);
-        for (slot, v) in u.row_mut(0).iter_mut().zip(&self.input_latest) {
-            *slot = v.unwrap_or(0.0);
-        }
+        let Some(current) = self.history.back() else {
+            return;
+        };
+        let previous = if warmup >= 2 {
+            self.history.front().map(Vec::as_slice)
+        } else {
+            None
+        };
+        let mut regressor = std::mem::take(&mut self.regressor_scratch);
+        let mut out = std::mem::take(&mut self.forecast);
         // A dimension error here would be a wiring bug; degrade to
         // the nowcast rather than surfacing an Err from a serving
         // path that promises totality.
-        self.model
+        let ok = self
+            .model
             .model()
-            .simulate(&initial, &u)
-            .ok()
-            .map(|out| out.row(0).to_vec())
+            .predict_next_into(
+                current,
+                previous,
+                &self.input_scratch,
+                &mut regressor,
+                &mut out,
+            )
+            .is_ok();
+        self.regressor_scratch = regressor;
+        self.forecast = out;
+        self.forecast_ready = ok;
     }
 
     /// Serves a prediction for the next slot. Total: every cluster
@@ -627,21 +713,49 @@ impl StreamService {
     /// nowcast: the substituted current values, flagged `warmed_up:
     /// false`.
     pub fn predict(&self) -> LivePrediction {
-        let now = self.clock.now();
-        let target = now + i64::from(self.config.step_minutes);
-        let row = self.forecast_row();
-        let warmed_up = row.is_some();
+        let mut out = LivePrediction {
+            at: self.clock.now(),
+            target: self.clock.now(),
+            warmed_up: false,
+            clusters: Vec::with_capacity(self.cluster_members.len()),
+        };
+        self.predict_into(&mut out);
+        out
+    }
 
-        let mut clusters: Vec<ClusterPrediction> = Vec::new();
-        for c in 0..self.cluster_members.len() {
-            let health = self
+    /// Serves a prediction into a caller-owned [`LivePrediction`],
+    /// reusing its cluster entries (including `Backup` string buffers)
+    /// so the steady-state serving path never allocates. Semantics
+    /// are identical to [`StreamService::predict`].
+    pub fn predict_into(&self, out: &mut LivePrediction) {
+        let now = self.clock.now();
+        out.at = now;
+        out.target = now + i64::from(self.config.step_minutes);
+        out.warmed_up = self.forecast_ready;
+
+        let n = self.cluster_members.len();
+        out.clusters.truncate(n);
+        while out.clusters.len() < n {
+            out.clusters.push(ClusterPrediction {
+                cluster: 0,
+                action: FallbackAction::Unavailable,
+                predicted: None,
+                health: ModelHealth::Stable,
+                uncertainty: None,
+            });
+        }
+        for (c, entry) in out.clusters.iter_mut().enumerate() {
+            entry.cluster = c;
+            entry.health = self
                 .online
                 .as_ref()
                 .map_or(ModelHealth::Stable, |o| o.cluster_health(c));
-            let uncertainty = self.online.as_ref().and_then(|o| o.cluster_uncertainty(c));
+            entry.uncertainty = self.online.as_ref().and_then(|o| o.cluster_uncertainty(c));
             let mut sum = 0.0;
             let mut count = 0_usize;
-            let mut action = FallbackAction::Unavailable;
+            // The most severe contributing action, borrowed until the
+            // single materialisation below.
+            let mut chosen: Option<&FallbackAction> = None;
             let outputs = self
                 .wiring
                 .iter()
@@ -655,58 +769,59 @@ impl StreamService {
                 if *act == FallbackAction::Unavailable {
                     continue;
                 }
-                let value = row.as_ref().map_or(*frozen, |r| r.get(o).copied());
+                let value = if self.forecast_ready {
+                    self.forecast.get(o).copied()
+                } else {
+                    *frozen
+                };
                 if let Some(v) = value {
                     sum += v;
                     count += 1;
-                    action = Self::worse(&action, act);
+                    chosen = Some(match chosen {
+                        Some(current) if Self::rank(current) >= Self::rank(act) => current,
+                        _ => act,
+                    });
                 }
             }
-            clusters.push(if count > 0 {
-                ClusterPrediction {
-                    cluster: c,
-                    action,
-                    predicted: Some(sum / count as f64),
-                    health,
-                    uncertainty,
-                }
+            if count > 0 {
+                entry.predicted = Some(sum / count as f64);
+                Self::clone_action_into(
+                    &mut entry.action,
+                    chosen.unwrap_or(&FallbackAction::Unavailable),
+                );
             } else {
-                ClusterPrediction {
-                    cluster: c,
-                    action: FallbackAction::Unavailable,
-                    predicted: None,
-                    health,
-                    uncertainty,
-                }
-            });
-        }
-        LivePrediction {
-            at: now,
-            target,
-            warmed_up,
-            clusters,
+                entry.predicted = None;
+                entry.action = FallbackAction::Unavailable;
+            }
         }
     }
 
-    /// Picks the more severe of two ladder actions (for clusters with
-    /// several representatives). `current` starts as Unavailable, so
-    /// the first available output always replaces it.
-    fn worse(current: &FallbackAction, candidate: &FallbackAction) -> FallbackAction {
-        fn rank(a: &FallbackAction) -> u8 {
-            match a {
-                FallbackAction::Healthy => 0,
-                FallbackAction::Backup { .. } => 1,
-                FallbackAction::ClusterMean { .. } => 2,
-                _ => 3,
+    /// Severity rank of a ladder action (higher is worse); clusters
+    /// with several representatives report their worst source.
+    fn rank(a: &FallbackAction) -> u8 {
+        match a {
+            FallbackAction::Healthy => 0,
+            FallbackAction::Backup { .. } => 1,
+            FallbackAction::ClusterMean { .. } => 2,
+            _ => 3,
+        }
+    }
+
+    /// Clones an action into an existing slot, reusing the `Backup`
+    /// string buffer when both sides carry one.
+    fn clone_action_into(dst: &mut FallbackAction, src: &FallbackAction) {
+        if let (
+            FallbackAction::Backup { substitute: d },
+            FallbackAction::Backup { substitute: s },
+        ) = (&mut *dst, src)
+        {
+            if d != s {
+                d.clear();
+                d.push_str(s);
             }
+            return;
         }
-        // `current` is only ever compared once a real value exists, at
-        // which point Unavailable means "not yet set".
-        if matches!(current, FallbackAction::Unavailable) || rank(candidate) > rank(current) {
-            candidate.clone()
-        } else {
-            current.clone()
-        }
+        *dst = src.clone();
     }
 }
 
@@ -714,6 +829,7 @@ impl StreamService {
 mod tests {
     use super::*;
     use thermal_cluster::Clustering;
+    use thermal_linalg::Matrix;
     use thermal_select::Selection;
     use thermal_sysid::{ModelOrder, ModelSpec, ThermalModel};
 

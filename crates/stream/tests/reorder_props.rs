@@ -1,0 +1,166 @@
+//! Property-based tests of the reorder buffer's memory contract: for
+//! *any* delay/duplicate delivery pattern, the buffered-depth
+//! high-water mark stabilizes — it is bounded by the lateness window
+//! plus the maximum delivery delay, independent of how long the
+//! out-of-order stream keeps running — and the released stream stays
+//! strictly timestamp-ordered inside preallocated storage.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use thermal_stream::{Reading, ReorderBuffer, ReorderConfig, ReorderStats};
+use thermal_timeseries::Timestamp;
+
+/// Samples per pattern; the long run replays the pattern twice.
+const PATTERN: usize = 96;
+/// Maximum delivery delay, in slots.
+const MAX_DELAY: usize = 3;
+/// Slot step in minutes.
+const STEP: i64 = 5;
+
+/// Outcome of driving one buffer over `rounds` slots of shuffled,
+/// duplicated delivery.
+struct RunOutcome {
+    stats: ReorderStats,
+    released: Vec<i64>,
+}
+
+/// Drives a fresh buffer: sample `i` (timestamp `i * STEP`) is
+/// delivered at slot `i + delays[i % PATTERN]`, duplicated when
+/// `dups[i % PATTERN]`, with each slot's batch reversed when
+/// `flips[slot % PATTERN]`; the buffer drains after every slot.
+fn drive(lateness: i64, capacity: usize, rounds: usize, pattern: &DeliveryPattern) -> RunOutcome {
+    let mut buffer = ReorderBuffer::new(ReorderConfig {
+        allowed_lateness: lateness,
+        capacity,
+    })
+    .unwrap();
+    let mut out = Vec::with_capacity(capacity);
+    let mut released = Vec::new();
+    // Run past the end so every delayed sample gets delivered and the
+    // watermark passes the final timestamp.
+    let total_slots = rounds + MAX_DELAY + usize::try_from(lateness / STEP).unwrap() + 2;
+    for slot in 0..total_slots {
+        let mut batch: Vec<usize> = (0..rounds)
+            .skip(slot.saturating_sub(MAX_DELAY))
+            .take(MAX_DELAY + 1)
+            .filter(|&i| i <= slot && i + pattern.delays[i % PATTERN] == slot)
+            .collect();
+        if pattern.flips[slot % PATTERN] {
+            batch.reverse();
+        }
+        for i in batch {
+            let reading = Reading {
+                channel: 0,
+                at: Timestamp::from_minutes(i as i64 * STEP),
+                value: i as f64,
+            };
+            buffer.offer(&reading);
+            if pattern.dups[i % PATTERN] {
+                buffer.offer(&reading);
+            }
+        }
+        out.clear();
+        buffer.drain_ready_into(Timestamp::from_minutes(slot as i64 * STEP), &mut out);
+        released.extend(out.iter().map(|(t, _)| t.as_minutes()));
+        assert!(buffer.len() <= capacity, "depth must stay bounded");
+    }
+    RunOutcome {
+        stats: buffer.stats(),
+        released,
+    }
+}
+
+/// One generated delivery pattern: per-sample delay and duplication,
+/// per-slot batch reversal.
+#[derive(Debug)]
+struct DeliveryPattern {
+    delays: Vec<usize>,
+    dups: Vec<bool>,
+    flips: Vec<bool>,
+}
+
+/// Duplicate offers made over `rounds` samples of the cycled pattern.
+fn dup_offers(pattern: &DeliveryPattern, rounds: usize) -> u64 {
+    (0..rounds).filter(|i| pattern.dups[i % PATTERN]).count() as u64
+}
+
+fn pattern_strategy() -> impl Strategy<Value = DeliveryPattern> {
+    (
+        prop::collection::vec(0..=MAX_DELAY, PATTERN),
+        prop::collection::vec(any::<bool>(), PATTERN),
+        prop::collection::vec(any::<bool>(), PATTERN),
+    )
+        .prop_map(|(delays, dups, flips)| DeliveryPattern {
+            delays,
+            dups,
+            flips,
+        })
+}
+
+proptest! {
+    /// The stabilization contract: the high-water mark is bounded by
+    /// `lateness_slots + MAX_DELAY + 1` — a function of the window
+    /// geometry only — and running the *same* pattern twice as long
+    /// cannot push it past that bound. Sustained out-of-order and
+    /// duplicated delivery therefore cannot creep the buffer toward
+    /// its capacity over time.
+    #[test]
+    fn high_water_is_bounded_independent_of_run_length(
+        lateness_slots in 0_usize..=6,
+        pattern in pattern_strategy(),
+    ) {
+        let lateness = i64::try_from(lateness_slots).unwrap() * STEP;
+        let bound = lateness_slots + MAX_DELAY + 1;
+        // Capacity comfortably above the bound: overflow must never
+        // be what keeps the depth finite.
+        let capacity = bound + 4;
+
+        let short = drive(lateness, capacity, PATTERN, &pattern);
+        let long = drive(lateness, capacity, 2 * PATTERN, &pattern);
+
+        prop_assert!(
+            short.stats.high_water <= bound,
+            "short run high water {} exceeds geometric bound {bound}",
+            short.stats.high_water
+        );
+        prop_assert!(
+            long.stats.high_water <= bound,
+            "doubling the run grew the high water to {} past bound {bound}",
+            long.stats.high_water
+        );
+        prop_assert_eq!(short.stats.overflowed, 0);
+        prop_assert_eq!(long.stats.overflowed, 0);
+
+        // The released stream is strictly timestamp-ordered whatever
+        // the lateness budget.
+        for run in [&short, &long] {
+            prop_assert!(
+                run.released.windows(2).all(|w| w[0] < w[1]),
+                "released stream must be strictly timestamp-ordered"
+            );
+        }
+        // With a lateness budget covering the worst delivery delay,
+        // nothing is abandoned: every sample is released exactly
+        // once, and duplicate accounting scales with the stream
+        // length, not with the buffer. (A smaller budget abandons
+        // late samples by design — the watermark has moved on.)
+        if lateness_slots >= MAX_DELAY {
+            prop_assert_eq!(short.released.len(), PATTERN);
+            prop_assert_eq!(long.released.len(), 2 * PATTERN);
+            prop_assert_eq!(
+                long.stats.duplicates,
+                2 * short.stats.duplicates,
+                "duplicate accounting must scale with the stream, not the buffer"
+            );
+        } else {
+            prop_assert!(short.released.len() <= PATTERN);
+            prop_assert_eq!(
+                short.released.len() as u64 + short.stats.too_late + short.stats.duplicates,
+                PATTERN as u64 + dup_offers(&pattern, PATTERN),
+                "every offer is released, abandoned, or counted as a duplicate"
+            );
+        }
+    }
+}

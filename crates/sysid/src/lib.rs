@@ -65,11 +65,13 @@ mod fit;
 mod metrics;
 mod model;
 
+pub mod cache;
 pub mod diagnostics;
 pub mod regressors;
 pub mod rls;
 pub mod sweep;
 
+pub use cache::{identify_with_cache, CacheStats, GramCache};
 pub use error::SysidError;
 pub use fit::{identify, identify_from_data, FitConfig};
 pub use metrics::{evaluate, predict_segment, EvalConfig, EvalReport, TracePrediction};

@@ -186,6 +186,31 @@ impl ThermalModel {
     /// Returns [`SysidError::DimensionMismatch`] on mis-sized inputs
     /// or a missing `t_prev` for a second-order model.
     pub fn predict_next(&self, t: &[f64], t_prev: Option<&[f64]>, u: &[f64]) -> Result<Vector> {
+        let mut regressor = Vec::with_capacity(self.spec.regressor_width());
+        let mut out = Vec::with_capacity(self.spec.output_count());
+        self.predict_next_into(t, t_prev, u, &mut regressor, &mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    /// One-step prediction into caller-owned buffers, so steady-state
+    /// callers (the live prediction service) avoid heap allocation.
+    ///
+    /// `regressor` and `out` are cleared and refilled; their capacity
+    /// is retained across calls. Arithmetic is identical to
+    /// [`ThermalModel::predict_next`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysidError::DimensionMismatch`] on mis-sized inputs
+    /// or a missing `t_prev` for a second-order model.
+    pub fn predict_next_into(
+        &self,
+        t: &[f64],
+        t_prev: Option<&[f64]>,
+        u: &[f64],
+        regressor: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         let p = self.spec.output_count();
         let m = self.spec.input_count();
         if t.len() != p {
@@ -202,8 +227,8 @@ impl ThermalModel {
                 actual: u.len(),
             });
         }
-        let mut x = Vec::with_capacity(self.spec.regressor_width());
-        x.extend_from_slice(t);
+        regressor.clear();
+        regressor.extend_from_slice(t);
         if self.spec.order == ModelOrder::Second {
             let prev = t_prev.ok_or(SysidError::DimensionMismatch {
                 what: "previous state (second-order model)",
@@ -218,11 +243,24 @@ impl ThermalModel {
                 });
             }
             for (a, b) in t.iter().zip(prev) {
-                x.push(a - b);
+                regressor.push(a - b);
             }
         }
-        x.extend_from_slice(u);
-        Ok(self.coef.matvec(&Vector::from(x))?)
+        regressor.extend_from_slice(u);
+        out.clear();
+        for r in 0..p {
+            // Same ascending zip-sum as `Matrix::matvec`, so both
+            // prediction entry points stay bitwise identical.
+            out.push(
+                self.coef
+                    .row(r)
+                    .iter()
+                    .zip(regressor.iter())
+                    .map(|(a, b)| a * b)
+                    .sum(),
+            );
+        }
+        Ok(())
     }
 
     /// Open-loop simulation: starting from the measured initial

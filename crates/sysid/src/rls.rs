@@ -24,7 +24,7 @@
 //! [`identify_from_data`](crate::identify_from_data) solution for the
 //! same ridge, which is what the property suite pins.
 
-use thermal_linalg::{CholeskyDecomposition, LinalgError, Matrix, Vector};
+use thermal_linalg::{CholeskyDecomposition, LinalgError, Matrix};
 
 use crate::regressors::RegressionData;
 use crate::{ModelSpec, Result, SysidError, ThermalModel};
@@ -91,6 +91,9 @@ pub struct RlsEstimator {
     cross: Matrix,
     /// Rows folded in so far.
     observations: u64,
+    /// Scratch for the rank-1 Givens sweep (capacity retained so the
+    /// per-slot ingest stays allocation-free after warmup).
+    workspace: Vec<f64>,
 }
 
 impl RlsEstimator {
@@ -116,6 +119,7 @@ impl RlsEstimator {
             chol,
             cross,
             observations: 0,
+            workspace: Vec::with_capacity(width),
         })
     }
 
@@ -206,7 +210,7 @@ impl RlsEstimator {
                 }
             }
         }
-        self.chol.rank_one_update(&Vector::from_slice(x))?;
+        self.chol.rank_one_update_with(x, &mut self.workspace)?;
         for (i, &xi) in x.iter().enumerate() {
             for (j, &yj) in y.iter().enumerate() {
                 self.cross[(i, j)] += xi * yj;

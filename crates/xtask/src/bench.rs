@@ -110,6 +110,123 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Why a committed bench report cannot be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The document (still) uses the retired `mean_ns` schema — or
+    /// mixes it with `median_ns`. Mixed-unit comparisons silently
+    /// mislead, so they are rejected outright; regenerate the report
+    /// with `cargo xtask bench`.
+    LegacySchema,
+    /// No `{"name": ..., "median_ns": ...}` entries were found.
+    NoBenches,
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::LegacySchema => write!(
+                f,
+                "legacy `mean_ns` schema (or a mean/median mix); \
+                 regenerate with `cargo xtask bench` before comparing"
+            ),
+            ReportError::NoBenches => write!(f, "no parseable bench entries"),
+        }
+    }
+}
+
+/// Parses the bench entries out of a committed `BENCH_<label>.json`.
+///
+/// Line-oriented by design: the documents are written by
+/// [`render_json`] (one entry per line), and rejecting anything else —
+/// in particular the retired `mean_ns` schema — is the point, not a
+/// limitation.
+pub fn parse_report(json: &str) -> Result<Vec<BenchRecord>, ReportError> {
+    if json.contains("\"mean_ns\"") {
+        return Err(ReportError::LegacySchema);
+    }
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some(name_end) = rest.find("\", \"median_ns\": ") else {
+            continue;
+        };
+        let name = rest[..name_end].replace("\\\"", "\"").replace("\\\\", "\\");
+        let rest = &rest[name_end + "\", \"median_ns\": ".len()..];
+        let Some((median, tail)) = rest.split_once(", \"iters\": ") else {
+            continue;
+        };
+        let (Ok(median_ns), Ok(iters)) = (
+            median.parse::<f64>(),
+            tail.trim_end_matches('}').parse::<u64>(),
+        ) else {
+            continue;
+        };
+        out.push(BenchRecord {
+            name,
+            median_ns,
+            iters,
+        });
+    }
+    if out.is_empty() {
+        return Err(ReportError::NoBenches);
+    }
+    Ok(out)
+}
+
+/// One before/after pair of a bench comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name present in both reports.
+    pub name: String,
+    /// Median ns/iter in the `before` report.
+    pub before_ns: f64,
+    /// Median ns/iter in the `after` report.
+    pub after_ns: f64,
+}
+
+impl Comparison {
+    /// `before / after` — > 1 means `after` is faster.
+    pub fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+/// Pairs up benches present in both reports, in `before` order.
+pub fn compare(before: &[BenchRecord], after: &[BenchRecord]) -> Vec<Comparison> {
+    before
+        .iter()
+        .filter_map(|b| {
+            after.iter().find(|a| a.name == b.name).map(|a| Comparison {
+                name: b.name.clone(),
+                before_ns: b.median_ns,
+                after_ns: a.median_ns,
+            })
+        })
+        .collect()
+}
+
+/// Renders a comparison as an aligned text table.
+pub fn render_comparison(rows: &[Comparison]) -> String {
+    let mut out = format!(
+        "{:<48} {:>12} {:>12} {:>9}\n",
+        "bench", "before", "after", "speedup"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<48} {:>9.3} ms {:>9.3} ms {:>8.2}x\n",
+            r.name,
+            r.before_ns / 1e6,
+            r.after_ns / 1e6,
+            r.speedup(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +285,64 @@ bench malformed line without the shape
     fn json_escapes_quotes() {
         let json = render_json("a\"b", "rev", 1, "default", &[]);
         assert!(json.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn report_round_trips_through_parse() {
+        let records = vec![
+            BenchRecord {
+                name: "sweep/fig5_training_horizon".to_owned(),
+                median_ns: 123_456.7,
+                iters: 10,
+            },
+            BenchRecord {
+                name: "odd \"name\"".to_owned(),
+                median_ns: 5.0,
+                iters: 3,
+            },
+        ];
+        let json = render_json("pre", "abc1234", 1, "default", &records);
+        assert_eq!(parse_report(&json), Ok(records));
+    }
+
+    #[test]
+    fn legacy_mean_schema_is_rejected() {
+        let legacy = "{\n  \"benches\": [\n    \
+             {\"name\": \"a\", \"mean_ns\": 1.0, \"iters\": 3}\n  ]\n}\n";
+        assert_eq!(parse_report(legacy), Err(ReportError::LegacySchema));
+        // A mean/median mix is just as unusable.
+        let mixed = "{\n  \"benches\": [\n    \
+             {\"name\": \"a\", \"median_ns\": 1.0, \"iters\": 3},\n    \
+             {\"name\": \"b\", \"mean_ns\": 2.0, \"iters\": 3}\n  ]\n}\n";
+        assert_eq!(parse_report(mixed), Err(ReportError::LegacySchema));
+        assert_eq!(parse_report("{}\n"), Err(ReportError::NoBenches));
+    }
+
+    #[test]
+    fn comparison_pairs_by_name_and_reports_speedup() {
+        let before = vec![
+            BenchRecord {
+                name: "a".to_owned(),
+                median_ns: 100.0,
+                iters: 10,
+            },
+            BenchRecord {
+                name: "gone".to_owned(),
+                median_ns: 1.0,
+                iters: 10,
+            },
+        ];
+        let after = vec![BenchRecord {
+            name: "a".to_owned(),
+            median_ns: 20.0,
+            iters: 10,
+        }];
+        let rows = compare(&before, &after);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "a");
+        assert!((rows[0].speedup() - 5.0).abs() < 1e-12);
+        let table = render_comparison(&rows);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("5.00x"));
     }
 }

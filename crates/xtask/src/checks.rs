@@ -47,6 +47,13 @@
 //!   deliberate: a token engine cannot see types, and flagging all
 //!   arithmetic would drown the float kernels in noise — see
 //!   DESIGN.md.)
+//! - `hot-path-alloc` — allocation-acquiring calls (`Vec::new`,
+//!   `vec!`, `.to_vec()`, `.clone()`, `Box::new`, `String::from`) in
+//!   the [`STEADY_STATE_MODULES`], which carry the zero-allocation
+//!   serving budget of DESIGN.md § allocation budget. Constructor and
+//!   refit allocations that predate the budget live in the ratcheted
+//!   baseline; the runtime proof is
+//!   `crates/stream/tests/alloc_free.rs`.
 //!
 //! Findings are never silently dropped: allowlist- and
 //! baseline-suppressed findings stay in the report with their
@@ -80,6 +87,22 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/stream/src/health.rs",
     "crates/linalg/src/matrix.rs",
     "crates/par/src/lib.rs",
+];
+
+/// Path prefixes under the steady-state allocation budget (rule
+/// `hot-path-alloc`): the modules a warmed-up `StreamService` event —
+/// `step` + `predict_into` — executes. Allocation-acquiring calls
+/// here are findings; constructor/warm-up allocations are absorbed by
+/// the ratcheted baseline, which only ever shrinks (see DESIGN.md
+/// § allocation budget and `crates/stream/tests/alloc_free.rs` for
+/// the runtime proof).
+pub const STEADY_STATE_MODULES: &[&str] = &[
+    "crates/stream/src/reorder.rs",
+    "crates/stream/src/queue.rs",
+    "crates/stream/src/health.rs",
+    "crates/stream/src/drift.rs",
+    "crates/stream/src/service.rs",
+    "crates/stream/src/online.rs",
 ];
 
 /// How a reported finding was suppressed, if at all.
@@ -268,6 +291,7 @@ pub fn check_source(rel_path: &str, content: &str, allow: &Allowlist, out: &mut 
     let in_clock = path_in(rel_path, CLOCK_MODULES);
     let in_config = path_in(rel_path, CONFIG_MODULES);
     let hot = path_in(rel_path, HOT_PATH_MODULES);
+    let steady = path_in(rel_path, STEADY_STATE_MODULES);
 
     let toks = &model.lexed.tokens;
     let n = toks.len();
@@ -404,6 +428,56 @@ pub fn check_source(rel_path: &str, content: &str, allow: &Allowlist, out: &mut 
                     ),
                 );
             }
+            // hot-path-alloc (family B): allocation acquisition in a
+            // steady-state stream module. Constructor-time and
+            // refit-time allocations that predate the budget live in
+            // the ratcheted baseline; new ones are findings.
+            if steady {
+                if path2("Vec", "new") || path2("Box", "new") || path2("String", "from") {
+                    let (line, col, len) = at(t.text.len());
+                    let callee = next(2).map(|p| p.text.clone()).unwrap_or_default();
+                    push(
+                        line,
+                        col,
+                        len,
+                        "hot-path-alloc",
+                        format!(
+                            "`{name}::{callee}` allocates in a steady-state stream module (see STEADY_STATE_MODULES in xtask); reuse a scratch buffer sized at construction — DESIGN.md § allocation budget, in {}",
+                            model.describe(i)
+                        ),
+                    );
+                }
+                if name == "vec" && next(1).is_some_and(|p| p.is_punct("!")) {
+                    let (line, col, len) = at(t.text.len());
+                    push(
+                        line,
+                        col,
+                        len,
+                        "hot-path-alloc",
+                        format!(
+                            "`vec!` allocates in a steady-state stream module; reuse a scratch buffer sized at construction — DESIGN.md § allocation budget, in {}",
+                            model.describe(i)
+                        ),
+                    );
+                }
+                if matches!(name, "to_vec" | "clone")
+                    && prev.is_some_and(|p| p.is_punct("."))
+                    && next(1).is_some_and(|p| p.is_punct("("))
+                {
+                    let (line, col, len) = at(t.text.len());
+                    push(
+                        line,
+                        col,
+                        len,
+                        "hot-path-alloc",
+                        format!(
+                            "`.{name}()` may allocate in a steady-state stream module; copy into a reused buffer (`clone_from`/`copy_from_slice`) instead — DESIGN.md § allocation budget, in {}",
+                            model.describe(i)
+                        ),
+                    );
+                }
+            }
+
             if path2("thread", "current") {
                 let (line, col, len) = at(t.text.len());
                 push(
@@ -1059,6 +1133,42 @@ mod tests {
             pub fn h(v: &[u8]) -> u8 { let [a, ..] = v else { return 0 }; *a }\n\
             pub fn m() -> Vec<u8> { vec![0; 4] }\n";
         let v = scan_at("crates/stream/src/service.rs", src);
+        // `vec!` is a steady-state allocation finding, but none of
+        // these brackets are index expressions.
+        let rules: Vec<&str> = v.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["hot-path-alloc"], "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_acquisition_in_steady_state_modules() {
+        let src = "//! doc\n\
+            pub fn a() -> Vec<u8> { Vec::new() }\n\
+            pub fn b() -> Vec<u8> { vec![0; 4] }\n\
+            pub fn c(xs: &[u8]) -> Vec<u8> { xs.to_vec() }\n\
+            pub fn d(s: &Label) -> Label { s.clone() }\n\
+            pub fn e() -> Box<u8> { Box::new(0) }\n\
+            pub fn f(s: &str) -> String { String::from(s) }\n";
+        let v = scan_at("crates/stream/src/queue.rs", src);
+        let rules: Vec<&str> = v.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["hot-path-alloc"; 6], "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[5].line, 7);
+        // The same code outside the steady-state set (even in a
+        // hot-path module) is not this rule's concern.
+        let v = scan_at("crates/linalg/src/matrix.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        let v = scan(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_exempts_tests_and_reuse_idioms() {
+        let src = "//! doc\n\
+            pub fn ok(dst: &mut Vec<u8>, src: &[u8]) { dst.clear(); dst.extend_from_slice(src); }\n\
+            pub fn also_ok(a: &mut Label, b: &Label) { a.clone_from(b); }\n\
+            #[cfg(test)]\n\
+            mod tests { fn t() -> Vec<u8> { vec![1, 2].to_vec() } }\n";
+        let v = scan_at("crates/stream/src/drift.rs", src);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -9,10 +9,14 @@
 //!   DESIGN.md § static analysis v2).
 //! - `cargo xtask fmt` — `cargo fmt --all`.
 //! - `cargo xtask ci` — fmt-check → clippy → lint → build → test →
-//!   fault-matrix smoke → determinism smoke → chaos smoke → soak
-//!   smoke → quick bench (informational).
-//! - `cargo xtask bench [--label L] [--full]` — curated criterion
-//!   benches, written as machine-readable `BENCH_<label>.json`.
+//!   fault-matrix smoke → allocation-budget gate → determinism smoke
+//!   → chaos smoke → soak smoke → quick bench + sweep smoke
+//!   (informational).
+//! - `cargo xtask bench [--label L] [--full] [--only B]` — curated
+//!   criterion benches, written as machine-readable
+//!   `BENCH_<label>.json`; `--compare <a> <b>` prints per-bench
+//!   speedups between two reports (rejecting the retired `mean_ns`
+//!   schema).
 //! - `cargo xtask chaos [--smoke]` — kill-point crash/resume harness:
 //!   crash the checkpointed workload at every durable write and
 //!   require byte-identical recovery (see DESIGN.md § crash recovery).
@@ -39,6 +43,7 @@ const CURATED_BENCHES: &[&str] = &[
     "bench_clustering",
     "bench_identification",
     "bench_rls",
+    "bench_sweep",
     "bench_pipeline",
     "bench_stream",
 ];
@@ -93,6 +98,9 @@ fn print_help() {
          \x20                      determinism/chaos/soak smokes, quick bench (informational)\n\
          \x20 bench [--label L]    curated hot-path benches -> BENCH_<L>.json\n\
          \x20       [--full]      (default: quick mode, {QUICK_BENCH_SAMPLES} samples per bench)\n\
+         \x20       [--only B]     run a single curated bench binary\n\
+         \x20       [--compare <before.json> <after.json>]  print per-bench speedups;\n\
+         \x20                      rejects the retired `mean_ns` schema and mixed schemas\n\
          \x20 chaos [--smoke]      kill-point crash/resume harness (--smoke: boundary\n\
          \x20                      kill points only; default: every durable write)\n\
          \x20 soak [--smoke]       chaos-soak harness: corrupted/flaky stream replay with\n\
@@ -307,6 +315,27 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
+    // Allocation-budget gate: the counting-allocator binary proves a
+    // warmed-up steady-state event performs zero heap allocations
+    // (see DESIGN.md § allocation budget). The full test step above
+    // already ran it; this dedicated step keeps the budget visible —
+    // and individually bisectable — in the CI log.
+    let code = run_steps(&[step(
+        "alloc-free",
+        &[
+            "test",
+            "-q",
+            "--offline",
+            "--release",
+            "-p",
+            "thermal-stream",
+            "--test",
+            "alloc_free",
+        ],
+    )]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
     let code = determinism_smoke();
     if code != ExitCode::SUCCESS {
         return code;
@@ -335,11 +364,22 @@ fn ci() -> ExitCode {
     if code != ExitCode::SUCCESS {
         return code;
     }
-    // Informational quick bench: surfaces the hot-path wall-times in
+    // Informational quick benches: surface the hot-path wall-times in
     // the CI log without gating on them — timings on shared runners
-    // are too noisy to be a pass/fail criterion.
+    // are too noisy to be a pass/fail criterion. The dedicated sweep
+    // smoke keeps the memoized Fig. 5 sweep (BENCH_sweep_pre/post
+    // pair) in its own report for the artifact upload.
     if bench(&["--label".to_owned(), "ci-quick".to_owned()]) != ExitCode::SUCCESS {
         eprintln!("xtask: quick bench failed (informational only, not gating CI)");
+    }
+    if bench(&[
+        "--only".to_owned(),
+        "bench_sweep".to_owned(),
+        "--label".to_owned(),
+        "sweep-smoke".to_owned(),
+    ]) != ExitCode::SUCCESS
+    {
+        eprintln!("xtask: sweep bench smoke failed (informational only, not gating CI)");
     }
     ExitCode::SUCCESS
 }
@@ -406,6 +446,8 @@ fn determinism_smoke() -> ExitCode {
 fn bench(args: &[String]) -> ExitCode {
     let mut label = "local".to_owned();
     let mut full = false;
+    let mut only: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -417,16 +459,48 @@ fn bench(args: &[String]) -> ExitCode {
                 }
             },
             "--full" => full = true,
+            "--only" => match it.next() {
+                Some(name) => only = Some(name.clone()),
+                None => {
+                    eprintln!("xtask bench: --only needs a bench name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--compare" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) => compare = Some((a.clone(), b.clone())),
+                _ => {
+                    eprintln!("xtask bench: --compare needs two report paths");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("xtask bench: unknown argument `{other}`");
+                eprintln!(
+                    "xtask bench: unknown argument `{other}` (expected --label <L>, --full, \
+                     --only <bench>, --compare <before.json> <after.json>)"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
+    if let Some((before_path, after_path)) = compare {
+        return bench_compare(&before_path, &after_path);
+    }
+    let selected: Vec<&&str> = CURATED_BENCHES
+        .iter()
+        .filter(|name| only.as_deref().is_none_or(|o| o == **name))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "xtask bench: --only `{}` matches no curated bench (expected one of {})",
+            only.unwrap_or_default(),
+            CURATED_BENCHES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     let samples = if full { "default" } else { QUICK_BENCH_SAMPLES };
     let root = workspace_root();
     let mut records = Vec::new();
-    for name in CURATED_BENCHES {
+    for name in selected {
         eprintln!("xtask bench: {name} ({samples} samples)");
         let mut cmd = Command::new(env!("CARGO"));
         cmd.args(["bench", "--offline", "-p", "thermal-bench", "--bench", name])
@@ -485,6 +559,39 @@ fn bench(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Compares two committed bench reports, rejecting the retired
+/// `mean_ns` schema (and mean/median mixes) outright.
+fn bench_compare(before_path: &str, after_path: &str) -> ExitCode {
+    let root = workspace_root();
+    let load = |raw: &str| -> Result<Vec<xtask::bench::BenchRecord>, String> {
+        let path = Path::new(raw);
+        let path = if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            root.join(path)
+        };
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        xtask::bench::parse_report(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (before, after) = match (load(before_path), load(after_path)) {
+        (Ok(b), Ok(a)) => (b, a),
+        (b, a) => {
+            for err in [b.err(), a.err()].into_iter().flatten() {
+                eprintln!("xtask bench: cannot compare {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = xtask::bench::compare(&before, &after);
+    if rows.is_empty() {
+        eprintln!("xtask bench: the reports share no bench names");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", xtask::bench::render_comparison(&rows));
+    ExitCode::SUCCESS
 }
 
 /// Runs the kill-point chaos harness (see `xtask::chaos`).
