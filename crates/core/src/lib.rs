@@ -85,7 +85,9 @@ pub use reduced::{ClusterMeanModelReport, ReducedModel};
 // dependency for downstream users.
 pub use thermal_cluster::{ClusterCount, Clustering, Similarity, SpectralConfig};
 pub use thermal_select::{Selection, Selector};
-pub use thermal_sysid::{EvalConfig, EvalReport, FitConfig, ModelOrder, ModelSpec, ThermalModel};
+pub use thermal_sysid::{
+    CacheStats, EvalConfig, EvalReport, FitConfig, GramCache, ModelOrder, ModelSpec, ThermalModel,
+};
 
 /// Re-export of the time-series containers.
 pub mod timeseries {

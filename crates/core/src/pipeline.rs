@@ -13,7 +13,9 @@ use thermal_select::{
     rank_backups, FixedSelector, GpSelector, NearMeanSelector, RandomSelector, Selection,
     SelectionInput, Selector, StratifiedRandomSelector,
 };
-use thermal_sysid::{identify, FitConfig, ModelOrder, ModelSpec, ThermalModel};
+use thermal_sysid::{
+    identify, identify_with_cache, FitConfig, GramCache, ModelOrder, ModelSpec, ThermalModel,
+};
 use thermal_timeseries::{Dataset, Mask};
 
 use crate::checkpoint::{self, FitResume};
@@ -142,6 +144,59 @@ impl ThermalPipeline {
             train_mask,
         )?;
 
+        Ok(ReducedModel::new(
+            owned_names,
+            clustering,
+            selection,
+            selected,
+            model,
+        ))
+    }
+
+    /// Runs [`ThermalPipeline::fit`] with the identification stage
+    /// routed through a caller-owned [`GramCache`], so repeated fits
+    /// over the same dataset and spec (sweeps, refits, fleet warm
+    /// restarts) reuse memoized normal-equation blocks.
+    ///
+    /// Callers sharing one cache across tenants (e.g. buildings of a
+    /// fleet) must set a distinct [`GramCache::set_namespace`] per
+    /// tenant before each fit; the namespace partitions keys
+    /// structurally so tenants can never observe each other's blocks.
+    /// Results are bit-identical to [`ThermalPipeline::fit`] whenever
+    /// `fit.ridge > 0` holds — with `ridge == 0` the cache is
+    /// bypassed for the QR path (see `thermal_sysid::cache`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalPipeline::fit`].
+    pub fn fit_with_cache(
+        &self,
+        dataset: &Dataset,
+        sensor_channels: &[&str],
+        input_channels: &[&str],
+        train_mask: &Mask,
+        cache: &mut GramCache,
+    ) -> Result<ReducedModel> {
+        if sensor_channels.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "pipeline needs at least one sensor channel".to_owned(),
+            });
+        }
+        let owned_names: Vec<String> = sensor_channels.iter().map(|s| (*s).to_owned()).collect();
+        let trajectories = trajectory_matrix(dataset, sensor_channels, train_mask)?;
+        let clustering = self.cluster_stage(&trajectories)?;
+        let selection = self.select_stage(&trajectories, &clustering, &owned_names)?;
+        let selected: Vec<String> = selection
+            .sensors()
+            .into_iter()
+            .map(|i| owned_names[i].clone())
+            .collect();
+        let spec = ModelSpec::new(
+            selected.clone(),
+            input_channels.iter().map(|s| (*s).to_owned()).collect(),
+            self.order,
+        )?;
+        let model = identify_with_cache(dataset, &spec, train_mask, &self.fit, cache)?;
         Ok(ReducedModel::new(
             owned_names,
             clustering,

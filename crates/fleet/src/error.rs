@@ -1,0 +1,128 @@
+//! Typed errors of the fleet orchestration layer.
+//!
+//! Per-building failures carry the building id so the orchestrator
+//! can attribute a fault to its bulkhead; fleet-level failures
+//! (report I/O, invalid configuration) carry none.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while planning, fitting or serving a
+/// fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The fleet configuration itself is unusable.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A building's generated specification failed validation.
+    InvalidSpec {
+        /// Building id.
+        building: u32,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A building's telemetry campaign could not be simulated.
+    Sim {
+        /// Building id.
+        building: u32,
+        /// Underlying simulator failure.
+        reason: String,
+    },
+    /// A building's cluster→select→identify fit failed terminally.
+    Fit {
+        /// Building id.
+        building: u32,
+        /// Underlying pipeline failure.
+        reason: String,
+    },
+    /// A building's serving loop hit a non-recoverable stream error.
+    Serve {
+        /// Building id.
+        building: u32,
+        /// Underlying stream failure.
+        reason: String,
+    },
+    /// Report or checkpoint I/O failed.
+    Io {
+        /// What was being written or read.
+        context: String,
+        /// Underlying failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig { reason } => {
+                write!(f, "invalid fleet configuration: {reason}")
+            }
+            FleetError::InvalidSpec { building, reason } => {
+                write!(f, "building {building}: invalid spec: {reason}")
+            }
+            FleetError::Sim { building, reason } => {
+                write!(f, "building {building}: simulation failed: {reason}")
+            }
+            FleetError::Fit { building, reason } => {
+                write!(f, "building {building}: fit failed: {reason}")
+            }
+            FleetError::Serve { building, reason } => {
+                write!(f, "building {building}: serving failed: {reason}")
+            }
+            FleetError::Io { context, reason } => {
+                write!(f, "fleet I/O failed ({context}): {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FleetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_building() {
+        let e = FleetError::Fit {
+            building: 372,
+            reason: "singular".to_owned(),
+        };
+        assert!(e.to_string().contains("372"));
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.source().is_none());
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<FleetError> = vec![
+            FleetError::InvalidConfig {
+                reason: "r".to_owned(),
+            },
+            FleetError::InvalidSpec {
+                building: 1,
+                reason: "r".to_owned(),
+            },
+            FleetError::Sim {
+                building: 2,
+                reason: "r".to_owned(),
+            },
+            FleetError::Serve {
+                building: 3,
+                reason: "r".to_owned(),
+            },
+            FleetError::Io {
+                context: "c".to_owned(),
+                reason: "r".to_owned(),
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! Canonical, byte-stable fleet reports.
+//!
+//! The blast-radius guarantee is asserted by **byte comparison**: an
+//! untargeted building's report from a faulted fleet run must equal,
+//! byte for byte, its report from a fault-free run. Two rules make
+//! that possible:
+//!
+//! * a [`BuildingReport`] contains *only* building-local state — its
+//!   own spec, fit outcome, bulkhead counters, stream stats and final
+//!   predictions. Fleet-level facts (which buildings were targeted,
+//!   what was shed elsewhere) live in [`FleetReport`] and the
+//!   [`QuarantineLog`], which are allowed to differ between runs;
+//! * serialization is canonical: fixed field order, floats rendered
+//!   as the hex of their IEEE-754 bits (with a rounded echo), no
+//!   locale- or platform-dependent formatting (same contract as
+//!   `thermal_stream::SoakReport`).
+
+use std::fmt::Write as _;
+
+use thermal_stream::{IngestStats, SensorHealth, ServiceStats, SourceStats};
+
+use crate::shard::{PhaseTransition, ShardCounters};
+
+/// Canonical rendering of one float: exact bits plus a readable echo.
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    let _ = write!(
+        out,
+        "\"{key}\": {{\"bits\": \"{:016x}\", \"approx\": \"{:.4}\"}}",
+        value.to_bits(),
+        value
+    );
+}
+
+/// How a building's cluster→select→identify stage ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitStatus {
+    /// Fit succeeded; the building was served.
+    Fitted {
+        /// Clusters in the reduced model.
+        clusters: usize,
+        /// Selected representative channels, cluster order.
+        selected: Vec<String>,
+    },
+    /// Fit failed terminally; the building is quarantined at fit and
+    /// serves blackouts without ever starting a stream.
+    Failed {
+        /// The terminal fit error.
+        reason: String,
+    },
+    /// Admission control refused the building before fit.
+    Shed {
+        /// Which budget refused it (stable label).
+        reason: String,
+    },
+}
+
+/// One cluster's final served prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedPrediction {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Ladder action label (`healthy`, `backup`, `cluster_mean`,
+    /// `unavailable`).
+    pub action: String,
+    /// Served value; `None` under structured blackout.
+    pub predicted: Option<f64>,
+}
+
+/// Everything measured while serving one building.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Event-loop slots replayed.
+    pub slots: usize,
+    /// Final bulkhead phase label.
+    pub final_phase: String,
+    /// True iff the building ever left `healthy`.
+    pub ever_left_healthy: bool,
+    /// Chronological phase changes.
+    pub transitions: Vec<PhaseTransition>,
+    /// Bulkhead lifetime counters.
+    pub counters: ShardCounters,
+    /// Largest buffered depth observed.
+    pub max_depth_seen: usize,
+    /// Watchdog depth bound.
+    pub depth_bound: usize,
+    /// CSV lines the fault layer corrupted for this building.
+    pub corrupted_lines: u64,
+    /// Row-tolerant ingest accounting.
+    pub ingest: IngestStats,
+    /// Delivery-source supervision accounting.
+    pub source: SourceStats,
+    /// Stream-service runtime counters.
+    pub service: ServiceStats,
+    /// Final per-sensor health, registry order.
+    pub health: Vec<SensorHealth>,
+    /// Final served per-cluster predictions (blackout-overridden
+    /// while quarantined).
+    pub predictions: Vec<ServedPrediction>,
+}
+
+/// One building's complete, building-local soak report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildingReport {
+    /// Building id.
+    pub building: u32,
+    /// Spec content fingerprint.
+    pub fingerprint: u64,
+    /// Per-building master seed.
+    pub seed: u64,
+    /// Whether faults were injected into this building.
+    pub targeted: bool,
+    /// Corruption intensity applied to this building, milli-units
+    /// (0 when untargeted).
+    pub intensity_millis: u32,
+    /// Sensor-grid rows.
+    pub rows: usize,
+    /// Sensor-grid columns.
+    pub cols: usize,
+    /// Seating capacity.
+    pub capacity: u32,
+    /// Reduced-model cluster count requested.
+    pub cluster_count: usize,
+    /// Fit outcome.
+    pub fit: FitStatus,
+    /// Serving outcome; `None` when the building never served
+    /// (shed or quarantined at fit).
+    pub serve: Option<ServeOutcome>,
+}
+
+impl BuildingReport {
+    /// Renders the canonical JSON document (stable field order,
+    /// bit-exact floats, trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"building\": {},\n  \"fingerprint\": \"{:016x}\",\n  \"seed\": {},",
+            self.building, self.fingerprint, self.seed
+        );
+        let _ = writeln!(
+            out,
+            "  \"targeted\": {},\n  \"intensity_millis\": {},",
+            self.targeted, self.intensity_millis
+        );
+        let _ = writeln!(
+            out,
+            "  \"spec\": {{\"rows\": {}, \"cols\": {}, \"capacity\": {}, \"cluster_count\": {}}},",
+            self.rows, self.cols, self.capacity, self.cluster_count
+        );
+        out.push_str("  \"fit\": ");
+        match &self.fit {
+            FitStatus::Fitted { clusters, selected } => {
+                let _ = write!(
+                    out,
+                    "{{\"status\": \"fitted\", \"clusters\": {}, \"selected\": [",
+                    clusters
+                );
+                for (i, name) in selected.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{name}\"");
+                }
+                out.push_str("]}");
+            }
+            FitStatus::Failed { reason } => {
+                let _ = write!(
+                    out,
+                    "{{\"status\": \"failed\", \"reason\": \"{}\"}}",
+                    reason.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            }
+            FitStatus::Shed { reason } => {
+                let _ = write!(out, "{{\"status\": \"shed\", \"reason\": \"{reason}\"}}");
+            }
+        }
+        out.push_str(",\n  \"serve\": ");
+        match &self.serve {
+            None => out.push_str("null"),
+            Some(s) => Self::push_serve(&mut out, s),
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    fn push_serve(out: &mut String, s: &ServeOutcome) {
+        let _ = writeln!(
+            out,
+            "{{\n    \"slots\": {},\n    \"final_phase\": \"{}\",\n    \
+             \"ever_left_healthy\": {},",
+            s.slots, s.final_phase, s.ever_left_healthy
+        );
+        out.push_str("    \"transitions\": [");
+        for (i, t) in s.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"slot\": {}, \"from\": \"{}\", \"to\": \"{}\"}}",
+                t.slot,
+                t.from.label(),
+                t.to.label()
+            );
+        }
+        out.push_str("],\n");
+        let c = &s.counters;
+        let _ = writeln!(
+            out,
+            "    \"counters\": {{\"degraded_slots\": {}, \"blackout_slots\": {}, \
+             \"watchdog_trips\": {}, \"probes\": {}, \"probe_failures\": {}}},",
+            c.degraded_slots, c.blackout_slots, c.watchdog_trips, c.probes, c.probe_failures
+        );
+        let _ = writeln!(
+            out,
+            "    \"max_depth_seen\": {},\n    \"depth_bound\": {},\n    \
+             \"corrupted_lines\": {},",
+            s.max_depth_seen, s.depth_bound, s.corrupted_lines
+        );
+        let ing = &s.ingest;
+        let _ = writeln!(
+            out,
+            "    \"ingest\": {{\"parsed\": {}, \"non_finite\": {}, \"malformed\": {}, \
+             \"missing_fields\": {}, \"skipped_rows\": {}}},",
+            ing.parsed, ing.non_finite, ing.malformed, ing.missing_fields, ing.skipped_rows
+        );
+        let src = &s.source;
+        let _ = writeln!(
+            out,
+            "    \"source\": {{\"successes\": {}, \"failures\": {}, \"breaker_refusals\": {}, \
+             \"backoff_skips\": {}, \"breaker_trips\": {}}},",
+            src.successes, src.failures, src.breaker_refusals, src.backoff_skips, src.breaker_trips
+        );
+        let sv = &s.service;
+        let _ = writeln!(
+            out,
+            "    \"service\": {{\"steps\": {}, \"applied\": {}, \"implausible\": {}, \
+             \"unknown_channel\": {}, \"queue_accepted\": {}, \"queue_dropped\": {}, \
+             \"queue_high_water\": {}, \"reorder_released\": {}, \"reorder_duplicates\": {}, \
+             \"reorder_too_late\": {}, \"reorder_overflowed\": {}, \"healthy_outputs\": {}, \
+             \"backup_outputs\": {}, \"cluster_mean_outputs\": {}, \"unavailable_outputs\": {}}},",
+            sv.steps,
+            sv.applied,
+            sv.implausible,
+            sv.unknown_channel,
+            sv.queue.accepted,
+            sv.queue.dropped(),
+            sv.queue.high_water,
+            sv.reorder.released,
+            sv.reorder.duplicates,
+            sv.reorder.too_late,
+            sv.reorder.overflowed,
+            sv.healthy_outputs,
+            sv.backup_outputs,
+            sv.cluster_mean_outputs,
+            sv.unavailable_outputs
+        );
+        out.push_str("    \"health\": [");
+        for (i, h) in s.health.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"state\": \"{}\", \"transitions\": {}, \"implausible\": {}}}",
+                h.name,
+                h.state.label(),
+                h.transitions,
+                h.implausible
+            );
+        }
+        out.push_str("],\n    \"predictions\": [");
+        for (i, p) in s.predictions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"cluster\": {}, \"action\": \"{}\", ",
+                p.cluster, p.action
+            );
+            match p.predicted {
+                Some(v) => push_f64(out, "predicted", v),
+                None => out.push_str("\"predicted\": null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]\n  }");
+    }
+}
+
+/// One quarantine-relevant event in the fleet-wide log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineEvent {
+    /// Building the phase change happened in.
+    pub building: u32,
+    /// Event-loop slot it happened at.
+    pub slot: usize,
+    /// The transition.
+    pub transition: PhaseTransition,
+}
+
+/// The fleet-wide quarantine event log: every phase change of every
+/// building, ordered by building id then slot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuarantineLog {
+    /// The recorded events.
+    pub events: Vec<QuarantineEvent>,
+}
+
+impl QuarantineLog {
+    /// Renders the canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"building\": {}, \"slot\": {}, \"from\": \"{}\", \"to\": \"{}\"}}",
+                e.building,
+                e.slot,
+                e.transition.from.label(),
+                e.transition.to.label()
+            );
+            out.push_str(if i + 1 < self.events.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// One building's digest line in the fleet summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildingDigest {
+    /// Building id.
+    pub building: u32,
+    /// Spec fingerprint.
+    pub fingerprint: u64,
+    /// Final phase label (or `shed` / `fit_failed`).
+    pub outcome: String,
+    /// Whether the building ever left `healthy`.
+    pub left_healthy: bool,
+}
+
+/// One shed building in the fleet summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedDigest {
+    /// Building id.
+    pub building: u32,
+    /// Refused demand, sensor-units.
+    pub demand_units: u64,
+    /// Which budget refused it.
+    pub reason: String,
+}
+
+/// The fleet-level summary — the one document allowed to mention
+/// targets, admission and cross-building facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet master seed.
+    pub fleet_seed: u64,
+    /// Buildings requested.
+    pub buildings: u32,
+    /// Campaign days per building.
+    pub days: usize,
+    /// Event-loop slots per building.
+    pub slots: usize,
+    /// Fault-targeted building ids, ascending.
+    pub targets: Vec<u32>,
+    /// Corruption intensity for targeted buildings, milli-units.
+    pub intensity_millis: u32,
+    /// Admitted building count.
+    pub admitted: usize,
+    /// Units consumed of the admission budget.
+    pub admitted_units: u64,
+    /// The admission budget.
+    pub budget_units: u64,
+    /// Buildings shed at admission.
+    pub shed: Vec<ShedDigest>,
+    /// Per-building outcomes, ascending id.
+    pub digests: Vec<BuildingDigest>,
+}
+
+impl FleetReport {
+    /// Ids of buildings that ever left `healthy`, ascending.
+    #[must_use]
+    pub fn left_healthy(&self) -> Vec<u32> {
+        self.digests
+            .iter()
+            .filter(|d| d.left_healthy)
+            .map(|d| d.building)
+            .collect()
+    }
+
+    /// Renders the canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"fleet_seed\": {},\n  \"buildings\": {},\n  \"days\": {},\n  \"slots\": {},",
+            self.fleet_seed, self.buildings, self.days, self.slots
+        );
+        out.push_str("  \"targets\": [");
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{t}");
+        }
+        let _ = writeln!(
+            out,
+            "],\n  \"intensity_millis\": {},",
+            self.intensity_millis
+        );
+        let _ = writeln!(
+            out,
+            "  \"admission\": {{\"admitted\": {}, \"admitted_units\": {}, \"budget_units\": {}}},",
+            self.admitted, self.admitted_units, self.budget_units
+        );
+        out.push_str("  \"shed\": [");
+        for (i, s) in self.shed.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"building\": {}, \"demand_units\": {}, \"reason\": \"{}\"}}",
+                s.building, s.demand_units, s.reason
+            );
+        }
+        out.push_str("],\n  \"digests\": [\n");
+        for (i, d) in self.digests.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"building\": {}, \"fingerprint\": \"{:016x}\", \"outcome\": \"{}\", \
+                 \"left_healthy\": {}}}",
+                d.building, d.fingerprint, d.outcome, d.left_healthy
+            );
+            out.push_str(if i + 1 < self.digests.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardPhase;
+
+    fn report() -> BuildingReport {
+        BuildingReport {
+            building: 3,
+            fingerprint: 0xdead_beef,
+            seed: 99,
+            targeted: true,
+            intensity_millis: 400,
+            rows: 3,
+            cols: 4,
+            capacity: 120,
+            cluster_count: 2,
+            fit: FitStatus::Fitted {
+                clusters: 2,
+                selected: vec!["t05".to_owned(), "t09".to_owned()],
+            },
+            serve: Some(ServeOutcome {
+                slots: 576,
+                final_phase: "quarantined".to_owned(),
+                ever_left_healthy: true,
+                transitions: vec![PhaseTransition {
+                    slot: 80,
+                    from: ShardPhase::Healthy,
+                    to: ShardPhase::Degraded,
+                }],
+                counters: ShardCounters::default(),
+                max_depth_seen: 40,
+                depth_bound: 4096,
+                corrupted_lines: 17,
+                ingest: IngestStats::default(),
+                source: SourceStats::default(),
+                service: ServiceStats::default(),
+                health: vec![],
+                predictions: vec![
+                    ServedPrediction {
+                        cluster: 0,
+                        action: "healthy".to_owned(),
+                        predicted: Some(21.125),
+                    },
+                    ServedPrediction {
+                        cluster: 1,
+                        action: "unavailable".to_owned(),
+                        predicted: None,
+                    },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn building_json_is_byte_stable() {
+        assert_eq!(report().to_json(), report().to_json());
+    }
+
+    #[test]
+    fn building_json_carries_exact_float_bits_and_sections() {
+        let json = report().to_json();
+        let expected_bits = format!("{:016x}", 21.125_f64.to_bits());
+        assert!(json.contains(&expected_bits));
+        assert!(json.contains("\"predicted\": null"));
+        for key in [
+            "\"building\": 3",
+            "\"fingerprint\": \"00000000deadbeef\"",
+            "\"targeted\": true",
+            "\"status\": \"fitted\"",
+            "\"final_phase\": \"quarantined\"",
+            "\"transitions\"",
+            "\"counters\"",
+            "\"ingest\"",
+            "\"source\"",
+            "\"service\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn shed_and_failed_fits_render_without_serve() {
+        let mut r = report();
+        r.fit = FitStatus::Shed {
+            reason: "memory_budget".to_owned(),
+        };
+        r.serve = None;
+        let json = r.to_json();
+        assert!(json.contains("\"status\": \"shed\""));
+        assert!(json.contains("\"serve\": null"));
+        r.fit = FitStatus::Failed {
+            reason: "singular \"G\"".to_owned(),
+        };
+        assert!(r.to_json().contains("singular \\\"G\\\""));
+    }
+
+    #[test]
+    fn quarantine_log_and_fleet_report_are_byte_stable() {
+        let log = QuarantineLog {
+            events: vec![QuarantineEvent {
+                building: 5,
+                slot: 80,
+                transition: PhaseTransition {
+                    slot: 80,
+                    from: ShardPhase::Degraded,
+                    to: ShardPhase::Quarantined,
+                },
+            }],
+        };
+        assert_eq!(log.to_json(), log.to_json());
+        assert!(log.to_json().contains("\"to\": \"quarantined\""));
+        let fleet = FleetReport {
+            fleet_seed: 7,
+            buildings: 8,
+            days: 2,
+            slots: 576,
+            targets: vec![2, 5],
+            intensity_millis: 400,
+            admitted: 8,
+            admitted_units: 100,
+            budget_units: 65536,
+            shed: vec![],
+            digests: vec![BuildingDigest {
+                building: 5,
+                fingerprint: 1,
+                outcome: "quarantined".to_owned(),
+                left_healthy: true,
+            }],
+        };
+        assert_eq!(fleet.to_json(), fleet.to_json());
+        assert_eq!(fleet.left_healthy(), vec![5]);
+        assert!(fleet.to_json().contains("\"targets\": [2, 5]"));
+    }
+}

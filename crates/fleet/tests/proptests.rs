@@ -1,0 +1,135 @@
+//! Property-based tests for the fleet layer's two structural
+//! contracts: building minting is a pure, collision-free function of
+//! `(fleet_seed, id)`, and the bulkhead blast radius is exactly the
+//! fault-target subset — for *any* subset, every untargeted
+//! building's canonical report is byte-identical to a fault-free
+//! baseline of the same fleet.
+
+// Test fixtures: panicking on a broken fixture is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use thermal_fleet::{run_fleet, BuildingSpec, FleetConfig, FleetOutcome};
+
+/// Fleet shape for the blast-radius property: small enough that one
+/// proptest case stays in test-suite budget, large enough that a
+/// target subset leaves untargeted neighbours on both sides.
+const FLEET_SEED: u64 = 7;
+const FLEET_BUILDINGS: u32 = 4;
+const FLEET_DAYS: usize = 1;
+const FLEET_INTENSITY: u32 = 400;
+
+fn config(targets: Vec<u32>) -> FleetConfig {
+    let mut config = FleetConfig::new(FLEET_SEED, FLEET_BUILDINGS);
+    config.days = FLEET_DAYS;
+    config.intensity_millis = FLEET_INTENSITY;
+    config.targets = targets;
+    config
+}
+
+/// The fault-free baseline, computed once and shared by every case:
+/// the property compares faulted runs against these exact bytes.
+fn baseline() -> &'static Vec<String> {
+    static BASELINE: OnceLock<Vec<String>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let outcome = run_fleet(&config(Vec::new())).expect("fault-free fleet run");
+        assert!(
+            outcome.fleet.left_healthy().is_empty(),
+            "fault-free baseline must keep every building Healthy"
+        );
+        outcome.buildings.iter().map(|b| b.to_json()).collect()
+    })
+}
+
+fn left_healthy_set(outcome: &FleetOutcome) -> BTreeSet<u32> {
+    outcome.fleet.left_healthy().iter().copied().collect()
+}
+
+proptest! {
+    // Each case is a full fleet run (fit + serve x4 buildings), so
+    // the case budget is deliberately tiny; the subset space at this
+    // fleet size is near-exhausted anyway.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole contract: for any non-empty fault-target subset,
+    /// exactly that subset ever leaves Healthy, and every other
+    /// building's report is byte-identical to the fault-free
+    /// baseline — fault injection perturbed nothing outside its
+    /// bulkheads.
+    #[test]
+    fn blast_radius_is_exactly_the_target_subset(
+        targets in prop::collection::btree_set(0_u32..FLEET_BUILDINGS, 1..3),
+    ) {
+        let clean = baseline();
+        let target_vec: Vec<u32> = targets.iter().copied().collect();
+        let outcome = run_fleet(&config(target_vec)).expect("faulted fleet run");
+
+        prop_assert_eq!(
+            left_healthy_set(&outcome),
+            targets.clone(),
+            "quarantine set must equal the fault-target set"
+        );
+        for report in &outcome.buildings {
+            if targets.contains(&report.building) {
+                continue;
+            }
+            let fresh = report.to_json();
+            let reference = &clean[report.building as usize];
+            prop_assert!(
+                &fresh == reference,
+                "untargeted building {} drifted from the fault-free baseline",
+                report.building
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Minting building `id` of fleet `fleet_seed` twice yields the
+    /// same spec, the same fingerprint, and a scenario that
+    /// validates — the pure-function contract every fleet component
+    /// relies on to re-derive a building from two integers.
+    #[test]
+    fn spec_generation_is_deterministic(
+        fleet_seed in any::<u64>(),
+        id in 0_u32..100_000,
+    ) {
+        let a = BuildingSpec::generate(fleet_seed, id);
+        let b = BuildingSpec::generate(fleet_seed, id);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert!(a.scenario(1).is_ok(), "minted spec must validate");
+    }
+}
+
+proptest! {
+    // Each case fingerprints a thousand buildings; a few dozen cases
+    // cover tens of thousands of (seed, id) pairs.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No two buildings of a 1000-strong fleet share a fingerprint,
+    /// and the same ids minted under a different fleet seed share
+    /// none of them either — the sysid-cache namespaces derived from
+    /// these fingerprints can never alias.
+    #[test]
+    fn fingerprints_are_collision_free_over_a_thousand_buildings(
+        fleet_seed in any::<u64>(),
+    ) {
+        let fingerprints: BTreeSet<u64> = (0..1000)
+            .map(|id| BuildingSpec::generate(fleet_seed, id).fingerprint())
+            .collect();
+        prop_assert_eq!(fingerprints.len(), 1000, "fingerprint collision within a fleet");
+
+        let other_seed = fleet_seed.wrapping_add(1);
+        let other: BTreeSet<u64> = (0..1000)
+            .map(|id| BuildingSpec::generate(other_seed, id).fingerprint())
+            .collect();
+        prop_assert!(
+            fingerprints.is_disjoint(&other),
+            "fingerprint collision across fleet seeds"
+        );
+    }
+}

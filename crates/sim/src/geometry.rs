@@ -129,6 +129,98 @@ impl Layout {
         }
     }
 
+    /// Deterministically generates a parametric instrumentation
+    /// layout: a `rows × cols` grid of wireless sensors over the
+    /// seating area with seed-jittered positions, two supply-outlet
+    /// lines in the front half, and the two thermostats on the front
+    /// side walls — the same *topology* as the paper's auditorium at
+    /// an arbitrary room scale. This is the geometry axis of the
+    /// fleet's `BuildingSpec`: every distinct `(dimensions, grid,
+    /// jitter_seed)` tuple mints a distinct building.
+    ///
+    /// The jitter stream is a pure splitmix64 chain over
+    /// `jitter_seed`, so the layout is a bit-exact function of its
+    /// arguments on every platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid argument: a
+    /// non-positive dimension, an empty grid, or more than 36
+    /// wireless sensors (IDs 37–39 are reserved, 40+ are
+    /// thermostats).
+    pub fn parametric(
+        width: f64,
+        depth: f64,
+        height: f64,
+        rows: usize,
+        cols: usize,
+        jitter_seed: u64,
+    ) -> Result<Self, String> {
+        if !(width > 0.0 && depth > 0.0 && height > 0.0) {
+            return Err("room dimensions must be positive".to_owned());
+        }
+        if rows == 0 || cols == 0 {
+            return Err("sensor grid needs at least one row and one column".to_owned());
+        }
+        if rows * cols > 36 {
+            return Err("at most 36 wireless sensors (IDs 1..=36)".to_owned());
+        }
+        // Seating area: behind the podium strip, inset from the walls.
+        let y0 = depth * 0.20;
+        let y1 = depth * 0.92;
+        let x0 = width * 0.08;
+        let x1 = width * 0.92;
+        let cell_x = (x1 - x0) / cols as f64;
+        let cell_y = (y1 - y0) / rows as f64;
+        let mut state = jitter_seed;
+        let mut sites = Vec::with_capacity(rows * cols + 2);
+        for r in 0..rows {
+            for c in 0..cols {
+                let raw = u8::try_from(r * cols + c + 1)
+                    .map_err(|_| "sensor grid index exceeds the u8 ID space".to_owned())?;
+                let id = SensorId(raw);
+                // Centre of the grid cell, jittered by up to ±30 % of
+                // the cell pitch, clamped inside the room envelope.
+                let jx = (Self::next_unit(&mut state) - 0.5) * 0.6 * cell_x;
+                let jy = (Self::next_unit(&mut state) - 0.5) * 0.6 * cell_y;
+                let x = (x0 + (c as f64 + 0.5) * cell_x + jx).clamp(0.1, width - 0.1);
+                let y = (y0 + (r as f64 + 0.5) * cell_y + jy).clamp(0.1, depth - 0.1);
+                sites.push(SensorSite { id, x, y });
+            }
+        }
+        let stat_y = (depth * 0.125).clamp(0.1, depth - 0.1);
+        sites.push(SensorSite {
+            id: SensorId(40),
+            x: (width * 0.03).clamp(0.1, width - 0.1),
+            y: stat_y,
+        });
+        sites.push(SensorSite {
+            id: SensorId(41),
+            x: (width * 0.97).clamp(0.1, width - 0.1),
+            y: stat_y,
+        });
+        let layout = Layout {
+            width,
+            depth,
+            height,
+            outlet_y_front: depth / 12.0,
+            outlet_y_mid: depth / 3.0,
+            sites,
+        };
+        layout.validate()?;
+        Ok(layout)
+    }
+
+    /// One splitmix64 step mapped to a uniform draw in `[0, 1)`.
+    fn next_unit(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = *state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// All sensing points.
     pub fn sites(&self) -> &[SensorSite] {
         &self.sites
@@ -299,6 +391,41 @@ mod tests {
             y: 8.0,
         };
         assert_eq!(l.seating_weight(&seat), 1.0);
+    }
+
+    #[test]
+    fn parametric_layout_is_valid_and_deterministic() {
+        let a = Layout::parametric(20.0, 15.0, 4.5, 3, 5, 77).unwrap();
+        let b = Layout::parametric(20.0, 15.0, 4.5, 3, 5, 77).unwrap();
+        assert_eq!(a, b, "same arguments must mint the same layout");
+        assert!(a.validate().is_ok());
+        assert_eq!(a.wireless_sites().count(), 15);
+        assert_eq!(a.thermostat_sites().count(), 2);
+        let c = Layout::parametric(20.0, 15.0, 4.5, 3, 5, 78).unwrap();
+        assert_ne!(a, c, "a different jitter seed must move sensors");
+        assert_eq!(
+            a.sites().iter().map(|s| s.id).collect::<Vec<_>>(),
+            c.sites().iter().map(|s| s.id).collect::<Vec<_>>(),
+            "jitter must not change the ID roster"
+        );
+    }
+
+    #[test]
+    fn parametric_layout_rejects_bad_arguments() {
+        assert!(Layout::parametric(0.0, 15.0, 4.5, 3, 5, 0).is_err());
+        assert!(Layout::parametric(20.0, 15.0, 4.5, 0, 5, 0).is_err());
+        assert!(Layout::parametric(20.0, 15.0, 4.5, 6, 7, 0).is_err());
+        // Largest admissible grid still validates.
+        let max = Layout::parametric(30.0, 24.0, 5.0, 6, 6, 9).unwrap();
+        assert_eq!(max.wireless_sites().count(), 36);
+    }
+
+    #[test]
+    fn parametric_outlets_sit_in_the_front_half() {
+        let l = Layout::parametric(18.0, 14.0, 4.0, 4, 4, 3).unwrap();
+        assert!(l.outlet_y_front < l.depth / 2.0);
+        assert!(l.outlet_y_mid < l.depth / 2.0);
+        assert!(l.outlet_y_front < l.outlet_y_mid);
     }
 
     #[test]

@@ -117,6 +117,12 @@ fn fingerprint_dataset(dataset: &Dataset, channels: &[usize]) -> u64 {
 /// covers. Equal keys imply bit-identical blocks by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockKey {
+    /// Caller-assigned key namespace (see [`GramCache::with_namespace`]):
+    /// a structural partition on top of the content fingerprints, so
+    /// two tenants of a shared cache (e.g. two buildings of a fleet)
+    /// can never observe each other's blocks even under fingerprint
+    /// collision.
+    namespace: u64,
     /// Fingerprint of the used channels' samples and the time grid.
     dataset: u64,
     /// Fingerprint of the model spec (channels + order).
@@ -130,7 +136,8 @@ pub struct BlockKey {
 impl BlockKey {
     /// Slot hash: all fields mixed through splitmix64.
     fn slot_hash(&self) -> u64 {
-        let mut h = fnv1a(FNV_OFFSET, &self.dataset.to_le_bytes());
+        let mut h = fnv1a(FNV_OFFSET, &self.namespace.to_le_bytes());
+        h = fnv1a(h, &self.dataset.to_le_bytes());
         h = fnv1a(h, &self.spec.to_le_bytes());
         h = fnv1a(h, &self.start.to_le_bytes());
         h = fnv1a(h, &self.end.to_le_bytes());
@@ -184,6 +191,8 @@ pub struct GramCache {
     /// `None` = empty slot. Length is a power of two (or zero when
     /// the cache is disabled).
     slots: Vec<Option<(BlockKey, GramBlock)>>,
+    /// Key namespace stamped onto every lookup and insert.
+    namespace: u64,
     stats: CacheStats,
 }
 
@@ -199,6 +208,7 @@ impl GramCache {
         let n = 1_usize << bits.min(16);
         GramCache {
             slots: vec![None; n],
+            namespace: 0,
             stats: CacheStats::default(),
         }
     }
@@ -209,8 +219,33 @@ impl GramCache {
     pub fn disabled() -> Self {
         GramCache {
             slots: Vec::new(),
+            namespace: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Assigns a key namespace (builder form). Every subsequent
+    /// lookup and insert is stamped with `namespace`, so entries
+    /// written under one namespace are structurally invisible to
+    /// every other — the fleet gives each building its own namespace
+    /// (its building ID), making cross-building hits impossible even
+    /// if two buildings' dataset fingerprints were to collide.
+    #[must_use]
+    pub fn with_namespace(mut self, namespace: u64) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    /// Re-assigns the key namespace in place. Existing entries keep
+    /// the namespace they were inserted under (they become
+    /// unreachable until the namespace is restored).
+    pub fn set_namespace(&mut self, namespace: u64) {
+        self.namespace = namespace;
+    }
+
+    /// The active key namespace.
+    pub fn namespace(&self) -> u64 {
+        self.namespace
     }
 
     /// Counters so far.
@@ -517,6 +552,7 @@ impl<'a> SweepEngine<'a> {
     /// adding the block into the accumulated normal equations.
     fn ingest_block(&mut self, a: usize, b: usize, cache: &mut GramCache) -> Result<()> {
         let key = BlockKey {
+            namespace: cache.namespace(),
             dataset: self.dataset_fp,
             spec: self.spec_fp,
             start: a as u64,
@@ -690,12 +726,14 @@ mod tests {
     fn cache_hits_return_inserted_blocks_and_evict_deterministically() {
         let mut cache = GramCache::with_slot_bits(0); // single slot
         let key_a = BlockKey {
+            namespace: 0,
             dataset: 1,
             spec: 2,
             start: 0,
             end: 4,
         };
         let key_b = BlockKey {
+            namespace: 0,
             dataset: 1,
             spec: 2,
             start: 4,
@@ -725,6 +763,7 @@ mod tests {
     fn disabled_cache_never_stores() {
         let mut cache = GramCache::disabled();
         let key = BlockKey {
+            namespace: 0,
             dataset: 1,
             spec: 2,
             start: 0,
@@ -886,5 +925,73 @@ mod tests {
         .unwrap();
         let direct = identify(&ds, &spec, &mask, &FitConfig::plain()).unwrap();
         assert_eq!(bits(&via_cache), bits(&direct));
+    }
+
+    #[test]
+    fn namespaces_partition_a_shared_cache_structurally() {
+        // Same dataset, same spec, same mask — only the namespace
+        // differs. Without the namespace field the second fit would be
+        // answered entirely from the first fit's blocks; with it, the
+        // shared cache must behave as if each tenant had its own.
+        let ds = synth(96);
+        let spec = spec();
+        let fit = FitConfig::default();
+        let mask = Mask::all(ds.grid());
+        let mut cache = GramCache::new().with_namespace(1);
+        let first = identify_with_cache(&ds, &spec, &mask, &fit, &mut cache).unwrap();
+        let warm = cache.stats();
+        let again = identify_with_cache(&ds, &spec, &mask, &fit, &mut cache).unwrap();
+        let after_warm = cache.stats();
+        assert!(after_warm.hits > warm.hits, "same-namespace refit must hit");
+        assert_eq!(bits(&first), bits(&again));
+        // Switch tenants: identical content, different namespace.
+        cache.set_namespace(2);
+        assert_eq!(cache.namespace(), 2);
+        let other = identify_with_cache(&ds, &spec, &mask, &fit, &mut cache).unwrap();
+        let cross = cache.stats();
+        assert_eq!(
+            cross.hits, after_warm.hits,
+            "a different namespace must never hit another tenant's blocks"
+        );
+        // Isolation is structural, not behavioural: results still agree.
+        assert_eq!(bits(&first), bits(&other));
+    }
+
+    #[test]
+    fn identical_specs_different_datasets_never_cross_hit() {
+        // Two "buildings" with the same model spec but different
+        // sensor data share one cache under distinct namespaces: the
+        // second building's cold fit must not be served any block
+        // minted for the first.
+        let ds_a = synth(96);
+        let mut ds_b = synth(96);
+        // Perturb one sample so the datasets differ in content.
+        let grid = *ds_b.grid();
+        let vals: Vec<f64> = (0..grid.len())
+            .map(|k| 21.0 + 0.1 * (k as f64 * 0.11).cos())
+            .collect();
+        ds_b = Dataset::new(
+            grid,
+            vec![
+                Channel::from_values("t", vals).unwrap(),
+                ds_b.channel_at(1).unwrap().clone(),
+            ],
+        )
+        .unwrap();
+        let spec = spec();
+        let fit = FitConfig::default();
+        let mask_a = Mask::all(ds_a.grid());
+        let mask_b = Mask::all(ds_b.grid());
+        let mut shared = GramCache::new().with_namespace(10);
+        identify_with_cache(&ds_a, &spec, &mask_a, &fit, &mut shared).unwrap();
+        let after_a = shared.stats();
+        shared.set_namespace(11);
+        identify_with_cache(&ds_b, &spec, &mask_b, &fit, &mut shared).unwrap();
+        let after_b = shared.stats();
+        assert_eq!(
+            after_b.hits, after_a.hits,
+            "building B's cold fit must not hit building A's blocks"
+        );
+        assert!(after_b.misses > after_a.misses);
     }
 }

@@ -20,14 +20,19 @@
 //! - `cargo xtask chaos [--smoke]` — kill-point crash/resume harness:
 //!   crash the checkpointed workload at every durable write and
 //!   require byte-identical recovery (see DESIGN.md § crash recovery).
-//! - `cargo xtask soak [--smoke] [--recovery]` — chaos-soak harness:
-//!   replay a full trace through corrupted, flaky, out-of-order
-//!   ingest and require a bitwise-deterministic soak report across
+//! - `cargo xtask soak [--smoke] [--list] [--only <scenario>]` —
+//!   chaos-soak harness with a scenario registry. `stream` (default)
+//!   replays a full trace through corrupted, flaky, out-of-order
+//!   ingest and requires a bitwise-deterministic soak report across
 //!   repeated runs and thread counts (see DESIGN.md § streaming
-//!   runtime). `--recovery` runs the drift-recovery scenario instead:
-//!   a mid-trace regime shift must be detected, refitted, and healed
-//!   within a bounded number of slots (see DESIGN.md § online
-//!   identification).
+//!   runtime). `recovery` (shorthand `--recovery`) runs the
+//!   drift-recovery scenario: a mid-trace regime shift must be
+//!   detected, refitted, and healed within a bounded number of slots
+//!   (see DESIGN.md § online identification). `fleet` (shorthand
+//!   `--fleet`) runs the multi-building blast-radius soak: faults
+//!   injected into a chosen subset of a minted fleet must quarantine
+//!   exactly that subset, byte-for-byte (see DESIGN.md § fleet
+//!   serving).
 //! - `cargo xtask miri` — Miri over the `linalg`/`timeseries` unit
 //!   tests (skips with a notice when Miri is not installed).
 
@@ -46,6 +51,7 @@ const CURATED_BENCHES: &[&str] = &[
     "bench_sweep",
     "bench_pipeline",
     "bench_stream",
+    "bench_fleet",
 ];
 
 /// Iteration count for quick (default) bench mode, exported to the
@@ -104,8 +110,10 @@ fn print_help() {
          \x20 chaos [--smoke]      kill-point crash/resume harness (--smoke: boundary\n\
          \x20                      kill points only; default: every durable write)\n\
          \x20 soak [--smoke]       chaos-soak harness: corrupted/flaky stream replay with\n\
-         \x20      [--recovery]    a bitwise-deterministic report (--smoke: short sweep;\n\
-         \x20                      --recovery: drift-recovery scenario instead)\n\
+         \x20      [--only S]      a bitwise-deterministic report (--smoke: short sweep);\n\
+         \x20      [--list]        --only picks a scenario (stream|recovery|fleet),\n\
+         \x20      [--recovery]    --list prints the registry, --recovery/--fleet are\n\
+         \x20      [--fleet]       shorthands (fleet: multi-building blast-radius soak)\n\
          \x20 miri                 Miri over linalg/timeseries unit tests\n\
          \x20 help                 show this message"
     );
@@ -352,7 +360,11 @@ fn ci() -> ExitCode {
     // finish panic-free with a bitwise-deterministic soak report (the
     // dedicated CI job runs the full sweep).
     eprintln!("xtask: soak smoke");
-    let code = soak(&["--smoke".to_owned()]);
+    let code = soak(&[
+        "--smoke".to_owned(),
+        "--only".to_owned(),
+        "stream".to_owned(),
+    ]);
     if code != ExitCode::SUCCESS {
         return code;
     }
@@ -360,7 +372,24 @@ fn ci() -> ExitCode {
     // refitted, and healed deterministically (the dedicated CI job
     // runs the full two-day scenario).
     eprintln!("xtask: drift-recovery smoke");
-    let code = soak(&["--smoke".to_owned(), "--recovery".to_owned()]);
+    let code = soak(&[
+        "--smoke".to_owned(),
+        "--only".to_owned(),
+        "recovery".to_owned(),
+    ]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    // Fleet blast-radius smoke: a small fleet with two fault-targeted
+    // buildings must quarantine exactly those two and leave every
+    // other building's report byte-identical to a fault-free baseline
+    // (the dedicated CI job runs the full fleet sweep).
+    eprintln!("xtask: fleet-soak smoke");
+    let code = soak(&[
+        "--smoke".to_owned(),
+        "--only".to_owned(),
+        "fleet".to_owned(),
+    ]);
     if code != ExitCode::SUCCESS {
         return code;
     }
@@ -616,29 +645,80 @@ fn chaos(args: &[String]) -> ExitCode {
     }
 }
 
-/// Runs the chaos-soak harness, or with `--recovery` the
-/// drift-recovery harness (see `xtask::soak`).
+/// Runs one soak harness scenario, chosen from the registry in
+/// `xtask::soak::SCENARIOS` via `--only <scenario>` (default
+/// `stream`; `--recovery` and `--fleet` are shorthands). `--list`
+/// prints the registry and exits.
 fn soak(args: &[String]) -> ExitCode {
     let mut smoke = false;
-    let mut recovery = false;
-    for arg in args {
+    let mut only: Option<String> = None;
+    let mut iter = args.iter();
+    let pick = |scenario: &str, only: &mut Option<String>| -> bool {
+        if let Some(prev) = only.as_deref() {
+            if prev != scenario {
+                eprintln!(
+                    "xtask soak: scenario already set to `{prev}`, cannot also run `{scenario}`"
+                );
+                return false;
+            }
+        }
+        *only = Some(scenario.to_owned());
+        true
+    };
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--smoke" if !smoke => smoke = true,
-            "--recovery" if !recovery => recovery = true,
+            "--smoke" => smoke = true,
+            "--list" => {
+                for &(name, description) in xtask::soak::SCENARIOS {
+                    println!("{name:<10} {description}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--recovery" => {
+                if !pick("recovery", &mut only) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--fleet" => {
+                if !pick("fleet", &mut only) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--only" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("xtask soak: `--only` needs a scenario name (see --list)");
+                    return ExitCode::FAILURE;
+                };
+                if !pick(name, &mut only) {
+                    return ExitCode::FAILURE;
+                }
+            }
             _ => {
-                eprintln!("xtask soak: expected `--smoke` and/or `--recovery`, once each");
+                eprintln!(
+                    "xtask soak: expected `--smoke`, `--list`, `--only <scenario>`, \
+                     `--recovery`, or `--fleet`"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    let result = if recovery {
-        xtask::soak::run_recovery(&workspace_root(), smoke)
-    } else {
-        xtask::soak::run(&workspace_root(), smoke)
+    let scenario = only.as_deref().unwrap_or("stream");
+    let result = match scenario {
+        "stream" => xtask::soak::run(&workspace_root(), smoke),
+        "recovery" => xtask::soak::run_recovery(&workspace_root(), smoke),
+        "fleet" => xtask::soak::run_fleet(&workspace_root(), smoke),
+        other => {
+            let known: Vec<&str> = xtask::soak::SCENARIOS.iter().map(|&(n, _)| n).collect();
+            eprintln!(
+                "xtask soak: unknown scenario `{other}` (known: {})",
+                known.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(()) => {
-            eprintln!("xtask soak: clean");
+            eprintln!("xtask soak: clean ({scenario})");
             ExitCode::SUCCESS
         }
         Err(e) => {
