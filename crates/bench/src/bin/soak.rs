@@ -18,15 +18,31 @@
 //!
 //! ```sh
 //! soak <report-file> [--days N] [--seed N] [--intensities a,b,c]
+//!      [--ckpt DIR] [--snap-every SLOTS]
 //! ```
 //!
 //! Intensities are in milli-units (`50` = corrupt each CSV data line
 //! with probability 0.05). Exit codes: `0` success, `2` any violated
 //! invariant. Fully deterministic: same arguments ⇒ same report
 //! bytes.
+//!
+//! With `--ckpt DIR` the run is **crash-safe**: the live service and
+//! source state are snapshotted into a [`thermal_ckpt`] store at
+//! periodic slot boundaries, each completed intensity's report is
+//! snapshotted whole, and a re-launch after a mid-run kill restores
+//! the newest good snapshot and continues — producing a report
+//! byte-identical to an uninterrupted run (the restore-equivalence
+//! contract `cargo xtask chaos --stream` enforces at every kill
+//! point).
 
 use std::path::{Path, PathBuf};
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::snapshot::{
+    gc_snapshots, get_nested, latest_record_snapshot, put_nested, restore_from,
+    save_record_snapshot, save_snapshot, snapshot_name,
+};
+use thermal_ckpt::CheckpointStore;
 use thermal_core::{
     ClusterCount, FallbackAction, ModelOrder, ReducedModel, SelectorKind, ThermalPipeline,
 };
@@ -66,9 +82,24 @@ fn main() {
     let mut days = 3_usize;
     let mut seed = 42_u64;
     let mut intensities: Vec<u32> = DEFAULT_INTENSITIES.to_vec();
+    let mut ckpt: Option<PathBuf> = None;
+    let mut snap_every = 32_usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--ckpt" => {
+                ckpt = Some(PathBuf::from(
+                    argv.next()
+                        .unwrap_or_else(|| die("--ckpt needs a directory")),
+                ));
+            }
+            "--snap-every" => {
+                snap_every = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--snap-every needs a positive integer"));
+            }
             "--days" => {
                 days = argv
                     .next()
@@ -99,7 +130,10 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: soak <report-file> [--days N] [--seed N] [--intensities a,b,c]");
+                eprintln!(
+                    "usage: soak <report-file> [--days N] [--seed N] [--intensities a,b,c] \
+                     [--ckpt DIR] [--snap-every SLOTS]"
+                );
                 std::process::exit(0);
             }
             other if out.is_none() && !other.starts_with('-') => {
@@ -111,9 +145,102 @@ fn main() {
     let Some(out) = out else {
         die("missing <report-file> argument");
     };
-    match run(&out, days, seed, &intensities) {
+    match run(&out, days, seed, &intensities, ckpt.as_deref(), snap_every) {
         Ok(()) => println!("soak: ok"),
         Err(e) => die(&e),
+    }
+}
+
+/// Progress snapshots kept per namespace — enough to survive a torn
+/// newest snapshot and still fall back to an older good one.
+const KEEP_SNAPSHOTS: usize = 3;
+
+/// Envelope tag of the mid-intensity progress record.
+const PROGRESS_TAG: &str = "soak-progress";
+
+/// Envelope version of the progress record.
+const PROGRESS_VERSION: u32 = 1;
+
+/// Crash-safety state of one soak run: the snapshot store, the
+/// snapshot cadence, the next progress sequence number, and the
+/// mid-intensity progress record recovered at startup (consumed by
+/// the intensity it belongs to).
+struct SoakCkpt {
+    store: CheckpointStore,
+    snap_every: usize,
+    next_seq: u64,
+    resume: Option<Record>,
+}
+
+impl SoakCkpt {
+    fn open(dir: &Path, seed: u64, snap_every: usize) -> Result<Self, String> {
+        let mut store =
+            CheckpointStore::open(dir.to_path_buf(), seed, "soak-v1").map_err(|e| e.to_string())?;
+        let recovered =
+            latest_record_snapshot(&mut store, "progress", PROGRESS_TAG, PROGRESS_VERSION)
+                .map_err(|e| e.to_string())?;
+        let (next_seq, resume) = match recovered {
+            Some((seq, rec)) => (seq + 1, Some(rec)),
+            None => (0, None),
+        };
+        Ok(SoakCkpt {
+            store,
+            snap_every,
+            next_seq,
+            resume,
+        })
+    }
+
+    /// A completed intensity's report, when a good snapshot of it
+    /// exists; a corrupt one is quarantined and recomputed.
+    fn load_intensity(&mut self, index: usize) -> Option<SoakIntensityReport> {
+        let name = snapshot_name("intensity", index as u64);
+        let bytes = self.store.get(&name).ok()??;
+        let mut report = SoakIntensityReport::default();
+        match restore_from(&mut report, &bytes) {
+            Ok(()) => Some(report),
+            Err(err) => {
+                let _ = self
+                    .store
+                    .quarantine(&name, &format!("snapshot rejected: {err}"));
+                None
+            }
+        }
+    }
+
+    /// The recovered progress record, if it belongs to intensity
+    /// `index` (consumed on first use).
+    fn take_progress(&mut self, index: usize) -> Option<Record> {
+        let belongs = self
+            .resume
+            .as_ref()
+            .and_then(|rec| rec.get_usize("intensity_index").ok())
+            == Some(index);
+        if belongs {
+            self.resume.take()
+        } else {
+            None
+        }
+    }
+
+    /// Saves a mid-intensity progress snapshot and prunes old ones.
+    fn save_progress(&mut self, rec: &Record) -> Result<(), String> {
+        save_record_snapshot(
+            &mut self.store,
+            "progress",
+            self.next_seq,
+            PROGRESS_VERSION,
+            rec,
+        )
+        .map_err(|e| e.to_string())?;
+        self.next_seq += 1;
+        gc_snapshots(&mut self.store, "progress", KEEP_SNAPSHOTS).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Saves a completed intensity's report snapshot.
+    fn save_intensity(&mut self, index: usize, report: &SoakIntensityReport) -> Result<(), String> {
+        save_snapshot(&mut self.store, "intensity", index as u64, report).map_err(|e| e.to_string())
     }
 }
 
@@ -202,7 +329,14 @@ fn with_outage(ds: &Dataset, name: &str) -> Result<Dataset, String> {
     Dataset::new(*ds.grid(), channels).map_err(|e| e.to_string())
 }
 
-fn run(out: &Path, days: usize, seed: u64, intensities: &[u32]) -> Result<(), String> {
+fn run(
+    out: &Path,
+    days: usize,
+    seed: u64,
+    intensities: &[u32],
+    ckpt_dir: Option<&Path>,
+    snap_every: usize,
+) -> Result<(), String> {
     // Fit on the clean history, then let the *deployed*
     // representative of the first cluster suffer the outage — exactly
     // the failure the backup ranking exists for.
@@ -219,9 +353,30 @@ fn run(out: &Path, days: usize, seed: u64, intensities: &[u32]) -> Result<(), St
     println!("soak: outage channel = {rep}");
     let csv_text = csv::to_csv_string(&deployed).map_err(|e| e.to_string())?;
 
+    let mut ckpt = match ckpt_dir {
+        Some(dir) => Some(SoakCkpt::open(dir, seed, snap_every)?),
+        None => None,
+    };
     let mut reports = Vec::new();
     for (index, &millis) in intensities.iter().enumerate() {
-        let report = soak_intensity(&deployed, &model, &csv_text, seed, index as u64, millis)?;
+        let report = match ckpt.as_mut().and_then(|ck| ck.load_intensity(index)) {
+            Some(restored) => restored,
+            None => {
+                let report = soak_intensity(
+                    &deployed,
+                    &model,
+                    &csv_text,
+                    seed,
+                    index,
+                    millis,
+                    ckpt.as_mut(),
+                )?;
+                if let Some(ck) = ckpt.as_mut() {
+                    ck.save_intensity(index, &report)?;
+                }
+                report
+            }
+        };
         println!(
             "soak: intensity {millis} corrupted={} parsed={} applied={} trips={} depth={}/{}",
             report.corrupted_lines,
@@ -244,22 +399,32 @@ fn run(out: &Path, days: usize, seed: u64, intensities: &[u32]) -> Result<(), St
         std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
     }
     thermal_ckpt::write_atomic(out, report.to_json().as_bytes()).map_err(|e| e.to_string())?;
+    println!(
+        "soak: durable writes = {}",
+        thermal_faults::durable_writes()
+    );
     println!("soak: report = {}", out.display());
     Ok(())
 }
 
 /// Replays the whole trace once at one corruption intensity,
 /// asserting the runtime invariants on every slot.
+///
+/// With a checkpoint context the service/source state is snapshotted
+/// every `snap_every` slot boundaries, and a progress record
+/// recovered from a previous (killed) run of this same intensity
+/// fast-forwards the replay to where it left off.
 fn soak_intensity(
     dataset: &Dataset,
     model: &ReducedModel,
     csv_text: &str,
     seed: u64,
-    index: u64,
+    index: usize,
     millis: u32,
+    mut ckpt: Option<&mut SoakCkpt>,
 ) -> Result<SoakIntensityReport, String> {
     let intensity = f64::from(millis) / 1000.0;
-    let stream_seed = thermal_par::derive_seed(seed, index);
+    let stream_seed = thermal_par::derive_seed(seed, index as u64);
     let (corrupted, corruption_log) =
         thermal_faults::ingest::corrupt_csv(csv_text, stream_seed, intensity);
 
@@ -304,7 +469,18 @@ fn soak_intensity(
 
     let clusters = model.clustering().k();
     let mut max_depth = 0_usize;
-    for slot in 0..source.slots() {
+    let mut start_slot = 0_usize;
+    if let Some(rec) = ckpt.as_mut().and_then(|ck| ck.take_progress(index)) {
+        get_nested(&rec, "service", &mut service)
+            .and_then(|()| get_nested(&rec, "source", &mut source))
+            .map_err(|e| format!("intensity {millis}: progress restore: {e}"))?;
+        start_slot = rec
+            .get_usize("next_slot")
+            .map_err(|e| e.to_string())?
+            .min(source.slots());
+        max_depth = rec.get_usize("max_depth").map_err(|e| e.to_string())?;
+    }
+    for slot in start_slot..source.slots() {
         let now = source.replayer().slot_time(slot);
         let arrivals = source.poll(slot);
         service
@@ -325,6 +501,21 @@ fn soak_intensity(
                 "intensity {millis}, slot {slot}: prediction covers {} of {clusters} clusters",
                 prediction.clusters.len()
             ));
+        }
+        // Snapshot at the slot boundary: everything up to and
+        // including `slot` is folded in, the next run resumes at
+        // `slot + 1`.
+        if let Some(ck) = ckpt.as_mut() {
+            let done = slot + 1;
+            if done % ck.snap_every == 0 && done < source.slots() {
+                let mut rec = Record::new(PROGRESS_TAG);
+                rec.put_usize("intensity_index", index)
+                    .put_usize("next_slot", done)
+                    .put_usize("max_depth", max_depth);
+                put_nested(&mut rec, "service", &service);
+                put_nested(&mut rec, "source", &source);
+                ck.save_progress(&rec)?;
+            }
         }
     }
 

@@ -10,6 +10,8 @@
 //! clocks, no randomness — so a replayed event sequence reproduces
 //! the same trip/recover trace bit for bit.
 
+use crate::codec::Record;
+use crate::snapshot::Snapshot;
 use crate::CkptError;
 
 /// Breaker states (classic three-state pattern).
@@ -21,6 +23,27 @@ pub enum BreakerState {
     Open,
     /// One probe call is allowed; its outcome decides Closed vs Open.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable wire/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Inverse of [`BreakerState::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open),
+            "half-open" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of a [`CircuitBreaker`].
@@ -155,6 +178,37 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
         self.cooldown_left = self.policy.cooldown_ticks.max(1);
         self.trips += 1;
+    }
+}
+
+impl Snapshot for CircuitBreaker {
+    const TAG: &'static str = "ckpt-breaker";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put("state", self.state.label())
+            .put_u64("consecutive_failures", u64::from(self.consecutive_failures))
+            .put_u64("cooldown_left", self.cooldown_left)
+            .put_u64("trips", self.trips)
+            .put_u64("refusals", self.refusals);
+    }
+
+    fn restore(&mut self, rec: &Record) -> Result<(), CkptError> {
+        let state_label = rec.get("state")?;
+        let state = BreakerState::from_label(&state_label).ok_or_else(|| {
+            CkptError::decode("breaker snapshot", format!("unknown state {state_label:?}"))
+        })?;
+        let consecutive_failures = u32::try_from(rec.get_u64("consecutive_failures")?)
+            .map_err(|e| CkptError::decode("breaker snapshot", e))?;
+        let cooldown_left = rec.get_u64("cooldown_left")?;
+        let trips = rec.get_u64("trips")?;
+        let refusals = rec.get_u64("refusals")?;
+        self.state = state;
+        self.consecutive_failures = consecutive_failures;
+        self.cooldown_left = cooldown_left;
+        self.trips = trips;
+        self.refusals = refusals;
+        Ok(())
     }
 }
 

@@ -57,6 +57,31 @@ impl Record {
         self.put(key, &value.to_string())
     }
 
+    /// Appends a signed integer field (timestamps in minutes).
+    pub fn put_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.put(key, &value.to_string())
+    }
+
+    /// Appends a slice of `i64`s, comma-joined.
+    pub fn put_i64_slice(&mut self, key: &str, values: &[i64]) -> &mut Self {
+        let joined = values
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        self.put(key, &joined)
+    }
+
+    /// Appends a slice of `u64`s, comma-joined.
+    pub fn put_u64_slice(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        let joined = values
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        self.put(key, &joined)
+    }
+
     /// Appends an `f64` field, bit-exact (hex of `to_bits`).
     pub fn put_f64(&mut self, key: &str, value: f64) -> &mut Self {
         self.put(key, &f64_to_hex(value))
@@ -121,6 +146,43 @@ impl Record {
         self.get(key)?
             .parse()
             .map_err(|e| CkptError::decode("record", format!("field {key:?} not a usize: {e}")))
+    }
+
+    /// Required `i64` field.
+    pub fn get_i64(&self, key: &str) -> Result<i64, CkptError> {
+        self.get(key)?
+            .parse()
+            .map_err(|e| CkptError::decode("record", format!("field {key:?} not an i64: {e}")))
+    }
+
+    /// Required `i64`-slice field.
+    pub fn get_i64_slice(&self, key: &str) -> Result<Vec<i64>, CkptError> {
+        let raw = self.get(key)?;
+        if raw.is_empty() {
+            return Ok(Vec::new());
+        }
+        raw.split(',')
+            .map(|tok| {
+                tok.parse().map_err(|e| {
+                    CkptError::decode("record", format!("field {key:?} element not an i64: {e}"))
+                })
+            })
+            .collect()
+    }
+
+    /// Required `u64`-slice field.
+    pub fn get_u64_slice(&self, key: &str) -> Result<Vec<u64>, CkptError> {
+        let raw = self.get(key)?;
+        if raw.is_empty() {
+            return Ok(Vec::new());
+        }
+        raw.split(',')
+            .map(|tok| {
+                tok.parse().map_err(|e| {
+                    CkptError::decode("record", format!("field {key:?} element not a u64: {e}"))
+                })
+            })
+            .collect()
     }
 
     /// Required bit-exact `f64` field.

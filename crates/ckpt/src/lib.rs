@@ -25,7 +25,12 @@
 //!   runtime (`thermal-stream`) with the same trip/cooldown/half-open
 //!   discipline,
 //! * [`codec`] — the hand-rolled, bit-exact text record format every
-//!   checkpoint payload uses (hex-of-bits `f64`s, canonical bytes).
+//!   checkpoint payload uses (hex-of-bits `f64`s, canonical bytes),
+//! * [`snapshot`] — the versioned, FNV-checksummed envelope and
+//!   [`Snapshot`] trait live serving state (queues, health machines,
+//!   RLS estimators, fleet shards) uses to checkpoint itself at slot
+//!   boundaries and restore after a crash, with keep-last-K retention
+//!   and quarantine-and-fall-back on torn snapshots.
 //!
 //! # Resume equivalence
 //!
@@ -69,13 +74,15 @@ mod store;
 
 pub mod codec;
 pub mod manifest;
+pub mod snapshot;
 
 pub use atomic::{fnv1a64, valid_name, write_atomic, Fnv64};
 pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use error::CkptError;
 pub use manifest::SCHEMA_VERSION;
 pub use runner::{run_cell, CellOutcome, CellPolicy};
-pub use store::{CheckpointStore, OpenReport, MANIFEST_NAME, QUARANTINE_DIR};
+pub use snapshot::Snapshot;
+pub use store::{CheckpointStore, OpenReport, MANIFEST_NAME, QUARANTINE_DIR, QUARANTINE_LOG};
 
 /// Convenient crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CkptError>;

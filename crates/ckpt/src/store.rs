@@ -43,6 +43,11 @@ pub const MANIFEST_NAME: &str = "manifest.txt";
 /// Directory name files are moved into when they cannot be trusted.
 pub const QUARANTINE_DIR: &str = "quarantine";
 
+/// Structured quarantine log file, inside [`QUARANTINE_DIR`]: one
+/// `quarantined name=<n> dest=<n.k> reason=<free text>` line per
+/// quarantined file, append-only.
+pub const QUARANTINE_LOG: &str = "log.txt";
+
 /// What [`CheckpointStore::open`] found and did during recovery.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpenReport {
@@ -93,13 +98,13 @@ impl CheckpointStore {
                 Err(_) => {
                     // Torn or garbage manifest: nothing on disk can be
                     // trusted. Quarantine everything and start over.
-                    quarantine_file(&root, MANIFEST_NAME, &mut report)?;
-                    quarantine_all_payloads(&root, &mut report)?;
+                    quarantine_file(&root, MANIFEST_NAME, "manifest unparseable", &mut report)?;
+                    quarantine_all_payloads(&root, "manifest unparseable", &mut report)?;
                 }
                 Ok(parsed) if parsed.schema != SCHEMA_VERSION || parsed.seed != seed => {
                     report.identity_mismatch = true;
-                    quarantine_file(&root, MANIFEST_NAME, &mut report)?;
-                    quarantine_all_payloads(&root, &mut report)?;
+                    quarantine_file(&root, MANIFEST_NAME, "identity mismatch", &mut report)?;
+                    quarantine_all_payloads(&root, "identity mismatch", &mut report)?;
                 }
                 Ok(parsed) => {
                     manifest.failures = parsed.failures;
@@ -161,11 +166,56 @@ impl CheckpointStore {
             Ok(b) => b,
         };
         if bytes.len() as u64 != entry.len || fnv1a64(&bytes) != entry.hash {
-            quarantine_file(&self.root, name, &mut self.report)?;
+            quarantine_file(
+                &self.root,
+                name,
+                "checksum mismatch on read",
+                &mut self.report,
+            )?;
             self.manifest.entries.remove(name);
             return Ok(None);
         }
         Ok(Some(bytes))
+    }
+
+    /// Moves a checkpoint into quarantine with a structured log entry
+    /// and drops it from the manifest — for payloads that verified at
+    /// the store level but failed a higher-level check (e.g. a
+    /// snapshot envelope rejection). A no-op when neither manifest
+    /// entry nor payload file exists.
+    pub fn quarantine(&mut self, name: &str, reason: &str) -> Result<(), CkptError> {
+        let manifested = self.manifest.entries.remove(name).is_some();
+        if self.root.join(name).is_file() {
+            quarantine_file(&self.root, name, reason, &mut self.report)?;
+        }
+        if manifested {
+            self.persist_manifest()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes checkpoints outright (retention/GC, not corruption):
+    /// payload files first, then one manifest update. A crash between
+    /// the two leaves manifested-but-missing entries the next open
+    /// simply drops, so either crash order recovers cleanly.
+    pub fn remove_batch(&mut self, names: &[String]) -> Result<(), CkptError> {
+        let mut dirty = false;
+        for name in names {
+            if self.manifest.entries.remove(name.as_str()).is_none() {
+                continue;
+            }
+            dirty = true;
+            let path = self.root.join(name);
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(CkptError::io("remove payload", &path, e)),
+            }
+        }
+        if dirty {
+            self.persist_manifest()?;
+        }
+        Ok(())
     }
 
     /// Commits a checkpoint: atomic payload write, then atomic
@@ -261,7 +311,7 @@ fn verify_entries(
                     manifest.entries.insert(name, entry);
                     report.restored += 1;
                 } else {
-                    quarantine_file(root, &name, report)?;
+                    quarantine_file(root, &name, "checksum mismatch at open", report)?;
                 }
             }
         }
@@ -285,7 +335,7 @@ fn quarantine_unmanifested(
             continue;
         }
         if !manifest.entries.contains_key(&name) {
-            quarantine_file(root, &name, report)?;
+            quarantine_file(root, &name, "unmanifested payload", report)?;
         }
     }
     Ok(())
@@ -293,7 +343,11 @@ fn quarantine_unmanifested(
 
 /// Moves every payload file (not the manifest, not temp files) into
 /// quarantine — used when the manifest itself cannot be trusted.
-fn quarantine_all_payloads(root: &Path, report: &mut OpenReport) -> Result<(), CkptError> {
+fn quarantine_all_payloads(
+    root: &Path,
+    reason: &str,
+    report: &mut OpenReport,
+) -> Result<(), CkptError> {
     for entry in list_dir(root)? {
         if !entry.path().is_file() {
             continue;
@@ -302,17 +356,23 @@ fn quarantine_all_payloads(root: &Path, report: &mut OpenReport) -> Result<(), C
         if name == MANIFEST_NAME || name.starts_with('.') {
             continue;
         }
-        quarantine_file(root, &name, report)?;
+        quarantine_file(root, &name, reason, report)?;
     }
     Ok(())
 }
 
-/// Moves `root/<name>` to `quarantine/<name>.<n>` (first free `n`)
-/// and records it in the report. Quarantine moves are recovery
-/// actions, not durable artifact writes — they do not tick the
-/// kill-point counter, and the chaos harness excludes `quarantine/`
-/// from its byte-equality comparison.
-fn quarantine_file(root: &Path, name: &str, report: &mut OpenReport) -> Result<(), CkptError> {
+/// Moves `root/<name>` to `quarantine/<name>.<n>` (first free `n`),
+/// appends a structured `quarantined name=… dest=… reason=…` line to
+/// the quarantine log, and records the move in the report. Quarantine
+/// moves are recovery actions, not durable artifact writes — they do
+/// not tick the kill-point counter, and the chaos harness excludes
+/// `quarantine/` from its byte-equality comparison.
+fn quarantine_file(
+    root: &Path,
+    name: &str,
+    reason: &str,
+    report: &mut OpenReport,
+) -> Result<(), CkptError> {
     let qdir = root.join(QUARANTINE_DIR);
     fs::create_dir_all(&qdir).map_err(|e| CkptError::io("create quarantine", &qdir, e))?;
     let src = root.join(name);
@@ -321,15 +381,33 @@ fn quarantine_file(root: &Path, name: &str, report: &mut OpenReport) -> Result<(
         if dst.exists() {
             continue;
         }
-        return fs::rename(&src, &dst)
-            .map(|()| report.quarantined.push(name.to_string()))
-            .map_err(|e| CkptError::io("quarantine file", &src, e));
+        fs::rename(&src, &dst).map_err(|e| CkptError::io("quarantine file", &src, e))?;
+        log_quarantine(&qdir, name, &format!("{name}.{n}"), reason)?;
+        report.quarantined.push(name.to_string());
+        return Ok(());
     }
     Err(CkptError::io(
         "quarantine file",
         &src,
         std::io::Error::other("quarantine slots exhausted"),
     ))
+}
+
+/// Appends one structured entry to `quarantine/log.txt`. A plain
+/// append (not `write_atomic`): the log is forensic, lives inside the
+/// quarantine directory the chaos harness excludes, and must not tick
+/// the kill-point counter. No wall-clock timestamp — ordering is the
+/// line order, which the determinism contract keeps reproducible.
+fn log_quarantine(qdir: &Path, name: &str, dest: &str, reason: &str) -> Result<(), CkptError> {
+    use std::io::Write as _;
+    let path = qdir.join(QUARANTINE_LOG);
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| CkptError::io("open quarantine log", &path, e))?;
+    writeln!(f, "quarantined name={name} dest={dest} reason={reason}")
+        .map_err(|e| CkptError::io("append quarantine log", &path, e))
 }
 
 fn list_dir(root: &Path) -> Result<Vec<fs::DirEntry>, CkptError> {

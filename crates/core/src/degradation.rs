@@ -100,6 +100,17 @@ impl ModelHealth {
         }
     }
 
+    /// Inverse of [`ModelHealth::name`] (snapshot restore path).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "stable" => Some(ModelHealth::Stable),
+            "drifting" => Some(ModelHealth::Drifting),
+            "refitting" => Some(ModelHealth::Refitting),
+            "recovered" => Some(ModelHealth::Recovered),
+            _ => None,
+        }
+    }
+
     /// `true` while served outputs should be flagged degraded (the
     /// coefficients are suspect: drift confirmed, refit not yet
     /// installed).

@@ -22,10 +22,18 @@
 //! ```sh
 //! fleet_soak <outdir> [--seed N] [--buildings N] [--days D]
 //!            [--targets a,b,c] [--intensity millis]
+//!            [--snap-every SLOTS]
 //! ```
 //!
 //! Exit codes: `0` success, `2` any violated invariant. Fully
 //! deterministic: same arguments ⇒ same report bytes.
+//!
+//! With `--snap-every` each building's serve loop snapshots its whole
+//! bulkhead (service, source, breaker, phase machine) into the
+//! building's checkpoint store at every such slot boundary; a
+//! re-launch after a mid-run kill restores the newest good snapshots
+//! and produces byte-identical reports — the restore-equivalence
+//! contract `cargo xtask chaos --fleet` enforces at every kill point.
 
 use std::path::{Path, PathBuf};
 
@@ -43,6 +51,7 @@ fn main() {
     let mut days = 2_usize;
     let mut targets: Vec<u32> = Vec::new();
     let mut intensity = 400_u32;
+    let mut snap_every: Option<usize> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -89,10 +98,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--intensity needs an integer (milli-units)"));
             }
+            "--snap-every" => {
+                snap_every = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--snap-every needs a positive integer")),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fleet_soak <outdir> [--seed N] [--buildings N] [--days D] \
-                     [--targets a,b,c|none] [--intensity millis]"
+                     [--targets a,b,c|none] [--intensity millis] [--snap-every SLOTS]"
                 );
                 std::process::exit(0);
             }
@@ -105,7 +122,7 @@ fn main() {
     let Some(out) = out else {
         die("missing <outdir> argument");
     };
-    match run(&out, seed, buildings, days, &targets, intensity) {
+    match run(&out, seed, buildings, days, &targets, intensity, snap_every) {
         Ok(()) => println!("fleet: ok"),
         Err(e) => die(&e),
     }
@@ -118,6 +135,7 @@ fn run(
     days: usize,
     targets: &[u32],
     intensity: u32,
+    snap_every: Option<usize>,
 ) -> Result<(), String> {
     std::fs::create_dir_all(out).map_err(|e| format!("create {}: {e}", out.display()))?;
     let mut config = FleetConfig::new(seed, buildings);
@@ -125,6 +143,7 @@ fn run(
     config.targets = targets.to_vec();
     config.intensity_millis = intensity;
     config.checkpoint_dir = Some(out.join("ckpt"));
+    config.serve_snap_every = snap_every;
     let outcome = run_fleet(&config).map_err(|e| e.to_string())?;
 
     println!("fleet: buildings = {buildings}");
@@ -210,6 +229,10 @@ fn run(
         outcome.fleet.to_json().as_bytes(),
     )
     .map_err(|e| e.to_string())?;
+    println!(
+        "fleet: durable writes = {}",
+        thermal_faults::durable_writes()
+    );
     println!("fleet: reports = {}", out.display());
     Ok(())
 }

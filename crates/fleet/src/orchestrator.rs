@@ -25,6 +25,10 @@
 
 use std::path::PathBuf;
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::snapshot::{
+    gc_snapshots, get_nested, latest_record_snapshot, put_nested, save_record_snapshot,
+};
 use thermal_core::{
     ClusterCount, FallbackAction, GramCache, ModelOrder, ReducedModel, SelectorKind,
     ThermalPipeline,
@@ -74,6 +78,11 @@ pub struct FleetConfig {
     /// When set, fits run through the checkpointed runner with a
     /// per-building store under this directory.
     pub checkpoint_dir: Option<PathBuf>,
+    /// When set alongside `checkpoint_dir`, the serve loop snapshots
+    /// each building's whole bulkhead into its store at every
+    /// `serve_snap_every`-slot boundary and resumes from the newest
+    /// good snapshot after a crash.
+    pub serve_snap_every: Option<usize>,
 }
 
 impl FleetConfig {
@@ -90,6 +99,7 @@ impl FleetConfig {
             admission: AdmissionPolicy::default(),
             shard: ShardPolicy::default(),
             checkpoint_dir: None,
+            serve_snap_every: None,
         }
     }
 
@@ -113,6 +123,11 @@ impl FleetConfig {
         if let Some(&bad) = self.targets.iter().find(|&&t| t >= self.buildings) {
             return Err(FleetError::InvalidConfig {
                 reason: format!("fault target {bad} outside fleet of {}", self.buildings),
+            });
+        }
+        if self.serve_snap_every == Some(0) {
+            return Err(FleetError::InvalidConfig {
+                reason: "serve_snap_every must be positive when set".to_owned(),
             });
         }
         Ok(())
@@ -432,7 +447,12 @@ fn serve_building(
     let mut policy = config.shard.clone();
     policy.max_depth = depth_bound;
     let mut shard = BuildingShard::new(spec.id, service, source, policy)?;
-    shard.serve_all()?;
+    match (&config.checkpoint_dir, config.serve_snap_every) {
+        (Some(dir), Some(every)) => {
+            serve_checkpointed(&mut shard, dir, spec, every)?;
+        }
+        _ => shard.serve_all()?,
+    }
 
     let final_served = shard.serve();
     Ok(ServeOutcome {
@@ -458,6 +478,61 @@ fn serve_building(
             })
             .collect(),
     })
+}
+
+/// Envelope tag of a mid-serve shard snapshot record.
+const SERVE_TAG: &str = "fleet-serve-progress";
+
+/// Envelope version of the serve-progress record.
+const SERVE_VERSION: u32 = 1;
+
+/// Serve-progress snapshots kept per building — enough to survive a
+/// torn newest snapshot and still fall back to an older good one.
+const KEEP_SERVE_SNAPSHOTS: usize = 3;
+
+/// The crash-safe serve loop: restore the bulkhead from the newest
+/// good snapshot in the building's store (quarantining torn or
+/// corrupt ones), then replay the remaining slots, snapshotting the
+/// whole shard at every `every`-slot boundary.
+fn serve_checkpointed(
+    shard: &mut BuildingShard,
+    dir: &std::path::Path,
+    spec: &BuildingSpec,
+    every: usize,
+) -> Result<()> {
+    let io_err = |e: thermal_ckpt::CkptError| FleetError::Io {
+        context: format!("serve snapshots for building {}", spec.id),
+        reason: e.to_string(),
+    };
+    let store_dir = dir.join(format!("b{:03}", spec.id));
+    let mut store =
+        thermal_ckpt::CheckpointStore::open(store_dir, spec.seed, "fleet-v1").map_err(io_err)?;
+    let recovered =
+        latest_record_snapshot(&mut store, "serve", SERVE_TAG, SERVE_VERSION).map_err(io_err)?;
+    let (mut next_seq, mut start) = (0_u64, 0_usize);
+    if let Some((seq, rec)) = recovered {
+        get_nested(&rec, "shard", shard).map_err(io_err)?;
+        start = rec
+            .get_usize("next_slot")
+            .map_err(io_err)?
+            .min(shard.slots());
+        next_seq = seq + 1;
+    }
+    let slots = shard.slots();
+    for slot in start..slots {
+        shard.step_slot(slot)?;
+        let done = slot + 1;
+        if done % every == 0 && done < slots {
+            let mut rec = Record::new(SERVE_TAG);
+            rec.put_usize("next_slot", done);
+            put_nested(&mut rec, "shard", shard);
+            save_record_snapshot(&mut store, "serve", next_seq, SERVE_VERSION, &rec)
+                .map_err(io_err)?;
+            next_seq += 1;
+            gc_snapshots(&mut store, "serve", KEEP_SERVE_SNAPSHOTS).map_err(io_err)?;
+        }
+    }
+    Ok(())
 }
 
 /// Returns `ds` with `name` blanked over `[start, start + len)`.

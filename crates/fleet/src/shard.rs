@@ -30,7 +30,9 @@
 //! Every phase change is recorded with its slot for the fleet's
 //! quarantine event log.
 
-use thermal_ckpt::{BreakerPolicy, CircuitBreaker};
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::snapshot::{get_nested, put_nested};
+use thermal_ckpt::{BreakerPolicy, CircuitBreaker, CkptError, Snapshot};
 use thermal_core::{FallbackAction, ModelHealth};
 use thermal_stream::{
     ClusterPrediction, FlakySource, LivePrediction, SensorHealth, ServiceStats, SourceStats,
@@ -61,6 +63,18 @@ impl ShardPhase {
             ShardPhase::Degraded => "degraded",
             ShardPhase::Quarantined => "quarantined",
             ShardPhase::Restored => "restored",
+        }
+    }
+
+    /// Inverse of [`ShardPhase::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "healthy" => Some(ShardPhase::Healthy),
+            "degraded" => Some(ShardPhase::Degraded),
+            "quarantined" => Some(ShardPhase::Quarantined),
+            "restored" => Some(ShardPhase::Restored),
+            _ => None,
         }
     }
 }
@@ -283,7 +297,17 @@ impl BuildingShard {
     /// failure (a bug), never for a data condition — fault injection
     /// degrades phases, it does not error.
     pub fn serve_all(&mut self) -> Result<()> {
-        for slot in 0..self.source.slots() {
+        self.serve_from(0)
+    }
+
+    /// Replays the schedule from `start` onward — the resume path
+    /// after restoring a snapshot taken at the `start` slot boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuildingShard::serve_all`].
+    pub fn serve_from(&mut self, start: usize) -> Result<()> {
+        for slot in start..self.source.slots() {
             self.step_slot(slot)?;
         }
         Ok(())
@@ -391,5 +415,120 @@ impl BuildingShard {
             to,
         });
         self.phase = to;
+    }
+}
+
+/// Parses one phase label out of a snapshot column.
+fn phase_from(label: &str) -> std::result::Result<ShardPhase, CkptError> {
+    ShardPhase::from_label(label).ok_or_else(|| {
+        CkptError::decode("shard snapshot", format!("unknown shard phase {label:?}"))
+    })
+}
+
+/// The whole bulkhead rides in one snapshot: the nested service and
+/// source, the probe breaker, the phase machine with its hysteresis
+/// counters, the error budget, the lifetime counters and the
+/// transition log. The shard policy is construction context.
+impl Snapshot for BuildingShard {
+    const TAG: &'static str = "fleet-shard";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put_u64("building", u64::from(self.building));
+        put_nested(rec, "service", &self.service);
+        put_nested(rec, "source", &self.source);
+        put_nested(rec, "breaker", &self.breaker);
+        rec.put("phase", self.phase.label())
+            .put_u64("ever_quarantined", u64::from(self.ever_quarantined))
+            .put_u64("consec_degraded", u64::from(self.consec_degraded))
+            .put_u64("consec_healthy", u64::from(self.consec_healthy))
+            .put_u64("budget_spent", u64::from(self.budget_spent))
+            .put_u64("consec_probe_ok", u64::from(self.consec_probe_ok))
+            .put_u64("degraded_slots", self.counters.degraded_slots)
+            .put_u64("blackout_slots", self.counters.blackout_slots)
+            .put_u64("watchdog_trips", self.counters.watchdog_trips)
+            .put_u64("probes", self.counters.probes)
+            .put_u64("probe_failures", self.counters.probe_failures)
+            .put_usize("max_depth_seen", self.max_depth_seen);
+        let slots: Vec<usize> = self.transitions.iter().map(|t| t.slot).collect();
+        let from: Vec<String> = self
+            .transitions
+            .iter()
+            .map(|t| t.from.label().to_owned())
+            .collect();
+        let to: Vec<String> = self
+            .transitions
+            .iter()
+            .map(|t| t.to.label().to_owned())
+            .collect();
+        rec.put_usize_slice("transition_slots", &slots)
+            .put_str_list("transition_from", &from)
+            .put_str_list("transition_to", &to);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let building = rec.get_u64("building")?;
+        if building != u64::from(self.building) {
+            return Err(CkptError::decode(
+                "shard snapshot",
+                format!(
+                    "snapshot is for building {building}, shard supervises {}",
+                    self.building
+                ),
+            ));
+        }
+        let mut service = self.service.clone();
+        get_nested(rec, "service", &mut service)?;
+        let mut source = self.source.clone();
+        get_nested(rec, "source", &mut source)?;
+        let mut breaker = self.breaker.clone();
+        get_nested(rec, "breaker", &mut breaker)?;
+        let phase = phase_from(&rec.get("phase")?)?;
+        let ever_quarantined = rec.get_u64("ever_quarantined")? != 0;
+        let to_u32 = |v: u64| {
+            u32::try_from(v).map_err(|e| CkptError::decode("shard snapshot", e.to_string()))
+        };
+        let consec_degraded = to_u32(rec.get_u64("consec_degraded")?)?;
+        let consec_healthy = to_u32(rec.get_u64("consec_healthy")?)?;
+        let budget_spent = to_u32(rec.get_u64("budget_spent")?)?;
+        let consec_probe_ok = to_u32(rec.get_u64("consec_probe_ok")?)?;
+        let counters = ShardCounters {
+            degraded_slots: rec.get_u64("degraded_slots")?,
+            blackout_slots: rec.get_u64("blackout_slots")?,
+            watchdog_trips: rec.get_u64("watchdog_trips")?,
+            probes: rec.get_u64("probes")?,
+            probe_failures: rec.get_u64("probe_failures")?,
+        };
+        let max_depth_seen = rec.get_usize("max_depth_seen")?;
+        let slots = rec.get_usize_slice("transition_slots")?;
+        let from = rec.get_str_list("transition_from")?;
+        let to = rec.get_str_list("transition_to")?;
+        if from.len() != slots.len() || to.len() != slots.len() {
+            return Err(CkptError::decode(
+                "shard snapshot",
+                "transition columns have mismatched lengths",
+            ));
+        }
+        let mut transitions = Vec::with_capacity(slots.len());
+        for i in 0..slots.len() {
+            transitions.push(PhaseTransition {
+                slot: slots[i],
+                from: phase_from(&from[i])?,
+                to: phase_from(&to[i])?,
+            });
+        }
+        self.service = service;
+        self.source = source;
+        self.breaker = breaker;
+        self.phase = phase;
+        self.ever_quarantined = ever_quarantined;
+        self.consec_degraded = consec_degraded;
+        self.consec_healthy = consec_healthy;
+        self.budget_spent = budget_spent;
+        self.consec_probe_ok = consec_probe_ok;
+        self.counters = counters;
+        self.max_depth_seen = max_depth_seen;
+        self.transitions = transitions;
+        Ok(())
     }
 }

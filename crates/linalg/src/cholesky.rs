@@ -82,6 +82,42 @@ impl CholeskyDecomposition {
         Ok(CholeskyDecomposition { l })
     }
 
+    /// Rebuilds a decomposition from a previously extracted factor
+    /// `L` (snapshot restore path): the factor must be square,
+    /// non-empty, finite, and carry a strictly positive diagonal.
+    /// Entries above the diagonal are trusted to be zero — `L` comes
+    /// from [`CholeskyDecomposition::l`], which never writes them.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for a non-square factor,
+    /// * [`LinalgError::Empty`] for a `0 × 0` factor,
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries,
+    /// * [`LinalgError::NotPositiveDefinite`] for a non-positive
+    ///   diagonal entry.
+    pub fn from_factor(l: Matrix) -> Result<Self> {
+        if !l.is_square() {
+            return Err(LinalgError::NotSquare { shape: l.shape() });
+        }
+        if l.rows() == 0 {
+            return Err(LinalgError::Empty {
+                op: "cholesky from_factor",
+            });
+        }
+        if !l.is_finite() {
+            return Err(LinalgError::NonFinite {
+                op: "cholesky from_factor",
+            });
+        }
+        for j in 0..l.rows() {
+            let pivot = l[(j, j)];
+            if pivot <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { index: j, pivot });
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l

@@ -10,6 +10,9 @@
 //! ([`thermal_par::derive_seed`]). Same seed ⇒ the same retry
 //! schedule on every run.
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
+
 use crate::{Result, StreamError};
 
 /// Capped-exponential backoff policy, in event-loop slots.
@@ -110,6 +113,28 @@ impl Backoff {
     /// again.
     pub fn reset(&mut self) {
         self.attempt = 0;
+    }
+}
+
+/// Only the attempt and draw counters need saving: jitter is drawn
+/// counter-seeded (`derive_seed(seed, draws)`), so restoring `draws`
+/// resumes the exact jitter stream with no RNG state to serialise.
+impl Snapshot for Backoff {
+    const TAG: &'static str = "stream-backoff";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put_u64("attempt", u64::from(self.attempt))
+            .put_u64("draws", self.draws);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let attempt = u32::try_from(rec.get_u64("attempt")?)
+            .map_err(|e| CkptError::decode("backoff snapshot", e))?;
+        let draws = rec.get_u64("draws")?;
+        self.attempt = attempt;
+        self.draws = draws;
+        Ok(())
     }
 }
 

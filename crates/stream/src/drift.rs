@@ -27,6 +27,8 @@
 //! probation so a recovering sensor and a recovering model cannot
 //! flap each other.
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
 use thermal_core::ModelHealth;
 
 use crate::{Result, StreamError};
@@ -320,6 +322,69 @@ impl DriftMachine {
             self.dwell = 0;
             self.set(ModelHealth::Drifting);
         }
+    }
+}
+
+/// Three numbers: the whole detector.
+impl Snapshot for PageHinkley {
+    const TAG: &'static str = "stream-page-hinkley";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put_u64("count", self.count)
+            .put_f64("cumulative", self.cumulative)
+            .put_f64("minimum", self.minimum);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let count = rec.get_u64("count")?;
+        let cumulative = rec.get_f64("cumulative")?;
+        let minimum = rec.get_f64("minimum")?;
+        self.count = count;
+        self.cumulative = cumulative;
+        self.minimum = minimum;
+        Ok(())
+    }
+}
+
+/// Ladder position, nested detector, hysteresis counters, and
+/// lifetime stats.
+impl Snapshot for DriftMachine {
+    const TAG: &'static str = "stream-drift";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put("health", self.health.name());
+        thermal_ckpt::snapshot::put_nested(rec, "detector", &self.detector);
+        rec.put_u64("quiet", self.quiet)
+            .put_u64("dwell", self.dwell)
+            .put_u64("observed", self.stats.observed)
+            .put_u64("alarms", self.stats.alarms)
+            .put_u64("refits", self.stats.refits)
+            .put_u64("transitions", self.stats.transitions);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let health_name = rec.get("health")?;
+        let health = ModelHealth::from_name(&health_name).ok_or_else(|| {
+            CkptError::decode("drift snapshot", format!("unknown health {health_name:?}"))
+        })?;
+        let mut detector = PageHinkley::default();
+        thermal_ckpt::snapshot::get_nested(rec, "detector", &mut detector)?;
+        let quiet = rec.get_u64("quiet")?;
+        let dwell = rec.get_u64("dwell")?;
+        let stats = DriftStats {
+            observed: rec.get_u64("observed")?,
+            alarms: rec.get_u64("alarms")?,
+            refits: rec.get_u64("refits")?,
+            transitions: rec.get_u64("transitions")?,
+        };
+        self.health = health;
+        self.detector = detector;
+        self.quiet = quiet;
+        self.dwell = dwell;
+        self.stats = stats;
+        Ok(())
     }
 }
 

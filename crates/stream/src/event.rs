@@ -6,6 +6,8 @@
 //! of the same trace produces bit-identical state on every run and
 //! every machine.
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
 use thermal_timeseries::Timestamp;
 
 use crate::{Result, StreamError};
@@ -61,6 +63,23 @@ impl SimClock {
             });
         }
         self.now = to;
+        Ok(())
+    }
+}
+
+/// The clock *is* the runtime's only notion of time, so snapshotting
+/// it is what keeps restored state free of wall-clock reads: any
+/// "when" a resumed run needs comes from here.
+impl Snapshot for SimClock {
+    const TAG: &'static str = "stream-clock";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put_i64("now", self.now.as_minutes());
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        self.now = Timestamp::from_minutes(rec.get_i64("now")?);
         Ok(())
     }
 }

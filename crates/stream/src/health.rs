@@ -20,6 +20,8 @@
 //! `recovery_readings` consecutive plausible samples before its data
 //! feeds predictions again — a flapping sensor stays quarantined.
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
 use thermal_timeseries::ValidationConfig;
 
 use crate::{Result, StreamError};
@@ -54,6 +56,17 @@ impl HealthState {
             HealthState::Suspect => "suspect",
             HealthState::Dead => "dead",
             HealthState::Recovered => "recovered",
+        }
+    }
+
+    /// Inverse of [`HealthState::label`] (snapshot restore path).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "live" => Some(HealthState::Live),
+            "suspect" => Some(HealthState::Suspect),
+            "dead" => Some(HealthState::Dead),
+            "recovered" => Some(HealthState::Recovered),
+            _ => None,
         }
     }
 }
@@ -283,6 +296,67 @@ impl HealthMachine {
 impl Default for HealthMachine {
     fn default() -> Self {
         HealthMachine::new()
+    }
+}
+
+/// Full machine state: ladder position, last-good anchors, hysteresis
+/// runs, and lifetime counters. The config is construction context.
+impl Snapshot for HealthMachine {
+    const TAG: &'static str = "stream-health";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        let last_at: Vec<i64> = self.last_good_at.into_iter().collect();
+        let last_value: Vec<f64> = self.last_good_value.into_iter().collect();
+        rec.put("state", self.state.label())
+            .put_i64_slice("last_good_at", &last_at)
+            .put_f64_slice("last_good_value", &last_value)
+            .put_u64("implausible_run", u64::from(self.implausible_run))
+            .put_u64("probation_run", u64::from(self.probation_run))
+            .put_u64("transitions", self.transitions)
+            .put_u64("implausible_total", self.implausible_total);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let state_label = rec.get("state")?;
+        let state = HealthState::from_label(&state_label).ok_or_else(|| {
+            CkptError::decode("health snapshot", format!("unknown state {state_label:?}"))
+        })?;
+        let opt_i64 = |key: &str| -> std::result::Result<Option<i64>, CkptError> {
+            match rec.get_i64_slice(key)?.as_slice() {
+                [] => Ok(None),
+                [v] => Ok(Some(*v)),
+                _ => Err(CkptError::decode(
+                    "health snapshot",
+                    format!("{key} must hold zero or one element"),
+                )),
+            }
+        };
+        let last_good_at = opt_i64("last_good_at")?;
+        let last_good_value = match rec.get_f64_slice("last_good_value")?.as_slice() {
+            [] => None,
+            [v] => Some(*v),
+            _ => {
+                return Err(CkptError::decode(
+                    "health snapshot",
+                    "last_good_value must hold zero or one element",
+                ))
+            }
+        };
+        let implausible_run = u32::try_from(rec.get_u64("implausible_run")?)
+            .map_err(|e| CkptError::decode("health snapshot", e))?;
+        let probation_run = u32::try_from(rec.get_u64("probation_run")?)
+            .map_err(|e| CkptError::decode("health snapshot", e))?;
+        let transitions = rec.get_u64("transitions")?;
+        let implausible_total = rec.get_u64("implausible_total")?;
+        self.state = state;
+        self.last_good_at = last_good_at;
+        self.last_good_value = last_good_value;
+        self.implausible_run = implausible_run;
+        self.probation_run = probation_run;
+        self.transitions = transitions;
+        self.implausible_total = implausible_total;
+        Ok(())
     }
 }
 

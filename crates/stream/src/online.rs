@@ -34,7 +34,8 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 
 use thermal_ckpt::codec::Record;
-use thermal_ckpt::{run_cell, CellOutcome, CellPolicy, CheckpointStore};
+use thermal_ckpt::snapshot::{get_nested, get_nested_list, put_nested, put_nested_list};
+use thermal_ckpt::{run_cell, CellOutcome, CellPolicy, CheckpointStore, CkptError, Snapshot};
 use thermal_core::{FallbackAction, ModelHealth};
 use thermal_linalg::Matrix;
 use thermal_sysid::{ModelSpec, RlsConfig, RlsEstimator, ThermalModel};
@@ -553,6 +554,132 @@ fn decode_refit(bytes: &[u8], spec: &ModelSpec) -> Option<ThermalModel> {
         coef.row_mut(r).copy_from_slice(chunk);
     }
     ThermalModel::new(spec.clone(), coef).ok()
+}
+
+/// The estimator, drift machines, noise trackers, learning window and
+/// counters round-trip; the per-slot scratch buffers (`residual_sum`,
+/// `residual_count`, `x_scratch`) are rebuilt within one slot and are
+/// deliberately not saved. `refit_ordinal` rides along so resumed runs
+/// keep naming refit cells where the killed run left off.
+impl Snapshot for OnlineIdentifier {
+    const TAG: &'static str = "stream-online";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        put_nested(rec, "estimator", &self.estimator);
+        put_nested_list(rec, "machines", &self.machines);
+        let mean_squares: Vec<f64> = self.noise.iter().map(|n| n.mean_square).collect();
+        let samples: Vec<u64> = self.noise.iter().map(|n| n.samples).collect();
+        rec.put_f64_slice("noise_mean_squares", &mean_squares)
+            .put_u64_slice("noise_samples", &samples)
+            .put_f64_slice("last_forecast", &self.last_forecast)
+            .put_u64("forecast_ready", u64::from(self.forecast_ready))
+            .put_usize("prev_rows_len", self.prev_rows.len());
+        let mut flat = Vec::new();
+        for row in &self.prev_rows {
+            flat.extend_from_slice(row);
+        }
+        rec.put_f64_slice("prev_rows", &flat)
+            .put_f64_slice("prev_inputs", &self.prev_inputs)
+            .put_u64("prev_inputs_ready", u64::from(self.prev_inputs_ready))
+            .put_u64("clean_streak", self.clean_streak)
+            .put_u64("cooldown", self.cooldown)
+            .put_u64("refit_ordinal", self.refit_ordinal)
+            .put_u64("rows_ingested", self.stats.rows_ingested)
+            .put_u64("rows_skipped", self.stats.rows_skipped)
+            .put_u64("residual_slots", self.stats.residual_slots)
+            .put_u64("refit_attempts", self.stats.refit_attempts)
+            .put_u64("refits_completed", self.stats.refits_completed)
+            .put_u64("refits_quarantined", self.stats.refits_quarantined);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let mut estimator = self.estimator.clone();
+        get_nested(rec, "estimator", &mut estimator)?;
+        let mut machines = self.machines.clone();
+        get_nested_list(rec, "machines", &mut machines)?;
+        let mean_squares = rec.get_f64_slice("noise_mean_squares")?;
+        let samples = rec.get_u64_slice("noise_samples")?;
+        if mean_squares.len() != self.noise.len() || samples.len() != self.noise.len() {
+            return Err(CkptError::decode(
+                "online snapshot",
+                format!(
+                    "noise trackers cover {} clusters, identifier has {}",
+                    mean_squares.len(),
+                    self.noise.len()
+                ),
+            ));
+        }
+        let last_forecast = rec.get_f64_slice("last_forecast")?;
+        let outputs = self.output_clusters.len();
+        if !last_forecast.is_empty() && last_forecast.len() != outputs {
+            return Err(CkptError::decode(
+                "online snapshot",
+                format!(
+                    "forecast covers {} outputs, spec has {outputs}",
+                    last_forecast.len()
+                ),
+            ));
+        }
+        let forecast_ready = rec.get_u64("forecast_ready")? != 0;
+        let rows_len = rec.get_usize("prev_rows_len")?;
+        let flat = rec.get_f64_slice("prev_rows")?;
+        if rows_len.checked_mul(outputs) != Some(flat.len()) {
+            return Err(CkptError::decode(
+                "online snapshot",
+                format!(
+                    "{rows_len} rows of width {outputs} cannot hold {} values",
+                    flat.len()
+                ),
+            ));
+        }
+        let prev_inputs = rec.get_f64_slice("prev_inputs")?;
+        let prev_inputs_ready = rec.get_u64("prev_inputs_ready")? != 0;
+        if prev_inputs_ready && prev_inputs.len() != self.estimator.spec().input_count() {
+            return Err(CkptError::decode(
+                "online snapshot",
+                format!(
+                    "input row covers {} inputs, spec has {}",
+                    prev_inputs.len(),
+                    self.estimator.spec().input_count()
+                ),
+            ));
+        }
+        let clean_streak = rec.get_u64("clean_streak")?;
+        let cooldown = rec.get_u64("cooldown")?;
+        let refit_ordinal = rec.get_u64("refit_ordinal")?;
+        let stats = OnlineStats {
+            rows_ingested: rec.get_u64("rows_ingested")?,
+            rows_skipped: rec.get_u64("rows_skipped")?,
+            residual_slots: rec.get_u64("residual_slots")?,
+            refit_attempts: rec.get_u64("refit_attempts")?,
+            refits_completed: rec.get_u64("refits_completed")?,
+            refits_quarantined: rec.get_u64("refits_quarantined")?,
+        };
+        self.estimator = estimator;
+        self.machines = machines;
+        for (tracker, (&ms, &s)) in self
+            .noise
+            .iter_mut()
+            .zip(mean_squares.iter().zip(samples.iter()))
+        {
+            tracker.mean_square = ms;
+            tracker.samples = s;
+        }
+        self.last_forecast = last_forecast;
+        self.forecast_ready = forecast_ready;
+        self.prev_rows.clear();
+        for chunk in flat.chunks_exact(outputs.max(1)) {
+            self.prev_rows.push_back(chunk.to_vec());
+        }
+        self.prev_inputs = prev_inputs;
+        self.prev_inputs_ready = prev_inputs_ready;
+        self.clean_streak = clean_streak;
+        self.cooldown = cooldown;
+        self.refit_ordinal = refit_ordinal;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

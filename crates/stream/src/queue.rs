@@ -9,6 +9,10 @@
 
 use std::collections::VecDeque;
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
+use thermal_timeseries::Timestamp;
+
 use crate::event::Reading;
 use crate::{Result, StreamError};
 
@@ -131,6 +135,67 @@ impl BoundedQueue {
     /// Loss and pressure counters so far.
     pub fn stats(&self) -> QueueStats {
         self.stats
+    }
+}
+
+/// Captures queued readings (as parallel channel/minute/value lists)
+/// and the loss counters; capacity and overflow policy are
+/// construction context, verified only through the depth bound.
+impl Snapshot for BoundedQueue {
+    const TAG: &'static str = "stream-queue";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        let channels: Vec<usize> = self.items.iter().map(|r| r.channel).collect();
+        let ats: Vec<i64> = self.items.iter().map(|r| r.at.as_minutes()).collect();
+        let values: Vec<f64> = self.items.iter().map(|r| r.value).collect();
+        rec.put_usize_slice("channels", &channels)
+            .put_i64_slice("ats", &ats)
+            .put_f64_slice("values", &values)
+            .put_u64("accepted", self.stats.accepted)
+            .put_u64("rejected", self.stats.rejected)
+            .put_u64("evicted", self.stats.evicted)
+            .put_usize("high_water", self.stats.high_water);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let channels = rec.get_usize_slice("channels")?;
+        let ats = rec.get_i64_slice("ats")?;
+        let values = rec.get_f64_slice("values")?;
+        if channels.len() != ats.len() || channels.len() != values.len() {
+            return Err(CkptError::decode(
+                "queue snapshot",
+                "channel/at/value lists disagree in length",
+            ));
+        }
+        if channels.len() > self.capacity {
+            return Err(CkptError::decode(
+                "queue snapshot",
+                format!(
+                    "{} queued readings exceed capacity {}",
+                    channels.len(),
+                    self.capacity
+                ),
+            ));
+        }
+        let stats = QueueStats {
+            accepted: rec.get_u64("accepted")?,
+            rejected: rec.get_u64("rejected")?,
+            evicted: rec.get_u64("evicted")?,
+            high_water: rec.get_usize("high_water")?,
+        };
+        self.items = channels
+            .into_iter()
+            .zip(ats)
+            .zip(values)
+            .map(|((channel, at), value)| Reading {
+                channel,
+                at: Timestamp::from_minutes(at),
+                value,
+            })
+            .collect::<VecDeque<_>>();
+        self.stats = stats;
+        Ok(())
     }
 }
 

@@ -12,6 +12,8 @@
 //! The buffer is bounded: a reading that would overflow it is dropped
 //! and counted, never silently absorbed into unbounded memory.
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
 use thermal_timeseries::Timestamp;
 
 use crate::event::Reading;
@@ -198,6 +200,80 @@ impl ReorderBuffer {
     /// Loss counters so far.
     pub fn stats(&self) -> ReorderStats {
         self.stats
+    }
+}
+
+/// Captures the pending readings, the released watermark, and the
+/// loss counters. `Option` fields use the empty-vs-one-element list
+/// encoding. The config (lateness, capacity) is construction context.
+impl Snapshot for ReorderBuffer {
+    const TAG: &'static str = "stream-reorder";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        let ats: Vec<i64> = self.pending.iter().map(|&(at, _)| at).collect();
+        let values: Vec<f64> = self.pending.iter().map(|&(_, v)| v).collect();
+        let released: Vec<i64> = self.released_up_to.into_iter().collect();
+        rec.put_i64_slice("pending_ats", &ats)
+            .put_f64_slice("pending_values", &values)
+            .put_i64_slice("released_up_to", &released)
+            .put_u64("released", self.stats.released)
+            .put_u64("duplicates", self.stats.duplicates)
+            .put_u64("too_late", self.stats.too_late)
+            .put_u64("overflowed", self.stats.overflowed)
+            .put_usize("high_water", self.stats.high_water);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let ats = rec.get_i64_slice("pending_ats")?;
+        let values = rec.get_f64_slice("pending_values")?;
+        if ats.len() != values.len() {
+            return Err(CkptError::decode(
+                "reorder snapshot",
+                "pending at/value lists disagree in length",
+            ));
+        }
+        if ats.len() > self.config.capacity {
+            return Err(CkptError::decode(
+                "reorder snapshot",
+                format!(
+                    "{} pending readings exceed capacity {}",
+                    ats.len(),
+                    self.config.capacity
+                ),
+            ));
+        }
+        if ats.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CkptError::decode(
+                "reorder snapshot",
+                "pending timestamps must be strictly ascending",
+            ));
+        }
+        let released = rec.get_i64_slice("released_up_to")?;
+        let released_up_to = match released.as_slice() {
+            [] => None,
+            [at] => Some(*at),
+            _ => {
+                return Err(CkptError::decode(
+                    "reorder snapshot",
+                    "released_up_to must hold zero or one element",
+                ))
+            }
+        };
+        let stats = ReorderStats {
+            released: rec.get_u64("released")?,
+            duplicates: rec.get_u64("duplicates")?,
+            too_late: rec.get_u64("too_late")?,
+            overflowed: rec.get_u64("overflowed")?,
+            high_water: rec.get_usize("high_water")?,
+        };
+        // Refill in place: the capacity reservation made at
+        // construction survives restore.
+        self.pending.clear();
+        self.pending.extend(ats.into_iter().zip(values));
+        self.released_up_to = released_up_to;
+        self.stats = stats;
+        Ok(())
     }
 }
 

@@ -23,7 +23,8 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use thermal_ckpt::{BreakerPolicy, CircuitBreaker};
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{BreakerPolicy, CircuitBreaker, CkptError, Snapshot};
 use thermal_timeseries::{TimeGrid, Timestamp};
 
 use crate::backoff::{Backoff, BackoffPolicy};
@@ -423,6 +424,89 @@ impl FlakySource {
         self.backoff.reset();
         self.stats.successes += 1;
         self.staged.drain(..).collect()
+    }
+}
+
+/// Captures the delivery cursor, staged readings, supervision state
+/// (nested backoff + breaker), and counters. The wrapped
+/// [`TraceReplayer`] is fully precomputed from the trace and seed, so
+/// it is construction context — the restoring process rebuilds it
+/// deterministically and only the *position* within it is saved.
+/// Poll outcomes are counter-seeded from `polls`, so no RNG state
+/// needs serialising.
+impl Snapshot for FlakySource {
+    const TAG: &'static str = "stream-source";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        let channels: Vec<usize> = self.staged.iter().map(|r| r.channel).collect();
+        let ats: Vec<i64> = self.staged.iter().map(|r| r.at.as_minutes()).collect();
+        let values: Vec<f64> = self.staged.iter().map(|r| r.value).collect();
+        rec.put_usize("cursor", self.cursor)
+            .put_usize_slice("staged_channels", &channels)
+            .put_i64_slice("staged_ats", &ats)
+            .put_f64_slice("staged_values", &values);
+        thermal_ckpt::snapshot::put_nested(rec, "backoff", &self.backoff);
+        thermal_ckpt::snapshot::put_nested(rec, "breaker", &self.breaker);
+        rec.put_u64("resume_at", self.resume_at)
+            .put_u64("polls", self.polls)
+            .put_u64("successes", self.stats.successes)
+            .put_u64("failures", self.stats.failures)
+            .put_u64("breaker_refusals", self.stats.breaker_refusals)
+            .put_u64("backoff_skips", self.stats.backoff_skips)
+            .put_u64("breaker_trips", self.stats.breaker_trips);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let cursor = rec.get_usize("cursor")?;
+        if cursor > self.replayer.slots() {
+            return Err(CkptError::decode(
+                "source snapshot",
+                format!(
+                    "cursor {cursor} beyond schedule of {} slots",
+                    self.replayer.slots()
+                ),
+            ));
+        }
+        let channels = rec.get_usize_slice("staged_channels")?;
+        let ats = rec.get_i64_slice("staged_ats")?;
+        let values = rec.get_f64_slice("staged_values")?;
+        if channels.len() != ats.len() || channels.len() != values.len() {
+            return Err(CkptError::decode(
+                "source snapshot",
+                "staged channel/at/value lists disagree in length",
+            ));
+        }
+        let mut backoff = self.backoff.clone();
+        thermal_ckpt::snapshot::get_nested(rec, "backoff", &mut backoff)?;
+        let mut breaker = self.breaker.clone();
+        thermal_ckpt::snapshot::get_nested(rec, "breaker", &mut breaker)?;
+        let resume_at = rec.get_u64("resume_at")?;
+        let polls = rec.get_u64("polls")?;
+        let stats = SourceStats {
+            successes: rec.get_u64("successes")?,
+            failures: rec.get_u64("failures")?,
+            breaker_refusals: rec.get_u64("breaker_refusals")?,
+            backoff_skips: rec.get_u64("backoff_skips")?,
+            breaker_trips: rec.get_u64("breaker_trips")?,
+        };
+        self.cursor = cursor;
+        self.staged = channels
+            .into_iter()
+            .zip(ats)
+            .zip(values)
+            .map(|((channel, at), value)| Reading {
+                channel,
+                at: Timestamp::from_minutes(at),
+                value,
+            })
+            .collect();
+        self.backoff = backoff;
+        self.breaker = breaker;
+        self.resume_at = resume_at;
+        self.polls = polls;
+        self.stats = stats;
+        Ok(())
     }
 }
 

@@ -14,7 +14,12 @@
 
 use std::collections::VecDeque;
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::snapshot::{get_nested, get_nested_list, put_nested, put_nested_list};
+use thermal_ckpt::{CkptError, Snapshot};
 use thermal_core::{FallbackAction, ModelHealth, ReducedModel};
+use thermal_linalg::Matrix;
+use thermal_sysid::ThermalModel;
 use thermal_timeseries::Timestamp;
 
 use crate::drift::DriftStats;
@@ -822,6 +827,245 @@ impl StreamService {
             return;
         }
         *dst = src.clone();
+    }
+}
+
+/// Encodes one ladder action as a stable label for snapshots.
+fn action_label(a: &FallbackAction) -> String {
+    match a {
+        FallbackAction::Healthy => "healthy".to_owned(),
+        FallbackAction::Backup { substitute } => format!("backup:{substitute}"),
+        FallbackAction::ClusterMean { members } => format!("cluster-mean:{members}"),
+        _ => "unavailable".to_owned(),
+    }
+}
+
+/// Decodes an [`action_label`] back into the action.
+fn action_from_label(label: &str) -> std::result::Result<FallbackAction, CkptError> {
+    if label == "healthy" {
+        return Ok(FallbackAction::Healthy);
+    }
+    if label == "unavailable" {
+        return Ok(FallbackAction::Unavailable);
+    }
+    if let Some(substitute) = label.strip_prefix("backup:") {
+        return Ok(FallbackAction::Backup {
+            substitute: substitute.to_owned(),
+        });
+    }
+    if let Some(members) = label.strip_prefix("cluster-mean:") {
+        let members = members.parse().map_err(|e| {
+            CkptError::decode("service snapshot", format!("cluster-mean members: {e}"))
+        })?;
+        return Ok(FallbackAction::ClusterMean { members });
+    }
+    Err(CkptError::decode(
+        "service snapshot",
+        format!("unknown ladder action {label:?}"),
+    ))
+}
+
+/// Packs a `Vec<Option<f64>>` into a presence mask plus values (`0.0`
+/// placeholders for `None`, so re-capturing a restored service is
+/// byte-identical).
+fn put_opt_f64s(rec: &mut Record, mask_key: &str, values_key: &str, opts: &[Option<f64>]) {
+    let mask: Vec<u64> = opts.iter().map(|o| u64::from(o.is_some())).collect();
+    let values: Vec<f64> = opts.iter().map(|o| o.unwrap_or(0.0)).collect();
+    rec.put_u64_slice(mask_key, &mask)
+        .put_f64_slice(values_key, &values);
+}
+
+/// Inverse of [`put_opt_f64s`]; `expect` pins the slot count.
+fn get_opt_f64s(
+    rec: &Record,
+    mask_key: &str,
+    values_key: &str,
+    expect: usize,
+) -> std::result::Result<Vec<Option<f64>>, CkptError> {
+    let mask = rec.get_u64_slice(mask_key)?;
+    let values = rec.get_f64_slice(values_key)?;
+    if mask.len() != expect || values.len() != expect {
+        return Err(CkptError::decode(
+            "service snapshot",
+            format!(
+                "field {mask_key:?} covers {} slots, service has {expect}",
+                mask.len()
+            ),
+        ));
+    }
+    Ok(mask
+        .iter()
+        .zip(values.iter())
+        .map(|(&m, &v)| (m != 0).then_some(v))
+        .collect())
+}
+
+/// Everything the event loop accumulates round-trips: the simulated
+/// clock, ingest queue, per-channel reorder buffers, per-sensor health
+/// machines, the freeze/history/ladder state, the served coefficients
+/// (refits mutate them in place), and the online identifier when
+/// enabled. Static wiring, the channel registry, configuration and the
+/// four per-slot scratch buffers are construction context and are
+/// deliberately not saved.
+impl Snapshot for StreamService {
+    const TAG: &'static str = "stream-service";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        let coef = self.model.model().coefficients();
+        let mut flat = Vec::with_capacity(coef.rows() * coef.cols());
+        for r in 0..coef.rows() {
+            flat.extend_from_slice(coef.row(r));
+        }
+        rec.put_usize("coef_rows", coef.rows())
+            .put_usize("coef_cols", coef.cols())
+            .put_f64_slice("coef", &flat);
+        put_nested(rec, "clock", &self.clock);
+        put_nested(rec, "queue", &self.queue);
+        put_nested_list(rec, "reorders", &self.reorders);
+        put_nested_list(rec, "machines", &self.machines);
+        put_opt_f64s(rec, "input_latest_mask", "input_latest", &self.input_latest);
+        put_opt_f64s(rec, "frozen_mask", "frozen", &self.frozen);
+        rec.put_usize("history_len", self.history.len());
+        let mut history_flat = Vec::new();
+        for row in &self.history {
+            history_flat.extend_from_slice(row);
+        }
+        rec.put_f64_slice("history", &history_flat);
+        let actions: Vec<String> = self.actions.iter().map(action_label).collect();
+        rec.put_str_list("actions", &actions);
+        match &self.online {
+            Some(online) => {
+                rec.put_u64("online", 1);
+                put_nested(rec, "online_state", online);
+            }
+            None => {
+                rec.put_u64("online", 0);
+            }
+        }
+        rec.put_f64_slice("forecast", &self.forecast)
+            .put_u64("forecast_ready", u64::from(self.forecast_ready))
+            .put_u64("unknown_channel", self.stats.unknown_channel)
+            .put_u64("applied", self.stats.applied)
+            .put_u64("implausible", self.stats.implausible)
+            .put_u64("steps", self.stats.steps)
+            .put_u64("healthy_outputs", self.stats.healthy_outputs)
+            .put_u64("backup_outputs", self.stats.backup_outputs)
+            .put_u64("cluster_mean_outputs", self.stats.cluster_mean_outputs)
+            .put_u64("unavailable_outputs", self.stats.unavailable_outputs)
+            .put_u64("refit_installs", self.stats.refit_installs);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let rows = rec.get_usize("coef_rows")?;
+        let cols = rec.get_usize("coef_cols")?;
+        let flat = rec.get_f64_slice("coef")?;
+        let coef = Matrix::from_vec(rows, cols, flat)
+            .map_err(|e| CkptError::decode("service snapshot", format!("coefficients: {e}")))?;
+        let model = ThermalModel::new(self.model.model().spec().clone(), coef)
+            .map_err(|e| CkptError::decode("service snapshot", format!("coefficients: {e}")))?;
+        let mut clock = self.clock;
+        get_nested(rec, "clock", &mut clock)?;
+        let mut queue = self.queue.clone();
+        get_nested(rec, "queue", &mut queue)?;
+        let mut reorders = self.reorders.clone();
+        get_nested_list(rec, "reorders", &mut reorders)?;
+        let mut machines = self.machines.clone();
+        get_nested_list(rec, "machines", &mut machines)?;
+        let input_latest = get_opt_f64s(
+            rec,
+            "input_latest_mask",
+            "input_latest",
+            self.input_latest.len(),
+        )?;
+        let frozen = get_opt_f64s(rec, "frozen_mask", "frozen", self.frozen.len())?;
+        let outputs = self.wiring.len();
+        let history_len = rec.get_usize("history_len")?;
+        let history_flat = rec.get_f64_slice("history")?;
+        if history_len.checked_mul(outputs) != Some(history_flat.len()) {
+            return Err(CkptError::decode(
+                "service snapshot",
+                format!(
+                    "{history_len} history rows of width {outputs} cannot hold {} values",
+                    history_flat.len()
+                ),
+            ));
+        }
+        let action_labels = rec.get_str_list("actions")?;
+        if action_labels.len() != outputs {
+            return Err(CkptError::decode(
+                "service snapshot",
+                format!(
+                    "ladder covers {} outputs, service has {outputs}",
+                    action_labels.len()
+                ),
+            ));
+        }
+        let mut actions = Vec::with_capacity(outputs);
+        for label in &action_labels {
+            actions.push(action_from_label(label)?);
+        }
+        let online_present = rec.get_u64("online")? != 0;
+        let mut online = match (online_present, &self.online) {
+            (true, Some(live)) => {
+                let mut online = live.clone();
+                get_nested(rec, "online_state", &mut online)?;
+                Some(online)
+            }
+            (false, None) => None,
+            (snap, _) => {
+                return Err(CkptError::decode(
+                    "service snapshot",
+                    format!(
+                        "online identification is {} in the snapshot but {} in the service",
+                        if snap { "enabled" } else { "disabled" },
+                        if snap { "disabled" } else { "enabled" },
+                    ),
+                ));
+            }
+        };
+        let forecast = rec.get_f64_slice("forecast")?;
+        if !forecast.is_empty() && forecast.len() != outputs {
+            return Err(CkptError::decode(
+                "service snapshot",
+                format!(
+                    "forecast covers {} outputs, service has {outputs}",
+                    forecast.len()
+                ),
+            ));
+        }
+        let forecast_ready = rec.get_u64("forecast_ready")? != 0;
+        let stats = ServiceStats {
+            unknown_channel: rec.get_u64("unknown_channel")?,
+            applied: rec.get_u64("applied")?,
+            implausible: rec.get_u64("implausible")?,
+            steps: rec.get_u64("steps")?,
+            healthy_outputs: rec.get_u64("healthy_outputs")?,
+            backup_outputs: rec.get_u64("backup_outputs")?,
+            cluster_mean_outputs: rec.get_u64("cluster_mean_outputs")?,
+            unavailable_outputs: rec.get_u64("unavailable_outputs")?,
+            refit_installs: rec.get_u64("refit_installs")?,
+            ..ServiceStats::default()
+        };
+        self.model
+            .install_model(model)
+            .map_err(|e| CkptError::decode("service snapshot", format!("install: {e}")))?;
+        self.clock = clock;
+        self.queue = queue;
+        self.reorders = reorders;
+        self.machines = machines;
+        self.input_latest = input_latest;
+        self.frozen = frozen;
+        self.history.clear();
+        for chunk in history_flat.chunks_exact(outputs.max(1)) {
+            self.history.push_back(chunk.to_vec());
+        }
+        self.actions = actions;
+        self.online = online.take();
+        self.forecast = forecast;
+        self.forecast_ready = forecast_ready;
+        self.stats = stats;
+        Ok(())
     }
 }
 

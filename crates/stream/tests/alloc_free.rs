@@ -146,23 +146,39 @@ fn steady_state_events_do_not_allocate() {
     );
     assert_eq!(prediction.clusters.len(), 2);
 
+    // Let the libtest harness thread park itself: its first blocking
+    // channel receive lazily initializes a thread-local context (a
+    // couple of one-time heap allocations) at a scheduling-dependent
+    // moment, and the counter is process-global.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+
     // Measure: several hundred steady-state events must leave the
-    // allocation counter exactly where it was.
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for slot in 40..440_i64 {
-        let minute = slot * 5;
-        fill_arrivals(&mut arrivals, minute);
-        svc.step(Timestamp::from_minutes(minute), &arrivals)
-            .unwrap();
-        svc.predict_into(&mut prediction);
+    // allocation counter exactly where it was. A genuine hot-path
+    // allocation recurs on every event, so it taints *every* window
+    // with hundreds of counts; stray one-time allocations from the
+    // harness cannot survive a retry. Require a clean window.
+    let mut windows = Vec::new();
+    for window in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let start = 40 + window * 400;
+        for slot in start..start + 400_i64 {
+            let minute = slot * 5;
+            fill_arrivals(&mut arrivals, minute);
+            svc.step(Timestamp::from_minutes(minute), &arrivals)
+                .unwrap();
+            svc.predict_into(&mut prediction);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        windows.push(after - before);
+        if after == before {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
+        windows.last().copied(),
+        Some(0),
         "steady-state step+predict_into must not touch the heap \
-         ({} allocations across 400 events)",
-        after - before
+         (allocations per 400-event window: {windows:?})"
     );
 
     // The events were real work, not no-ops.
@@ -170,7 +186,7 @@ fn steady_state_events_do_not_allocate() {
     assert_eq!(prediction.clusters[0].predicted, Some(20.0));
     assert_eq!(prediction.clusters[1].predicted, Some(23.0));
     let stats = svc.stats();
-    assert_eq!(stats.steps, 440);
+    assert_eq!(stats.steps, 40 + 400 * windows.len() as u64);
     assert!(stats.applied > 2000, "readings were applied: {stats:?}");
 
     let _ = std::fs::remove_dir_all(&root);

@@ -24,6 +24,8 @@
 //! [`identify_from_data`](crate::identify_from_data) solution for the
 //! same ridge, which is what the property suite pins.
 
+use thermal_ckpt::codec::Record;
+use thermal_ckpt::{CkptError, Snapshot};
 use thermal_linalg::{CholeskyDecomposition, LinalgError, Matrix};
 
 use crate::regressors::RegressionData;
@@ -230,6 +232,53 @@ impl RlsEstimator {
     pub fn solve(&self) -> Result<ThermalModel> {
         let theta_t = self.chol.solve_matrix(&self.cross)?;
         ThermalModel::new(self.spec.clone(), theta_t.transpose())
+    }
+}
+
+/// Crash-safe capture/restore of the factored estimator state: the
+/// Cholesky factor `L`, the cross moments `B`, and the observation
+/// count. The spec and config are construction context (the restoring
+/// process rebuilds the estimator from the same deterministic inputs)
+/// and are only *verified*, via the factor/cross dimensions, not
+/// serialised.
+impl Snapshot for RlsEstimator {
+    const TAG: &'static str = "sysid-rls";
+    const VERSION: u32 = 1;
+
+    fn capture(&self, rec: &mut Record) {
+        rec.put_usize("width", self.chol.dim())
+            .put_usize("outputs", self.cross.cols())
+            .put_f64_slice("chol_l", self.chol.l().as_slice())
+            .put_f64_slice("cross", self.cross.as_slice())
+            .put_u64("observations", self.observations);
+    }
+
+    fn restore(&mut self, rec: &Record) -> std::result::Result<(), CkptError> {
+        let width = rec.get_usize("width")?;
+        let outputs = rec.get_usize("outputs")?;
+        if width != self.spec.regressor_width() || outputs != self.spec.output_count() {
+            return Err(CkptError::decode(
+                "rls snapshot",
+                format!(
+                    "shape {}x{} does not match spec {}x{}",
+                    width,
+                    outputs,
+                    self.spec.regressor_width(),
+                    self.spec.output_count()
+                ),
+            ));
+        }
+        let l = Matrix::from_vec(width, width, rec.get_f64_slice("chol_l")?)
+            .map_err(|e| CkptError::decode("rls snapshot", e))?;
+        let chol = CholeskyDecomposition::from_factor(l)
+            .map_err(|e| CkptError::decode("rls snapshot", e))?;
+        let cross = Matrix::from_vec(width, outputs, rec.get_f64_slice("cross")?)
+            .map_err(|e| CkptError::decode("rls snapshot", e))?;
+        let observations = rec.get_u64("observations")?;
+        self.chol = chol;
+        self.cross = cross;
+        self.observations = observations;
+        Ok(())
     }
 }
 

@@ -289,6 +289,461 @@ fn snapshot(store: &Path) -> Result<BTreeMap<String, Vec<u8>>, String> {
     Ok(map)
 }
 
+/// Threads variable cleared for deterministic baselines and pinned
+/// for the cross-thread-count equivalence run.
+const THREADS_ENV: &str = "THERMAL_THREADS";
+
+/// Which snapshotting workload the restore-equivalence harness is
+/// driving (`cargo xtask chaos --stream` / `--fleet`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotWorkload {
+    /// The single-building chaos soak (`soak --ckpt`).
+    Stream,
+    /// The multi-building fleet soak (`fleet_soak --snap-every`).
+    Fleet,
+}
+
+impl SnapshotWorkload {
+    fn label(self) -> &'static str {
+        match self {
+            SnapshotWorkload::Stream => "stream",
+            SnapshotWorkload::Fleet => "fleet",
+        }
+    }
+
+    fn package(self) -> &'static str {
+        match self {
+            SnapshotWorkload::Stream => "thermal-bench",
+            SnapshotWorkload::Fleet => "thermal-fleet",
+        }
+    }
+
+    fn bin(self) -> &'static str {
+        match self {
+            SnapshotWorkload::Stream => "soak",
+            SnapshotWorkload::Fleet => "fleet_soak",
+        }
+    }
+
+    /// Workload arguments for one run rooted at `dir`. Everything is
+    /// pinned (seed, scale, snapshot cadence) so every run of a case
+    /// agrees byte-for-byte.
+    fn args(self, dir: &Path) -> Vec<String> {
+        let d = |p: PathBuf| p.to_string_lossy().into_owned();
+        match self {
+            SnapshotWorkload::Stream => vec![
+                d(dir.join("report.json")),
+                "--days".into(),
+                "1".into(),
+                "--seed".into(),
+                WORKLOAD_SEED.into(),
+                "--intensities".into(),
+                "0,150".into(),
+                "--ckpt".into(),
+                d(dir.join("store")),
+                "--snap-every".into(),
+                "29".into(),
+            ],
+            SnapshotWorkload::Fleet => vec![
+                d(dir.to_path_buf()),
+                "--seed".into(),
+                WORKLOAD_SEED.into(),
+                "--buildings".into(),
+                "4".into(),
+                "--days".into(),
+                "1".into(),
+                "--targets".into(),
+                "1,2".into(),
+                "--snap-every".into(),
+                "64".into(),
+            ],
+        }
+    }
+
+    /// The report files whose bytes carry the restore-equivalence
+    /// contract, relative-name → absolute path.
+    fn reports(self, dir: &Path) -> Result<BTreeMap<String, PathBuf>, String> {
+        let mut map = BTreeMap::new();
+        match self {
+            SnapshotWorkload::Stream => {
+                map.insert("report.json".to_owned(), dir.join("report.json"));
+            }
+            SnapshotWorkload::Fleet => {
+                let entries =
+                    fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+                for entry in entries {
+                    let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+                    let path = entry.path();
+                    if path.extension().is_some_and(|ext| ext == "json") {
+                        map.insert(entry.file_name().to_string_lossy().into_owned(), path);
+                    }
+                }
+                if map.is_empty() {
+                    return Err(format!("no fleet reports under {}", dir.display()));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Every checkpoint-store directory a run rooted at `dir` uses.
+    fn stores(self, dir: &Path) -> Result<Vec<PathBuf>, String> {
+        match self {
+            SnapshotWorkload::Stream => Ok(vec![dir.join("store")]),
+            SnapshotWorkload::Fleet => {
+                let ckpt = dir.join("ckpt");
+                let entries =
+                    fs::read_dir(&ckpt).map_err(|e| format!("read_dir {}: {e}", ckpt.display()))?;
+                let mut stores: Vec<PathBuf> = entries
+                    .filter_map(|entry| entry.ok().map(|e| e.path()))
+                    .filter(|p| p.is_dir())
+                    .collect();
+                stores.sort();
+                Ok(stores)
+            }
+        }
+    }
+
+    /// Snapshot payload name prefixes this workload writes.
+    fn snapshot_prefixes(self) -> &'static [&'static str] {
+        match self {
+            SnapshotWorkload::Stream => &["progress-", "intensity-"],
+            SnapshotWorkload::Fleet => &["serve-"],
+        }
+    }
+}
+
+/// One row of the kill-point matrix report.
+struct MatrixRow {
+    case: String,
+    status: &'static str,
+}
+
+/// Runs the snapshot/restore-equivalence harness for one workload:
+/// census → repeat-run and thread-count baselines → kill sweep (every
+/// durable write, or the boundary sample under `--smoke`) → torn- and
+/// corrupt-snapshot cases. Writes a kill-point matrix report and the
+/// collected quarantine logs under `target/chaos-<workload>/` for the
+/// CI artifact upload.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn run_snapshots(root: &Path, workload: SnapshotWorkload, smoke: bool) -> Result<(), String> {
+    let label = workload.label();
+    build_snapshot_workload(root, workload)?;
+    let bin = root.join("target").join("release").join(format!(
+        "{}{}",
+        workload.bin(),
+        std::env::consts::EXE_SUFFIX
+    ));
+    let base = root.join("target").join(format!("chaos-{label}"));
+    reset_dir(&base)?;
+    let mut matrix: Vec<MatrixRow> = Vec::new();
+
+    // 1. Census: one clean run fixes the reference reports and the
+    // durable-write count.
+    let clean = base.join("clean");
+    reset_dir(&clean)?;
+    let stdout = run_snapshot_run(&bin, workload, &clean, None, 0, None)?;
+    let writes = parse_durable_writes(&stdout)?;
+    if writes < 4 {
+        return Err(format!(
+            "{label} workload committed only {writes} durable writes; the sweep would prove nothing"
+        ));
+    }
+    eprintln!("xtask chaos --{label}: clean run committed {writes} durable writes");
+
+    // 2. Uninterrupted baselines: a repeat run and a THERMAL_THREADS=4
+    // run must already agree byte-for-byte, otherwise kill-point
+    // comparisons would chase nondeterminism instead of crash bugs.
+    for (case, threads) in [("repeat", None), ("threads-4", Some("4"))] {
+        let dir = base.join(case);
+        reset_dir(&dir)?;
+        run_snapshot_run(&bin, workload, &dir, None, 0, threads)?;
+        assert_same_reports(workload, &clean, &dir, case)?;
+        matrix.push(MatrixRow {
+            case: case.to_owned(),
+            status: "ok",
+        });
+    }
+    eprintln!("xtask chaos --{label}: repeat and threads-4 baselines are byte-identical");
+
+    // 3. Kill sweep: crash at the k-th durable write, resume, compare
+    // final reports against the uninterrupted run.
+    let kill_points = select_kill_points(writes, smoke);
+    eprintln!(
+        "xtask chaos --{label}: sweeping {} kill point(s): {kill_points:?}",
+        kill_points.len()
+    );
+    for &k in &kill_points {
+        let dir = base.join(format!("k{k}"));
+        reset_dir(&dir)?;
+        run_snapshot_run(&bin, workload, &dir, Some(k), KILL_EXIT_CODE, None)?;
+        run_snapshot_run(&bin, workload, &dir, None, 0, None)?;
+        assert_same_reports(workload, &clean, &dir, &format!("kill point {k}"))?;
+        matrix.push(MatrixRow {
+            case: format!("kill-{k}"),
+            status: "ok",
+        });
+    }
+    eprintln!(
+        "xtask chaos --{label}: crash→resume reports are byte-identical at every swept kill point"
+    );
+
+    // 4. Torn/corrupt snapshots: a mid-run kill leaves live snapshots
+    // behind; damaging the newest one must be detected by checksum,
+    // quarantined with a structured log entry, and recovered from an
+    // older snapshot — never parsed.
+    let mut quarantine_log = String::new();
+    for (case, truncate) in [("bitflip-snapshot", false), ("truncate-snapshot", true)] {
+        let dir = base.join(case);
+        reset_dir(&dir)?;
+        run_snapshot_run(&bin, workload, &dir, Some(writes - 2), KILL_EXIT_CODE, None)?;
+        let victim = corrupt_newest_snapshot(workload, &dir, truncate)?;
+        eprintln!(
+            "xtask chaos --{label}: case `{case}` damaged {}",
+            victim.display()
+        );
+        run_snapshot_run(&bin, workload, &dir, None, 0, None)?;
+        assert_same_reports(workload, &clean, &dir, &format!("corruption case `{case}`"))?;
+        let victim_name = victim
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let log = collect_quarantine_logs(workload, &dir)?;
+        if !log.contains(&format!("name={victim_name}")) {
+            return Err(format!(
+                "corruption case `{case}`: quarantine log has no structured entry for \
+                 {victim_name}:\n{log}"
+            ));
+        }
+        quarantine_log.push_str(&format!("# case {case}\n{log}"));
+        matrix.push(MatrixRow {
+            case: case.to_owned(),
+            status: "ok",
+        });
+    }
+    // Torn manifest: truncate the first store's manifest mid-line; the
+    // workload must recover and converge to the same report bytes.
+    {
+        let case = "truncate-manifest";
+        let dir = base.join(case);
+        reset_dir(&dir)?;
+        run_snapshot_run(&bin, workload, &dir, Some(writes - 2), KILL_EXIT_CODE, None)?;
+        let store = workload
+            .stores(&dir)?
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("no stores under {}", dir.display()))?;
+        let manifest = store.join("manifest.txt");
+        let bytes = fs::read(&manifest).map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        fs::write(&manifest, &bytes[..bytes.len() / 2])
+            .map_err(|e| format!("truncate {}: {e}", manifest.display()))?;
+        eprintln!(
+            "xtask chaos --{label}: case `{case}` damaged {}",
+            manifest.display()
+        );
+        run_snapshot_run(&bin, workload, &dir, None, 0, None)?;
+        assert_same_reports(workload, &clean, &dir, &format!("corruption case `{case}`"))?;
+        matrix.push(MatrixRow {
+            case: case.to_owned(),
+            status: "ok",
+        });
+    }
+    eprintln!("xtask chaos --{label}: torn and corrupt snapshots quarantined and recovered");
+
+    // 5. Artifacts for the CI upload: the kill-point matrix and the
+    // structured quarantine logs the corruption cases produced.
+    let mut matrix_json = String::from("{\n");
+    matrix_json.push_str(&format!(
+        "  \"workload\": \"{label}\",\n  \"smoke\": {smoke},\n  \"durable_writes\": {writes},\n  \"cases\": [\n"
+    ));
+    for (i, row) in matrix.iter().enumerate() {
+        matrix_json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"status\": \"{}\"}}{}\n",
+            row.case,
+            row.status,
+            if i + 1 < matrix.len() { "," } else { "" }
+        ));
+    }
+    matrix_json.push_str("  ]\n}\n");
+    let matrix_path = base.join("matrix.json");
+    fs::write(&matrix_path, matrix_json)
+        .map_err(|e| format!("write {}: {e}", matrix_path.display()))?;
+    let qlog_path = base.join("quarantine-log.txt");
+    fs::write(&qlog_path, quarantine_log)
+        .map_err(|e| format!("write {}: {e}", qlog_path.display()))?;
+    eprintln!(
+        "xtask chaos --{label}: matrix = {}, quarantine log = {}",
+        matrix_path.display(),
+        qlog_path.display()
+    );
+    Ok(())
+}
+
+/// Builds the snapshotting workload binary once, in release mode.
+fn build_snapshot_workload(root: &Path, workload: SnapshotWorkload) -> Result<(), String> {
+    eprintln!(
+        "xtask chaos --{}: building {} (release)",
+        workload.label(),
+        workload.bin()
+    );
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "build",
+            "--release",
+            "--offline",
+            "-p",
+            workload.package(),
+            "--bin",
+            workload.bin(),
+        ])
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("could not start cargo build: {e}"))?;
+    if !status.success() {
+        return Err(format!("{} build failed with {status}", workload.bin()));
+    }
+    Ok(())
+}
+
+/// Runs the snapshotting workload rooted at `dir`, optionally with a
+/// kill point and a pinned thread count, checking the exit code.
+fn run_snapshot_run(
+    bin: &Path,
+    workload: SnapshotWorkload,
+    dir: &Path,
+    kill_at: Option<u64>,
+    expect_code: i32,
+    threads: Option<&str>,
+) -> Result<String, String> {
+    let mut cmd = Command::new(bin);
+    cmd.args(workload.args(dir))
+        .env_remove(KILL_AT_ENV)
+        .env_remove(KILL_SEED_ENV)
+        .env_remove(THREADS_ENV);
+    if let Some(k) = kill_at {
+        cmd.env(KILL_AT_ENV, k.to_string());
+    }
+    if let Some(t) = threads {
+        cmd.env(THREADS_ENV, t);
+    }
+    let output = cmd
+        .output()
+        .map_err(|e| format!("could not start {}: {e}", bin.display()))?;
+    let code = output.status.code();
+    if code != Some(expect_code) {
+        return Err(format!(
+            "{} workload on {} (kill_at={kill_at:?}) exited with {code:?}, expected \
+             {expect_code}\nstderr:\n{}",
+            workload.label(),
+            dir.display(),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
+/// Byte-compares the final reports of two runs of `workload`.
+fn assert_same_reports(
+    workload: SnapshotWorkload,
+    clean: &Path,
+    candidate: &Path,
+    what: &str,
+) -> Result<(), String> {
+    let lhs = workload.reports(clean)?;
+    let rhs = workload.reports(candidate)?;
+    let mut diffs = Vec::new();
+    for (name, path) in &lhs {
+        match rhs.get(name) {
+            Some(other) => {
+                let a = fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+                let b = fs::read(other).map_err(|e| format!("read {}: {e}", other.display()))?;
+                if a != b {
+                    diffs.push(format!("{name}: contents differ"));
+                }
+            }
+            None => diffs.push(format!("{name}: missing after resume")),
+        }
+    }
+    for name in rhs.keys() {
+        if !lhs.contains_key(name) {
+            diffs.push(format!("{name}: extra report after resume"));
+        }
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: resumed reports differ from the uninterrupted run:\n  {}",
+            diffs.join("\n  ")
+        ))
+    }
+}
+
+/// Damages the newest live snapshot payload any of the run's stores
+/// holds (bit-flip or half-truncation) and returns its path.
+fn corrupt_newest_snapshot(
+    workload: SnapshotWorkload,
+    dir: &Path,
+    truncate: bool,
+) -> Result<PathBuf, String> {
+    let mut newest: Option<PathBuf> = None;
+    for store in workload.stores(dir)? {
+        let entries =
+            fs::read_dir(&store).map_err(|e| format!("read_dir {}: {e}", store.display()))?;
+        for entry in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+            let name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if workload
+                .snapshot_prefixes()
+                .iter()
+                .any(|p| name.starts_with(p))
+                && newest
+                    .as_ref()
+                    .and_then(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+                    .is_none_or(|best| name > best)
+            {
+                newest = Some(entry);
+            }
+        }
+    }
+    let victim = newest.ok_or_else(|| {
+        format!(
+            "no live snapshot payloads under {} to corrupt (prefixes {:?})",
+            dir.display(),
+            workload.snapshot_prefixes()
+        )
+    })?;
+    let bytes = fs::read(&victim).map_err(|e| format!("read {}: {e}", victim.display()))?;
+    if truncate {
+        fs::write(&victim, &bytes[..bytes.len() / 2])
+            .map_err(|e| format!("truncate {}: {e}", victim.display()))?;
+    } else {
+        let mut flipped = bytes;
+        if let Some(last) = flipped.last_mut() {
+            *last ^= 0x01;
+        }
+        fs::write(&victim, &flipped).map_err(|e| format!("corrupt {}: {e}", victim.display()))?;
+    }
+    Ok(victim)
+}
+
+/// Concatenates every store's structured quarantine log under `dir`.
+fn collect_quarantine_logs(workload: SnapshotWorkload, dir: &Path) -> Result<String, String> {
+    let mut out = String::new();
+    for store in workload.stores(dir)? {
+        let log = store.join(QUARANTINE_DIR).join("log.txt");
+        if let Ok(text) = fs::read_to_string(&log) {
+            out.push_str(&text);
+        }
+    }
+    Ok(out)
+}
+
 /// Deletes and recreates a directory.
 fn reset_dir(dir: &Path) -> Result<(), String> {
     if dir.exists() {

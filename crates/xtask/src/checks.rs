@@ -55,6 +55,12 @@
 //!   baseline; the runtime proof is
 //!   `crates/stream/tests/alloc_free.rs`.
 //!
+//! In files that implement the `Snapshot` trait, the bodies of
+//! `fn capture` / `fn restore` are exempt from family B: the snapshot
+//! codec runs once per snapshot boundary (tens of slots apart), never
+//! in the per-event serving loop, so the zero-allocation and
+//! no-panic-index budgets do not apply there.
+//!
 //! Findings are never silently dropped: allowlist- and
 //! baseline-suppressed findings stay in the report with their
 //! suppression recorded, and only *active* findings fail the gate.
@@ -63,7 +69,7 @@ use crate::allowlist::Allowlist;
 use crate::baseline::{self, Baseline, BASELINE_PATH};
 use crate::json::escape;
 use crate::lexer::{lex, Token, TokenKind};
-use crate::model::{build, KEYWORDS};
+use crate::model::{build, TokenCtx, KEYWORDS};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -78,6 +84,21 @@ pub const CLOCK_MODULES: &[&str] = &["crates/bench/src/bin/"];
 /// `thermal-par` thread-count pin and the `thermal-faults` kill-point
 /// switch. Everything else must take configuration as arguments.
 pub const CONFIG_MODULES: &[&str] = &["crates/par/src/lib.rs", "crates/faults/src/killpoint.rs"];
+
+/// Path prefixes carrying snapshot capture/restore code, where
+/// wall-clock reads are findings **even inside a designated clock
+/// module**: a wall timestamp folded into a snapshot record would
+/// break the restore-equivalence byte comparisons of
+/// `cargo xtask chaos --stream|--fleet` (see DESIGN.md
+/// § restore-equivalence). Snapshot timestamping must come from the
+/// simulated clock ([`SimClock`] state travels inside the snapshot).
+pub const SNAPSHOT_MODULES: &[&str] = &[
+    "crates/ckpt/src/snapshot.rs",
+    "crates/ckpt/src/breaker.rs",
+    "crates/bench/src/bin/soak.rs",
+    "crates/fleet/src/orchestrator.rs",
+    "crates/fleet/src/shard.rs",
+];
 
 /// Path prefixes where reachable panics are findings (rule family B):
 /// the streaming ingest path and the dense kernels.
@@ -288,13 +309,34 @@ pub fn check_source(rel_path: &str, content: &str, allow: &Allowlist, out: &mut 
         );
     }
 
-    let in_clock = path_in(rel_path, CLOCK_MODULES);
+    // Snapshot modules revoke a clock designation: even a bench
+    // binary allowed to measure wall time must not fold it into
+    // snapshot records.
+    let in_clock = path_in(rel_path, CLOCK_MODULES) && !path_in(rel_path, SNAPSHOT_MODULES);
     let in_config = path_in(rel_path, CONFIG_MODULES);
     let hot = path_in(rel_path, HOT_PATH_MODULES);
     let steady = path_in(rel_path, STEADY_STATE_MODULES);
 
     let toks = &model.lexed.tokens;
     let n = toks.len();
+
+    // Snapshot codec fns are cold path: `capture`/`restore` run once
+    // per snapshot boundary (tens of slots apart), never per event,
+    // so the steady-state allocation and hot-path indexing budgets do
+    // not apply inside them. Scoped to files that implement the
+    // `Snapshot` trait so an unrelated `fn restore` stays budgeted.
+    let snapshot_codec_file = (0..n.saturating_sub(1))
+        .any(|i| toks[i].is_ident("impl") && toks[i + 1].is_ident("Snapshot"));
+    let in_snapshot_codec = |ctx: TokenCtx| {
+        snapshot_codec_file
+            && ctx.fn_idx.is_some_and(|f| {
+                matches!(
+                    model.fns.get(f as usize).map(String::as_str),
+                    Some("capture" | "restore")
+                )
+            })
+    };
+
     for i in 0..n {
         let ctx = model.ctx[i];
         if ctx.in_test || ctx.in_attr {
@@ -431,8 +473,9 @@ pub fn check_source(rel_path: &str, content: &str, allow: &Allowlist, out: &mut 
             // hot-path-alloc (family B): allocation acquisition in a
             // steady-state stream module. Constructor-time and
             // refit-time allocations that predate the budget live in
-            // the ratcheted baseline; new ones are findings.
-            if steady {
+            // the ratcheted baseline; new ones are findings. Snapshot
+            // capture/restore is boundary-rate, not event-rate.
+            if steady && !in_snapshot_codec(ctx) {
                 if path2("Vec", "new") || path2("Box", "new") || path2("String", "from") {
                     let (line, col, len) = at(t.text.len());
                     let callee = next(2).map(|p| p.text.clone()).unwrap_or_default();
@@ -542,8 +585,9 @@ pub fn check_source(rel_path: &str, content: &str, allow: &Allowlist, out: &mut 
             }
         }
 
-        // hot-path rules (family B).
-        if hot && t.is_punct("[") && prev.is_some_and(is_indexable) {
+        // hot-path rules (family B). Snapshot codec fns are exempt:
+        // they run at snapshot boundaries, not in the per-event loop.
+        if hot && !in_snapshot_codec(ctx) && t.is_punct("[") && prev.is_some_and(is_indexable) {
             let close = matching_bracket(toks, i).unwrap_or(n.saturating_sub(1));
             let inner = &toks[i + 1..close];
             let full_range = inner.len() == 1 && inner[0].is_punct("..");
@@ -1089,6 +1133,59 @@ mod tests {
             "//! doc\nfn f() { let _ = std::time::Instant::now(); }\n",
         );
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn snapshot_modules_revoke_the_clock_designation() {
+        // The soak binary sits inside the bench clock designation,
+        // but it captures snapshots: wall-clock reads there must be
+        // findings — a wall timestamp in a snapshot record would
+        // break restore-equivalence byte comparisons.
+        for src in [
+            "//! doc\nfn f() { let _ = std::time::SystemTime::now(); }\n",
+            "//! doc\nfn f() { let _ = std::time::Instant::now(); }\n",
+        ] {
+            let v = scan_at("crates/bench/src/bin/soak.rs", src);
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert_eq!(v[0].rule, "ambient-authority");
+        }
+        // The snapshot codec itself is likewise never clock-eligible.
+        let v = scan_at(
+            "crates/ckpt/src/snapshot.rs",
+            "//! doc\nfn f() { let _ = std::time::SystemTime::now(); }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        // A sibling bench binary that takes no snapshots keeps the
+        // designation.
+        let v = scan_at(
+            "crates/bench/src/bin/repro.rs",
+            "//! doc\nfn f() { let _ = std::time::Instant::now(); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn snapshot_codec_fns_are_cold_path() {
+        // `capture`/`restore` in a file that implements `Snapshot`
+        // run at snapshot boundaries, not per event: family B rules
+        // (hot-path-alloc / hot-path-index) do not apply inside them.
+        let src = "//! doc\n\
+             impl Snapshot for S {\n\
+                 fn capture(&self, rec: &mut Record) { let _ = Vec::new(); }\n\
+                 fn restore(&mut self, rec: &Record) { let _ = self.buf[0]; }\n\
+             }\n\
+             fn step(&mut self) { let _ = Vec::new(); let _ = self.buf[0]; }\n";
+        let v = scan_at("crates/stream/src/service.rs", src);
+        assert_eq!(v.len(), 2, "only `fn step` findings expected: {v:?}");
+        assert!(v.iter().all(|f| f.line == 6), "{v:?}");
+        assert!(v.iter().any(|f| f.rule == "hot-path-alloc"), "{v:?}");
+        assert!(v.iter().any(|f| f.rule == "hot-path-index"), "{v:?}");
+        // Without a `Snapshot` impl in the file, the fn names alone
+        // grant no exemption.
+        let plain = "//! doc\nfn restore(x: &[u8]) { let _ = Vec::new(); }\n";
+        let v = scan_at("crates/stream/src/service.rs", plain);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-alloc");
     }
 
     #[test]

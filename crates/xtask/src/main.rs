@@ -17,9 +17,14 @@
 //!   `BENCH_<label>.json`; `--compare <a> <b>` prints per-bench
 //!   speedups between two reports (rejecting the retired `mean_ns`
 //!   schema).
-//! - `cargo xtask chaos [--smoke]` — kill-point crash/resume harness:
-//!   crash the checkpointed workload at every durable write and
-//!   require byte-identical recovery (see DESIGN.md § crash recovery).
+//! - `cargo xtask chaos [--stream|--fleet] [--smoke]` — kill-point
+//!   crash/resume harness: crash the checkpointed workload at every
+//!   durable write and require byte-identical recovery (see DESIGN.md
+//!   § crash recovery). `--stream` and `--fleet` drive the
+//!   snapshotting soak workloads instead and require the resumed final
+//!   reports byte-identical to an uninterrupted baseline — including
+//!   across `THERMAL_THREADS` settings and with torn or bit-flipped
+//!   snapshots on disk (see DESIGN.md § restore-equivalence).
 //! - `cargo xtask soak [--smoke] [--list] [--only <scenario>]` —
 //!   chaos-soak harness with a scenario registry. `stream` (default)
 //!   replays a full trace through corrupted, flaky, out-of-order
@@ -108,7 +113,9 @@ fn print_help() {
          \x20       [--compare <before.json> <after.json>]  print per-bench speedups;\n\
          \x20                      rejects the retired `mean_ns` schema and mixed schemas\n\
          \x20 chaos [--smoke]      kill-point crash/resume harness (--smoke: boundary\n\
-         \x20                      kill points only; default: every durable write)\n\
+         \x20       [--stream]     kill points only; default: every durable write);\n\
+         \x20       [--fleet]      --stream/--fleet: snapshotting soak workloads with\n\
+         \x20                      report restore-equivalence + torn-snapshot recovery\n\
          \x20 soak [--smoke]       chaos-soak harness: corrupted/flaky stream replay with\n\
          \x20      [--only S]      a bitwise-deterministic report (--smoke: short sweep);\n\
          \x20      [--list]        --only picks a scenario (stream|recovery|fleet),\n\
@@ -353,6 +360,20 @@ fn ci() -> ExitCode {
     // dedicated CI job sweeps every kill point).
     eprintln!("xtask: chaos smoke");
     let code = chaos(&["--smoke".to_owned()]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    // Live-serving crash-safety smokes: kill the snapshotting stream
+    // and fleet soaks at the boundary durable writes and require the
+    // resumed final reports byte-identical to an uninterrupted run
+    // (the dedicated CI jobs sweep every kill point).
+    eprintln!("xtask: chaos stream smoke");
+    let code = chaos(&["--stream".to_owned(), "--smoke".to_owned()]);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    eprintln!("xtask: chaos fleet smoke");
+    let code = chaos(&["--fleet".to_owned(), "--smoke".to_owned()]);
     if code != ExitCode::SUCCESS {
         return code;
     }
@@ -623,17 +644,34 @@ fn bench_compare(before_path: &str, after_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Runs the kill-point chaos harness (see `xtask::chaos`).
+/// Runs the kill-point chaos harness (see `xtask::chaos`). With no
+/// workload flag it drives the checkpointed fit grid; `--stream` and
+/// `--fleet` drive the snapshotting soak workloads and additionally
+/// prove restore-equivalence of the final report bytes.
 fn chaos(args: &[String]) -> ExitCode {
-    let smoke = match args {
-        [] => false,
-        [flag] if flag == "--smoke" => true,
-        _ => {
-            eprintln!("xtask chaos: expected no arguments or `--smoke`");
-            return ExitCode::FAILURE;
+    let mut smoke = false;
+    let mut workload: Option<xtask::chaos::SnapshotWorkload> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--stream" if workload.is_none() => {
+                workload = Some(xtask::chaos::SnapshotWorkload::Stream);
+            }
+            "--fleet" if workload.is_none() => {
+                workload = Some(xtask::chaos::SnapshotWorkload::Fleet);
+            }
+            _ => {
+                eprintln!("xtask chaos: expected [--stream|--fleet] [--smoke]");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let root = workspace_root();
+    let outcome = match workload {
+        None => xtask::chaos::run(&root, smoke),
+        Some(w) => xtask::chaos::run_snapshots(&root, w, smoke),
     };
-    match xtask::chaos::run(&workspace_root(), smoke) {
+    match outcome {
         Ok(()) => {
             eprintln!("xtask chaos: clean");
             ExitCode::SUCCESS
